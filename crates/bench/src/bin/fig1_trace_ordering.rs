@@ -1,0 +1,165 @@
+//! Experiment F1 — Figure 1: the MCDS trace & trigger block.
+//!
+//! Two cores are traced in parallel; the message sorter must deliver one
+//! stream in correct temporal order down to cycle level, across core clock
+//! ratios (heterogeneous cores only differ in adaptation logic, Section 4).
+//!
+//! Reported per clock ratio:
+//! * ground-truth events vs captured messages,
+//! * timestamp-order violations in the sorter output (claim: 0),
+//! * data-trace order inversions vs ground truth (claim: 0 at cycle-level
+//!   resolution),
+//! * per-core program-flow reconstruction success.
+
+use mcds::observer::DataTraceConfig;
+use mcds::{AccessKind, DataComparator, TraceQualifier};
+use mcds_bench::{data_write_order, print_table, tracing_config};
+use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+use mcds_soc::bus::AddrRange;
+use mcds_soc::cpu::CoreConfig;
+use mcds_soc::event::CoreId;
+use mcds_soc::soc::memmap;
+use mcds_trace::{reconstruct_flow, ProgramImage, StreamDecoder, TimedMessage, TraceSource};
+use mcds_workloads::race;
+
+fn capture_messages(dev: &mut mcds_psi::device::Device) -> Vec<TimedMessage> {
+    let now = dev.soc().cycle();
+    dev.mcds_mut().flush(now);
+    let residual = dev.mcds_mut().take_messages();
+    if !residual.is_empty() {
+        let (soc, sink) = dev.soc_sink_mut();
+        sink.store(&residual, soc.mapper_mut().emem_mut().expect("ED device"));
+    }
+    let bytes = dev
+        .sink()
+        .read_back(dev.soc().mapper().emem().expect("ED device"));
+    StreamDecoder::new(bytes)
+        .collect_all()
+        .expect("trace stream decodes")
+}
+
+fn main() {
+    let program = race::program_buggy();
+    let image = ProgramImage::from(&program);
+    let mut rows = Vec::new();
+
+    for (div0, div1, label) in [(1u32, 1u32, "1:1"), (1, 2, "1:2"), (2, 3, "2:3")] {
+        let mut config = tracing_config(2);
+        // Data trace filtered to the shared counter: the observation that
+        // matters for the race.
+        for c in &mut config.cores {
+            c.data_trace = DataTraceConfig {
+                qualifier: TraceQualifier::Always,
+                filter: Some(DataComparator::on(
+                    AddrRange::new(race::COUNTER_ADDR, 4),
+                    AccessKind::Write,
+                )),
+            };
+        }
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .core(CoreConfig {
+                reset_pc: memmap::FLASH_BASE,
+                clock_div: div0,
+                ..Default::default()
+            })
+            .core(CoreConfig {
+                reset_pc: memmap::FLASH_BASE,
+                clock_div: div1,
+                ..Default::default()
+            })
+            .mcds(config)
+            .build();
+        dev.soc_mut().load_program(&program);
+        let mut records = Vec::new();
+        for _ in 0..3_000_000u64 {
+            records.push(dev.step());
+            if dev.soc().cores().all(|c| c.is_halted()) {
+                break;
+            }
+        }
+        assert!(
+            dev.soc().cores().all(|c| c.is_halted()),
+            "race workload completes at ratio {label}"
+        );
+
+        let messages = capture_messages(&mut dev);
+
+        // 1. Sorter output is timestamp-ordered.
+        let order_violations = messages
+            .windows(2)
+            .filter(|w| w[0].timestamp > w[1].timestamp)
+            .count();
+
+        // 2. The data trace reproduces the true global write order.
+        let truth: Vec<(CoreId, u32)> = data_write_order(&records)
+            .into_iter()
+            .filter(|(_, _, addr, _)| *addr == race::COUNTER_ADDR)
+            .map(|(_, core, _, value)| (core, value))
+            .collect();
+        let traced: Vec<(CoreId, u32)> = messages
+            .iter()
+            .filter_map(|m| match (m.source, m.message) {
+                (
+                    TraceSource::Core(core),
+                    mcds_trace::TraceMessage::DataWrite { addr, value, .. },
+                ) if addr == race::COUNTER_ADDR => Some((core, value)),
+                _ => None,
+            })
+            .collect();
+        let data_inversions = truth
+            .iter()
+            .zip(traced.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+            + truth.len().abs_diff(traced.len());
+
+        // 3. Per-core flow reconstruction.
+        let flow = reconstruct_flow(&image, &messages);
+        let flow_ok = match &flow {
+            Ok(f) => {
+                let c0 = f.iter().filter(|e| e.core == CoreId(0)).count();
+                let c1 = f.iter().filter(|e| e.core == CoreId(1)).count();
+                c0 > 0 && c1 > 0
+            }
+            Err(_) => false,
+        };
+
+        let ground_truth_events: usize = records.iter().map(|r| r.retires().count()).sum();
+        rows.push(vec![
+            label.to_string(),
+            ground_truth_events.to_string(),
+            messages.len().to_string(),
+            order_violations.to_string(),
+            format!("{}/{}", data_inversions, truth.len()),
+            if flow_ok {
+                "yes (both cores)".into()
+            } else {
+                format!("{flow:?}")
+            },
+        ]);
+        assert_eq!(order_violations, 0, "sorter must deliver in temporal order");
+        assert_eq!(
+            data_inversions, 0,
+            "cycle-level stamping preserves write order"
+        );
+    }
+
+    print_table(
+        "F1: parallel two-core trace, temporal ordering (Figure 1)",
+        &[
+            "clock ratio",
+            "ground-truth retires",
+            "trace messages",
+            "ts-order violations",
+            "data-order errors",
+            "flow reconstructed",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper claim: trace from several cores recorded in parallel; time\n\
+         stamping ensures all messages are stored in correct temporal order,\n\
+         with resolution down to cycle level. Reproduced: 0 violations at\n\
+         every clock ratio."
+    );
+}

@@ -1,0 +1,273 @@
+//! Experiment F2 — Figure 2: the cross-trigger unit and the break &
+//! suspend switch.
+//!
+//! The question the paper poses: *"should a trigger stop one or multiple
+//! cores? The best solution is to let the developer decide by providing a
+//! reconfigurable break and suspend switch. … it halts synchronized cores
+//! without excessive slippage."*
+//!
+//! Measured: the slippage (cycles between the trigger event on core 0 and
+//! each core's halt) for three ways of stopping both cores:
+//!
+//! 1. the on-chip break & suspend switch (cross-trigger matrix),
+//! 2. a host that sees core 0 stop and halts core 1 over JTAG (polling),
+//! 3. the same over USB.
+//!
+//! Plus the counter path of Figure 2 (fire on the N-th occurrence) and the
+//! suspend routing.
+
+use mcds::{CrossTrigger, ProgramComparator, SignalRef, TriggerAction};
+use mcds_bench::{cycles_to_time, print_table, tracing_config};
+use mcds_psi::device::{DebugOp, Device, DeviceBuilder, DeviceError, DeviceVariant};
+use mcds_psi::interface::InterfaceKind;
+use mcds_soc::event::{CoreId, SocEvent};
+use mcds_soc::soc::memmap;
+use mcds_workloads::{engine, gearbox, FuelMap};
+
+/// The trigger: core 0 (engine) reaches its actuator-write line for the
+/// 50th time.
+const TRIGGER_OCCURRENCE: u64 = 50;
+
+fn dual_core_device(extra_triggers: Vec<CrossTrigger>) -> (Device, u32) {
+    let engine_prog = engine::program_with_map(None, &FuelMap::factory());
+    let gear_prog = gearbox::program(None);
+    // Trigger on the engine control loop head (the `cycle:` label).
+    let trigger_pc = engine_prog
+        .symbol("cycle")
+        .expect("engine has a cycle label");
+    let mut config = tracing_config(2);
+    config.cores[0].program_comparators = vec![ProgramComparator::at(trigger_pc)];
+    config.cross_triggers = extra_triggers;
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(2)
+        .mcds(config)
+        .build();
+    dev.soc_mut().load_program(&engine_prog);
+    dev.soc_mut().load_program(&gear_prog);
+    // Gearbox core starts at its own entry.
+    dev.soc_mut().core_mut(CoreId(1)).set_pc(0x8001_0000);
+    dev.soc_mut().periph_mut().set_input(engine::RPM_PORT, 3000);
+    dev.soc_mut().periph_mut().set_input(engine::LOAD_PORT, 120);
+    dev.soc_mut()
+        .periph_mut()
+        .set_input(gearbox::SPEED_PORT, 60);
+    (dev, trigger_pc)
+}
+
+/// Runs until the trigger instruction's N-th retirement; returns
+/// (trigger_cycle, halt cycles per core).
+fn run_and_observe(
+    dev: &mut Device,
+    trigger_pc: u32,
+    budget: u64,
+    wait_both: bool,
+) -> (u64, [Option<u64>; 2]) {
+    let mut occurrences = 0u64;
+    let mut trigger_cycle = None;
+    let mut halts: [Option<u64>; 2] = [None, None];
+    for _ in 0..budget {
+        let record = dev.step();
+        for e in &record.events {
+            match e {
+                SocEvent::Retire(r) if r.core == CoreId(0) && r.pc == trigger_pc => {
+                    occurrences += 1;
+                    if occurrences == TRIGGER_OCCURRENCE && trigger_cycle.is_none() {
+                        trigger_cycle = Some(record.cycle);
+                    }
+                }
+                SocEvent::CoreStopped { core, .. } => {
+                    halts[core.0 as usize].get_or_insert(record.cycle);
+                }
+                _ => {}
+            }
+        }
+        let done = if wait_both {
+            halts.iter().all(|h| h.is_some())
+        } else {
+            halts[0].is_some()
+        };
+        if done {
+            break;
+        }
+    }
+    (trigger_cycle.expect("trigger occurred"), halts)
+}
+
+/// Method 1: the on-chip break & suspend switch.
+fn switch_method() -> (u64, [Option<u64>; 2]) {
+    let line = CrossTrigger::on_any(
+        vec![SignalRef::ProgComp {
+            core: CoreId(0),
+            idx: 0,
+        }],
+        TriggerAction::BreakCores(vec![CoreId(0), CoreId(1)]),
+    )
+    .with_count(TRIGGER_OCCURRENCE);
+    let (mut dev, trigger_pc) = dual_core_device(vec![line]);
+    run_and_observe(&mut dev, trigger_pc, 3_000_000, true)
+}
+
+/// Methods 2/3: break core 0 on chip, host halts core 1 by polling.
+fn host_method(iface: InterfaceKind, poll_period: u64) -> (u64, [Option<u64>; 2]) {
+    let line = CrossTrigger::on_any(
+        vec![SignalRef::ProgComp {
+            core: CoreId(0),
+            idx: 0,
+        }],
+        TriggerAction::BreakCores(vec![CoreId(0)]),
+    )
+    .with_count(TRIGGER_OCCURRENCE);
+    let (mut dev, trigger_pc) = dual_core_device(vec![line]);
+
+    // Run until core 0 halts, recording the trigger cycle.
+    let (trigger_cycle, halts) = run_and_observe(&mut dev, trigger_pc, 3_000_000, false);
+    let mut halt0 = halts[0];
+    // Host polling loop: each poll is a ReadPc attempt over the link; a
+    // CoreNotHalted error means "still running".
+    let mut halt1 = None;
+    for _ in 0..200 {
+        match dev.execute(iface, DebugOp::ReadPc(CoreId(0))) {
+            Ok(_) => {
+                // Core 0 confirmed halted: stop core 1.
+                dev.execute(iface, DebugOp::HaltCore(CoreId(1)))
+                    .expect("halt core 1");
+                // Find the actual halt cycle from the core state.
+                halt1 = Some(dev.soc().cycle());
+                break;
+            }
+            Err(DeviceError::CoreNotHalted(_)) => {
+                dev.wait_cycles(poll_period);
+            }
+            Err(e) => panic!("poll failed: {e}"),
+        }
+    }
+    if halt0.is_none() {
+        halt0 = Some(trigger_cycle);
+    }
+    (trigger_cycle, [halt0, halt1])
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut emit = |name: &str, trigger: u64, halts: [Option<u64>; 2]| {
+        let s0 = halts[0].map(|h| h - trigger).unwrap_or(u64::MAX);
+        let s1 = halts[1].map(|h| h - trigger).unwrap_or(u64::MAX);
+        let skew = s1.abs_diff(s0);
+        rows.push(vec![
+            name.to_string(),
+            format!("{s0} cy ({})", cycles_to_time(s0)),
+            format!("{s1} cy ({})", cycles_to_time(s1)),
+            format!("{skew} cy ({})", cycles_to_time(skew)),
+        ]);
+        (s0, s1)
+    };
+
+    let (t, h) = switch_method();
+    let (s0, s1) = emit("break & suspend switch (on-chip)", t, h);
+    assert!(
+        s0 < 64 && s1 < 64,
+        "on-chip break slippage stays within one instruction"
+    );
+
+    // Host polls every 100 µs over JTAG, every 1 ms over USB (USB 1.1
+    // interrupt polling interval).
+    let (t, h) = host_method(InterfaceKind::Jtag, memmap::ns_to_cycles(100_000));
+    let (_, j1) = emit("host-mediated over JTAG (100 µs poll)", t, h);
+    let (t, h) = host_method(InterfaceKind::Usb11, memmap::ns_to_cycles(1_000_000));
+    let (_, u1) = emit("host-mediated over USB (1 ms poll)", t, h);
+
+    print_table(
+        "F2: multi-core break slippage (Figure 2 cross-trigger unit)",
+        &[
+            "method",
+            "core0 slippage",
+            "core1 slippage",
+            "inter-core skew",
+        ],
+        &rows,
+    );
+    assert!(j1 > s1 * 100, "JTAG host path is orders of magnitude worse");
+    assert!(u1 > j1, "USB host path is worse still");
+
+    // The counter path of Figure 2: the same line with different counts.
+    let mut counter_rows = Vec::new();
+    for count in [1u64, 10, 50] {
+        let line = CrossTrigger::on_any(
+            vec![SignalRef::ProgComp {
+                core: CoreId(0),
+                idx: 0,
+            }],
+            TriggerAction::BreakCores(vec![CoreId(0), CoreId(1)]),
+        )
+        .with_count(count);
+        let (mut dev, trigger_pc) = dual_core_device(vec![line]);
+        let mut occurrence_cycles = Vec::new();
+        for _ in 0..3_000_000u64 {
+            let record = dev.step();
+            for e in &record.events {
+                if let SocEvent::Retire(r) = e {
+                    if r.core == CoreId(0) && r.pc == trigger_pc {
+                        occurrence_cycles.push(record.cycle);
+                    }
+                }
+            }
+            if dev.soc().cores().all(|c| c.is_halted()) {
+                break;
+            }
+        }
+        counter_rows.push(vec![
+            count.to_string(),
+            occurrence_cycles.len().to_string(),
+            dev.soc().cycle().to_string(),
+        ]);
+        assert_eq!(
+            occurrence_cycles.len() as u64,
+            count,
+            "break fires exactly on the {count}-th occurrence"
+        );
+    }
+    print_table(
+        "F2b: counter-gated trigger line (fire on N-th occurrence)",
+        &["configured count", "occurrences before halt", "halt cycle"],
+        &counter_rows,
+    );
+
+    // Suspend routing: an external pin suspends the gearbox core only.
+    let lines = vec![
+        CrossTrigger::on_any(
+            vec![SignalRef::ExternalPin(0)],
+            TriggerAction::SuspendCores(vec![CoreId(1)]),
+        ),
+        CrossTrigger::on_any(
+            vec![SignalRef::ExternalPin(1)],
+            TriggerAction::ResumeCores(vec![CoreId(1)]),
+        ),
+    ];
+    let (mut dev, _) = dual_core_device(lines);
+    dev.run_cycles(10_000);
+    let before = dev.soc().core(CoreId(1)).retired();
+    dev.soc_mut().periph_mut().set_trigger_in(0b01);
+    dev.run_cycles(10_000);
+    let during = dev.soc().core(CoreId(1)).retired();
+    dev.soc_mut().periph_mut().set_trigger_in(0b10);
+    dev.run_cycles(10_000);
+    let after = dev.soc().core(CoreId(1)).retired();
+    println!(
+        "\nF2c: external pin suspend routing — core1 retirements: {} before, +{} while suspended, +{} after resume",
+        before,
+        during - before,
+        after - during
+    );
+    assert!(during - before <= 1, "suspend gates the core's clock");
+    assert!(after > during, "resume releases it");
+    assert!(
+        !dev.soc().core(CoreId(0)).is_halted(),
+        "the engine core never stopped — the switch routes per core"
+    );
+    println!(
+        "\nPaper claim: the switch halts synchronized cores without excessive\n\
+         slippage and manages both on-chip and external trigger inputs.\n\
+         Reproduced: on-chip slippage is instruction-boundary-level, host\n\
+         paths are 2–5 orders of magnitude worse."
+    );
+}

@@ -1,0 +1,248 @@
+//! Experiment T1 — Section 7: overlay access timing matches the flash.
+//!
+//! *"The access timing matches the flash memory being overlaid, ensuring
+//! consistent behavior."*
+//!
+//! Measured:
+//! * cycles per read for plain flash, the overlaid window (timing match
+//!   on), the overlaid window with raw-RAM timing (ablation), the direct
+//!   emulation-RAM window and SRAM;
+//! * correctness of all 16 redirection ranges across the 1–32 KB block
+//!   sizes;
+//! * the behavioural consequence of breaking the timing match: a
+//!   timing-calibrated loop drifts.
+
+use mcds_bench::print_table;
+use mcds_soc::asm::assemble;
+use mcds_soc::event::CoreId;
+use mcds_soc::mem::SegmentRole;
+use mcds_soc::overlay::{OverlayRange, OVERLAY_RANGE_COUNT};
+use mcds_soc::soc::{memmap, Soc, SocBuilder};
+
+/// Builds an ED-class SoC with one overlay range at `flash_addr`.
+fn soc_with_overlay(flash_addr: u32, timing_match: bool) -> Soc {
+    let mut soc = SocBuilder::new().cores(1).with_emulation_ram().build();
+    for s in 0..memmap::EMEM_SEGMENTS {
+        soc.mapper_mut()
+            .emem_mut()
+            .unwrap()
+            .set_segment_role(s, SegmentRole::Overlay);
+    }
+    soc.mapper_mut()
+        .configure_range(
+            0,
+            OverlayRange {
+                flash_addr,
+                size: 4096,
+                offset_page0: 0,
+                offset_page1: 4096,
+            },
+        )
+        .unwrap();
+    soc.mapper_mut().set_range_enabled(0, true);
+    soc.mapper_mut().set_timing_match(timing_match);
+    soc
+}
+
+/// Measures the average cycles per `lw` from `addr` over 256 iterations by
+/// running a tight read loop and dividing elapsed cycles.
+fn measure_read_cycles(soc: &mut Soc, addr: u32) -> f64 {
+    let program = assemble(&format!(
+        "
+        .org 0xD0030000        ; run the loop from zero-wait SRAM so fetch
+        start:                 ; cost is constant across the targets
+            li r1, 256
+            li r2, {addr:#x}
+        loop:
+            lw r3, 0(r2)
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        "
+    ))
+    .unwrap();
+    soc.load_program(&program);
+    soc.core_mut(CoreId(0)).set_pc(0xD003_0000);
+    soc.core_mut(CoreId(0)).resume();
+    let start = soc.cycle();
+    soc.run_until_halt(2_000_000);
+    assert!(soc.core(CoreId(0)).is_halted());
+    // Subtract the loop overhead measured against SRAM in the caller; here
+    // return raw cycles per iteration.
+    (soc.cycle() - start) as f64 / 256.0
+}
+
+fn main() {
+    // --- Per-target access timing. ---
+    type TargetSetup = Box<dyn Fn() -> (Soc, u32)>;
+    let targets: Vec<(&str, TargetSetup)> = vec![
+        (
+            "plain flash",
+            Box::new(|| {
+                (
+                    soc_with_overlay(memmap::FLASH_BASE + 0x10000, true),
+                    memmap::FLASH_BASE + 0x20000,
+                )
+            }),
+        ),
+        (
+            "overlaid flash (timing match ON)",
+            Box::new(|| {
+                let s = soc_with_overlay(memmap::FLASH_BASE + 0x10000, true);
+                (s, memmap::FLASH_BASE + 0x10000)
+            }),
+        ),
+        (
+            "overlaid flash (timing match OFF)",
+            Box::new(|| {
+                let s = soc_with_overlay(memmap::FLASH_BASE + 0x10000, false);
+                (s, memmap::FLASH_BASE + 0x10000)
+            }),
+        ),
+        (
+            "emulation RAM direct window",
+            Box::new(|| {
+                (
+                    soc_with_overlay(memmap::FLASH_BASE + 0x10000, true),
+                    memmap::EMEM_BASE + 0x8000,
+                )
+            }),
+        ),
+        (
+            "SRAM",
+            Box::new(|| {
+                (
+                    soc_with_overlay(memmap::FLASH_BASE + 0x10000, true),
+                    memmap::SRAM_BASE,
+                )
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    for (name, build) in &targets {
+        let (mut soc, addr) = build();
+        let per_iter = measure_read_cycles(&mut soc, addr);
+        measured.push(per_iter);
+        rows.push(vec![name.to_string(), format!("{per_iter:.2}")]);
+    }
+    print_table(
+        "T1a: read-loop cycles per iteration by data source",
+        &["data source", "cycles/iteration"],
+        &rows,
+    );
+    let flash = measured[0];
+    let overlay_on = measured[1];
+    let overlay_off = measured[2];
+    assert_eq!(
+        flash, overlay_on,
+        "paper: overlay timing matches the flash being overlaid"
+    );
+    assert!(
+        overlay_off < overlay_on,
+        "ablation: raw-RAM overlay timing is visibly faster"
+    );
+
+    // --- All 16 ranges, block-size sweep 1–32 KB. ---
+    let mut sweep_rows = Vec::new();
+    for size in [1024u32, 2048, 4096, 8192, 16384, 32768] {
+        let mut soc = SocBuilder::new().cores(1).with_emulation_ram().build();
+        for s in 0..memmap::EMEM_SEGMENTS {
+            soc.mapper_mut()
+                .emem_mut()
+                .unwrap()
+                .set_segment_role(s, SegmentRole::Overlay);
+        }
+        let usable = (memmap::EMEM_SIZE / size).min(OVERLAY_RANGE_COUNT as u32) as usize;
+        for i in 0..usable {
+            soc.mapper_mut()
+                .configure_range(
+                    i,
+                    OverlayRange {
+                        flash_addr: memmap::FLASH_BASE + (i as u32) * 0x0010_0000 / 8,
+                        size,
+                        offset_page0: (i as u32) * size,
+                        offset_page1: (i as u32) * size,
+                    },
+                )
+                .unwrap();
+            soc.mapper_mut().set_range_enabled(i, true);
+            // Distinct pattern per range through the backdoor.
+            let pattern: Vec<u8> = (0..size)
+                .map(|b| ((i as u32 * 37 + b) & 0xFF) as u8)
+                .collect();
+            soc.backdoor_write(memmap::EMEM_BASE + (i as u32) * size, &pattern);
+        }
+        // Verify every range serves its pattern through the flash window
+        // (spot-check first/last/middle bytes via debug reads).
+        let mut ok = true;
+        for i in 0..usable {
+            let base = memmap::FLASH_BASE + (i as u32) * 0x0010_0000 / 8;
+            for off in [0u32, size / 2, size - 4] {
+                let (v, _) = soc
+                    .debug_read(base + off, mcds_soc::MemWidth::Word)
+                    .unwrap();
+                let expected = u32::from_le_bytes([
+                    ((i as u32 * 37 + off) & 0xFF) as u8,
+                    ((i as u32 * 37 + off + 1) & 0xFF) as u8,
+                    ((i as u32 * 37 + off + 2) & 0xFF) as u8,
+                    ((i as u32 * 37 + off + 3) & 0xFF) as u8,
+                ]);
+                ok &= v == expected;
+            }
+        }
+        sweep_rows.push(vec![
+            format!("{} KB", size / 1024),
+            usable.to_string(),
+            format!("{} KB", usable as u32 * size / 1024),
+            if ok { "pass".into() } else { "FAIL".into() },
+        ]);
+        assert!(ok, "all ranges redirect correctly at {size} B blocks");
+    }
+    print_table(
+        "T1b: redirection sweep across block sizes (16 ranges, 1–32 KB)",
+        &["block size", "ranges used", "coverage", "content check"],
+        &sweep_rows,
+    );
+
+    // --- Behavioural drift when the timing match is broken. ---
+    // A software-timed loop (reads a calibration cell each pass) measures
+    // its own duration via the cycle timer; with raw-RAM timing the loop
+    // runs faster and its calibrated period drifts.
+    let timed_loop = |timing_match: bool| -> u32 {
+        let mut soc = soc_with_overlay(memmap::FLASH_BASE + 0x10000, timing_match);
+        let program = assemble(&format!(
+            "
+            .equ TIMER, 0xF0000000
+            .org 0xD0030000
+            start:
+                li r1, 1000
+                li r2, {cal:#x}
+                li r4, TIMER
+                lw r5, 0(r4)      ; t0
+            loop:
+                lw r3, 0(r2)      ; calibrated parameter read
+                addi r1, r1, -1
+                bne r1, r0, loop
+                lw r6, 0(r4)      ; t1
+                sub r7, r6, r5
+                li r8, 0xF0000100
+                sw r7, 0(r8)      ; report duration
+                halt
+            ",
+            cal = memmap::FLASH_BASE + 0x10000,
+        ))
+        .unwrap();
+        soc.load_program(&program);
+        soc.core_mut(CoreId(0)).set_pc(0xD003_0000);
+        soc.run_until_halt(2_000_000);
+        soc.periph().output(0)
+    };
+    let matched = timed_loop(true);
+    let raw = timed_loop(false);
+    println!(
+        "\nT1c: software-timed 1000-pass loop: {matched} cycles with timing match, {raw} with raw RAM timing — drift {:.1} % (the inconsistency the paper's timing match prevents).",
+        (matched as f64 - raw as f64) * 100.0 / matched as f64
+    );
+    assert!(raw < matched);
+}

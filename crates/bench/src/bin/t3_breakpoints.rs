@@ -1,0 +1,147 @@
+//! Experiment T3 — Section 7: program in emulation RAM — unlimited
+//! software breakpoints and no flash reprogramming.
+//!
+//! *"Not only does this avoid continuous reprogramming of the large
+//! 2 MByte program flash memory, but unlimited software breakpoints are
+//! possible, as with development of desktop applications."*
+//!
+//! Measured:
+//! * breakpoint capacity: 4 hardware comparators vs software `BRK` patches
+//!   in the overlaid program (we place 64 and stop);
+//! * the edit-run cycle: patching a 16 KB program region over USB into
+//!   flash (erase + program timing) vs into emulation RAM.
+
+use mcds_bench::{cycles_to_time, print_table};
+use mcds_host::{load_program_to_emulation_ram, Debugger, HostError};
+use mcds_psi::device::{flash_reprogram_cycles, DebugOp, DeviceBuilder, DeviceVariant};
+use mcds_psi::interface::InterfaceKind;
+use mcds_soc::event::CoreId;
+use mcds_soc::soc::memmap;
+use mcds_workloads::{engine, FuelMap};
+
+fn main() {
+    // --- Capacity. ---
+    let program = engine::program_with_map(None, &FuelMap::factory());
+    let dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .build();
+    let mut dbg = Debugger::attach(dev, InterfaceKind::Jtag);
+    dbg.hold_all_at_reset();
+    load_program_to_emulation_ram(&mut dbg, &program, 0).expect("program fits overlay");
+
+    let mut hw = 0;
+    loop {
+        match dbg.set_hw_breakpoint(CoreId(0), memmap::FLASH_BASE + 0x100 + hw * 4) {
+            Ok(()) => hw += 1,
+            Err(HostError::HwBreakpointLimit { .. }) => break,
+            Err(e) => panic!("{e}"),
+        }
+    }
+    let mut sw = 0u32;
+    for i in 0..64 {
+        dbg.set_sw_breakpoint(memmap::FLASH_BASE + 0x200 + i * 4)
+            .expect("software breakpoints keep working");
+        sw += 1;
+    }
+    print_table(
+        "T3a: breakpoint capacity",
+        &[
+            "mechanism",
+            "capacity",
+            "works in flash",
+            "works in emu RAM",
+        ],
+        &[
+            vec![
+                "hardware comparators".into(),
+                hw.to_string(),
+                "yes".into(),
+                "yes".into(),
+            ],
+            vec![
+                "software BRK patches".into(),
+                format!("{sw}+ (unlimited)"),
+                "no (erase needed)".into(),
+                "yes".into(),
+            ],
+        ],
+    );
+    assert_eq!(hw, 4);
+    assert_eq!(sw, 64);
+
+    // --- Edit-run cycle. ---
+    const PATCH: usize = 16 * 1024;
+    let patch = vec![0x13u8; PATCH];
+
+    // Flash path: USB transfer + erase/program timing.
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .build();
+    dev.soc_mut().load_program(&program);
+    let mut dbg = Debugger::attach(dev, InterfaceKind::Usb11);
+    dbg.hold_all_at_reset();
+    let t0 = dbg.device().soc().cycle();
+    dbg.device_mut()
+        .execute(
+            InterfaceKind::Usb11,
+            DebugOp::ProgramFlash {
+                addr: memmap::FLASH_BASE + 0x4_0000,
+                bytes: patch.clone(),
+            },
+        )
+        .expect("flash reprogram");
+    let flash_cycles = dbg.device().soc().cycle() - t0;
+
+    // RAM path: USB transfer into the overlaid emulation RAM.
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .build();
+    dev.soc_mut().load_program(&program);
+    let mut dbg = Debugger::attach(dev, InterfaceKind::Usb11);
+    dbg.hold_all_at_reset();
+    load_program_to_emulation_ram(&mut dbg, &program, 0).expect("overlay setup");
+    let words: Vec<u32> = patch
+        .chunks(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let t0 = dbg.device().soc().cycle();
+    dbg.device_mut()
+        .execute(
+            InterfaceKind::Usb11,
+            DebugOp::WriteWords {
+                addr: memmap::EMEM_BASE + 0x8000,
+                data: words,
+            },
+        )
+        .expect("RAM reload");
+    let ram_cycles = dbg.device().soc().cycle() - t0;
+
+    print_table(
+        "T3b: edit-run cycle — reloading a 16 KB program patch over USB",
+        &["workflow", "time", "speedup", "sw breakpoints after"],
+        &[
+            vec![
+                "program flash (erase+program)".into(),
+                cycles_to_time(flash_cycles),
+                "1×".into(),
+                "no".into(),
+            ],
+            vec![
+                "emulation RAM (overlay)".into(),
+                cycles_to_time(ram_cycles),
+                format!("{:.1}×", flash_cycles as f64 / ram_cycles as f64),
+                "yes (unlimited)".into(),
+            ],
+        ],
+    );
+    assert!(
+        ram_cycles * 3 < flash_cycles,
+        "RAM reload is much faster than flash reprogramming"
+    );
+    println!(
+        "\n(flash timing model: {} for erase+program of 16 KB; the transfer\n\
+         itself costs the same on both paths, so the gap is pure flash\n\
+         overhead that the emulation RAM removes)",
+        cycles_to_time(flash_reprogram_cycles(PATCH))
+    );
+}

@@ -1,0 +1,151 @@
+//! Experiment T5 — Section 4: "The time stamping allows a time resolution
+//! down to cycle level."
+//!
+//! The ablation behind the claim: what happens to cross-core event
+//! ordering when timestamps are quantised? Two cores hammer one shared
+//! counter (the race workload); the data trace on the counter must
+//! reproduce the true global write order to let a developer see the lost
+//! updates. Timestamps at resolutions 1/4/16/64 cycles; at coarse
+//! resolutions, events from different cores collapse into one quantum and
+//! the merged order degrades.
+
+use mcds::observer::DataTraceConfig;
+use mcds::{AccessKind, DataComparator, MergePolicy, TraceQualifier};
+use mcds_bench::{data_write_order, print_table, tracing_config};
+use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+use mcds_soc::bus::AddrRange;
+use mcds_soc::event::CoreId;
+use mcds_trace::{StreamDecoder, TraceMessage, TraceSource};
+use mcds_workloads::race;
+
+fn main() {
+    let program = race::program_buggy();
+    let mut rows = Vec::new();
+    let mut inversion_series = Vec::new();
+
+    // (resolution, merge policy): the paper's design is cycle-level stamps
+    // + timestamp merge; the last row is DESIGN.md ablation 1 (no
+    // timestamps at all — a naive source-priority mux).
+    let configs: Vec<(u64, MergePolicy, String)> = [1u64, 4, 16, 64]
+        .iter()
+        .map(|&r| (r, MergePolicy::Timestamp, format!("{r} cycle(s)")))
+        .chain(std::iter::once((
+            1,
+            MergePolicy::SourcePriority,
+            "no sort (priority mux)".to_string(),
+        )))
+        .collect();
+
+    for (resolution, policy, label) in configs {
+        let mut config = tracing_config(2);
+        config.timestamp_resolution = resolution;
+        config.merge_policy = policy;
+        // Let the per-source FIFOs accumulate before the sorter merges
+        // (drain bursts every 128 cycles): this is the regime the sorter
+        // exists for — with instant drain there is nothing to sort.
+        config.sink_bandwidth = 64;
+        config.sink_drain_period = 128;
+        for c in &mut config.cores {
+            c.program_trace = TraceQualifier::Off;
+            c.data_trace = DataTraceConfig {
+                qualifier: TraceQualifier::Always,
+                filter: Some(DataComparator::on(
+                    AddrRange::new(race::COUNTER_ADDR, 4),
+                    AccessKind::Write,
+                )),
+            };
+        }
+        // Heterogeneous core clocks (like the real TriCore + PCP pair) so
+        // the two write streams drift through every phase relation instead
+        // of locking to the bus arbiter.
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .core(mcds_soc::CoreConfig {
+                reset_pc: 0x8000_0000,
+                clock_div: 1,
+                ..Default::default()
+            })
+            .core(mcds_soc::CoreConfig {
+                reset_pc: 0x8000_0000,
+                clock_div: 3,
+                ..Default::default()
+            })
+            .mcds(config)
+            .build();
+        dev.soc_mut().load_program(&program);
+        let mut records = Vec::new();
+        for _ in 0..3_000_000u64 {
+            records.push(dev.step());
+            if dev.soc().cores().all(|c| c.is_halted()) {
+                break;
+            }
+        }
+        let now = dev.soc().cycle();
+        dev.mcds_mut().flush(now);
+        let residual = dev.mcds_mut().take_messages();
+        {
+            let (soc, sink) = dev.soc_sink_mut();
+            sink.store(&residual, soc.mapper_mut().emem_mut().unwrap());
+        }
+        let bytes = dev.sink().read_back(dev.soc().mapper().emem().unwrap());
+        let messages = StreamDecoder::new(bytes).collect_all().unwrap();
+
+        // True global order of counter writes.
+        let truth: Vec<(CoreId, u32)> = data_write_order(&records)
+            .into_iter()
+            .filter(|(_, _, addr, _)| *addr == race::COUNTER_ADDR)
+            .map(|(_, core, _, v)| (core, v))
+            .collect();
+        // Order as reconstructed from the trace.
+        let traced: Vec<(CoreId, u32)> = messages
+            .iter()
+            .filter_map(|m| match (m.source, m.message) {
+                (TraceSource::Core(c), TraceMessage::DataWrite { value, .. }) => Some((c, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(truth.len(), traced.len(), "no messages lost");
+        let misplaced = truth.iter().zip(&traced).filter(|(a, b)| a != b).count();
+
+        // Lost updates are visible when two consecutive traced writes carry
+        // the same value (both cores read the same old value).
+        let lost_updates_visible = traced.windows(2).filter(|w| w[0].1 == w[1].1).count();
+        let true_lost = race::expected_total() - dev.soc().backdoor_read_word(race::COUNTER_ADDR);
+
+        if policy == MergePolicy::Timestamp {
+            inversion_series.push(misplaced);
+        }
+        rows.push(vec![
+            label,
+            truth.len().to_string(),
+            misplaced.to_string(),
+            format!("{:.2} %", misplaced as f64 * 100.0 / truth.len() as f64),
+            format!("{lost_updates_visible} (true: {true_lost})"),
+        ]);
+    }
+
+    print_table(
+        "T5: cross-core event ordering vs timestamp resolution",
+        &[
+            "timestamp resolution",
+            "shared-counter writes",
+            "misplaced in trace",
+            "misplacement rate",
+            "duplicate-value pairs seen",
+        ],
+        &rows,
+    );
+    assert_eq!(inversion_series[0], 0, "cycle-level stamping: exact order");
+    assert!(
+        inversion_series.last().unwrap() > &inversion_series[0],
+        "coarse stamping degrades ordering"
+    );
+    assert!(
+        inversion_series.windows(2).all(|w| w[0] <= w[1]),
+        "misordering grows monotonically with quantisation: {inversion_series:?}"
+    );
+    println!(
+        "\nPaper claim: cycle-level time stamping guarantees correct temporal\n\
+         order. Reproduced: 0 misplaced events at 1-cycle resolution; the\n\
+         ablation shows why coarser stamping cannot debug cross-core races."
+    );
+}

@@ -1,0 +1,187 @@
+#![warn(missing_docs)]
+
+//! # mcds-bench — the experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every figure and
+//! quantitative claim of Mayer et al. (DATE 2005). Each `src/bin/*.rs`
+//! binary prints one experiment's table(s); `benches/` holds the Criterion
+//! micro-benchmarks for the hot paths. See DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for paper-vs-measured results.
+
+use mcds::observer::{CoreTraceConfig, DataTraceConfig, TraceQualifier};
+use mcds::McdsConfig;
+use mcds_psi::device::Device;
+use mcds_soc::event::{CycleRecord, SocEvent};
+use mcds_soc::CoreId;
+use mcds_workloads::stimulus::StimulusPlayer;
+
+/// Renders a fixed-width table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// An MCDS configuration with program trace always-on for `cores` cores and
+/// generous FIFO/sink settings (experiments override what they measure).
+pub fn tracing_config(cores: usize) -> McdsConfig {
+    McdsConfig {
+        cores: (0..cores)
+            .map(|_| CoreTraceConfig {
+                program_trace: TraceQualifier::Always,
+                ..Default::default()
+            })
+            .collect(),
+        fifo_depth: 4096,
+        sink_bandwidth: 8,
+        ..Default::default()
+    }
+}
+
+/// Adds always-on unfiltered data trace to every core of a config.
+pub fn with_data_trace(mut config: McdsConfig) -> McdsConfig {
+    for c in &mut config.cores {
+        c.data_trace = DataTraceConfig {
+            qualifier: TraceQualifier::Always,
+            filter: None,
+        };
+    }
+    config
+}
+
+/// Steps `dev` for `cycles`, feeding `stimulus` into the sensor ports and
+/// optionally collecting the cycle records (ground truth for ordering
+/// experiments).
+pub fn run_with_stimulus(
+    dev: &mut Device,
+    stimulus: &mut StimulusPlayer,
+    cycles: u64,
+    collect: bool,
+) -> Vec<CycleRecord> {
+    let mut records = Vec::new();
+    for _ in 0..cycles {
+        let now = dev.soc().cycle();
+        {
+            let periph = dev.soc_mut().periph_mut();
+            stimulus.apply_due(now, |port, v| periph.set_input(port, v));
+        }
+        let record = dev.step();
+        if collect {
+            records.push(record);
+        }
+    }
+    records
+}
+
+/// Ground truth: the global retirement order as `(cycle, core, pc)`.
+pub fn retirement_order(records: &[CycleRecord]) -> Vec<(u64, CoreId, u32)> {
+    let mut out = Vec::new();
+    for r in records {
+        for e in &r.events {
+            if let SocEvent::Retire(x) = e {
+                out.push((r.cycle, x.core, x.pc));
+            }
+        }
+    }
+    out
+}
+
+/// Ground truth: the global order of data *writes* as
+/// `(cycle, core, addr, value)`.
+pub fn data_write_order(records: &[CycleRecord]) -> Vec<(u64, CoreId, u32, u32)> {
+    let mut out = Vec::new();
+    for r in records {
+        for e in &r.events {
+            if let SocEvent::Retire(x) = e {
+                if let Some(m) = x.mem {
+                    if m.is_write {
+                        out.push((r.cycle, x.core, m.addr, m.value));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Formats a cycle count as engineering time at the 150 MHz system clock.
+pub fn cycles_to_time(cycles: u64) -> String {
+    let ns = mcds_soc::memmap::cycles_to_ns(cycles);
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_formatting_bands() {
+        assert!(cycles_to_time(15).ends_with("ns"));
+        assert!(cycles_to_time(1_500).ends_with("µs"));
+        assert!(cycles_to_time(1_500_000).ends_with("ms"));
+    }
+
+    #[test]
+    fn ground_truth_helpers_extract_events() {
+        use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+        use mcds_soc::asm::assemble;
+        let mut dev = DeviceBuilder::new(DeviceVariant::Production)
+            .cores(1)
+            .build();
+        dev.soc_mut().load_program(
+            &assemble(
+                ".org 0x80000000
+li r2, 0xD0000000
+li r1, 7
+sw r1, 0(r2)
+halt",
+            )
+            .unwrap(),
+        );
+        let mut stim = mcds_workloads::StimulusPlayer::new(mcds_workloads::Profile::step(0, 42, 0));
+        let records = run_with_stimulus(&mut dev, &mut stim, 200, true);
+        let retires = retirement_order(&records);
+        assert!(retires.len() >= 4);
+        assert_eq!(retires[0].2, 0x8000_0000, "first retire at reset pc");
+        let writes = data_write_order(&records);
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].2, 0xD000_0000);
+        assert_eq!(writes[0].3, 7);
+        assert_eq!(dev.soc().periph().input(0), 42, "stimulus applied");
+    }
+
+    #[test]
+    fn tracing_config_shape() {
+        let c = tracing_config(2);
+        assert_eq!(c.cores.len(), 2);
+        let d = with_data_trace(c);
+        assert!(matches!(
+            d.cores[0].data_trace.qualifier,
+            TraceQualifier::Always
+        ));
+    }
+}

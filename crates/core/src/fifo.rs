@@ -1,0 +1,180 @@
+//! Per-source message FIFOs with overflow accounting.
+//!
+//! Each trace source (core adaptation logic, bus tap) feeds a bounded FIFO
+//! (Figure 1: "Message FIFO"). When trace bursts exceed the sink's drain
+//! bandwidth the FIFO fills and messages are dropped; the FIFO records the
+//! loss and injects an [`TraceMessage::Overflow`] marker as soon as space
+//! frees up, so the host knows the flow is unreliable until the next sync.
+//!
+//! [`TraceMessage::Overflow`]: mcds_trace::TraceMessage::Overflow
+
+use mcds_trace::{TimedMessage, TraceMessage, TraceSource};
+use std::collections::VecDeque;
+
+/// A bounded trace-message FIFO for one source.
+#[derive(Debug)]
+pub struct MessageFifo {
+    source: TraceSource,
+    queue: VecDeque<TimedMessage>,
+    depth: usize,
+    pending_lost: u32,
+    total_lost: u64,
+    total_pushed: u64,
+    high_water: usize,
+}
+
+impl MessageFifo {
+    /// Creates a FIFO of `depth` entries for `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(source: TraceSource, depth: usize) -> MessageFifo {
+        assert!(depth > 0, "FIFO depth must be non-zero");
+        MessageFifo {
+            source,
+            queue: VecDeque::with_capacity(depth),
+            depth,
+            pending_lost: 0,
+            total_lost: 0,
+            total_pushed: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The source this FIFO serves.
+    pub fn source(&self) -> TraceSource {
+        self.source
+    }
+
+    /// Offers a message. Returns `true` if accepted, `false` if dropped due
+    /// to overflow.
+    ///
+    /// If messages were lost earlier, an overflow marker is inserted (taking
+    /// one slot) before the new message.
+    pub fn push(&mut self, message: TimedMessage) -> bool {
+        if self.pending_lost > 0 && self.queue.len() < self.depth {
+            self.queue.push_back(TimedMessage {
+                timestamp: message.timestamp,
+                source: self.source,
+                message: TraceMessage::Overflow {
+                    lost: self.pending_lost,
+                },
+            });
+            self.pending_lost = 0;
+        }
+        if self.queue.len() >= self.depth {
+            self.pending_lost = self.pending_lost.saturating_add(1);
+            self.total_lost += 1;
+            return false;
+        }
+        self.queue.push_back(message);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.queue.len());
+        true
+    }
+
+    /// Peeks at the oldest entry.
+    pub fn front(&self) -> Option<&TimedMessage> {
+        self.queue.front()
+    }
+
+    /// Pops the oldest entry.
+    pub fn pop(&mut self) -> Option<TimedMessage> {
+        self.queue.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total messages dropped since creation.
+    pub fn total_lost(&self) -> u64 {
+        self.total_lost
+    }
+
+    /// Total messages accepted since creation.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Maximum occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::event::CoreId;
+
+    fn m(ts: u64) -> TimedMessage {
+        TimedMessage {
+            timestamp: ts,
+            source: TraceSource::Core(CoreId(0)),
+            message: TraceMessage::DirectBranch { i_cnt: 1 },
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut f = MessageFifo::new(TraceSource::Core(CoreId(0)), 4);
+        for ts in 0..4 {
+            assert!(f.push(m(ts)));
+        }
+        for ts in 0..4 {
+            assert_eq!(f.pop().unwrap().timestamp, ts);
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_and_marks() {
+        let mut f = MessageFifo::new(TraceSource::Core(CoreId(0)), 2);
+        assert!(f.push(m(0)));
+        assert!(f.push(m(1)));
+        assert!(!f.push(m(2)), "full");
+        assert!(!f.push(m(3)));
+        assert_eq!(f.total_lost(), 2);
+        f.pop();
+        f.pop();
+        // Next push first inserts the overflow marker.
+        assert!(f.push(m(10)));
+        let marker = f.pop().unwrap();
+        assert_eq!(marker.message, TraceMessage::Overflow { lost: 2 });
+        assert_eq!(marker.timestamp, 10);
+        assert_eq!(f.pop().unwrap().timestamp, 10);
+    }
+
+    #[test]
+    fn overflow_marker_consumes_a_slot() {
+        let mut f = MessageFifo::new(TraceSource::Core(CoreId(0)), 2);
+        f.push(m(0));
+        f.push(m(1));
+        f.push(m(2)); // dropped
+        f.pop();
+        // One free slot: the marker takes it, the payload is dropped again.
+        assert!(!f.push(m(3)));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.total_lost(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = MessageFifo::new(TraceSource::Core(CoreId(0)), 8);
+        for ts in 0..5 {
+            f.push(m(ts));
+        }
+        f.pop();
+        f.pop();
+        assert_eq!(f.high_water(), 5);
+        assert_eq!(f.len(), 3);
+    }
+}

@@ -1,0 +1,297 @@
+//! Counter- and state-machine-based complex triggers.
+//!
+//! Simple comparators only answer "did X happen this cycle". The paper's
+//! trigger resources are "further enhanced using state-machines based on
+//! counters" (Section 4) so developers can express *sequences* ("break on
+//! the 100th iteration", "trace only after A then B happened").
+//!
+//! * [`TriggerCounter`] counts occurrences of a signal and asserts its
+//!   output when the threshold is reached — the counter in the cross-trigger
+//!   unit of Figure 2.
+//! * [`TriggerStateMachine`] is a small (≤ 4 state) machine whose
+//!   transitions fire on signals; it asserts its output while in its
+//!   trigger state.
+
+use crate::trigger::{SignalRef, SignalSet};
+
+/// When a counter reasserts after firing.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterMode {
+    /// Fire once, stay silent until reset.
+    #[default]
+    OneShot,
+    /// Fire every `threshold` occurrences.
+    Repeat,
+}
+
+/// Configuration of a trigger counter.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct CounterConfig {
+    /// Signal whose assertions are counted.
+    pub increment_on: SignalRef,
+    /// Occurrences needed to fire.
+    pub threshold: u64,
+    /// Optional signal that clears the count.
+    pub reset_on: Option<SignalRef>,
+    /// Firing mode.
+    pub mode: CounterMode,
+}
+
+/// A running trigger counter.
+#[derive(Debug, Clone)]
+pub struct TriggerCounter {
+    config: CounterConfig,
+    count: u64,
+    fired: bool,
+}
+
+impl TriggerCounter {
+    /// Creates a counter from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(config: CounterConfig) -> TriggerCounter {
+        assert!(config.threshold > 0, "counter threshold must be non-zero");
+        TriggerCounter {
+            config,
+            count: 0,
+            fired: false,
+        }
+    }
+
+    /// The current count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Advances one cycle with the asserted `signals`; returns `true` if the
+    /// counter output is asserted this cycle.
+    pub fn step(&mut self, signals: &SignalSet) -> bool {
+        if let Some(r) = self.config.reset_on {
+            if signals.is_asserted(r) {
+                self.count = 0;
+                self.fired = false;
+            }
+        }
+        if self.config.mode == CounterMode::OneShot && self.fired {
+            return false;
+        }
+        if signals.is_asserted(self.config.increment_on) {
+            self.count += 1;
+            if self.count >= self.config.threshold {
+                self.fired = true;
+                if self.config.mode == CounterMode::Repeat {
+                    self.count = 0;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clears the counter (debugger reset).
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.fired = false;
+    }
+}
+
+/// Number of states in a trigger state machine.
+pub const STATE_COUNT: usize = 4;
+
+/// One transition: in `from`, when `on` is asserted, go to `to`.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state (0–3).
+    pub from: u8,
+    /// Triggering signal.
+    pub on: SignalRef,
+    /// Destination state (0–3).
+    pub to: u8,
+}
+
+/// Configuration of a trigger state machine.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct StateMachineConfig {
+    /// The transition table. The first transition matching the current
+    /// state and an asserted signal is taken (at most one per cycle).
+    pub transitions: Vec<Transition>,
+    /// The state whose occupancy asserts the machine's output signal.
+    pub trigger_state: u8,
+}
+
+/// A running trigger state machine.
+#[derive(Debug, Clone)]
+pub struct TriggerStateMachine {
+    config: StateMachineConfig,
+    state: u8,
+}
+
+impl TriggerStateMachine {
+    /// Creates a machine in state 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state index is ≥ [`STATE_COUNT`].
+    pub fn new(config: StateMachineConfig) -> TriggerStateMachine {
+        assert!((config.trigger_state as usize) < STATE_COUNT);
+        for t in &config.transitions {
+            assert!((t.from as usize) < STATE_COUNT && (t.to as usize) < STATE_COUNT);
+        }
+        TriggerStateMachine { config, state: 0 }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// Advances one cycle; returns `true` while in the trigger state (after
+    /// this cycle's transition).
+    pub fn step(&mut self, signals: &SignalSet) -> bool {
+        for t in &self.config.transitions {
+            if t.from == self.state && signals.is_asserted(t.on) {
+                self.state = t.to;
+                break;
+            }
+        }
+        self.state == self.config.trigger_state
+    }
+
+    /// Returns to state 0 (debugger reset).
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::event::CoreId;
+
+    const SIG_A: SignalRef = SignalRef::ProgComp {
+        core: CoreId(0),
+        idx: 0,
+    };
+    const SIG_B: SignalRef = SignalRef::DataComp {
+        core: CoreId(0),
+        idx: 0,
+    };
+    const SIG_R: SignalRef = SignalRef::ExternalPin(0);
+
+    fn set(signals: &[SignalRef]) -> SignalSet {
+        let mut s = SignalSet::new();
+        for &x in signals {
+            s.assert_signal(x);
+        }
+        s
+    }
+
+    #[test]
+    fn one_shot_counter_fires_once() {
+        let mut c = TriggerCounter::new(CounterConfig {
+            increment_on: SIG_A,
+            threshold: 3,
+            reset_on: None,
+            mode: CounterMode::OneShot,
+        });
+        assert!(!c.step(&set(&[SIG_A])));
+        assert!(!c.step(&set(&[SIG_A])));
+        assert!(c.step(&set(&[SIG_A])), "third occurrence fires");
+        assert!(!c.step(&set(&[SIG_A])), "one-shot stays silent");
+    }
+
+    #[test]
+    fn repeat_counter_fires_periodically() {
+        let mut c = TriggerCounter::new(CounterConfig {
+            increment_on: SIG_A,
+            threshold: 2,
+            reset_on: None,
+            mode: CounterMode::Repeat,
+        });
+        let mut fires = 0;
+        for _ in 0..10 {
+            if c.step(&set(&[SIG_A])) {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 5);
+    }
+
+    #[test]
+    fn counter_reset_signal_clears() {
+        let mut c = TriggerCounter::new(CounterConfig {
+            increment_on: SIG_A,
+            threshold: 2,
+            reset_on: Some(SIG_R),
+            mode: CounterMode::OneShot,
+        });
+        c.step(&set(&[SIG_A]));
+        c.step(&set(&[SIG_R]));
+        assert_eq!(c.count(), 0);
+        assert!(!c.step(&set(&[SIG_A])));
+        assert!(c.step(&set(&[SIG_A])), "needs the full threshold again");
+    }
+
+    #[test]
+    fn counter_ignores_cycles_without_signal() {
+        let mut c = TriggerCounter::new(CounterConfig {
+            increment_on: SIG_A,
+            threshold: 1,
+            reset_on: None,
+            mode: CounterMode::OneShot,
+        });
+        assert!(!c.step(&set(&[])));
+        assert!(!c.step(&set(&[SIG_B])));
+        assert!(c.step(&set(&[SIG_A])));
+    }
+
+    #[test]
+    fn state_machine_sequence_a_then_b() {
+        // Trigger only when A happens and then B: 0 --A--> 1 --B--> 2.
+        let mut m = TriggerStateMachine::new(StateMachineConfig {
+            transitions: vec![
+                Transition {
+                    from: 0,
+                    on: SIG_A,
+                    to: 1,
+                },
+                Transition {
+                    from: 1,
+                    on: SIG_B,
+                    to: 2,
+                },
+            ],
+            trigger_state: 2,
+        });
+        assert!(!m.step(&set(&[SIG_B])), "B before A does nothing");
+        assert!(!m.step(&set(&[SIG_A])));
+        assert!(m.step(&set(&[SIG_B])), "A then B triggers");
+        assert!(m.step(&set(&[])), "output level-holds in trigger state");
+        m.reset();
+        assert_eq!(m.state(), 0);
+    }
+
+    #[test]
+    fn state_machine_one_transition_per_cycle() {
+        let mut m = TriggerStateMachine::new(StateMachineConfig {
+            transitions: vec![
+                Transition {
+                    from: 0,
+                    on: SIG_A,
+                    to: 1,
+                },
+                Transition {
+                    from: 1,
+                    on: SIG_A,
+                    to: 2,
+                },
+            ],
+            trigger_state: 2,
+        });
+        assert!(!m.step(&set(&[SIG_A])), "only one hop per cycle");
+        assert_eq!(m.state(), 1);
+        assert!(m.step(&set(&[SIG_A])));
+    }
+}

@@ -1,0 +1,292 @@
+//! The multiple-core cross-trigger unit and break & suspend switch.
+//!
+//! Figure 2 of the paper: per output line, an **OR** over selected source
+//! signals, **AND**ed with an enable, optionally gated by a counter. The
+//! resulting trigger drives an action through the **break & suspend
+//! switch**: *"should a trigger stop one or multiple cores? The best
+//! solution is to let the developer decide by providing a reconfigurable
+//! break and suspend switch. … it halts synchronized cores without
+//! excessive slippage. The switch manages the response to both on-chip and
+//! external trigger inputs."*
+//!
+//! Actions fire in the same MCDS evaluation cycle the trigger occurs, so
+//! breaking N cores together has constant, minimal slippage — the F2
+//! experiment measures this against a host-mediated halt over the debug
+//! interface.
+
+use crate::trigger::{SignalRef, SignalSet};
+use mcds_soc::event::CoreId;
+
+/// What a fired cross-trigger line does.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub enum TriggerAction {
+    /// Request a debug break (halt at the next instruction boundary) on the
+    /// listed cores — one, several or all, as the developer configured the
+    /// break & suspend switch.
+    BreakCores(Vec<CoreId>),
+    /// Assert the suspend clock-gate on the listed cores.
+    SuspendCores(Vec<CoreId>),
+    /// Release the suspend clock-gate on the listed cores.
+    ResumeCores(Vec<CoreId>),
+    /// Emit a watchpoint trace message with this id.
+    Watchpoint {
+        /// Watchpoint id carried in the message.
+        id: u8,
+    },
+    /// Pulse an external trigger-out pin (for bench equipment or a second
+    /// SoC).
+    TriggerOutPin(u8),
+}
+
+/// One line of the cross-trigger matrix.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct CrossTrigger {
+    /// Source signals (OR stage).
+    pub sources: Vec<SignalRef>,
+    /// Enable (AND stage).
+    pub enabled: bool,
+    /// Optional occurrence counter: the action fires on the `count`-th OR
+    /// assertion (Figure 2's counter block).
+    pub count: Option<u64>,
+    /// The action routed through the break & suspend switch.
+    pub action: TriggerAction,
+}
+
+impl CrossTrigger {
+    /// A line firing `action` whenever any of `sources` asserts.
+    pub fn on_any(sources: Vec<SignalRef>, action: TriggerAction) -> CrossTrigger {
+        CrossTrigger {
+            sources,
+            enabled: true,
+            count: None,
+            action,
+        }
+    }
+
+    /// Adds an occurrence counter.
+    pub fn with_count(mut self, count: u64) -> CrossTrigger {
+        self.count = Some(count);
+        self
+    }
+
+    /// Disables the line (configuration kept).
+    pub fn disabled(mut self) -> CrossTrigger {
+        self.enabled = false;
+        self
+    }
+}
+
+/// The evaluated outputs of one MCDS cycle, ready for the device to apply.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default, PartialEq, Eq)]
+pub struct TriggerOutputs {
+    /// Cores to break (deduplicated).
+    pub break_cores: Vec<CoreId>,
+    /// Cores to suspend.
+    pub suspend_cores: Vec<CoreId>,
+    /// Cores to release from suspend.
+    pub resume_cores: Vec<CoreId>,
+    /// Watchpoint ids to emit as trace messages.
+    pub watchpoints: Vec<u8>,
+    /// External trigger-out pins to pulse.
+    pub trigger_out_pins: Vec<u8>,
+}
+
+impl TriggerOutputs {
+    /// True if nothing fired.
+    pub fn is_empty(&self) -> bool {
+        self.break_cores.is_empty()
+            && self.suspend_cores.is_empty()
+            && self.resume_cores.is_empty()
+            && self.watchpoints.is_empty()
+            && self.trigger_out_pins.is_empty()
+    }
+
+    fn add_unique(list: &mut Vec<CoreId>, cores: &[CoreId]) {
+        for &c in cores {
+            if !list.contains(&c) {
+                list.push(c);
+            }
+        }
+    }
+}
+
+/// The cross-trigger matrix: evaluates every line against the cycle's
+/// signal set.
+#[derive(Debug, Clone, Default)]
+pub struct CrossTriggerUnit {
+    lines: Vec<CrossTrigger>,
+    occurrence_counts: Vec<u64>,
+}
+
+impl CrossTriggerUnit {
+    /// Creates the unit from its configured lines.
+    pub fn new(lines: Vec<CrossTrigger>) -> CrossTriggerUnit {
+        let n = lines.len();
+        CrossTriggerUnit {
+            lines,
+            occurrence_counts: vec![0; n],
+        }
+    }
+
+    /// Number of configured lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The configured lines.
+    pub fn lines(&self) -> &[CrossTrigger] {
+        &self.lines
+    }
+
+    /// Occurrence count accumulated on line `idx` (for counted lines).
+    pub fn occurrences(&self, idx: usize) -> u64 {
+        self.occurrence_counts[idx]
+    }
+
+    /// Enables or disables line `idx` at runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_enabled(&mut self, idx: usize, enabled: bool) {
+        self.lines[idx].enabled = enabled;
+    }
+
+    /// Evaluates all lines against `signals`, accumulating fired actions.
+    pub fn evaluate(&mut self, signals: &SignalSet) -> TriggerOutputs {
+        let mut out = TriggerOutputs::default();
+        for (i, line) in self.lines.iter().enumerate() {
+            if !line.enabled || !signals.any_asserted(&line.sources) {
+                continue;
+            }
+            if let Some(threshold) = line.count {
+                self.occurrence_counts[i] += 1;
+                if self.occurrence_counts[i] != threshold {
+                    continue;
+                }
+            }
+            match &line.action {
+                TriggerAction::BreakCores(cores) => {
+                    TriggerOutputs::add_unique(&mut out.break_cores, cores)
+                }
+                TriggerAction::SuspendCores(cores) => {
+                    TriggerOutputs::add_unique(&mut out.suspend_cores, cores)
+                }
+                TriggerAction::ResumeCores(cores) => {
+                    TriggerOutputs::add_unique(&mut out.resume_cores, cores)
+                }
+                TriggerAction::Watchpoint { id } => out.watchpoints.push(*id),
+                TriggerAction::TriggerOutPin(pin) => out.trigger_out_pins.push(*pin),
+            }
+        }
+        out
+    }
+
+    /// Clears all occurrence counters.
+    pub fn reset(&mut self) {
+        for c in &mut self.occurrence_counts {
+            *c = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIG_A: SignalRef = SignalRef::ProgComp {
+        core: CoreId(0),
+        idx: 0,
+    };
+    const SIG_B: SignalRef = SignalRef::DataComp {
+        core: CoreId(1),
+        idx: 0,
+    };
+    const SIG_X: SignalRef = SignalRef::ExternalPin(3);
+
+    fn set(signals: &[SignalRef]) -> SignalSet {
+        let mut s = SignalSet::new();
+        for &x in signals {
+            s.assert_signal(x);
+        }
+        s
+    }
+
+    #[test]
+    fn or_stage_fires_on_any_source() {
+        let mut u = CrossTriggerUnit::new(vec![CrossTrigger::on_any(
+            vec![SIG_A, SIG_B],
+            TriggerAction::BreakCores(vec![CoreId(0), CoreId(1)]),
+        )]);
+        assert!(u.evaluate(&set(&[])).is_empty());
+        let out = u.evaluate(&set(&[SIG_B]));
+        assert_eq!(out.break_cores, vec![CoreId(0), CoreId(1)]);
+        let out = u.evaluate(&set(&[SIG_A]));
+        assert_eq!(out.break_cores.len(), 2);
+    }
+
+    #[test]
+    fn enable_gates_the_line() {
+        let mut u = CrossTriggerUnit::new(vec![CrossTrigger::on_any(
+            vec![SIG_A],
+            TriggerAction::TriggerOutPin(1),
+        )
+        .disabled()]);
+        assert!(u.evaluate(&set(&[SIG_A])).is_empty());
+        u.set_enabled(0, true);
+        assert_eq!(u.evaluate(&set(&[SIG_A])).trigger_out_pins, vec![1]);
+    }
+
+    #[test]
+    fn counter_delays_firing_to_nth_occurrence() {
+        let mut u = CrossTriggerUnit::new(vec![CrossTrigger::on_any(
+            vec![SIG_A],
+            TriggerAction::Watchpoint { id: 7 },
+        )
+        .with_count(3)]);
+        assert!(u.evaluate(&set(&[SIG_A])).is_empty());
+        assert!(u.evaluate(&set(&[SIG_A])).is_empty());
+        assert_eq!(u.evaluate(&set(&[SIG_A])).watchpoints, vec![7]);
+        // Fires exactly on the Nth, not after.
+        assert!(u.evaluate(&set(&[SIG_A])).is_empty());
+        assert_eq!(u.occurrences(0), 4);
+    }
+
+    #[test]
+    fn cross_core_trigger_one_cores_event_breaks_the_other() {
+        // The canonical MCDS scenario: a data comparator on core 1 breaks
+        // core 0 (and only core 0).
+        let mut u = CrossTriggerUnit::new(vec![CrossTrigger::on_any(
+            vec![SIG_B],
+            TriggerAction::BreakCores(vec![CoreId(0)]),
+        )]);
+        let out = u.evaluate(&set(&[SIG_B]));
+        assert_eq!(out.break_cores, vec![CoreId(0)]);
+        assert!(out.suspend_cores.is_empty());
+    }
+
+    #[test]
+    fn external_pin_drives_suspend_and_resume() {
+        let mut u = CrossTriggerUnit::new(vec![
+            CrossTrigger::on_any(vec![SIG_X], TriggerAction::SuspendCores(vec![CoreId(1)])),
+            CrossTrigger::on_any(vec![SIG_A], TriggerAction::ResumeCores(vec![CoreId(1)])),
+        ]);
+        let out = u.evaluate(&set(&[SIG_X]));
+        assert_eq!(out.suspend_cores, vec![CoreId(1)]);
+        let out = u.evaluate(&set(&[SIG_A]));
+        assert_eq!(out.resume_cores, vec![CoreId(1)]);
+    }
+
+    #[test]
+    fn multiple_lines_accumulate_without_duplicates() {
+        let mut u = CrossTriggerUnit::new(vec![
+            CrossTrigger::on_any(vec![SIG_A], TriggerAction::BreakCores(vec![CoreId(0)])),
+            CrossTrigger::on_any(
+                vec![SIG_B],
+                TriggerAction::BreakCores(vec![CoreId(0), CoreId(1)]),
+            ),
+        ]);
+        let out = u.evaluate(&set(&[SIG_A, SIG_B]));
+        assert_eq!(out.break_cores, vec![CoreId(0), CoreId(1)], "deduplicated");
+    }
+}

@@ -1,0 +1,323 @@
+#![warn(missing_docs)]
+
+//! # mcds-host — the host-side debugger
+//!
+//! The development-tool side of the MCDS/PSI reproduction (Mayer et al.,
+//! DATE 2005): run control, memory access, software and hardware
+//! breakpoints ([`debugger`]) and full trace sessions plus the
+//! emulation-RAM program workflow ([`session`]). Calibration lives in the
+//! sibling `mcds-xcp` crate.
+//!
+//! Everything the host does travels over a modelled debug link and pays its
+//! latency, so tool-level experiments (edit-run cycle time, halt slippage,
+//! trace download time) measure simulated time faithfully.
+//!
+//! ```
+//! use mcds_host::{Debugger, TraceSession};
+//! use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+//! use mcds_psi::interface::InterfaceKind;
+//! use mcds::{McdsConfig, observer::{CoreTraceConfig, TraceQualifier}};
+//! use mcds_soc::asm::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     ".org 0x80000000\nli r1, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt",
+//! )?;
+//! let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster).cores(1).build();
+//! dev.soc_mut().load_program(&program);
+//! let mut dbg = Debugger::attach(dev, InterfaceKind::Usb11);
+//! dbg.hold_all_at_reset(); // configure before any code runs
+//! let session = TraceSession::new(&program);
+//! session.configure(&mut dbg, McdsConfig {
+//!     cores: vec![CoreTraceConfig {
+//!         program_trace: TraceQualifier::Always,
+//!         ..Default::default()
+//!     }],
+//!     ..Default::default()
+//! })?;
+//! dbg.resume_all()?;
+//! let outcome = session.capture(&mut dbg, 1_000_000)?;
+//! assert!(!outcome.flow.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod debugger;
+pub mod listing;
+pub mod session;
+
+pub use debugger::{Debugger, HostError, StopEvent};
+pub use session::{load_program_to_emulation_ram, SessionError, TraceOutcome, TraceSession};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds::observer::{CoreTraceConfig, TraceQualifier};
+    use mcds::McdsConfig;
+    use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+    use mcds_psi::interface::InterfaceKind;
+    use mcds_soc::asm::{assemble, Program};
+    use mcds_soc::event::{CoreId, StopCause};
+    use mcds_soc::isa::Reg;
+    use mcds_soc::soc::memmap;
+
+    fn loop_program() -> Program {
+        assemble(
+            "
+            .org 0x80000000
+            start:
+                li r1, 0
+            loop:
+                addi r1, r1, 1
+                j loop
+            ",
+        )
+        .unwrap()
+    }
+
+    fn tracing_config(cores: usize) -> McdsConfig {
+        McdsConfig {
+            cores: (0..cores)
+                .map(|_| CoreTraceConfig {
+                    program_trace: TraceQualifier::Always,
+                    ..Default::default()
+                })
+                .collect(),
+            fifo_depth: 512,
+            sink_bandwidth: 4,
+            ..Default::default()
+        }
+    }
+
+    fn jtag_debugger(program: &Program, cores: usize) -> Debugger {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(cores)
+            .build();
+        dev.soc_mut().load_program(program);
+        Debugger::attach(dev, InterfaceKind::Jtag)
+    }
+
+    #[test]
+    fn halt_inspect_resume() {
+        let program = loop_program();
+        let mut dbg = jtag_debugger(&program, 1);
+        dbg.device_mut().run_cycles(500);
+        dbg.halt(CoreId(0)).unwrap();
+        let r1 = dbg.read_reg(CoreId(0), Reg::new(1)).unwrap();
+        assert!(r1 > 0);
+        let pc = dbg.pc(CoreId(0)).unwrap();
+        assert!((0x8000_0000..0x8000_0010).contains(&pc));
+        dbg.write_reg(CoreId(0), Reg::new(1), 0).unwrap();
+        dbg.resume(CoreId(0)).unwrap();
+        dbg.device_mut().run_cycles(500);
+        dbg.halt(CoreId(0)).unwrap();
+        let r1_after = dbg.read_reg(CoreId(0), Reg::new(1)).unwrap();
+        assert!(
+            r1_after < r1 + 200,
+            "counter was reset through the debugger"
+        );
+    }
+
+    #[test]
+    fn memory_read_write_over_jtag() {
+        let program = loop_program();
+        let mut dbg = jtag_debugger(&program, 1);
+        dbg.write_words(memmap::SRAM_BASE + 0x40, vec![0xAAA, 0xBBB])
+            .unwrap();
+        assert_eq!(
+            dbg.read_words(memmap::SRAM_BASE + 0x40, 2).unwrap(),
+            vec![0xAAA, 0xBBB]
+        );
+    }
+
+    #[test]
+    fn sw_breakpoint_in_flash_is_refused() {
+        let program = loop_program();
+        let mut dbg = jtag_debugger(&program, 1);
+        let err = dbg.set_sw_breakpoint(0x8000_0004).unwrap_err();
+        assert!(matches!(
+            err,
+            HostError::FlashBreakpoint { addr: 0x8000_0004 }
+        ));
+        assert_eq!(dbg.sw_breakpoint_count(), 0);
+    }
+
+    #[test]
+    fn unlimited_sw_breakpoints_in_emulation_ram() {
+        // The Section 7 workflow: program held in emulation RAM via
+        // overlay; BRK patches land in RAM.
+        let program = loop_program();
+        let dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        let mut dbg = Debugger::attach(dev, InterfaceKind::Jtag);
+        // Attach with reset held so nothing executes before the image is
+        // in place.
+        dbg.hold_all_at_reset();
+        let ranges = load_program_to_emulation_ram(&mut dbg, &program, 0).unwrap();
+        assert_eq!(ranges, 1, "small program fits one 32 KB block");
+        // Far more breakpoints than the 4 hardware comparators.
+        for i in 0..12 {
+            dbg.set_sw_breakpoint(0x8000_0000 + i * 4 + 0x100).unwrap();
+        }
+        assert_eq!(dbg.sw_breakpoint_count(), 12);
+        // A breakpoint on the live loop actually fires.
+        dbg.set_sw_breakpoint(0x8000_0004).unwrap();
+        dbg.resume_all().unwrap();
+        let stop = dbg.wait_for_stop(50_000).unwrap();
+        assert_eq!(stop.cause, StopCause::Breakpoint);
+        assert_eq!(stop.pc, 0x8000_0004);
+        // Step over and continue: it fires again on the next iteration.
+        dbg.resume_from_breakpoint(CoreId(0)).unwrap();
+        let stop = dbg.wait_for_stop(50_000).unwrap();
+        assert_eq!(stop.cause, StopCause::Breakpoint);
+        assert_eq!(stop.pc, 0x8000_0004);
+        // Clearing restores the original instruction and the loop runs on.
+        dbg.clear_sw_breakpoint(0x8000_0004).unwrap();
+        dbg.resume(CoreId(0)).unwrap();
+        assert!(dbg.wait_for_stop(10_000).is_err(), "no stop after clearing");
+    }
+
+    #[test]
+    fn hw_breakpoints_limited_to_four() {
+        let program = loop_program();
+        let mut dbg = jtag_debugger(&program, 1);
+        for i in 0..4 {
+            dbg.set_hw_breakpoint(CoreId(0), 0x8000_0100 + i * 4)
+                .unwrap();
+        }
+        let err = dbg.set_hw_breakpoint(CoreId(0), 0x8000_0200).unwrap_err();
+        assert!(matches!(err, HostError::HwBreakpointLimit { .. }));
+        dbg.clear_hw_breakpoint(CoreId(0), 0x8000_0100).unwrap();
+        dbg.set_hw_breakpoint(CoreId(0), 0x8000_0200).unwrap();
+    }
+
+    #[test]
+    fn hw_breakpoint_stops_core_in_flash() {
+        let program = loop_program();
+        let mut dbg = jtag_debugger(&program, 1);
+        dbg.set_hw_breakpoint(CoreId(0), 0x8000_0008).unwrap();
+        let stop = dbg.wait_for_stop(50_000).unwrap();
+        assert_eq!(stop.cause, StopCause::DebugRequest);
+        // Halted at the boundary after the comparator hit.
+        assert!(
+            (0x8000_0004..=0x8000_0010).contains(&stop.pc),
+            "pc {:#x}",
+            stop.pc
+        );
+    }
+
+    #[test]
+    fn step_exact_instruction_counts() {
+        let program = loop_program();
+        let mut dbg = jtag_debugger(&program, 1);
+        dbg.halt(CoreId(0)).unwrap();
+        let r1 = dbg.read_reg(CoreId(0), Reg::new(1)).unwrap();
+        let pc = dbg.pc(CoreId(0)).unwrap();
+        // Step until back at the same pc with one more iteration done.
+        dbg.step(CoreId(0), 2).unwrap();
+        let r1_after = dbg.read_reg(CoreId(0), Reg::new(1)).unwrap();
+        let pc_after = dbg.pc(CoreId(0)).unwrap();
+        assert!(r1_after == r1 + 1 || (r1_after == r1 && pc_after != pc));
+    }
+
+    #[test]
+    fn trace_session_end_to_end() {
+        let program = assemble(
+            "
+            .org 0x80000000
+            start:
+                li r1, 8
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                halt
+            ",
+        )
+        .unwrap();
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut().load_program(&program);
+        let mut dbg = Debugger::attach(dev, InterfaceKind::Usb11);
+        // Hold at reset so the trace configuration lands before code runs
+        // (the USB command latency is ~3 ms of simulated time).
+        dbg.hold_all_at_reset();
+        let session = TraceSession::new(&program);
+        session.configure(&mut dbg, tracing_config(1)).unwrap();
+        dbg.resume_all().unwrap();
+        let outcome = session.capture(&mut dbg, 1_000_000).unwrap();
+        assert_eq!(outcome.flow.len(), 1 + 8 * 2, "li + 8×(addi,bne)");
+        assert!(outcome.trace_bytes > 0);
+        assert!(outcome
+            .messages
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn halt_all_serializes_over_the_link() {
+        let program = loop_program();
+        let mut dbg = jtag_debugger(&program, 2);
+        dbg.device_mut().run_cycles(200);
+        let t0 = dbg.device().soc().cycle();
+        dbg.halt_all().unwrap();
+        let elapsed = dbg.device().soc().cycle() - t0;
+        // Two sequential JTAG round trips: the second core keeps running
+        // for at least one interface latency — the slippage the break &
+        // suspend switch eliminates.
+        assert!(elapsed > 300, "host-mediated halt took {elapsed} cycles");
+        assert!(dbg.device().soc().cores().all(|c| c.is_halted()));
+    }
+}
+
+#[cfg(test)]
+mod disasm_view_tests {
+    use super::*;
+    use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+    use mcds_psi::interface::InterfaceKind;
+    use mcds_soc::asm::assemble;
+
+    #[test]
+    fn disassemble_at_renders_target_memory() {
+        let program =
+            assemble(".org 0x80000000\nli r1, 5\naddi r1, r1, -1\nbne r1, r0, 0x80000004\nhalt")
+                .unwrap();
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut().load_program(&program);
+        dev.run_until_halt(10_000);
+        let mut dbg = Debugger::attach(dev, InterfaceKind::Jtag);
+        let text = dbg.disassemble_at(0x8000_0000, 4).unwrap();
+        assert!(text.contains("addi r1, r0, 5"), "{text}");
+        assert!(text.contains("bne r1, r0, 0x80000004"), "{text}");
+        assert!(text.contains("halt"), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod context_tests {
+    use super::*;
+    use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+    use mcds_psi::interface::InterfaceKind;
+    use mcds_soc::asm::assemble;
+    use mcds_soc::event::CoreId;
+
+    #[test]
+    fn context_dump_shows_registers_and_code() {
+        let program = assemble(".org 0x80000000\nli r1, 0xAB\nli r2, 0xCD\nbrk\nnop").unwrap();
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut().load_program(&program);
+        dev.run_until_halt(10_000);
+        let mut dbg = Debugger::attach(dev, InterfaceKind::Jtag);
+        let ctx = dbg.context(CoreId(0)).unwrap();
+        assert!(ctx.contains("core0 halted at 0x80000008"), "{ctx}");
+        assert!(ctx.contains("r1 =0x000000ab"), "{ctx}");
+        assert!(ctx.contains("r2 =0x000000cd"), "{ctx}");
+        assert!(ctx.contains("> 0x80000008"), "pc marker present: {ctx}");
+        assert!(ctx.contains("brk"), "{ctx}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Human-readable trace listings: what the developer actually reads in the
+//! trace tool window.
+//!
+//! Combines the reconstructed flow with the disassembler
+//! ([`mcds_soc::disasm`]) and renders the data log and message stream in
+//! tabular text form.
+
+use mcds_soc::disasm::disassemble_word;
+use mcds_trace::{DataRecord, ExecutedInstr, ProgramImage, TimedMessage, TraceMessage};
+use std::fmt::Write as _;
+
+/// Renders the reconstructed instruction flow, one line per executed
+/// instruction, with disassembly from `image`. `limit` caps the output
+/// (0 = unlimited).
+pub fn format_flow(image: &ProgramImage, flow: &[ExecutedInstr], limit: usize) -> String {
+    let mut out = String::new();
+    let n = if limit == 0 {
+        flow.len()
+    } else {
+        limit.min(flow.len())
+    };
+    for e in &flow[..n] {
+        let text = match image.word_at(e.pc) {
+            Some(w) => disassemble_word(w, e.pc),
+            None => "<no image>".to_string(),
+        };
+        let _ = writeln!(out, "{}  {:#010x}:  {}", e.core, e.pc, text);
+    }
+    if n < flow.len() {
+        let _ = writeln!(out, "… {} more", flow.len() - n);
+    }
+    out
+}
+
+/// Renders the data log, one timestamped line per access.
+pub fn format_data_log(log: &[DataRecord], limit: usize) -> String {
+    let mut out = String::new();
+    let n = if limit == 0 {
+        log.len()
+    } else {
+        limit.min(log.len())
+    };
+    for r in &log[..n] {
+        let _ = writeln!(
+            out,
+            "cycle {:>10}  {:>5}  {}  {:#010x} = {:#010x} ({} bytes)",
+            r.timestamp,
+            r.source.to_string(),
+            if r.is_write { "write" } else { "read " },
+            r.addr,
+            r.value,
+            r.width.bytes(),
+        );
+    }
+    if n < log.len() {
+        let _ = writeln!(out, "… {} more", log.len() - n);
+    }
+    out
+}
+
+/// Renders the raw message stream (for protocol-level inspection).
+pub fn format_messages(messages: &[TimedMessage], limit: usize) -> String {
+    let mut out = String::new();
+    let n = if limit == 0 {
+        messages.len()
+    } else {
+        limit.min(messages.len())
+    };
+    for m in &messages[..n] {
+        let body = match m.message {
+            TraceMessage::ProgSync { pc } => format!("SYNC       pc={pc:#010x}"),
+            TraceMessage::DirectBranch { i_cnt } => format!("DBRANCH    i_cnt={i_cnt}"),
+            TraceMessage::IndirectBranch {
+                i_cnt,
+                target,
+                history,
+            } => format!(
+                "IBRANCH    i_cnt={i_cnt} target={target:#010x} hist={}b",
+                history.count
+            ),
+            TraceMessage::BranchHistory { i_cnt, history } => {
+                format!(
+                    "HISTORY    i_cnt={i_cnt} bits={:#010x}/{}",
+                    history.bits, history.count
+                )
+            }
+            TraceMessage::FlowFlush { i_cnt, history } => {
+                format!("FLUSH      i_cnt={i_cnt} hist={}b", history.count)
+            }
+            TraceMessage::DataWrite { addr, value, .. } => {
+                format!("DWRITE     {addr:#010x} = {value:#010x}")
+            }
+            TraceMessage::DataRead { addr, value, .. } => {
+                format!("DREAD      {addr:#010x} = {value:#010x}")
+            }
+            TraceMessage::Watchpoint { id } => format!("WATCHPOINT id={id}"),
+            TraceMessage::Overflow { lost } => format!("OVERFLOW   lost={lost}"),
+        };
+        let _ = writeln!(
+            out,
+            "cycle {:>10}  {:>5}  {}",
+            m.timestamp,
+            m.source.to_string(),
+            body
+        );
+    }
+    if n < messages.len() {
+        let _ = writeln!(out, "… {} more", messages.len() - n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::asm::assemble;
+    use mcds_soc::event::CoreId;
+    use mcds_soc::isa::MemWidth;
+    use mcds_trace::{BranchBits, TraceSource};
+
+    #[test]
+    fn flow_listing_shows_disassembly() {
+        let p = assemble(".org 0x1000\nnop\naddi r1, r0, 5\nhalt").unwrap();
+        let image = ProgramImage::from(&p);
+        let flow = vec![
+            ExecutedInstr {
+                core: CoreId(0),
+                pc: 0x1000,
+            },
+            ExecutedInstr {
+                core: CoreId(0),
+                pc: 0x1004,
+            },
+        ];
+        let text = format_flow(&image, &flow, 0);
+        assert!(text.contains("nop"));
+        assert!(text.contains("addi r1, r0, 5"));
+        assert!(text.contains("0x00001004"));
+    }
+
+    #[test]
+    fn limits_are_applied() {
+        let p = assemble(".org 0x1000\nnop").unwrap();
+        let image = ProgramImage::from(&p);
+        let flow: Vec<ExecutedInstr> = (0..10)
+            .map(|_| ExecutedInstr {
+                core: CoreId(0),
+                pc: 0x1000,
+            })
+            .collect();
+        let text = format_flow(&image, &flow, 3);
+        assert_eq!(text.lines().count(), 4, "3 lines + '… 7 more'");
+        assert!(text.contains("… 7 more"));
+    }
+
+    #[test]
+    fn data_and_message_listings_render() {
+        let log = vec![DataRecord {
+            timestamp: 42,
+            source: TraceSource::Core(CoreId(1)),
+            addr: 0xD000_0000,
+            value: 7,
+            width: MemWidth::Word,
+            is_write: true,
+        }];
+        let text = format_data_log(&log, 0);
+        assert!(text.contains("write"));
+        assert!(text.contains("0xd0000000"));
+
+        let msgs = vec![
+            TimedMessage {
+                timestamp: 1,
+                source: TraceSource::Bus,
+                message: TraceMessage::Overflow { lost: 3 },
+            },
+            TimedMessage {
+                timestamp: 2,
+                source: TraceSource::Core(CoreId(0)),
+                message: TraceMessage::BranchHistory {
+                    i_cnt: 10,
+                    history: BranchBits::new(),
+                },
+            },
+        ];
+        let text = format_messages(&msgs, 0);
+        assert!(text.contains("OVERFLOW"));
+        assert!(text.contains("HISTORY"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Trace sessions and the emulation-RAM program workflow.
+//!
+//! [`TraceSession`] drives the full host loop: configure the MCDS, run the
+//! target, download the trace memory over the debug link, decode the byte
+//! stream and reconstruct program/data flow.
+//!
+//! [`load_program_to_emulation_ram`] implements the Section 7 workflow:
+//! *"developers found using the 512kByte emulation RAM to hold the program
+//! highly beneficial for initial development. Not only does this avoid
+//! continuous reprogramming of the large 2 MByte program flash memory, but
+//! unlimited software breakpoints are possible."* The program's flash
+//! ranges are overlaid with emulation RAM (same offset on both calibration
+//! pages, so page swaps don't touch code) and the image is written through
+//! the debug link instead of being burned into flash.
+
+use crate::debugger::{Debugger, HostError};
+use mcds::McdsConfig;
+use mcds_psi::device::{DebugOp, DebugResponse, DeviceError};
+use mcds_soc::asm::Program;
+use mcds_soc::overlay::{OverlayRange, OVERLAY_MAX_BLOCK, OVERLAY_RANGE_COUNT};
+use mcds_soc::soc::memmap;
+use mcds_trace::{
+    collect_data_log, decode_wrapped, reconstruct_flow, DataRecord, ExecutedInstr, ProgramImage,
+    StreamDecoder, TimedMessage,
+};
+use std::fmt;
+
+/// An error from a trace session.
+#[derive(Debug)]
+pub enum SessionError {
+    /// A host/device error.
+    Host(HostError),
+    /// The downloaded stream failed to decode.
+    Decode(mcds_trace::DecodeStreamError),
+    /// The decoded stream contradicts the program image.
+    Reconstruct(mcds_trace::ReconstructError),
+    /// The program does not fit the overlay resources.
+    OverlayCapacity {
+        /// Ranges needed.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Host(e) => write!(f, "{e}"),
+            SessionError::Decode(e) => write!(f, "trace decode failed: {e}"),
+            SessionError::Reconstruct(e) => write!(f, "flow reconstruction failed: {e}"),
+            SessionError::OverlayCapacity { needed } => write!(
+                f,
+                "program needs {needed} overlay ranges but only {OVERLAY_RANGE_COUNT} exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<HostError> for SessionError {
+    fn from(e: HostError) -> SessionError {
+        SessionError::Host(e)
+    }
+}
+
+impl From<DeviceError> for SessionError {
+    fn from(e: DeviceError) -> SessionError {
+        SessionError::Host(HostError::Device(e))
+    }
+}
+
+/// The outcome of a completed trace session.
+#[derive(Debug)]
+pub struct TraceOutcome {
+    /// The decoded, temporally ordered messages.
+    pub messages: Vec<TimedMessage>,
+    /// The reconstructed per-core instruction flow.
+    pub flow: Vec<ExecutedInstr>,
+    /// The reconstructed data log.
+    pub data_log: Vec<DataRecord>,
+    /// Encoded trace bytes downloaded.
+    pub trace_bytes: usize,
+}
+
+/// A host-driven trace session.
+#[derive(Debug)]
+pub struct TraceSession {
+    image: ProgramImage,
+}
+
+impl TraceSession {
+    /// Creates a session reconstructing against `program`.
+    pub fn new(program: &Program) -> TraceSession {
+        TraceSession {
+            image: ProgramImage::from(program),
+        }
+    }
+
+    /// Creates a session from a pre-built image (e.g. read back from the
+    /// target).
+    pub fn with_image(image: ProgramImage) -> TraceSession {
+        TraceSession { image }
+    }
+
+    /// The image used for reconstruction.
+    pub fn image(&self) -> &ProgramImage {
+        &self.image
+    }
+
+    /// Pushes an MCDS configuration to the target over the debug link.
+    ///
+    /// # Errors
+    ///
+    /// Host/device errors.
+    pub fn configure(&self, dbg: &mut Debugger, config: McdsConfig) -> Result<(), SessionError> {
+        let iface = dbg.interface();
+        dbg.device_mut()
+            .execute(iface, DebugOp::Reconfigure(Box::new(config)))?;
+        Ok(())
+    }
+
+    /// Runs the target for up to `max_cycles` (stopping early if every core
+    /// halts), then downloads and decodes the trace and reconstructs the
+    /// flow.
+    ///
+    /// # Errors
+    ///
+    /// Host/device, decode, or reconstruction errors.
+    pub fn capture(
+        &self,
+        dbg: &mut Debugger,
+        max_cycles: u64,
+    ) -> Result<TraceOutcome, SessionError> {
+        dbg.device_mut().run_until_halt(max_cycles);
+        // Flush residual observer state into the sink before download.
+        let now = dbg.device().soc().cycle();
+        dbg.device_mut().mcds_mut().flush(now);
+        let residual = dbg.device_mut().mcds_mut().take_messages();
+        if !residual.is_empty() {
+            let dev = dbg.device_mut();
+            if dev.soc().mapper().emem().is_some() {
+                // Store through the same sink path the hardware uses.
+                let (soc, sink) = dev.soc_sink_mut();
+                sink.store(&residual, soc.mapper_mut().emem_mut().expect("emem"));
+            }
+        }
+        self.download(dbg)
+    }
+
+    /// Downloads and decodes the current trace memory without running.
+    ///
+    /// # Errors
+    ///
+    /// Host/device, decode, or reconstruction errors.
+    pub fn download(&self, dbg: &mut Debugger) -> Result<TraceOutcome, SessionError> {
+        let bytes = self.fetch_bytes(dbg)?;
+        let trace_bytes = bytes.len();
+        let messages = StreamDecoder::new(bytes)
+            .collect_all()
+            .map_err(SessionError::Decode)?;
+        self.finish(messages, trace_bytes)
+    }
+
+    /// Downloads a flight-recorder (wrap-mode) trace: the window usually
+    /// starts mid-message, so the decoder scans to the first clean message
+    /// boundary; program flow is exact from each core's first sync onwards
+    /// (sync messages reset the wire compression state).
+    ///
+    /// # Errors
+    ///
+    /// Host/device, decode, or reconstruction errors.
+    pub fn download_flight_recorder(
+        &self,
+        dbg: &mut Debugger,
+    ) -> Result<TraceOutcome, SessionError> {
+        let bytes = self.fetch_bytes(dbg)?;
+        let trace_bytes = bytes.len();
+        let (_skipped, messages) = decode_wrapped(&bytes, 512).map_err(SessionError::Decode)?;
+        self.finish(messages, trace_bytes)
+    }
+
+    fn fetch_bytes(&self, dbg: &mut Debugger) -> Result<Vec<u8>, SessionError> {
+        let iface = dbg.interface();
+        let resp = dbg.device_mut().execute(iface, DebugOp::ReadTrace)?;
+        let DebugResponse::TraceBytes(bytes) = resp else {
+            return Err(SessionError::Host(HostError::UnexpectedResponse));
+        };
+        Ok(bytes)
+    }
+
+    fn finish(
+        &self,
+        messages: Vec<TimedMessage>,
+        trace_bytes: usize,
+    ) -> Result<TraceOutcome, SessionError> {
+        let flow = reconstruct_flow(&self.image, &messages).map_err(SessionError::Reconstruct)?;
+        let data_log = collect_data_log(&messages);
+        Ok(TraceOutcome {
+            messages,
+            flow,
+            data_log,
+            trace_bytes,
+        })
+    }
+}
+
+/// Loads `program` into emulation RAM via overlay ranges instead of
+/// programming flash. Returns the number of overlay ranges used.
+///
+/// Ranges are allocated as 32 KB blocks starting at emulation-RAM offset
+/// `emem_offset`; both calibration pages point at the same offsets so page
+/// swaps never remap code.
+///
+/// # Errors
+///
+/// [`SessionError::OverlayCapacity`] if more than 16 ranges would be
+/// needed; host/device errors for the transfers.
+pub fn load_program_to_emulation_ram(
+    dbg: &mut Debugger,
+    program: &Program,
+    emem_offset: u32,
+) -> Result<usize, SessionError> {
+    struct Block {
+        flash_addr: u32,
+        emem_offset: u32,
+    }
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut next_offset = emem_offset;
+    let block_of = |addr: u32| addr & !(OVERLAY_MAX_BLOCK - 1);
+
+    // Pass 1: which 32 KB flash blocks does the program touch?
+    for (base, bytes) in &program.chunks {
+        let mut b = block_of(*base);
+        let end = base + bytes.len() as u32;
+        while b < end {
+            if !blocks.iter().any(|x| x.flash_addr == b) {
+                blocks.push(Block {
+                    flash_addr: b,
+                    emem_offset: next_offset,
+                });
+                next_offset += OVERLAY_MAX_BLOCK;
+            }
+            b += OVERLAY_MAX_BLOCK;
+        }
+    }
+    if blocks.len() > OVERLAY_RANGE_COUNT {
+        return Err(SessionError::OverlayCapacity {
+            needed: blocks.len(),
+        });
+    }
+
+    // Pass 2: configure ranges (backdoor — this is one-time tool setup) and
+    // upload the image over the debug link.
+    for (i, b) in blocks.iter().enumerate() {
+        dbg.device_mut()
+            .soc_mut()
+            .mapper_mut()
+            .configure_range(
+                i,
+                OverlayRange {
+                    flash_addr: b.flash_addr,
+                    size: OVERLAY_MAX_BLOCK,
+                    offset_page0: b.emem_offset,
+                    offset_page1: b.emem_offset,
+                },
+            )
+            .expect("32 KB aligned block is always valid");
+        dbg.device_mut()
+            .soc_mut()
+            .mapper_mut()
+            .set_range_enabled(i, true);
+    }
+    for (base, bytes) in &program.chunks {
+        // Find the emulation-RAM address for this chunk and write it.
+        let mut addr = *base;
+        let mut remaining: &[u8] = bytes;
+        while !remaining.is_empty() {
+            let block = blocks
+                .iter()
+                .find(|b| b.flash_addr == block_of(addr))
+                .expect("block allocated in pass 1");
+            let in_block = (addr - block.flash_addr) as usize;
+            let n = remaining.len().min(OVERLAY_MAX_BLOCK as usize - in_block);
+            let target = memmap::EMEM_BASE + block.emem_offset + in_block as u32;
+            let mut words: Vec<u32> = Vec::with_capacity(n.div_ceil(4));
+            for w in remaining[..n].chunks(4) {
+                let mut buf = [0u8; 4];
+                buf[..w.len()].copy_from_slice(w);
+                words.push(u32::from_le_bytes(buf));
+            }
+            dbg.write_words(target, words)?;
+            addr += n as u32;
+            remaining = &remaining[n..];
+        }
+    }
+    Ok(blocks.len())
+}

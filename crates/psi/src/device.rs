@@ -1,0 +1,1228 @@
+//! The PSI device model: an SoC, its MCDS block, emulation resources and
+//! debug links assembled into one steppable device.
+//!
+//! Construction variants follow the paper:
+//!
+//! * [`DeviceVariant::Production`] — the TC1796 production part: MCDS
+//!   triggers and the address-mapping block are present, but there is no
+//!   emulation RAM, no USB peripheral and no service core; debugging runs
+//!   over JTAG and trace has nowhere to be stored.
+//! * [`DeviceVariant::EdSideBooster`] — the single-chip TC1796ED
+//!   (Figure 3): the production layout as a hard macro plus an emulation
+//!   side booster carrying 512 KB of emulation RAM, a USB 1.1 peripheral
+//!   and the PCP2 debug-service core.
+//! * [`DeviceVariant::EdCarrierChip`] / [`DeviceVariant::EdBoosterChip`] —
+//!   the two-chip constructions (Figure 4): functionally identical to the
+//!   side booster; the extension chip is reusable across a product range.
+//!
+//! All variants share the production footprint and, with debug resources
+//! idle, identical behaviour — the transparency property experiments F3/F4
+//! verify.
+
+use crate::interface::{InterfaceKind, InterfaceModel};
+use crate::service::ServiceProcessor;
+use crate::trace_sink::{FullPolicy, TraceSink};
+use mcds::{Mcds, McdsConfig, McdsStats};
+use mcds_soc::bus::{BusFault, BusRequest, XferKind};
+use mcds_soc::cpu::CoreConfig;
+use mcds_soc::event::{CoreId, CycleRecord};
+use mcds_soc::isa::{MemWidth, Reg};
+use mcds_soc::mem::SegmentRole;
+use mcds_soc::soc::{memmap, Soc, SocBuilder};
+use std::fmt;
+
+/// How the development device is constructed.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceVariant {
+    /// The production SoC (no emulation resources).
+    Production,
+    /// Single-chip PSI: emulation side booster at the edge of the SoC macro
+    /// (Figure 3).
+    EdSideBooster,
+    /// Two-chip PSI: carrier chip under the production SoC (Figure 4B).
+    EdCarrierChip,
+    /// Two-chip PSI: booster chip on top of the production SoC (Figure 4A).
+    EdBoosterChip,
+    /// Selective PSI integration on the production mask set (Section 8
+    /// future work): a small emulation region (64 KB, trace-oriented) on
+    /// one side of the SoC, no USB peripheral and no service core — "in
+    /// particular for the case when no large calibration overlay memory is
+    /// required".
+    SelectiveBooster,
+}
+
+/// Static facts about a construction variant (the F4/F5 inventory table).
+#[derive(serde::Serialize, Debug, Clone, PartialEq, Eq)]
+pub struct VariantInfo {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Dies in the package.
+    pub chips: u8,
+    /// Same footprint as the production part (always true — the point of
+    /// PSI).
+    pub footprint_compatible: bool,
+    /// Emulation RAM bytes.
+    pub emulation_ram_bytes: u32,
+    /// USB 1.1 debug link fitted.
+    pub has_usb: bool,
+    /// PCP2 debug-service core fitted.
+    pub has_service_core: bool,
+    /// Extra mask sets needed beyond the production device.
+    pub extra_mask_sets: u8,
+    /// The development-specific silicon is reusable across a product range.
+    pub reusable_across_products: bool,
+}
+
+impl DeviceVariant {
+    /// True for development (ED) variants with emulation resources.
+    pub fn has_emulation_resources(self) -> bool {
+        self != DeviceVariant::Production
+    }
+
+    /// The variant's inventory facts.
+    pub fn info(self) -> VariantInfo {
+        match self {
+            DeviceVariant::Production => VariantInfo {
+                name: "TC1796 production",
+                chips: 1,
+                footprint_compatible: true,
+                emulation_ram_bytes: 0,
+                has_usb: false,
+                has_service_core: false,
+                extra_mask_sets: 0,
+                reusable_across_products: false,
+            },
+            DeviceVariant::EdSideBooster => VariantInfo {
+                name: "TC1796ED single-chip (emulation side booster)",
+                chips: 1,
+                footprint_compatible: true,
+                emulation_ram_bytes: memmap::EMEM_SIZE,
+                has_usb: true,
+                has_service_core: true,
+                extra_mask_sets: 1,
+                reusable_across_products: false,
+            },
+            DeviceVariant::EdCarrierChip => VariantInfo {
+                name: "TC1796ED two-chip (carrier chip)",
+                chips: 2,
+                footprint_compatible: true,
+                emulation_ram_bytes: memmap::EMEM_SIZE,
+                has_usb: true,
+                has_service_core: true,
+                extra_mask_sets: 1,
+                reusable_across_products: true,
+            },
+            DeviceVariant::EdBoosterChip => VariantInfo {
+                name: "TC1796ED two-chip (booster chip)",
+                chips: 2,
+                footprint_compatible: true,
+                emulation_ram_bytes: memmap::EMEM_SIZE,
+                has_usb: true,
+                has_service_core: true,
+                extra_mask_sets: 1,
+                reusable_across_products: true,
+            },
+            DeviceVariant::SelectiveBooster => VariantInfo {
+                name: "TC1796 selective PSI (single mask set)",
+                chips: 1,
+                footprint_compatible: true,
+                emulation_ram_bytes: 64 * 1024,
+                has_usb: false,
+                has_service_core: false,
+                extra_mask_sets: 0,
+                reusable_across_products: false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for DeviceVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.info().name)
+    }
+}
+
+/// A debug command executed over a device interface.
+#[derive(Debug, Clone)]
+pub enum DebugOp {
+    /// Read `count` words starting at `addr` over the debug bus master.
+    ReadWords {
+        /// Start address.
+        addr: u32,
+        /// Number of 32-bit words.
+        count: usize,
+    },
+    /// Write words starting at `addr`.
+    WriteWords {
+        /// Start address.
+        addr: u32,
+        /// The words to write.
+        data: Vec<u32>,
+    },
+    /// Halt a core (debug break).
+    HaltCore(CoreId),
+    /// Resume a halted core.
+    ResumeCore(CoreId),
+    /// Single-step a halted core by `n` instructions.
+    StepCore(CoreId, u64),
+    /// Read a general register of a halted core.
+    ReadReg(CoreId, Reg),
+    /// Write a general register of a halted core.
+    WriteReg(CoreId, Reg, u32),
+    /// Read the program counter of a halted core.
+    ReadPc(CoreId),
+    /// Set the program counter of a halted core.
+    SetPc(CoreId, u32),
+    /// Download the trace memory contents.
+    ReadTrace,
+    /// Replace the MCDS configuration.
+    Reconfigure(Box<McdsConfig>),
+    /// Erase and program flash (out-of-band, charged flash timing).
+    ProgramFlash {
+        /// Absolute flash address.
+        addr: u32,
+        /// Bytes to program.
+        bytes: Vec<u8>,
+    },
+    /// Query MCDS/sink statistics.
+    ReadStats,
+}
+
+impl DebugOp {
+    /// Approximate request payload size on the wire.
+    fn request_bytes(&self) -> usize {
+        match self {
+            DebugOp::ReadWords { .. }
+            | DebugOp::HaltCore(_)
+            | DebugOp::ResumeCore(_)
+            | DebugOp::StepCore(..)
+            | DebugOp::ReadReg(..)
+            | DebugOp::ReadPc(_)
+            | DebugOp::ReadTrace
+            | DebugOp::ReadStats => 8,
+            DebugOp::WriteReg(..) | DebugOp::SetPc(..) => 12,
+            DebugOp::WriteWords { data, .. } => 8 + data.len() * 4,
+            DebugOp::Reconfigure(_) => 256,
+            DebugOp::ProgramFlash { bytes, .. } => 8 + bytes.len(),
+        }
+    }
+}
+
+/// A debug command's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DebugResponse {
+    /// Command acknowledged.
+    Ack,
+    /// Words read from memory.
+    Words(Vec<u32>),
+    /// A register or PC value.
+    Value(u32),
+    /// The downloaded trace byte stream.
+    TraceBytes(Vec<u8>),
+    /// MCDS and sink statistics.
+    Stats {
+        /// MCDS statistics.
+        mcds: McdsStats,
+        /// Encoded trace bytes stored.
+        sink_used: usize,
+        /// Trace memory capacity.
+        sink_capacity: usize,
+    },
+}
+
+impl DebugResponse {
+    fn response_bytes(&self) -> usize {
+        match self {
+            DebugResponse::Ack => 4,
+            DebugResponse::Words(w) => 4 + w.len() * 4,
+            DebugResponse::Value(_) => 8,
+            DebugResponse::TraceBytes(b) => 4 + b.len(),
+            DebugResponse::Stats { .. } => 40,
+        }
+    }
+}
+
+/// An error from the device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The variant has no such interface (e.g. USB on a production part).
+    InterfaceUnavailable(InterfaceKind),
+    /// The operation needs emulation RAM this variant lacks.
+    NoEmulationRam,
+    /// A bus fault during a debug access.
+    Bus(BusFault),
+    /// The core did not halt within the supervision timeout.
+    CoreUnresponsive(CoreId),
+    /// The operation requires the core to be halted.
+    CoreNotHalted(CoreId),
+    /// No core with this id.
+    NoSuchCore(CoreId),
+    /// The flash range is invalid.
+    BadFlashRange {
+        /// Offending address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InterfaceUnavailable(k) => {
+                write!(f, "interface {k} not fitted on this variant")
+            }
+            DeviceError::NoEmulationRam => write!(f, "no emulation RAM on this variant"),
+            DeviceError::Bus(e) => write!(f, "debug bus access failed: {e}"),
+            DeviceError::CoreUnresponsive(c) => write!(f, "{c} did not halt in time"),
+            DeviceError::CoreNotHalted(c) => write!(f, "{c} must be halted"),
+            DeviceError::NoSuchCore(c) => write!(f, "no such core {c}"),
+            DeviceError::BadFlashRange { addr } => {
+                write!(f, "address {addr:#010x} outside program flash")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<BusFault> for DeviceError {
+    fn from(e: BusFault) -> DeviceError {
+        DeviceError::Bus(e)
+    }
+}
+
+/// Flash erase time per 64 KB sector (automotive NOR class).
+const FLASH_ERASE_NS_PER_64K: u64 = 600_000_000;
+
+/// Flash program time per byte.
+const FLASH_PROGRAM_NS_PER_BYTE: u64 = 3_000;
+
+/// Returns the simulated cycles to erase+program `len` bytes of flash.
+pub fn flash_reprogram_cycles(len: usize) -> u64 {
+    let sectors = (len as u64).div_ceil(64 * 1024);
+    memmap::ns_to_cycles(sectors * FLASH_ERASE_NS_PER_64K + len as u64 * FLASH_PROGRAM_NS_PER_BYTE)
+}
+
+/// Builder for a [`Device`].
+pub struct DeviceBuilder {
+    variant: DeviceVariant,
+    cores: Vec<CoreConfig>,
+    mcds: McdsConfig,
+    trace_segments: Vec<usize>,
+    trace_policy: FullPolicy,
+    flash_wait_states: Option<u32>,
+    dma: bool,
+}
+
+impl DeviceBuilder {
+    /// Starts a builder for `variant`.
+    pub fn new(variant: DeviceVariant) -> DeviceBuilder {
+        DeviceBuilder {
+            variant,
+            cores: Vec::new(),
+            mcds: McdsConfig::default(),
+            trace_segments: vec![6, 7],
+            trace_policy: FullPolicy::Stop,
+            flash_wait_states: None,
+            dma: false,
+        }
+    }
+
+    /// Fits the DMA controller (an extra bus master).
+    pub fn with_dma(mut self) -> DeviceBuilder {
+        self.dma = true;
+        self
+    }
+
+    /// Adds `n` default-configured cores.
+    pub fn cores(mut self, n: usize) -> DeviceBuilder {
+        for _ in 0..n {
+            self.cores.push(CoreConfig::default());
+        }
+        self
+    }
+
+    /// Adds one core with an explicit configuration.
+    pub fn core(mut self, config: CoreConfig) -> DeviceBuilder {
+        self.cores.push(config);
+        self
+    }
+
+    /// Sets the MCDS configuration. If `mcds.cores` is empty it is expanded
+    /// to default per-core configs at build time.
+    pub fn mcds(mut self, config: McdsConfig) -> DeviceBuilder {
+        self.mcds = config;
+        self
+    }
+
+    /// Selects which emulation-RAM segments hold trace (the rest become
+    /// calibration overlay). Default: segments 6 and 7 (128 KB — "the trace
+    /// features … require just a fraction" of the 512 KB).
+    pub fn trace_segments(mut self, segments: Vec<usize>) -> DeviceBuilder {
+        self.trace_segments = segments;
+        self
+    }
+
+    /// Sets the trace-full policy.
+    pub fn trace_policy(mut self, policy: FullPolicy) -> DeviceBuilder {
+        self.trace_policy = policy;
+        self
+    }
+
+    /// Overrides flash wait states.
+    pub fn flash_wait_states(mut self, ws: u32) -> DeviceBuilder {
+        self.flash_wait_states = Some(ws);
+        self
+    }
+
+    /// Builds the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cores were configured.
+    pub fn build(mut self) -> Device {
+        assert!(!self.cores.is_empty(), "device needs at least one core");
+        let core_count = self.cores.len();
+        let mut soc_builder = SocBuilder::new();
+        if let Some(ws) = self.flash_wait_states {
+            soc_builder = soc_builder.flash_wait_states(ws);
+        }
+        for c in &self.cores {
+            soc_builder = soc_builder.core(*c);
+        }
+        let info = self.variant.info();
+        let segments = (info.emulation_ram_bytes / (64 * 1024)) as usize;
+        if segments > 0 {
+            soc_builder = soc_builder.with_emulation_ram_segments(segments);
+        }
+        if self.dma {
+            soc_builder = soc_builder.with_dma();
+        }
+        let mut soc = soc_builder.build();
+
+        let sink = if segments > 0 {
+            let emem = soc.mapper_mut().emem_mut().expect("device has emem");
+            for s in 0..emem.segment_count() {
+                emem.set_segment_role(s, SegmentRole::Overlay);
+            }
+            // Keep only the trace segments that exist on this variant; a
+            // small selective-integration region defaults to its last (or
+            // only) segment.
+            let mut trace_segments: Vec<usize> = self
+                .trace_segments
+                .iter()
+                .copied()
+                .filter(|&s| s < segments)
+                .collect();
+            if trace_segments.is_empty() {
+                trace_segments.push(segments - 1);
+            }
+            for &s in &trace_segments {
+                emem.set_segment_role(s, SegmentRole::Trace);
+            }
+            TraceSink::new(emem, trace_segments, self.trace_policy)
+        } else {
+            TraceSink::discarding()
+        };
+
+        if self.mcds.cores.is_empty() {
+            self.mcds.cores = vec![Default::default(); core_count];
+        }
+        let mcds = Mcds::new(self.mcds);
+
+        Device {
+            variant: self.variant,
+            soc,
+            mcds,
+            sink,
+            jtag: InterfaceModel::jtag(),
+            usb: info.has_usb.then(InterfaceModel::usb11),
+            can: InterfaceModel::can(),
+            service: info
+                .has_service_core
+                .then(|| ServiceProcessor::new(core_count)),
+            trigger_out_log: Vec::new(),
+            sink_dropped: 0,
+        }
+    }
+}
+
+/// The assembled device.
+pub struct Device {
+    variant: DeviceVariant,
+    soc: Soc,
+    mcds: Mcds,
+    sink: TraceSink,
+    jtag: InterfaceModel,
+    usb: Option<InterfaceModel>,
+    can: InterfaceModel,
+    service: Option<ServiceProcessor>,
+    trigger_out_log: Vec<(u64, u8)>,
+    sink_dropped: u64,
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Device")
+            .field("variant", &self.variant)
+            .field("cycle", &self.soc.cycle())
+            .finish()
+    }
+}
+
+impl Device {
+    /// The construction variant.
+    pub fn variant(&self) -> DeviceVariant {
+        self.variant
+    }
+
+    /// The underlying SoC (backdoor; no simulated time).
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// Mutable backdoor to the SoC (program loading, sensor stimulus).
+    pub fn soc_mut(&mut self) -> &mut Soc {
+        &mut self.soc
+    }
+
+    /// The MCDS block.
+    pub fn mcds(&self) -> &Mcds {
+        &self.mcds
+    }
+
+    /// Mutable backdoor to the MCDS block (zero-cost reconfiguration for
+    /// experiments; hosts should use [`DebugOp::Reconfigure`]).
+    pub fn mcds_mut(&mut self) -> &mut Mcds {
+        &mut self.mcds
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Split mutable access to the SoC and the trace sink (so callers can
+    /// store residual messages through the same path the hardware uses).
+    pub fn soc_sink_mut(&mut self) -> (&mut Soc, &mut TraceSink) {
+        (&mut self.soc, &mut self.sink)
+    }
+
+    /// The service processor, if fitted.
+    pub fn service(&self) -> Option<&ServiceProcessor> {
+        self.service.as_ref()
+    }
+
+    /// Mutable access to the service processor, if fitted.
+    pub fn service_mut(&mut self) -> Option<&mut ServiceProcessor> {
+        self.service.as_mut()
+    }
+
+    /// An interface's model (statistics, throughput numbers).
+    pub fn interface(&self, kind: InterfaceKind) -> Option<&InterfaceModel> {
+        match kind {
+            InterfaceKind::Jtag => Some(&self.jtag),
+            InterfaceKind::Usb11 => self.usb.as_ref(),
+            InterfaceKind::Can => Some(&self.can),
+        }
+    }
+
+    /// Messages the sink had to drop (production devices without trace
+    /// memory).
+    pub fn sink_dropped(&self) -> u64 {
+        self.sink_dropped
+    }
+
+    /// MCDS trigger-out pin pulses as `(cycle, pin)`.
+    pub fn trigger_out_log(&self) -> &[(u64, u8)] {
+        &self.trigger_out_log
+    }
+
+    /// Advances the device one SoC cycle: steps the SoC, runs the MCDS,
+    /// applies break/suspend outputs, stores trace, feeds the service-core
+    /// monitors. Returns the cycle's observable events.
+    pub fn step(&mut self) -> CycleRecord {
+        let record = self.soc.step();
+        let outputs = self.mcds.on_cycle(&record);
+        for c in outputs.break_cores {
+            self.soc.core_mut(c).request_break();
+        }
+        for c in outputs.suspend_cores {
+            self.soc.core_mut(c).set_suspended(true);
+        }
+        for c in outputs.resume_cores {
+            self.soc.core_mut(c).set_suspended(false);
+        }
+        for pin in outputs.trigger_out_pins {
+            self.trigger_out_log.push((record.cycle, pin));
+        }
+        let messages = self.mcds.take_messages();
+        if !messages.is_empty() {
+            match self.soc.mapper_mut().emem_mut() {
+                Some(_) => {
+                    // Split borrow: sink and emem are disjoint fields.
+                    let Device { soc, sink, .. } = self;
+                    let emem = soc.mapper_mut().emem_mut().expect("checked above");
+                    let stored = sink.store(&messages, emem);
+                    self.sink_dropped += (messages.len() - stored) as u64;
+                }
+                None => self.sink_dropped += messages.len() as u64,
+            }
+        }
+        if let Some(s) = self.service.as_mut() {
+            s.observe(&record);
+        }
+        record
+    }
+
+    /// Steps `n` cycles, discarding records.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Steps until all cores halt or `max_cycles` pass; returns the records.
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> Vec<CycleRecord> {
+        let mut out = Vec::new();
+        for _ in 0..max_cycles {
+            out.push(self.step());
+            if self.soc.cores().all(|c| c.is_halted()) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Lets `cycles` of simulated time pass. If the whole system is
+    /// quiescent (all cores halted, debug bus idle) the clock jumps in one
+    /// go; otherwise the device steps cycle by cycle so running cores and
+    /// the MCDS stay live.
+    pub fn wait_cycles(&mut self, cycles: u64) {
+        if self.soc.cores().all(|c| c.is_halted()) && !self.soc.debug_busy() {
+            self.soc.advance_clock(cycles);
+        } else {
+            self.run_cycles(cycles);
+        }
+    }
+
+    /// A debug-master bus access that advances the device until completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bus fault if the access failed.
+    pub fn bus_access(&mut self, request: BusRequest) -> Result<u32, DeviceError> {
+        self.soc.debug_request(request);
+        loop {
+            self.step();
+            if let Some(c) = self.soc.take_debug_completion() {
+                return match c.fault {
+                    Some(f) => Err(DeviceError::Bus(f)),
+                    None => Ok(c.rdata),
+                };
+            }
+        }
+    }
+
+    /// Debug-master word read (steps the device).
+    pub fn bus_read_word(&mut self, addr: u32) -> Result<u32, DeviceError> {
+        self.bus_access(BusRequest {
+            addr,
+            width: MemWidth::Word,
+            kind: XferKind::Read,
+            wdata: 0,
+        })
+    }
+
+    /// Debug-master word write (steps the device).
+    pub fn bus_write_word(&mut self, addr: u32, value: u32) -> Result<(), DeviceError> {
+        self.bus_access(BusRequest {
+            addr,
+            width: MemWidth::Word,
+            kind: XferKind::Write,
+            wdata: value,
+        })
+        .map(|_| ())
+    }
+
+    fn check_core(&self, core: CoreId) -> Result<(), DeviceError> {
+        if (core.0 as usize) < self.soc.core_count() {
+            Ok(())
+        } else {
+            Err(DeviceError::NoSuchCore(core))
+        }
+    }
+
+    fn perform(&mut self, op: DebugOp) -> Result<DebugResponse, DeviceError> {
+        match op {
+            DebugOp::ReadWords { addr, count } => {
+                let mut words = Vec::with_capacity(count);
+                for i in 0..count {
+                    words.push(self.bus_read_word(addr + 4 * i as u32)?);
+                }
+                Ok(DebugResponse::Words(words))
+            }
+            DebugOp::WriteWords { addr, data } => {
+                for (i, w) in data.iter().enumerate() {
+                    self.bus_write_word(addr + 4 * i as u32, *w)?;
+                }
+                Ok(DebugResponse::Ack)
+            }
+            DebugOp::HaltCore(core) => {
+                self.check_core(core)?;
+                self.soc.core_mut(core).request_break();
+                // Supervise: a core stuck on a slow bus transaction still
+                // reaches its instruction boundary quickly.
+                for _ in 0..10_000 {
+                    if self.soc.core(core).is_halted() {
+                        return Ok(DebugResponse::Ack);
+                    }
+                    self.step();
+                }
+                Err(DeviceError::CoreUnresponsive(core))
+            }
+            DebugOp::ResumeCore(core) => {
+                self.check_core(core)?;
+                self.soc.core_mut(core).resume();
+                Ok(DebugResponse::Ack)
+            }
+            DebugOp::StepCore(core, n) => {
+                self.check_core(core)?;
+                if !self.soc.core(core).is_halted() {
+                    return Err(DeviceError::CoreNotHalted(core));
+                }
+                self.soc.core_mut(core).step_instructions(n);
+                for _ in 0..10_000 * n.max(1) {
+                    if self.soc.core(core).is_halted() {
+                        return Ok(DebugResponse::Ack);
+                    }
+                    self.step();
+                }
+                Err(DeviceError::CoreUnresponsive(core))
+            }
+            DebugOp::ReadReg(core, r) => {
+                self.check_core(core)?;
+                if !self.soc.core(core).is_halted() {
+                    return Err(DeviceError::CoreNotHalted(core));
+                }
+                Ok(DebugResponse::Value(self.soc.core(core).reg(r)))
+            }
+            DebugOp::WriteReg(core, r, v) => {
+                self.check_core(core)?;
+                if !self.soc.core(core).is_halted() {
+                    return Err(DeviceError::CoreNotHalted(core));
+                }
+                self.soc.core_mut(core).set_reg(r, v);
+                Ok(DebugResponse::Ack)
+            }
+            DebugOp::ReadPc(core) => {
+                self.check_core(core)?;
+                if !self.soc.core(core).is_halted() {
+                    return Err(DeviceError::CoreNotHalted(core));
+                }
+                Ok(DebugResponse::Value(self.soc.core(core).pc()))
+            }
+            DebugOp::SetPc(core, pc) => {
+                self.check_core(core)?;
+                if !self.soc.core(core).is_halted() {
+                    return Err(DeviceError::CoreNotHalted(core));
+                }
+                self.soc.core_mut(core).set_pc(pc);
+                Ok(DebugResponse::Ack)
+            }
+            DebugOp::ReadTrace => {
+                let emem = self
+                    .soc
+                    .mapper()
+                    .emem()
+                    .ok_or(DeviceError::NoEmulationRam)?;
+                Ok(DebugResponse::TraceBytes(self.sink.read_back(emem)))
+            }
+            DebugOp::Reconfigure(config) => {
+                self.mcds.reconfigure(*config);
+                Ok(DebugResponse::Ack)
+            }
+            DebugOp::ProgramFlash { addr, bytes } => {
+                let flash_end = memmap::FLASH_BASE + memmap::FLASH_SIZE;
+                if addr < memmap::FLASH_BASE
+                    || (addr as u64 + bytes.len() as u64) > flash_end as u64
+                {
+                    return Err(DeviceError::BadFlashRange { addr });
+                }
+                self.wait_cycles(flash_reprogram_cycles(bytes.len()));
+                self.soc
+                    .mapper_mut()
+                    .flash_mut()
+                    .program(addr - memmap::FLASH_BASE, &bytes);
+                Ok(DebugResponse::Ack)
+            }
+            DebugOp::ReadStats => Ok(DebugResponse::Stats {
+                mcds: self.mcds.stats(),
+                sink_used: self.sink.used(),
+                sink_capacity: self.sink.capacity(),
+            }),
+        }
+    }
+
+    /// Executes a debug command over the given link, paying its latency,
+    /// transfer time and driver overhead in simulated time while the device
+    /// keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InterfaceUnavailable`] if the variant lacks
+    /// the link, or the underlying operation's error.
+    pub fn execute(
+        &mut self,
+        kind: InterfaceKind,
+        op: DebugOp,
+    ) -> Result<DebugResponse, DeviceError> {
+        if self.interface(kind).is_none() {
+            return Err(DeviceError::InterfaceUnavailable(kind));
+        }
+        let start = self.soc.cycle();
+        let request_bytes = op.request_bytes();
+        let overhead = match self.service.as_mut() {
+            Some(s) => s.process_command(kind),
+            None => crate::service::command_overhead_cycles(InterfaceKind::Jtag),
+        };
+        let iface = self.interface(kind).expect("checked above");
+        let inbound =
+            iface.request_latency_cycles() + iface.transfer_cycles(request_bytes) + overhead;
+        self.wait_cycles(inbound);
+        let response = self.perform(op)?;
+        let iface = self.interface(kind).expect("checked above");
+        let outbound =
+            iface.transfer_cycles(response.response_bytes()) + iface.response_latency_cycles();
+        self.wait_cycles(outbound);
+        let busy = self.soc.cycle() - start;
+        let payload = request_bytes + response.response_bytes();
+        match kind {
+            InterfaceKind::Jtag => self.jtag.record_transaction(payload, busy),
+            InterfaceKind::Usb11 => {
+                if let Some(u) = self.usb.as_mut() {
+                    u.record_transaction(payload, busy);
+                }
+            }
+            InterfaceKind::Can => self.can.record_transaction(payload, busy),
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds::observer::{CoreTraceConfig, TraceQualifier};
+    use mcds_soc::asm::assemble;
+    use mcds_soc::event::SocEvent;
+
+    fn blink_program() -> mcds_soc::asm::Program {
+        assemble(
+            "
+            .equ OUT0, 0xF0000100
+            .org 0x80000000
+            start:
+                li r1, 12
+                li r2, OUT0
+            loop:
+                sw r1, 0(r2)
+                addi r1, r1, -1
+                bne r1, r0, loop
+                halt
+            ",
+        )
+        .unwrap()
+    }
+
+    fn tracing_mcds(cores: usize) -> McdsConfig {
+        McdsConfig {
+            cores: (0..cores)
+                .map(|_| CoreTraceConfig {
+                    program_trace: TraceQualifier::Always,
+                    ..Default::default()
+                })
+                .collect(),
+            fifo_depth: 256,
+            sink_bandwidth: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Runs the same program on two variants and compares the architectural
+    /// event streams (retires and port writes).
+    fn run_and_collect(variant: DeviceVariant) -> (Vec<(u64, u32)>, u64) {
+        let mut dev = DeviceBuilder::new(variant).cores(1).build();
+        dev.soc_mut().load_program(&blink_program());
+        let records = dev.run_until_halt(20_000);
+        let retires: Vec<(u64, u32)> = records
+            .iter()
+            .flat_map(|r| {
+                r.events.iter().filter_map(move |e| match e {
+                    SocEvent::Retire(x) => Some((r.cycle, x.pc)),
+                    _ => None,
+                })
+            })
+            .collect();
+        (retires, dev.soc().cycle())
+    }
+
+    #[test]
+    fn production_and_ed_devices_behave_identically() {
+        // The PSI transparency claim: "Both versions of the SoC are
+        // interchangeable with complete transparency to the application
+        // system" (Section 6).
+        let (prod, prod_cycles) = run_and_collect(DeviceVariant::Production);
+        for variant in [
+            DeviceVariant::EdSideBooster,
+            DeviceVariant::EdCarrierChip,
+            DeviceVariant::EdBoosterChip,
+        ] {
+            let (ed, ed_cycles) = run_and_collect(variant);
+            assert_eq!(prod, ed, "{variant}: cycle-exact identical execution");
+            assert_eq!(prod_cycles, ed_cycles);
+        }
+    }
+
+    #[test]
+    fn ed_device_captures_trace_production_does_not() {
+        let run = |variant: DeviceVariant| {
+            let mut dev = DeviceBuilder::new(variant)
+                .cores(1)
+                .mcds(tracing_mcds(1))
+                .build();
+            dev.soc_mut().load_program(&blink_program());
+            dev.run_until_halt(20_000);
+            let cycle = dev.soc().cycle();
+            dev.mcds_mut().flush(cycle);
+            let messages = dev.mcds_mut().take_messages();
+            // Trace that arrived during the run:
+            (
+                dev.sink().message_count(),
+                dev.sink_dropped(),
+                messages.len(),
+            )
+        };
+        let (ed_stored, ed_dropped, _) = run(DeviceVariant::EdSideBooster);
+        assert!(ed_stored > 0, "ED device stores trace on package");
+        assert_eq!(ed_dropped, 0);
+        let (prod_stored, prod_dropped, _) = run(DeviceVariant::Production);
+        assert_eq!(prod_stored, 0, "production device has no trace memory");
+        assert!(prod_dropped > 0);
+    }
+
+    #[test]
+    fn trace_roundtrip_through_trace_memory_and_usb() {
+        let program = blink_program();
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .mcds(tracing_mcds(1))
+            .build();
+        dev.soc_mut().load_program(&program);
+        dev.run_until_halt(20_000);
+        // Flush residual messages into the sink.
+        let cycle = dev.soc().cycle();
+        dev.mcds_mut().flush(cycle);
+        let residual = dev.mcds_mut().take_messages();
+        let Device { soc, sink, .. } = &mut dev;
+        sink.store(&residual, soc.mapper_mut().emem_mut().unwrap());
+
+        let resp = dev
+            .execute(InterfaceKind::Usb11, DebugOp::ReadTrace)
+            .expect("trace download over USB");
+        let DebugResponse::TraceBytes(bytes) = resp else {
+            panic!("expected trace bytes")
+        };
+        let msgs = mcds_trace::StreamDecoder::new(bytes).collect_all().unwrap();
+        let image = mcds_trace::ProgramImage::from(&program);
+        let flow = mcds_trace::reconstruct_flow(&image, &msgs).unwrap();
+        assert_eq!(
+            flow.len(),
+            3 + 12 * 3,
+            "li + 2-word li + 12 iterations of 3"
+        );
+    }
+
+    #[test]
+    fn usb_unavailable_on_production() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::Production)
+            .cores(1)
+            .build();
+        let err = dev
+            .execute(InterfaceKind::Usb11, DebugOp::ReadStats)
+            .unwrap_err();
+        assert_eq!(err, DeviceError::InterfaceUnavailable(InterfaceKind::Usb11));
+        // JTAG works everywhere.
+        assert!(dev.execute(InterfaceKind::Jtag, DebugOp::ReadStats).is_ok());
+    }
+
+    #[test]
+    fn jtag_halt_is_orders_of_magnitude_faster_than_usb() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(2)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nloop: addi r1, r1, 1\nj loop").unwrap());
+        dev.run_cycles(100);
+        let t0 = dev.soc().cycle();
+        dev.execute(InterfaceKind::Jtag, DebugOp::HaltCore(CoreId(0)))
+            .unwrap();
+        let jtag_cycles = dev.soc().cycle() - t0;
+        let t1 = dev.soc().cycle();
+        dev.execute(InterfaceKind::Usb11, DebugOp::HaltCore(CoreId(1)))
+            .unwrap();
+        let usb_cycles = dev.soc().cycle() - t1;
+        assert!(
+            jtag_cycles * 100 < usb_cycles,
+            "JTAG halt ({jtag_cycles} cy) ≫ faster than USB halt ({usb_cycles} cy)"
+        );
+        assert!(dev.soc().core(CoreId(0)).is_halted());
+        assert!(dev.soc().core(CoreId(1)).is_halted());
+    }
+
+    #[test]
+    fn register_access_requires_halt() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nloop: addi r1, r1, 1\nj loop").unwrap());
+        dev.run_cycles(50);
+        let err = dev
+            .execute(
+                InterfaceKind::Jtag,
+                DebugOp::ReadReg(CoreId(0), Reg::new(1)),
+            )
+            .unwrap_err();
+        assert_eq!(err, DeviceError::CoreNotHalted(CoreId(0)));
+        dev.execute(InterfaceKind::Jtag, DebugOp::HaltCore(CoreId(0)))
+            .unwrap();
+        let DebugResponse::Value(v) = dev
+            .execute(
+                InterfaceKind::Jtag,
+                DebugOp::ReadReg(CoreId(0), Reg::new(1)),
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn memory_ops_roundtrip_over_interface() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nhalt").unwrap());
+        dev.run_until_halt(1_000);
+        dev.execute(
+            InterfaceKind::Usb11,
+            DebugOp::WriteWords {
+                addr: memmap::SRAM_BASE,
+                data: vec![1, 2, 3],
+            },
+        )
+        .unwrap();
+        let DebugResponse::Words(w) = dev
+            .execute(
+                InterfaceKind::Usb11,
+                DebugOp::ReadWords {
+                    addr: memmap::SRAM_BASE,
+                    count: 3,
+                },
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(w, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn flash_reprogramming_charges_time() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nhalt").unwrap());
+        dev.run_until_halt(1_000);
+        let t0 = dev.soc().cycle();
+        dev.execute(
+            InterfaceKind::Usb11,
+            DebugOp::ProgramFlash {
+                addr: memmap::FLASH_BASE + 0x10000,
+                bytes: vec![0xAB; 1024],
+            },
+        )
+        .unwrap();
+        let elapsed = dev.soc().cycle() - t0;
+        assert!(
+            elapsed >= flash_reprogram_cycles(1024),
+            "flash programming time charged ({elapsed})"
+        );
+        assert_eq!(
+            dev.soc().backdoor_read(memmap::FLASH_BASE + 0x10000, 2),
+            vec![0xAB, 0xAB]
+        );
+        // Out-of-range is rejected.
+        let err = dev
+            .execute(
+                InterfaceKind::Usb11,
+                DebugOp::ProgramFlash {
+                    addr: memmap::FLASH_BASE + memmap::FLASH_SIZE - 4,
+                    bytes: vec![0; 8],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::BadFlashRange { .. }));
+    }
+
+    #[test]
+    fn variant_inventory_matches_paper() {
+        let prod = DeviceVariant::Production.info();
+        assert_eq!(prod.emulation_ram_bytes, 0);
+        assert!(!prod.has_usb);
+        let ed = DeviceVariant::EdSideBooster.info();
+        assert_eq!(ed.emulation_ram_bytes, 512 * 1024, "512 KB, Section 6");
+        assert!(ed.has_usb && ed.has_service_core);
+        assert_eq!(ed.chips, 1);
+        assert!(DeviceVariant::EdCarrierChip.info().reusable_across_products);
+        assert!(DeviceVariant::EdBoosterChip.info().chips == 2);
+        // Footprint compatibility is universal — the point of PSI.
+        for v in [
+            DeviceVariant::Production,
+            DeviceVariant::EdSideBooster,
+            DeviceVariant::EdCarrierChip,
+            DeviceVariant::EdBoosterChip,
+        ] {
+            assert!(v.info().footprint_compatible);
+        }
+    }
+
+    #[test]
+    fn service_monitors_observe_the_run() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut().load_program(&blink_program());
+        dev.service_mut().unwrap().perf_mut().set_enabled(true);
+        dev.service_mut()
+            .unwrap()
+            .checker_mut()
+            .add_rule(crate::service::ConsistencyRule {
+                range: mcds_soc::AddrRange::new(0xF000_0100, 4),
+                min: 0,
+                max: 5,
+            });
+        dev.run_until_halt(20_000);
+        let snap = dev.service().unwrap().perf().snapshot();
+        assert!(snap.retired[0] > 30);
+        assert!(snap.bus_xacts > 30);
+        // The blink program writes 12..1; values above 5 violate the rule.
+        let v = dev.service().unwrap().checker().violations();
+        assert_eq!(v.len(), 7, "writes of 12..=6 flagged");
+    }
+}
+
+#[cfg(test)]
+mod selective_tests {
+    use super::*;
+    use mcds::observer::{CoreTraceConfig, TraceQualifier};
+    use mcds_soc::asm::assemble;
+
+    #[test]
+    fn selective_booster_has_small_trace_region_and_no_usb() {
+        let info = DeviceVariant::SelectiveBooster.info();
+        assert_eq!(info.extra_mask_sets, 0, "single mask set is the point");
+        assert_eq!(info.emulation_ram_bytes, 64 * 1024);
+        assert!(!info.has_usb && !info.has_service_core);
+
+        let config = McdsConfig {
+            cores: vec![CoreTraceConfig {
+                program_trace: TraceQualifier::Always,
+                ..Default::default()
+            }],
+            fifo_depth: 1024,
+            sink_bandwidth: 4,
+            ..Default::default()
+        };
+        let mut dev = DeviceBuilder::new(DeviceVariant::SelectiveBooster)
+            .cores(1)
+            .mcds(config)
+            .build();
+        assert_eq!(
+            dev.sink().capacity(),
+            64 * 1024,
+            "the whole region is trace"
+        );
+        dev.soc_mut().load_program(
+            &assemble(".org 0x80000000\nli r1, 30\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt")
+                .unwrap(),
+        );
+        dev.run_until_halt(50_000);
+        assert!(dev.sink().message_count() > 0, "trace captured on package");
+        // JTAG works; USB does not exist.
+        assert!(dev.execute(InterfaceKind::Jtag, DebugOp::ReadTrace).is_ok());
+        assert_eq!(
+            dev.execute(InterfaceKind::Usb11, DebugOp::ReadStats)
+                .unwrap_err(),
+            DeviceError::InterfaceUnavailable(InterfaceKind::Usb11)
+        );
+    }
+
+    #[test]
+    fn selective_booster_is_transparent_too() {
+        let run = |variant: DeviceVariant| {
+            let mut dev = DeviceBuilder::new(variant).cores(1).build();
+            dev.soc_mut().load_program(
+                &assemble(
+                    ".org 0x80000000\nli r1, 50\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt",
+                )
+                .unwrap(),
+            );
+            dev.run_until_halt(50_000);
+            (dev.soc().cycle(), dev.soc().core(CoreId(0)).retired())
+        };
+        assert_eq!(
+            run(DeviceVariant::Production),
+            run(DeviceVariant::SelectiveBooster)
+        );
+    }
+}
+
+#[cfg(test)]
+mod interface_stats_tests {
+    use super::*;
+    use mcds_soc::asm::assemble;
+
+    #[test]
+    fn interface_statistics_accumulate_per_link() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nhalt").unwrap());
+        dev.run_until_halt(100);
+        dev.execute(
+            InterfaceKind::Jtag,
+            DebugOp::ReadWords {
+                addr: memmap::SRAM_BASE,
+                count: 4,
+            },
+        )
+        .unwrap();
+        dev.execute(InterfaceKind::Usb11, DebugOp::ReadStats)
+            .unwrap();
+        dev.execute(InterfaceKind::Usb11, DebugOp::ReadStats)
+            .unwrap();
+        let jtag = dev.interface(InterfaceKind::Jtag).unwrap();
+        assert_eq!(jtag.transactions(), 1);
+        assert!(jtag.payload_bytes() >= 4 * 4);
+        assert!(jtag.busy_cycles() > 0);
+        let usb = dev.interface(InterfaceKind::Usb11).unwrap();
+        assert_eq!(usb.transactions(), 2);
+        // The PCP2 processed all three commands.
+        assert_eq!(dev.service().unwrap().commands_processed(), 3);
+    }
+}

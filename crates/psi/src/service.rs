@@ -1,0 +1,349 @@
+//! The debug-service processor (PCP2) model.
+//!
+//! Section 6: *"The USB 1.1 interface has significant software overhead,
+//! but the system is unaffected as an extra PCP2 processor core is
+//! integrated to run the supplied driver. The extra processor can also be
+//! used for performance monitoring and consistency checking, and provides a
+//! new programmable tool not found in previous ICEs."*
+//!
+//! The model charges per-command driver overhead in simulated cycles
+//! (absorbed by the service core, never by the application cores) and
+//! implements the two "programmable tool" monitor programs the paper names:
+//! a performance monitor and a consistency checker.
+
+use crate::interface::InterfaceKind;
+use mcds_soc::bus::AddrRange;
+use mcds_soc::event::{CycleRecord, SocEvent};
+
+/// Driver overhead in service-processor cycles per command, by link.
+pub fn command_overhead_cycles(kind: InterfaceKind) -> u64 {
+    match kind {
+        // USB driver: descriptor parsing, endpoint handling.
+        InterfaceKind::Usb11 => 2_000,
+        // JTAG is a hardware debug port; negligible software involvement.
+        InterfaceKind::Jtag => 50,
+        // CAN driver: frame reassembly on the service core.
+        InterfaceKind::Can => 3_000,
+    }
+}
+
+/// A performance-monitor snapshot.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerfSnapshot {
+    /// Cycles observed.
+    pub cycles: u64,
+    /// Instructions retired per core.
+    pub retired: Vec<u64>,
+    /// Completed bus transactions.
+    pub bus_xacts: u64,
+    /// Bus transactions per 1000 cycles (occupancy proxy).
+    pub bus_per_kilocycle: u64,
+}
+
+/// The performance-monitor program running on the service core.
+#[derive(Debug, Clone, Default)]
+pub struct PerfMonitor {
+    enabled: bool,
+    cycles: u64,
+    retired: Vec<u64>,
+    bus_xacts: u64,
+}
+
+impl PerfMonitor {
+    /// Creates a disabled monitor for `cores` cores.
+    pub fn new(cores: usize) -> PerfMonitor {
+        PerfMonitor {
+            enabled: false,
+            cycles: 0,
+            retired: vec![0; cores],
+            bus_xacts: 0,
+        }
+    }
+
+    /// Starts/stops counting.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// True while counting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Observes one cycle.
+    pub fn observe(&mut self, record: &CycleRecord) {
+        if !self.enabled {
+            return;
+        }
+        self.cycles += 1;
+        for e in &record.events {
+            match e {
+                SocEvent::Retire(r) => {
+                    if let Some(n) = self.retired.get_mut(r.core.0 as usize) {
+                        *n += 1;
+                    }
+                }
+                SocEvent::Bus(_) => self.bus_xacts += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Reads the counters.
+    pub fn snapshot(&self) -> PerfSnapshot {
+        PerfSnapshot {
+            cycles: self.cycles,
+            retired: self.retired.clone(),
+            bus_xacts: self.bus_xacts,
+            bus_per_kilocycle: (self.bus_xacts * 1000)
+                .checked_div(self.cycles)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Clears the counters.
+    pub fn reset(&mut self) {
+        let cores = self.retired.len();
+        let enabled = self.enabled;
+        *self = PerfMonitor::new(cores);
+        self.enabled = enabled;
+    }
+}
+
+/// A recorded consistency violation.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Cycle of the offending write.
+    pub cycle: u64,
+    /// Written address.
+    pub addr: u32,
+    /// Written value.
+    pub value: u32,
+}
+
+/// A consistency-checker rule: bus writes inside `range` must carry values
+/// in `[min, max]`.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone)]
+pub struct ConsistencyRule {
+    /// Watched address range.
+    pub range: AddrRange,
+    /// Minimum legal value.
+    pub min: u32,
+    /// Maximum legal value.
+    pub max: u32,
+}
+
+/// The consistency-checker program running on the service core.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyChecker {
+    rules: Vec<ConsistencyRule>,
+    violations: Vec<Violation>,
+}
+
+impl ConsistencyChecker {
+    /// Creates a checker with no rules.
+    pub fn new() -> ConsistencyChecker {
+        ConsistencyChecker::default()
+    }
+
+    /// Adds a rule; returns its index.
+    pub fn add_rule(&mut self, rule: ConsistencyRule) -> usize {
+        self.rules.push(rule);
+        self.rules.len() - 1
+    }
+
+    /// Observes one cycle's bus traffic.
+    pub fn observe(&mut self, record: &CycleRecord) {
+        if self.rules.is_empty() {
+            return;
+        }
+        for e in &record.events {
+            if let SocEvent::Bus(x) = e {
+                if !x.kind.is_write() {
+                    continue;
+                }
+                for r in &self.rules {
+                    if r.range.contains(x.addr) && !(r.min..=r.max).contains(&x.data) {
+                        self.violations.push(Violation {
+                            cycle: record.cycle,
+                            addr: x.addr,
+                            value: x.data,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recorded violations.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Clears recorded violations (rules kept).
+    pub fn clear(&mut self) {
+        self.violations.clear();
+    }
+}
+
+/// The PCP2 service processor: command overhead plus monitor programs.
+#[derive(Debug)]
+pub struct ServiceProcessor {
+    perf: PerfMonitor,
+    checker: ConsistencyChecker,
+    commands_processed: u64,
+    overhead_cycles: u64,
+}
+
+impl ServiceProcessor {
+    /// Creates the service processor for a device with `cores` cores.
+    pub fn new(cores: usize) -> ServiceProcessor {
+        ServiceProcessor {
+            perf: PerfMonitor::new(cores),
+            checker: ConsistencyChecker::new(),
+            commands_processed: 0,
+            overhead_cycles: 0,
+        }
+    }
+
+    /// The performance monitor.
+    pub fn perf(&self) -> &PerfMonitor {
+        &self.perf
+    }
+
+    /// Mutable access to the performance monitor.
+    pub fn perf_mut(&mut self) -> &mut PerfMonitor {
+        &mut self.perf
+    }
+
+    /// The consistency checker.
+    pub fn checker(&self) -> &ConsistencyChecker {
+        &self.checker
+    }
+
+    /// Mutable access to the consistency checker.
+    pub fn checker_mut(&mut self) -> &mut ConsistencyChecker {
+        &mut self.checker
+    }
+
+    /// Observes one cycle (monitor programs).
+    pub fn observe(&mut self, record: &CycleRecord) {
+        self.perf.observe(record);
+        self.checker.observe(record);
+    }
+
+    /// Accounts one processed command over `kind`; returns its overhead in
+    /// cycles.
+    pub fn process_command(&mut self, kind: InterfaceKind) -> u64 {
+        let overhead = command_overhead_cycles(kind);
+        self.commands_processed += 1;
+        self.overhead_cycles += overhead;
+        overhead
+    }
+
+    /// Commands processed so far.
+    pub fn commands_processed(&self) -> u64 {
+        self.commands_processed
+    }
+
+    /// Total driver overhead absorbed by the service core.
+    pub fn overhead_cycles(&self) -> u64 {
+        self.overhead_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::bus::{BusXact, MasterId, XferKind};
+    use mcds_soc::event::{CoreId, RetireEvent};
+    use mcds_soc::isa::{Instr, MemWidth};
+
+    fn record_with(cycle: u64, events: Vec<SocEvent>) -> CycleRecord {
+        CycleRecord { cycle, events }
+    }
+
+    fn retire(core: u8) -> SocEvent {
+        SocEvent::Retire(RetireEvent {
+            core: CoreId(core),
+            pc: 0,
+            instr: Instr::Nop,
+            next_pc: 4,
+            taken: None,
+            mem: None,
+        })
+    }
+
+    fn write(addr: u32, data: u32) -> SocEvent {
+        SocEvent::Bus(BusXact {
+            master: MasterId(0),
+            addr,
+            width: MemWidth::Word,
+            kind: XferKind::Write,
+            data,
+        })
+    }
+
+    #[test]
+    fn perf_monitor_counts_when_enabled() {
+        let mut p = PerfMonitor::new(2);
+        p.observe(&record_with(0, vec![retire(0)]));
+        assert_eq!(p.snapshot().retired, vec![0, 0], "disabled: ignores events");
+        p.set_enabled(true);
+        p.observe(&record_with(1, vec![retire(0), retire(1), write(0x10, 1)]));
+        p.observe(&record_with(2, vec![retire(0)]));
+        let s = p.snapshot();
+        assert_eq!(s.cycles, 2);
+        assert_eq!(s.retired, vec![2, 1]);
+        assert_eq!(s.bus_xacts, 1);
+        assert_eq!(s.bus_per_kilocycle, 500);
+        p.reset();
+        assert_eq!(p.snapshot().cycles, 0);
+        assert!(p.is_enabled(), "reset keeps the enable");
+    }
+
+    #[test]
+    fn consistency_checker_flags_out_of_range_writes() {
+        let mut c = ConsistencyChecker::new();
+        c.add_rule(ConsistencyRule {
+            range: AddrRange::new(0x1000, 0x100),
+            min: 10,
+            max: 100,
+        });
+        c.observe(&record_with(5, vec![write(0x1004, 50)]));
+        c.observe(&record_with(6, vec![write(0x1004, 101)]));
+        c.observe(&record_with(7, vec![write(0x2000, 999)])); // outside range
+        assert_eq!(
+            c.violations(),
+            &[Violation {
+                cycle: 6,
+                addr: 0x1004,
+                value: 101
+            }]
+        );
+        c.clear();
+        assert!(c.violations().is_empty());
+    }
+
+    #[test]
+    fn command_overhead_ordering() {
+        // USB needs the driver; JTAG is nearly free; CAN is the heaviest.
+        assert!(
+            command_overhead_cycles(InterfaceKind::Jtag)
+                < command_overhead_cycles(InterfaceKind::Usb11)
+        );
+        assert!(
+            command_overhead_cycles(InterfaceKind::Usb11)
+                < command_overhead_cycles(InterfaceKind::Can)
+        );
+    }
+
+    #[test]
+    fn service_processor_accumulates_stats() {
+        let mut s = ServiceProcessor::new(2);
+        s.process_command(InterfaceKind::Usb11);
+        s.process_command(InterfaceKind::Jtag);
+        assert_eq!(s.commands_processed(), 2);
+        assert_eq!(s.overhead_cycles(), 2_050);
+    }
+}

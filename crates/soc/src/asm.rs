@@ -1,0 +1,1080 @@
+//! A two-pass assembler for TC-RISC.
+//!
+//! The powertrain workloads (`mcds-workloads`) are written as assembly text
+//! and assembled to binary images loaded into flash or RAM. Supported
+//! syntax:
+//!
+//! ```text
+//! ; comment (also #)
+//! .org   0x80000000        ; set the location counter
+//! .equ   RPM_PORT, 0xF0000200
+//! .word  0x12345678        ; emit a literal word (or a label address)
+//! .space 64                ; emit zero bytes
+//! loop:
+//!     addi r1, r0, 5
+//!     lw   r2, 8(r3)
+//!     beq  r1, r0, done
+//!     jal  lr, subroutine
+//!     j    loop            ; pseudo: jal r0
+//! done:
+//!     li   r4, 0xF0000100  ; pseudo: lui+ori (always 2 words for symbols)
+//!     mv   r5, r4          ; pseudo: add r5, r4, r0
+//!     ret                  ; pseudo: jalr r0, 0(lr)
+//!     halt
+//! ```
+//!
+//! Register names: `r0`–`r15` plus the aliases `zero` (r0), `sp` (r14) and
+//! `lr` (r15). Expressions accept decimal/hex numbers, symbols, `sym+n`,
+//! `sym-n`, `%hi(expr)` and `%lo(expr)`.
+
+use crate::isa::{AluOp, BranchCond, Instr, MemWidth, Reg, SpecialReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled program image.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Contiguous chunks of the image as `(base address, bytes)`.
+    pub chunks: Vec<(u32, Vec<u8>)>,
+    /// Label and `.equ` symbol values.
+    pub symbols: HashMap<String, u32>,
+    /// The address of the first instruction emitted (default entry point).
+    pub entry: u32,
+}
+
+impl Program {
+    /// Looks up a symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total bytes emitted across all chunks.
+    pub fn byte_len(&self) -> usize {
+        self.chunks.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Iterates over all `(address, byte)` pairs.
+    pub fn bytes(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.chunks.iter().flat_map(|(base, b)| {
+            b.iter()
+                .enumerate()
+                .map(move |(i, &v)| (base + i as u32, v))
+        })
+    }
+}
+
+/// An assembly error with its source line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles TC-RISC source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics/registers, duplicate or undefined symbols and
+/// out-of-range immediates or branch offsets.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::new().run(source)
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Instr(Instr),
+    /// An instruction needing symbol resolution in pass 2.
+    Fixup(Fixup),
+    Word(Expr),
+    Space(u32),
+}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: Expr,
+    },
+    Jal {
+        rd: Reg,
+        target: Expr,
+    },
+    /// `li` with a symbolic operand: always lui+ori (2 words).
+    LiWide {
+        rd: Reg,
+        value: Expr,
+    },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        value: Expr,
+    },
+    LoadStore {
+        instr_kind: LsKind,
+        reg: Reg,
+        base: Reg,
+        offset: Expr,
+    },
+    Lui {
+        rd: Reg,
+        value: Expr,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LsKind {
+    Load(MemWidth, bool),
+    Store(MemWidth),
+    Jalr,
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(i64),
+    Sym(String, i64),
+    Sum(Vec<(i64, ExprTerm)>),
+    Hi(Box<Expr>),
+    Lo(Box<Expr>),
+}
+
+#[derive(Debug, Clone)]
+enum ExprTerm {
+    Num(i64),
+    Sym(String),
+}
+
+struct Assembler {
+    symbols: HashMap<String, u32>,
+    items: Vec<(usize, u32, Item)>, // (line, addr, item)
+    pc: u32,
+    entry: Option<u32>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_special_reg(tok: &str, line: usize) -> Result<SpecialReg, AsmError> {
+    match tok.to_ascii_lowercase().as_str() {
+        "coreid" => Ok(SpecialReg::CoreId),
+        "cyclelo" => Ok(SpecialReg::CycleLo),
+        "cyclehi" => Ok(SpecialReg::CycleHi),
+        "epc" => Ok(SpecialReg::Epc),
+        "irqen" => Ok(SpecialReg::IrqEnable),
+        other => Err(err(line, format!("unknown special register `{other}`"))),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    match tok {
+        "zero" => return Ok(Reg::ZERO),
+        "sp" => return Ok(Reg::SP),
+        "lr" => return Ok(Reg::LR),
+        _ => {}
+    }
+    let n = tok
+        .strip_prefix('r')
+        .and_then(|s| s.parse::<u8>().ok())
+        .filter(|&n| n < 16)
+        .ok_or_else(|| err(line, format!("unknown register `{tok}`")))?;
+    Ok(Reg::new(n))
+}
+
+fn parse_num(tok: &str) -> Option<i64> {
+    let (neg, t) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = t.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2).ok()?
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_expr(tok: &str, line: usize) -> Result<Expr, AsmError> {
+    let tok = tok.trim();
+    if let Some(inner) = tok.strip_prefix("%hi(").and_then(|s| s.strip_suffix(')')) {
+        return Ok(Expr::Hi(Box::new(parse_expr(inner, line)?)));
+    }
+    if let Some(inner) = tok.strip_prefix("%lo(").and_then(|s| s.strip_suffix(')')) {
+        return Ok(Expr::Lo(Box::new(parse_expr(inner, line)?)));
+    }
+    if let Some(n) = parse_num(tok) {
+        return Ok(Expr::Num(n));
+    }
+    // General left-to-right +/- chains of numbers and symbols,
+    // e.g. `table+8`, `END-START`, `BASE+0x10-4`.
+    let mut terms: Vec<(i64, String)> = Vec::new(); // (sign, term text)
+    let mut sign = 1i64;
+    let mut start = 0;
+    let bytes: Vec<char> = tok.chars().collect();
+    let mut i = 0;
+    while i <= bytes.len() {
+        let at_op = i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') && i > start;
+        if i == bytes.len() || at_op {
+            let term: String = bytes[start..i].iter().collect();
+            let term = term.trim().to_string();
+            if term.is_empty() {
+                return Err(err(line, format!("cannot parse expression `{tok}`")));
+            }
+            terms.push((sign, term));
+            if i < bytes.len() {
+                sign = if bytes[i] == '+' { 1 } else { -1 };
+                start = i + 1;
+            }
+        }
+        i += 1;
+    }
+    if terms.len() == 1 {
+        let (sign, term) = &terms[0];
+        if *sign == 1
+            && term
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            && !term.is_empty()
+        {
+            return Ok(Expr::Sym(term.clone(), 0));
+        }
+        return Err(err(line, format!("cannot parse expression `{tok}`")));
+    }
+    let parts = terms
+        .into_iter()
+        .map(|(sign, term)| {
+            if let Some(n) = parse_num(&term) {
+                Ok((sign, ExprTerm::Num(n)))
+            } else if term
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                Ok((sign, ExprTerm::Sym(term)))
+            } else {
+                Err(err(
+                    line,
+                    format!("bad term `{term}` in expression `{tok}`"),
+                ))
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Expr::Sum(parts))
+}
+
+impl Expr {
+    fn eval(&self, symbols: &HashMap<String, u32>, line: usize) -> Result<i64, AsmError> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Sym(s, off) => symbols
+                .get(s)
+                .map(|&v| v as i64 + off)
+                .ok_or_else(|| err(line, format!("undefined symbol `{s}`"))),
+            Expr::Sum(parts) => {
+                let mut total = 0i64;
+                for (sign, term) in parts {
+                    let v = match term {
+                        ExprTerm::Num(n) => *n,
+                        ExprTerm::Sym(s) => *symbols
+                            .get(s)
+                            .ok_or_else(|| err(line, format!("undefined symbol `{s}`")))?
+                            as i64,
+                    };
+                    total += sign * v;
+                }
+                Ok(total)
+            }
+            Expr::Hi(e) => Ok((e.eval(symbols, line)? as u32 >> 16) as i64),
+            Expr::Lo(e) => Ok((e.eval(symbols, line)? as u32 & 0xFFFF) as i64),
+        }
+    }
+}
+
+fn check_i16(v: i64, line: usize, what: &str) -> Result<i16, AsmError> {
+    // Accept both signed (-32768..=32767) and unsigned-style (0..=0xFFFF)
+    // 16-bit literals; they map to the same encoding bits.
+    if (-(1 << 15)..(1 << 16)).contains(&v) {
+        Ok(v as u16 as i16)
+    } else {
+        Err(err(line, format!("{what} {v} does not fit in 16 bits")))
+    }
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            symbols: HashMap::new(),
+            items: Vec::new(),
+            pc: 0,
+            entry: None,
+        }
+    }
+
+    fn run(mut self, source: &str) -> Result<Program, AsmError> {
+        // Pass 1: parse, lay out addresses, collect symbols.
+        for (idx, raw) in source.lines().enumerate() {
+            let line = idx + 1;
+            let text = raw.split([';', '#']).next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            self.parse_line(text, line)?;
+        }
+        // Pass 2: resolve fixups and emit bytes.
+        let mut chunks: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut emit = |addr: u32, bytes: &[u8]| match chunks.last_mut() {
+            Some((base, buf)) if *base + buf.len() as u32 == addr => buf.extend_from_slice(bytes),
+            _ => chunks.push((addr, bytes.to_vec())),
+        };
+        for (line, addr, item) in &self.items {
+            let (line, addr) = (*line, *addr);
+            match item {
+                Item::Instr(i) => emit(addr, &i.encode().to_le_bytes()),
+                Item::Word(e) => {
+                    let v = e.eval(&self.symbols, line)? as u32;
+                    emit(addr, &v.to_le_bytes());
+                }
+                Item::Space(n) => emit(addr, &vec![0u8; *n as usize]),
+                Item::Fixup(f) => {
+                    for (k, i) in self.resolve(f, addr, line)?.iter().enumerate() {
+                        emit(addr + 4 * k as u32, &i.encode().to_le_bytes());
+                    }
+                }
+            }
+        }
+        Ok(Program {
+            chunks,
+            symbols: self.symbols,
+            entry: self.entry.unwrap_or(0),
+        })
+    }
+
+    fn resolve(&self, f: &Fixup, addr: u32, line: usize) -> Result<Vec<Instr>, AsmError> {
+        Ok(match f {
+            Fixup::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let t = target.eval(&self.symbols, line)? as u32;
+                let delta = (t as i64 - addr as i64) / 4;
+                if (t as i64 - addr as i64) % 4 != 0 {
+                    return Err(err(line, "branch target not word aligned"));
+                }
+                let imm = check_i16(delta, line, "branch offset")?;
+                vec![Instr::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    imm,
+                }]
+            }
+            Fixup::Jal { rd, target } => {
+                let t = target.eval(&self.symbols, line)? as u32;
+                let delta = (t as i64 - addr as i64) / 4;
+                if (t as i64 - addr as i64) % 4 != 0 {
+                    return Err(err(line, "jump target not word aligned"));
+                }
+                if !(-(1i64 << 19)..(1i64 << 19)).contains(&delta) {
+                    return Err(err(
+                        line,
+                        format!("jump offset {delta} out of 20-bit range"),
+                    ));
+                }
+                vec![Instr::Jal {
+                    rd: *rd,
+                    imm: delta as i32,
+                }]
+            }
+            Fixup::LiWide { rd, value } => {
+                let v = value.eval(&self.symbols, line)? as u32;
+                vec![
+                    Instr::Lui {
+                        rd: *rd,
+                        imm: (v >> 16) as u16,
+                    },
+                    Instr::AluImm {
+                        op: AluOp::Or,
+                        rd: *rd,
+                        rs1: *rd,
+                        imm: v as u16 as i16,
+                    },
+                ]
+            }
+            Fixup::AluImm { op, rd, rs1, value } => {
+                let v = value.eval(&self.symbols, line)?;
+                let imm = check_i16(v, line, "immediate")?;
+                vec![Instr::AluImm {
+                    op: *op,
+                    rd: *rd,
+                    rs1: *rs1,
+                    imm,
+                }]
+            }
+            Fixup::Lui { rd, value } => {
+                let v = value.eval(&self.symbols, line)?;
+                if !(0..(1 << 16)).contains(&v) {
+                    return Err(err(
+                        line,
+                        format!("lui operand {v} does not fit in 16 bits"),
+                    ));
+                }
+                vec![Instr::Lui {
+                    rd: *rd,
+                    imm: v as u16,
+                }]
+            }
+            Fixup::LoadStore {
+                instr_kind,
+                reg,
+                base,
+                offset,
+            } => {
+                let v = offset.eval(&self.symbols, line)?;
+                let imm = check_i16(v, line, "offset")?;
+                vec![match instr_kind {
+                    LsKind::Load(width, signed) => Instr::Load {
+                        width: *width,
+                        signed: *signed,
+                        rd: *reg,
+                        rs1: *base,
+                        imm,
+                    },
+                    LsKind::Store(width) => Instr::Store {
+                        width: *width,
+                        rs2: *reg,
+                        rs1: *base,
+                        imm,
+                    },
+                    LsKind::Jalr => Instr::Jalr {
+                        rd: *reg,
+                        rs1: *base,
+                        imm,
+                    },
+                }]
+            }
+        })
+    }
+
+    fn push(&mut self, line: usize, item: Item) {
+        let size = match &item {
+            Item::Instr(_) | Item::Word(_) => 4,
+            Item::Space(n) => *n,
+            Item::Fixup(Fixup::LiWide { .. }) => 8,
+            Item::Fixup(_) => 4,
+        };
+        if matches!(item, Item::Instr(_) | Item::Fixup(_)) && self.entry.is_none() {
+            self.entry = Some(self.pc);
+        }
+        self.items.push((line, self.pc, item));
+        self.pc += size;
+    }
+
+    fn parse_line(&mut self, text: &str, line: usize) -> Result<(), AsmError> {
+        let mut text = text;
+        // Labels (possibly several) before the statement.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            if self.symbols.insert(label.to_string(), self.pc).is_some() {
+                return Err(err(line, format!("duplicate label `{label}`")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            return Ok(());
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let args: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        self.parse_stmt(mnemonic, &args, line)
+    }
+
+    fn parse_stmt(&mut self, m: &str, args: &[&str], line: usize) -> Result<(), AsmError> {
+        let want = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{m}` expects {n} operand(s), got {}", args.len()),
+                ))
+            }
+        };
+        let alu_r = |op: AluOp, a: &mut Assembler| -> Result<(), AsmError> {
+            want(3)?;
+            a.push(
+                line,
+                Item::Instr(Instr::Alu {
+                    op,
+                    rd: parse_reg(args[0], line)?,
+                    rs1: parse_reg(args[1], line)?,
+                    rs2: parse_reg(args[2], line)?,
+                }),
+            );
+            Ok(())
+        };
+        let alu_i = |op: AluOp, a: &mut Assembler| -> Result<(), AsmError> {
+            want(3)?;
+            a.push(
+                line,
+                Item::Fixup(Fixup::AluImm {
+                    op,
+                    rd: parse_reg(args[0], line)?,
+                    rs1: parse_reg(args[1], line)?,
+                    value: parse_expr(args[2], line)?,
+                }),
+            );
+            Ok(())
+        };
+        let branch = |cond: BranchCond, a: &mut Assembler| -> Result<(), AsmError> {
+            want(3)?;
+            a.push(
+                line,
+                Item::Fixup(Fixup::Branch {
+                    cond,
+                    rs1: parse_reg(args[0], line)?,
+                    rs2: parse_reg(args[1], line)?,
+                    target: parse_expr(args[2], line)?,
+                }),
+            );
+            Ok(())
+        };
+        // "imm(base)" addressing for loads/stores/jalr.
+        let mem = |kind: LsKind, a: &mut Assembler| -> Result<(), AsmError> {
+            want(2)?;
+            let reg = parse_reg(args[0], line)?;
+            let operand = args[1];
+            let open = operand
+                .find('(')
+                .ok_or_else(|| err(line, format!("expected `off(base)`, got `{operand}`")))?;
+            let close = operand
+                .rfind(')')
+                .ok_or_else(|| err(line, "missing `)` in address operand"))?;
+            let off_txt = operand[..open].trim();
+            let offset = if off_txt.is_empty() {
+                Expr::Num(0)
+            } else {
+                parse_expr(off_txt, line)?
+            };
+            let base = parse_reg(operand[open + 1..close].trim(), line)?;
+            a.push(
+                line,
+                Item::Fixup(Fixup::LoadStore {
+                    instr_kind: kind,
+                    reg,
+                    base,
+                    offset,
+                }),
+            );
+            Ok(())
+        };
+        match m.to_ascii_lowercase().as_str() {
+            // Directives
+            ".org" => {
+                want(1)?;
+                let v = parse_expr(args[0], line)?.eval(&self.symbols, line)?;
+                self.pc = v as u32;
+                Ok(())
+            }
+            ".equ" => {
+                want(2)?;
+                let v = parse_expr(args[1], line)?.eval(&self.symbols, line)?;
+                if self.symbols.insert(args[0].to_string(), v as u32).is_some() {
+                    return Err(err(line, format!("duplicate symbol `{}`", args[0])));
+                }
+                Ok(())
+            }
+            ".word" => {
+                want(1)?;
+                let e = parse_expr(args[0], line)?;
+                self.push(line, Item::Word(e));
+                Ok(())
+            }
+            ".space" => {
+                want(1)?;
+                let v = parse_expr(args[0], line)?.eval(&self.symbols, line)?;
+                self.push(line, Item::Space(v as u32));
+                Ok(())
+            }
+            // R-type ALU
+            "add" => alu_r(AluOp::Add, self),
+            "sub" => alu_r(AluOp::Sub, self),
+            "and" => alu_r(AluOp::And, self),
+            "or" => alu_r(AluOp::Or, self),
+            "xor" => alu_r(AluOp::Xor, self),
+            "sll" => alu_r(AluOp::Sll, self),
+            "srl" => alu_r(AluOp::Srl, self),
+            "sra" => alu_r(AluOp::Sra, self),
+            "slt" => alu_r(AluOp::Slt, self),
+            "sltu" => alu_r(AluOp::Sltu, self),
+            "mul" => alu_r(AluOp::Mul, self),
+            "mulh" => alu_r(AluOp::Mulh, self),
+            "div" => alu_r(AluOp::Div, self),
+            "rem" => alu_r(AluOp::Rem, self),
+            // I-type ALU
+            "addi" => alu_i(AluOp::Add, self),
+            "andi" => alu_i(AluOp::And, self),
+            "ori" => alu_i(AluOp::Or, self),
+            "xori" => alu_i(AluOp::Xor, self),
+            "slti" => alu_i(AluOp::Slt, self),
+            "slli" => alu_i(AluOp::Sll, self),
+            "srli" => alu_i(AluOp::Srl, self),
+            "srai" => alu_i(AluOp::Sra, self),
+            "lui" => {
+                want(2)?;
+                self.push(
+                    line,
+                    Item::Fixup(Fixup::Lui {
+                        rd: parse_reg(args[0], line)?,
+                        value: parse_expr(args[1], line)?,
+                    }),
+                );
+                Ok(())
+            }
+            // Memory
+            "lw" => mem(LsKind::Load(MemWidth::Word, false), self),
+            "lh" => mem(LsKind::Load(MemWidth::Half, true), self),
+            "lhu" => mem(LsKind::Load(MemWidth::Half, false), self),
+            "lb" => mem(LsKind::Load(MemWidth::Byte, true), self),
+            "lbu" => mem(LsKind::Load(MemWidth::Byte, false), self),
+            "sw" => mem(LsKind::Store(MemWidth::Word), self),
+            "sh" => mem(LsKind::Store(MemWidth::Half), self),
+            "sb" => mem(LsKind::Store(MemWidth::Byte), self),
+            "jalr" => mem(LsKind::Jalr, self),
+            // Branches
+            "beq" => branch(BranchCond::Eq, self),
+            "bne" => branch(BranchCond::Ne, self),
+            "blt" => branch(BranchCond::Lt, self),
+            "bge" => branch(BranchCond::Ge, self),
+            "bltu" => branch(BranchCond::Ltu, self),
+            "bgeu" => branch(BranchCond::Geu, self),
+            // Jumps
+            "jal" => {
+                want(2)?;
+                self.push(
+                    line,
+                    Item::Fixup(Fixup::Jal {
+                        rd: parse_reg(args[0], line)?,
+                        target: parse_expr(args[1], line)?,
+                    }),
+                );
+                Ok(())
+            }
+            // System
+            "swap" => alu_r(AluOp::Add, self).map(|_| {
+                // Replace the just-pushed Alu with a Swap of the same regs.
+                let (_, _, item) = self.items.last_mut().expect("just pushed");
+                if let Item::Instr(Instr::Alu { rd, rs1, rs2, .. }) = *item {
+                    *item = Item::Instr(Instr::Swap { rd, rs1, rs2 });
+                }
+            }),
+            "mfsr" => {
+                want(2)?;
+                let sr = parse_special_reg(args[1], line)?;
+                self.push(
+                    line,
+                    Item::Instr(Instr::Mfsr {
+                        rd: parse_reg(args[0], line)?,
+                        sr,
+                    }),
+                );
+                Ok(())
+            }
+            "mtsr" => {
+                want(2)?;
+                let sr = parse_special_reg(args[0], line)?;
+                self.push(
+                    line,
+                    Item::Instr(Instr::Mtsr {
+                        sr,
+                        rs1: parse_reg(args[1], line)?,
+                    }),
+                );
+                Ok(())
+            }
+            "eret" => {
+                want(0)?;
+                self.push(line, Item::Instr(Instr::Eret));
+                Ok(())
+            }
+            "nop" => {
+                want(0)?;
+                self.push(line, Item::Instr(Instr::Nop));
+                Ok(())
+            }
+            "halt" => {
+                want(0)?;
+                self.push(line, Item::Instr(Instr::Halt));
+                Ok(())
+            }
+            "brk" => {
+                want(0)?;
+                self.push(line, Item::Instr(Instr::Brk));
+                Ok(())
+            }
+            "sync" => {
+                want(0)?;
+                self.push(line, Item::Instr(Instr::Sync));
+                Ok(())
+            }
+            // Pseudo-instructions
+            "li" => {
+                want(2)?;
+                let rd = parse_reg(args[0], line)?;
+                let e = parse_expr(args[1], line)?;
+                match e {
+                    Expr::Num(n) if (-(1 << 15)..(1 << 15)).contains(&n) => {
+                        self.push(
+                            line,
+                            Item::Instr(Instr::AluImm {
+                                op: AluOp::Add,
+                                rd,
+                                rs1: Reg::ZERO,
+                                imm: n as i16,
+                            }),
+                        );
+                    }
+                    e => self.push(line, Item::Fixup(Fixup::LiWide { rd, value: e })),
+                }
+                Ok(())
+            }
+            "mv" => {
+                want(2)?;
+                self.push(
+                    line,
+                    Item::Instr(Instr::Alu {
+                        op: AluOp::Add,
+                        rd: parse_reg(args[0], line)?,
+                        rs1: parse_reg(args[1], line)?,
+                        rs2: Reg::ZERO,
+                    }),
+                );
+                Ok(())
+            }
+            "j" => {
+                want(1)?;
+                self.push(
+                    line,
+                    Item::Fixup(Fixup::Jal {
+                        rd: Reg::ZERO,
+                        target: parse_expr(args[0], line)?,
+                    }),
+                );
+                Ok(())
+            }
+            "call" => {
+                want(1)?;
+                self.push(
+                    line,
+                    Item::Fixup(Fixup::Jal {
+                        rd: Reg::LR,
+                        target: parse_expr(args[0], line)?,
+                    }),
+                );
+                Ok(())
+            }
+            "ret" => {
+                want(0)?;
+                self.push(
+                    line,
+                    Item::Instr(Instr::Jalr {
+                        rd: Reg::ZERO,
+                        rs1: Reg::LR,
+                        imm: 0,
+                    }),
+                );
+                Ok(())
+            }
+            other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(p: &Program) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (base, bytes) in &p.chunks {
+            for (i, w) in bytes.chunks(4).enumerate() {
+                if w.len() == 4 {
+                    out.push((
+                        base + 4 * i as u32,
+                        u32::from_le_bytes(w.try_into().unwrap()),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "
+            .org 0x80000000
+            start:
+                addi r1, r0, 5
+                add  r2, r1, r1
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.entry, 0x8000_0000);
+        assert_eq!(p.symbol("start"), Some(0x8000_0000));
+        let ws = words(&p);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(
+            Instr::decode(ws[0].1).unwrap(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::ZERO,
+                imm: 5
+            }
+        );
+        assert_eq!(Instr::decode(ws[2].1).unwrap(), Instr::Halt);
+    }
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let p = assemble(
+            "
+            .org 0x100
+            top:
+                beq r0, r0, bottom
+                nop
+            bottom:
+                bne r1, r0, top
+            ",
+        )
+        .unwrap();
+        let ws = words(&p);
+        assert_eq!(
+            Instr::decode(ws[0].1).unwrap(),
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                imm: 2
+            }
+        );
+        assert_eq!(
+            Instr::decode(ws[2].1).unwrap(),
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::new(1),
+                rs2: Reg::ZERO,
+                imm: -2
+            }
+        );
+    }
+
+    #[test]
+    fn li_expands_by_operand_size() {
+        let p = assemble("li r1, 42\nli r2, 0xF0000100\nhalt").unwrap();
+        let ws = words(&p);
+        assert_eq!(ws.len(), 4, "small li is 1 word, large li is 2");
+        assert_eq!(
+            Instr::decode(ws[1].1).unwrap(),
+            Instr::Lui {
+                rd: Reg::new(2),
+                imm: 0xF000
+            }
+        );
+        assert_eq!(
+            Instr::decode(ws[2].1).unwrap(),
+            Instr::AluImm {
+                op: AluOp::Or,
+                rd: Reg::new(2),
+                rs1: Reg::new(2),
+                imm: 0x0100
+            }
+        );
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let p = assemble(
+            "
+            .equ PORT, 0xF0000100
+            lui r1, %hi(PORT)
+            ori r1, r1, %lo(PORT)
+            lw r2, 4(r1)
+            sw r2, PORT+8-0xF0000100(r1)
+            ",
+        )
+        .unwrap();
+        let ws = words(&p);
+        assert_eq!(
+            Instr::decode(ws[0].1).unwrap(),
+            Instr::Lui {
+                rd: Reg::new(1),
+                imm: 0xF000
+            }
+        );
+        assert_eq!(
+            Instr::decode(ws[3].1).unwrap(),
+            Instr::Store {
+                width: MemWidth::Word,
+                rs2: Reg::new(2),
+                rs1: Reg::new(1),
+                imm: 8
+            }
+        );
+    }
+
+    #[test]
+    fn word_and_space_directives() {
+        let p = assemble(
+            "
+            .org 0x200
+            table:
+                .word 0xDEADBEEF
+                .word table
+                .space 8
+            after:
+                nop
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("after"), Some(0x200 + 4 + 4 + 8));
+        let ws = words(&p);
+        assert_eq!(ws[0], (0x200, 0xDEAD_BEEF));
+        assert_eq!(ws[1], (0x204, 0x200));
+    }
+
+    #[test]
+    fn call_ret_and_jumps() {
+        let p = assemble(
+            "
+            .org 0
+            main:
+                call fn1
+                halt
+            fn1:
+                ret
+            ",
+        )
+        .unwrap();
+        let ws = words(&p);
+        assert_eq!(
+            Instr::decode(ws[0].1).unwrap(),
+            Instr::Jal {
+                rd: Reg::LR,
+                imm: 2
+            }
+        );
+        assert_eq!(
+            Instr::decode(ws[2].1).unwrap(),
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::LR,
+                imm: 0
+            }
+        );
+    }
+
+    #[test]
+    fn swap_and_mfsr() {
+        let p = assemble("swap r1, r2, r3\nmfsr r4, coreid").unwrap();
+        let ws = words(&p);
+        assert_eq!(
+            Instr::decode(ws[0].1).unwrap(),
+            Instr::Swap {
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                rs2: Reg::new(3)
+            }
+        );
+        assert_eq!(
+            Instr::decode(ws[1].1).unwrap(),
+            Instr::Mfsr {
+                rd: Reg::new(4),
+                sr: SpecialReg::CoreId
+            }
+        );
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = assemble("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("addi r1, r0, 100000").unwrap_err();
+        assert!(e.message.contains("16 bits"));
+
+        let e = assemble("beq r0, r0, nowhere").unwrap_err();
+        assert!(e.message.contains("undefined symbol"));
+
+        let e = assemble("dup:\nnop\ndup:\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = assemble("lw r1, r2").unwrap_err();
+        assert!(e.message.contains("off(base)"));
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = assemble("addi r1, r0, -1\naddi r2, r0, 0x7F\nandi r3, r3, 0xFF00").unwrap();
+        let ws = words(&p);
+        assert_eq!(
+            Instr::decode(ws[0].1).unwrap(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs1: Reg::ZERO,
+                imm: -1
+            }
+        );
+        assert_eq!(
+            Instr::decode(ws[2].1).unwrap(),
+            Instr::AluImm {
+                op: AluOp::And,
+                rd: Reg::new(3),
+                rs1: Reg::new(3),
+                imm: 0xFF00u16 as i16
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; leading comment\n\n  # another\nnop ; trailing\n").unwrap();
+        assert_eq!(words(&p).len(), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Disassembly: turning instruction words back into assembler-accepted
+//! text.
+//!
+//! Unlike [`Instr`]'s `Display` (a compact debug form), the functions here
+//! emit text the [`crate::asm`] assembler parses back to the identical
+//! encoding — branch and jump targets are printed as absolute addresses,
+//! special registers by their source names. The host tooling uses this for
+//! trace listings and memory views.
+
+use crate::isa::{AluOp, BranchCond, Instr, MemWidth, Reg, SpecialReg};
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Mul => "mul",
+        AluOp::Mulh => "mulh",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+    }
+}
+
+fn cond_mnemonic(c: BranchCond) -> &'static str {
+    match c {
+        BranchCond::Eq => "beq",
+        BranchCond::Ne => "bne",
+        BranchCond::Lt => "blt",
+        BranchCond::Ge => "bge",
+        BranchCond::Ltu => "bltu",
+        BranchCond::Geu => "bgeu",
+    }
+}
+
+fn load_mnemonic(width: MemWidth, signed: bool) -> &'static str {
+    match (width, signed) {
+        (MemWidth::Word, _) => "lw",
+        (MemWidth::Half, true) => "lh",
+        (MemWidth::Half, false) => "lhu",
+        (MemWidth::Byte, true) => "lb",
+        (MemWidth::Byte, false) => "lbu",
+    }
+}
+
+fn store_mnemonic(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::Word => "sw",
+        MemWidth::Half => "sh",
+        MemWidth::Byte => "sb",
+    }
+}
+
+fn sr_name(sr: SpecialReg) -> &'static str {
+    match sr {
+        SpecialReg::CoreId => "coreid",
+        SpecialReg::CycleLo => "cyclelo",
+        SpecialReg::CycleHi => "cyclehi",
+        SpecialReg::Epc => "epc",
+        SpecialReg::IrqEnable => "irqen",
+    }
+}
+
+fn r(reg: Reg) -> String {
+    format!("r{}", reg.index())
+}
+
+/// Disassembles one instruction at `pc` into assembler-accepted text
+/// (branch/jump targets become absolute hex addresses).
+pub fn disassemble(instr: Instr, pc: u32) -> String {
+    match instr {
+        Instr::Brk => "brk".into(),
+        Instr::Nop => "nop".into(),
+        Instr::Halt => "halt".into(),
+        Instr::Sync => "sync".into(),
+        Instr::Mfsr { rd, sr } => format!("mfsr {}, {}", r(rd), sr_name(sr)),
+        Instr::Mtsr { sr, rs1 } => format!("mtsr {}, {}", sr_name(sr), r(rs1)),
+        Instr::Eret => "eret".into(),
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            format!("{} {}, {}, {}", alu_mnemonic(op), r(rd), r(rs1), r(rs2))
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            format!("{}i {}, {}, {}", alu_mnemonic(op), r(rd), r(rs1), imm)
+        }
+        Instr::Lui { rd, imm } => format!("lui {}, {:#x}", r(rd), imm),
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            imm,
+        } => {
+            format!(
+                "{} {}, {}({})",
+                load_mnemonic(width, signed),
+                r(rd),
+                imm,
+                r(rs1)
+            )
+        }
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            imm,
+        } => {
+            format!("{} {}, {}({})", store_mnemonic(width), r(rs2), imm, r(rs1))
+        }
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            imm,
+        } => {
+            let target = pc.wrapping_add((imm as i32 as u32).wrapping_mul(4));
+            format!(
+                "{} {}, {}, {target:#x}",
+                cond_mnemonic(cond),
+                r(rs1),
+                r(rs2)
+            )
+        }
+        Instr::Jal { rd, imm } => {
+            let target = pc.wrapping_add((imm as u32).wrapping_mul(4));
+            format!("jal {}, {target:#x}", r(rd))
+        }
+        Instr::Jalr { rd, rs1, imm } => format!("jalr {}, {}({})", r(rd), imm, r(rs1)),
+        Instr::Swap { rd, rs1, rs2 } => {
+            format!("swap {}, {}, {}", r(rd), r(rs1), r(rs2))
+        }
+    }
+}
+
+/// Disassembles a raw word at `pc`; undecodable words become `.word`
+/// directives (still assembler-accepted).
+pub fn disassemble_word(word: u32, pc: u32) -> String {
+    match Instr::decode(word) {
+        Ok(i) => disassemble(i, pc),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+/// A formatted listing of `words` starting at `base`: one
+/// `address: word  text` line per instruction.
+pub fn listing(base: u32, words: &[u32]) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let pc = base + 4 * i as u32;
+        out.push_str(&format!(
+            "{pc:#010x}: {w:08x}  {}\n",
+            disassemble_word(w, pc)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    /// Assembling the disassembly at the same pc must reproduce the word.
+    fn roundtrip(instr: Instr, pc: u32) {
+        let text = disassemble(instr, pc);
+        let src = format!(".org {pc:#x}\n{text}\n");
+        let p = assemble(&src).unwrap_or_else(|e| panic!("`{text}` rejected: {e}"));
+        let (addr, bytes) = &p.chunks[0];
+        assert_eq!(*addr, pc);
+        let word = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        assert_eq!(word, instr.encode(), "`{text}`");
+    }
+
+    #[test]
+    fn representative_instructions_roundtrip() {
+        let pc = 0x8000_0100;
+        for instr in [
+            Instr::Brk,
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Sync,
+            Instr::Mfsr {
+                rd: Reg::new(3),
+                sr: SpecialReg::CycleHi,
+            },
+            Instr::Mfsr {
+                rd: Reg::new(3),
+                sr: SpecialReg::Epc,
+            },
+            Instr::Mtsr {
+                sr: SpecialReg::IrqEnable,
+                rs1: Reg::new(2),
+            },
+            Instr::Eret,
+            Instr::Alu {
+                op: AluOp::Mulh,
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                rs2: Reg::new(3),
+            },
+            Instr::AluImm {
+                op: AluOp::Sra,
+                rd: Reg::new(4),
+                rs1: Reg::new(5),
+                imm: -3,
+            },
+            Instr::AluImm {
+                op: AluOp::Or,
+                rd: Reg::new(4),
+                rs1: Reg::new(5),
+                imm: 0x7FFF,
+            },
+            Instr::Lui {
+                rd: Reg::new(6),
+                imm: 0xF000,
+            },
+            Instr::Load {
+                width: MemWidth::Half,
+                signed: false,
+                rd: Reg::new(7),
+                rs1: Reg::new(8),
+                imm: -12,
+            },
+            Instr::Store {
+                width: MemWidth::Byte,
+                rs2: Reg::new(9),
+                rs1: Reg::new(10),
+                imm: 100,
+            },
+            Instr::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::new(1),
+                rs2: Reg::new(2),
+                imm: -20,
+            },
+            Instr::Jal {
+                rd: Reg::LR,
+                imm: 1000,
+            },
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::LR,
+                imm: 0,
+            },
+            Instr::Swap {
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                rs2: Reg::new(3),
+            },
+        ] {
+            roundtrip(instr, pc);
+        }
+    }
+
+    #[test]
+    fn undecodable_word_becomes_word_directive() {
+        assert_eq!(disassemble_word(0xFFFF_FFFF, 0), ".word 0xffffffff");
+        assert_eq!(disassemble_word(Instr::Nop.encode(), 0), "nop");
+    }
+
+    #[test]
+    fn listing_formats_addresses() {
+        let words = [Instr::Nop.encode(), Instr::Halt.encode()];
+        let l = listing(0x8000_0000, &words);
+        assert!(l.contains("0x80000000:"));
+        assert!(l.contains("0x80000004:"));
+        assert!(l.contains("nop"));
+        assert!(l.contains("halt"));
+    }
+
+    #[test]
+    fn branch_targets_are_absolute() {
+        let b = Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::new(1),
+            rs2: Reg::ZERO,
+            imm: -2,
+        };
+        assert_eq!(disassemble(b, 0x8000_0010), "bne r1, r0, 0x80000008");
+    }
+}

@@ -1,0 +1,152 @@
+//! Observation events.
+//!
+//! The MCDS hardware taps the cores' retirement interfaces and the system
+//! bus. The simulator reproduces those taps as a per-cycle stream of
+//! [`SocEvent`]s: everything the debug logic is allowed to see, and nothing
+//! more. Timestamps are SoC cycles (150 MHz on the TC1796).
+
+use crate::bus::{BusFault, BusXact};
+use crate::isa::{Instr, MemWidth};
+use std::fmt;
+
+/// Identifies a processor core on the SoC.
+#[derive(
+    serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+)]
+pub struct CoreId(pub u8);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A data access performed by a retired instruction.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccessInfo {
+    /// Byte address of the access.
+    pub addr: u32,
+    /// Access width.
+    pub width: MemWidth,
+    /// True for stores (and the store half of atomics).
+    pub is_write: bool,
+    /// Data value: the stored value for writes, the loaded value for reads,
+    /// the *old* value for atomics.
+    pub value: u32,
+}
+
+/// One retired instruction, as seen by the core's trace adaptation logic.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireEvent {
+    /// The retiring core.
+    pub core: CoreId,
+    /// Address of the retired instruction.
+    pub pc: u32,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Address of the next instruction to execute.
+    pub next_pc: u32,
+    /// For control-transfer instructions, whether the transfer was taken.
+    pub taken: Option<bool>,
+    /// The data access, for loads/stores/atomics.
+    pub mem: Option<MemAccessInfo>,
+}
+
+/// Why a core stopped executing.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// A debug halt request (break line or debugger command).
+    DebugRequest,
+    /// A `BRK` instruction (software breakpoint).
+    Breakpoint,
+    /// A `HALT` instruction (program completion).
+    HaltInstr,
+    /// Single-step budget exhausted.
+    Step,
+    /// A bus fault during fetch or data access.
+    BusFault(BusFault),
+    /// An undecodable instruction word.
+    #[allow(missing_docs)]
+    InvalidInstr { word: u32 },
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StopCause::DebugRequest => write!(f, "debug request"),
+            StopCause::Breakpoint => write!(f, "software breakpoint"),
+            StopCause::HaltInstr => write!(f, "halt instruction"),
+            StopCause::Step => write!(f, "single step"),
+            StopCause::BusFault(e) => write!(f, "bus fault: {e}"),
+            StopCause::InvalidInstr { word } => write!(f, "invalid instruction {word:#010x}"),
+        }
+    }
+}
+
+/// An observable event produced during one SoC cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SocEvent {
+    /// A core retired an instruction.
+    Retire(RetireEvent),
+    /// A bus transaction completed (multi-master bus tap).
+    Bus(BusXact),
+    /// A core stopped.
+    CoreStopped {
+        /// The stopping core.
+        core: CoreId,
+        /// Why it stopped.
+        cause: StopCause,
+        /// Its program counter at the stop.
+        pc: u32,
+    },
+    /// A core took an interrupt: an asynchronous control transfer from
+    /// `from` to `vector`.
+    IrqEntry {
+        /// The interrupted core.
+        core: CoreId,
+        /// The pc the core was about to execute.
+        from: u32,
+        /// The interrupt vector it jumped to.
+        vector: u32,
+    },
+    /// An external trigger input changed level.
+    TriggerIn {
+        /// Trigger pin index.
+        line: u8,
+        /// New level.
+        level: bool,
+    },
+}
+
+/// All observable events of one SoC cycle, timestamped.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CycleRecord {
+    /// The cycle the events occurred on.
+    pub cycle: u64,
+    /// Events in within-cycle priority order (bus before retires, in core
+    /// order).
+    pub events: Vec<SocEvent>,
+}
+
+impl CycleRecord {
+    /// Creates an empty record for `cycle`.
+    pub fn new(cycle: u64) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            events: Vec::new(),
+        }
+    }
+
+    /// True if nothing was observed this cycle.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over retire events only.
+    pub fn retires(&self) -> impl Iterator<Item = &RetireEvent> {
+        self.events.iter().filter_map(|e| match e {
+            SocEvent::Retire(r) => Some(r),
+            _ => None,
+        })
+    }
+}

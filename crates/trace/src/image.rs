@@ -1,0 +1,95 @@
+//! The program image used by host-side reconstruction.
+//!
+//! Program-flow reconstruction needs the executed binary: the trace stream
+//! only says *how many* instructions ran and which way conditional branches
+//! went; the instructions themselves come from the image the debugger loaded
+//! (or read back from flash).
+
+use mcds_soc::asm::Program;
+use mcds_soc::isa::{DecodeInstrError, Instr};
+
+/// A read-only view of the loaded program binary.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramImage {
+    chunks: Vec<(u32, Vec<u8>)>,
+}
+
+impl ProgramImage {
+    /// Creates an empty image.
+    pub fn new() -> ProgramImage {
+        ProgramImage::default()
+    }
+
+    /// Builds an image from raw `(base, bytes)` chunks.
+    pub fn from_chunks(chunks: Vec<(u32, Vec<u8>)>) -> ProgramImage {
+        ProgramImage { chunks }
+    }
+
+    /// Adds a chunk (e.g. a patched region read back from the target).
+    /// Later chunks take precedence over earlier ones on overlap.
+    pub fn add_chunk(&mut self, base: u32, bytes: Vec<u8>) {
+        self.chunks.push((base, bytes));
+    }
+
+    /// Reads the little-endian word at `addr`, if covered.
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        for (base, bytes) in self.chunks.iter().rev() {
+            if addr >= *base {
+                let off = (addr - base) as usize;
+                if off + 4 <= bytes.len() {
+                    return Some(u32::from_le_bytes([
+                        bytes[off],
+                        bytes[off + 1],
+                        bytes[off + 2],
+                        bytes[off + 3],
+                    ]));
+                }
+            }
+        }
+        None
+    }
+
+    /// Decodes the instruction at `addr`.
+    ///
+    /// Returns `None` if the address is not covered, `Some(Err(_))` if the
+    /// word does not decode.
+    pub fn instr_at(&self, addr: u32) -> Option<Result<Instr, DecodeInstrError>> {
+        self.word_at(addr).map(Instr::decode)
+    }
+
+    /// Total bytes covered.
+    pub fn byte_len(&self) -> usize {
+        self.chunks.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+impl From<&Program> for ProgramImage {
+    fn from(p: &Program) -> ProgramImage {
+        ProgramImage {
+            chunks: p.chunks.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::asm::assemble;
+
+    #[test]
+    fn image_from_program_decodes_instructions() {
+        let p = assemble(".org 0x100\nnop\nhalt").unwrap();
+        let img = ProgramImage::from(&p);
+        assert_eq!(img.instr_at(0x100).unwrap().unwrap(), Instr::Nop);
+        assert_eq!(img.instr_at(0x104).unwrap().unwrap(), Instr::Halt);
+        assert!(img.instr_at(0x200).is_none());
+    }
+
+    #[test]
+    fn later_chunks_override_earlier() {
+        let mut img = ProgramImage::new();
+        img.add_chunk(0x100, Instr::Nop.encode().to_le_bytes().to_vec());
+        img.add_chunk(0x100, Instr::Halt.encode().to_le_bytes().to_vec());
+        assert_eq!(img.instr_at(0x100).unwrap().unwrap(), Instr::Halt);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # mcds-trace — trace messages, wire codec and reconstruction
+//!
+//! The Nexus-class trace layer of the MCDS reproduction (Mayer et al.,
+//! DATE 2005): message definitions ([`message`]), the compressed byte-stream
+//! format stored in the PSI trace memory ([`wire`]), the program-image view
+//! ([`image`]) and host-side program/data flow reconstruction
+//! ([`reconstruct`]).
+//!
+//! ## Example: encode, decode, reconstruct
+//!
+//! ```
+//! use mcds_trace::message::{TimedMessage, TraceMessage, TraceSource};
+//! use mcds_trace::wire::{encode_all, StreamDecoder};
+//! use mcds_trace::image::ProgramImage;
+//! use mcds_trace::reconstruct::reconstruct_flow;
+//! use mcds_soc::asm::assemble;
+//! use mcds_soc::event::CoreId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(".org 0x1000\nnop\nnop\nhalt")?;
+//! let image = ProgramImage::from(&program);
+//! let msgs = vec![
+//!     TimedMessage {
+//!         timestamp: 10,
+//!         source: TraceSource::Core(CoreId(0)),
+//!         message: TraceMessage::ProgSync { pc: 0x1000 },
+//!     },
+//!     TimedMessage {
+//!         timestamp: 14,
+//!         source: TraceSource::Core(CoreId(0)),
+//!         message: TraceMessage::FlowFlush { i_cnt: 2, history: Default::default() },
+//!     },
+//! ];
+//! let bytes = encode_all(&msgs);
+//! let decoded = StreamDecoder::new(bytes).collect_all()?;
+//! let flow = reconstruct_flow(&image, &decoded)?;
+//! assert_eq!(flow.iter().map(|e| e.pc).collect::<Vec<_>>(), vec![0x1000, 0x1004]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod image;
+pub mod message;
+pub mod reconstruct;
+pub mod wire;
+
+pub use image::ProgramImage;
+pub use message::{BranchBits, TimedMessage, TraceMessage, TraceSource};
+pub use reconstruct::{
+    collect_data_log, reconstruct_flow, DataRecord, ExecutedInstr, FlowReconstructor,
+    ReconstructError,
+};
+pub use wire::{decode_wrapped, encode_all, DecodeStreamError, StreamDecoder, StreamEncoder};

@@ -1,0 +1,309 @@
+//! Trace message model.
+//!
+//! The MCDS emits Nexus-class messages: program-flow messages that let the
+//! host reconstruct every executed instruction from the program image plus a
+//! compressed event stream, data messages for load/store visibility, and
+//! housekeeping messages (watchpoints, overflow). Every message carries a
+//! cycle timestamp — Section 4: *"Scalable time stamping … ensures that all
+//! messages are stored in correct temporal order. The time stamping allows a
+//! time resolution down to cycle level."*
+
+use mcds_soc::event::CoreId;
+use mcds_soc::isa::MemWidth;
+use std::fmt;
+
+/// Where a trace message originated.
+#[derive(
+    serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+)]
+pub enum TraceSource {
+    /// A processor core's adaptation logic.
+    Core(CoreId),
+    /// The multi-master bus tap.
+    Bus,
+}
+
+impl TraceSource {
+    /// Packs the source into a 4-bit code (cores 0–14, bus = 15).
+    pub fn code(self) -> u8 {
+        match self {
+            TraceSource::Core(c) => {
+                debug_assert!(c.0 < 15, "core id fits 4-bit source code");
+                c.0
+            }
+            TraceSource::Bus => 15,
+        }
+    }
+
+    /// Unpacks a 4-bit source code.
+    pub fn from_code(code: u8) -> TraceSource {
+        if code == 15 {
+            TraceSource::Bus
+        } else {
+            TraceSource::Core(CoreId(code))
+        }
+    }
+}
+
+impl fmt::Display for TraceSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceSource::Core(c) => write!(f, "{c}"),
+            TraceSource::Bus => write!(f, "bus"),
+        }
+    }
+}
+
+/// A branch-history word: up to 32 conditional-branch outcomes, oldest in
+/// bit 0.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BranchBits {
+    /// Outcome bits (1 = taken), oldest at bit 0.
+    pub bits: u32,
+    /// Number of valid bits (0–32).
+    pub count: u8,
+}
+
+impl BranchBits {
+    /// An empty history.
+    pub fn new() -> BranchBits {
+        BranchBits::default()
+    }
+
+    /// Appends an outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is already full (32 bits).
+    pub fn push(&mut self, taken: bool) {
+        assert!(self.count < 32, "branch history full");
+        if taken {
+            self.bits |= 1 << self.count;
+        }
+        self.count += 1;
+    }
+
+    /// True when 32 outcomes are stored.
+    pub fn is_full(&self) -> bool {
+        self.count == 32
+    }
+
+    /// True when no outcomes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Outcome of the `i`-th (oldest-first) recorded branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count`.
+    pub fn get(&self, i: u8) -> bool {
+        assert!(i < self.count);
+        self.bits & (1 << i) != 0
+    }
+}
+
+/// A trace message payload.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMessage {
+    /// Full program-counter synchronisation: the next counted instruction
+    /// executes at `pc`. Emitted at trace start, after overflow, and
+    /// periodically.
+    ProgSync {
+        /// Address of the next instruction.
+        pc: u32,
+    },
+    /// `i_cnt` instructions retired since the last program message; the last
+    /// one is a *taken* conditional branch (per-branch message mode).
+    DirectBranch {
+        /// Instructions since the last program message (≥ 1).
+        i_cnt: u32,
+    },
+    /// `i_cnt` instructions retired; the last is an indirect branch landing
+    /// at `target`. Carries any pending conditional-branch history.
+    IndirectBranch {
+        /// Instructions since the last program message (≥ 1).
+        i_cnt: u32,
+        /// Branch-history bits for conditional branches inside the run.
+        history: BranchBits,
+        /// The indirect branch target (absolute; compressed on the wire).
+        target: u32,
+    },
+    /// `i_cnt` instructions retired; conditional-branch outcomes inside the
+    /// run are in `history` (branch-history compression mode).
+    BranchHistory {
+        /// Instructions since the last program message (≥ 1).
+        i_cnt: u32,
+        /// Outcomes, oldest first.
+        history: BranchBits,
+    },
+    /// `i_cnt` trailing instructions with outcomes in `history`, ending at
+    /// an arbitrary (non-branch) instruction. Emitted when trace is stopped
+    /// or qualification closes a window.
+    FlowFlush {
+        /// Instructions since the last program message (may be 0 if only
+        /// history bits are pending).
+        i_cnt: u32,
+        /// Outcomes, oldest first.
+        history: BranchBits,
+    },
+    /// A data store became visible.
+    DataWrite {
+        /// Byte address (compressed on the wire).
+        addr: u32,
+        /// Stored value.
+        value: u32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// A data load became visible.
+    DataRead {
+        /// Byte address (compressed on the wire).
+        addr: u32,
+        /// Loaded value.
+        value: u32,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// A trigger/watchpoint fired.
+    Watchpoint {
+        /// Watchpoint (trigger line) id.
+        id: u8,
+    },
+    /// The source FIFO overflowed and `lost` messages were dropped. Program
+    /// flow is unreliable until the next [`TraceMessage::ProgSync`].
+    Overflow {
+        /// Number of messages dropped.
+        lost: u32,
+    },
+}
+
+impl TraceMessage {
+    /// The 4-bit wire type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            TraceMessage::ProgSync { .. } => 0,
+            TraceMessage::DirectBranch { .. } => 1,
+            TraceMessage::IndirectBranch { .. } => 2,
+            TraceMessage::BranchHistory { .. } => 3,
+            TraceMessage::FlowFlush { .. } => 4,
+            TraceMessage::DataWrite { .. } => 5,
+            TraceMessage::DataRead { .. } => 6,
+            TraceMessage::Watchpoint { .. } => 7,
+            TraceMessage::Overflow { .. } => 8,
+        }
+    }
+
+    /// True for program-flow messages (those that advance reconstruction).
+    pub fn is_program(&self) -> bool {
+        matches!(
+            self,
+            TraceMessage::ProgSync { .. }
+                | TraceMessage::DirectBranch { .. }
+                | TraceMessage::IndirectBranch { .. }
+                | TraceMessage::BranchHistory { .. }
+                | TraceMessage::FlowFlush { .. }
+        )
+    }
+
+    /// True for data-trace messages.
+    pub fn is_data(&self) -> bool {
+        matches!(
+            self,
+            TraceMessage::DataWrite { .. } | TraceMessage::DataRead { .. }
+        )
+    }
+}
+
+/// A trace message with its origin and cycle timestamp.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedMessage {
+    /// SoC cycle the event occurred on.
+    pub timestamp: u64,
+    /// Originating source.
+    pub source: TraceSource,
+    /// Payload.
+    pub message: TraceMessage,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_code_roundtrip() {
+        for i in 0..15 {
+            let s = TraceSource::Core(CoreId(i));
+            assert_eq!(TraceSource::from_code(s.code()), s);
+        }
+        assert_eq!(
+            TraceSource::from_code(TraceSource::Bus.code()),
+            TraceSource::Bus
+        );
+    }
+
+    #[test]
+    fn branch_bits_push_and_get() {
+        let mut b = BranchBits::new();
+        assert!(b.is_empty());
+        b.push(true);
+        b.push(false);
+        b.push(true);
+        assert_eq!(b.count, 3);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(2));
+        assert!(!b.is_full());
+        for _ in 3..32 {
+            b.push(false);
+        }
+        assert!(b.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "branch history full")]
+    fn branch_bits_overflow_panics() {
+        let mut b = BranchBits::new();
+        for _ in 0..33 {
+            b.push(true);
+        }
+    }
+
+    #[test]
+    fn type_codes_are_distinct() {
+        let msgs = [
+            TraceMessage::ProgSync { pc: 0 },
+            TraceMessage::DirectBranch { i_cnt: 1 },
+            TraceMessage::IndirectBranch {
+                i_cnt: 1,
+                history: BranchBits::new(),
+                target: 0,
+            },
+            TraceMessage::BranchHistory {
+                i_cnt: 1,
+                history: BranchBits::new(),
+            },
+            TraceMessage::FlowFlush {
+                i_cnt: 0,
+                history: BranchBits::new(),
+            },
+            TraceMessage::DataWrite {
+                addr: 0,
+                value: 0,
+                width: MemWidth::Word,
+            },
+            TraceMessage::DataRead {
+                addr: 0,
+                value: 0,
+                width: MemWidth::Word,
+            },
+            TraceMessage::Watchpoint { id: 0 },
+            TraceMessage::Overflow { lost: 0 },
+        ];
+        let mut codes: Vec<u8> = msgs.iter().map(|m| m.type_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), msgs.len());
+    }
+}

@@ -1,0 +1,582 @@
+//! Host-side reconstruction of program and data flow from trace messages.
+//!
+//! Given the program image and the (sorted, timestamped) message stream, the
+//! reconstructor replays exactly which instruction every core executed —
+//! what the paper's developers see in their trace tool. The data log is a
+//! direct mapping of data messages.
+//!
+//! Reconstruction rules per message:
+//!
+//! * `ProgSync { pc }` — the core's flow is (re-)anchored at `pc`.
+//! * `DirectBranch { i_cnt }` — `i_cnt` instructions ran; the last is a
+//!   conditional branch that was **taken**; conditional branches inside the
+//!   run fell through (per-branch message mode).
+//! * `BranchHistory { i_cnt, history }` — `i_cnt` instructions ran;
+//!   conditional branches consumed outcome bits oldest-first.
+//! * `IndirectBranch { i_cnt, history, target }` — as above, but the last
+//!   instruction is an indirect jump landing at `target`.
+//! * `FlowFlush { i_cnt, history }` — trailing instructions at a window
+//!   close; the last instruction is not a control transfer.
+//! * `Overflow` — flow is unreliable; program messages are skipped (and
+//!   counted) until the next `ProgSync`.
+//!
+//! Unconditional direct jumps (`jal`) cost no trace bandwidth: the walker
+//! follows them from the image.
+
+use crate::image::ProgramImage;
+use crate::message::{BranchBits, TimedMessage, TraceMessage, TraceSource};
+use mcds_soc::event::CoreId;
+use mcds_soc::isa::{Instr, MemWidth};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One reconstructed executed instruction.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutedInstr {
+    /// The executing core.
+    pub core: CoreId,
+    /// The instruction's address.
+    pub pc: u32,
+}
+
+/// One entry of the reconstructed data log.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataRecord {
+    /// Cycle timestamp of the access.
+    pub timestamp: u64,
+    /// Originating source.
+    pub source: TraceSource,
+    /// Byte address.
+    pub addr: u32,
+    /// Data value.
+    pub value: u32,
+    /// Access width.
+    pub width: MemWidth,
+    /// True for writes.
+    pub is_write: bool,
+}
+
+/// Error produced during flow reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// The image does not cover an address the flow reached.
+    MissingImage {
+        /// The uncovered address.
+        pc: u32,
+    },
+    /// A word in the image failed to decode.
+    BadInstr {
+        /// The address of the bad word.
+        pc: u32,
+    },
+    /// A `DirectBranch` run did not end on a conditional branch.
+    NotABranch {
+        /// Address of the terminal instruction.
+        pc: u32,
+    },
+    /// An `IndirectBranch` run did not end on an indirect jump.
+    NotIndirect {
+        /// Address of the terminal instruction.
+        pc: u32,
+    },
+    /// A conditional branch had no outcome available (exhausted history in
+    /// a history-mode run).
+    HistoryExhausted {
+        /// Address of the branch.
+        pc: u32,
+    },
+    /// The flow ran into an instruction that never retires (`BRK`/`HALT`)
+    /// mid-run — image and trace disagree.
+    FlowDiverged {
+        /// Address of the impossible instruction.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ReconstructError::MissingImage { pc } => {
+                write!(f, "program image does not cover {pc:#010x}")
+            }
+            ReconstructError::BadInstr { pc } => write!(f, "undecodable word at {pc:#010x}"),
+            ReconstructError::NotABranch { pc } => {
+                write!(f, "direct-branch message ends at non-branch {pc:#010x}")
+            }
+            ReconstructError::NotIndirect { pc } => {
+                write!(f, "indirect-branch message ends at non-indirect {pc:#010x}")
+            }
+            ReconstructError::HistoryExhausted { pc } => {
+                write!(f, "no branch outcome available at {pc:#010x}")
+            }
+            ReconstructError::FlowDiverged { pc } => {
+                write!(f, "flow reached non-retiring instruction at {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+#[derive(Debug, Default)]
+struct CoreFlow {
+    pc: Option<u32>,
+}
+
+enum Terminal {
+    TakenDirect,
+    Indirect(u32),
+    None,
+}
+
+/// Reconstructs per-core program flow from a message stream.
+#[derive(Debug)]
+pub struct FlowReconstructor<'a> {
+    image: &'a ProgramImage,
+    flows: HashMap<CoreId, CoreFlow>,
+    skipped_unsynced: u64,
+}
+
+impl<'a> FlowReconstructor<'a> {
+    /// Creates a reconstructor over `image`.
+    pub fn new(image: &'a ProgramImage) -> FlowReconstructor<'a> {
+        FlowReconstructor {
+            image,
+            flows: HashMap::new(),
+            skipped_unsynced: 0,
+        }
+    }
+
+    /// Number of program messages skipped because the flow was unsynced
+    /// (e.g. after an overflow, before the next sync).
+    pub fn skipped_unsynced(&self) -> u64 {
+        self.skipped_unsynced
+    }
+
+    /// The current anchored PC of `core`, if synced.
+    pub fn current_pc(&self, core: CoreId) -> Option<u32> {
+        self.flows.get(&core).and_then(|f| f.pc)
+    }
+
+    /// Feeds one message; returns the instructions it proves were executed.
+    ///
+    /// Data and watchpoint messages return an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReconstructError`] if the trace contradicts the image.
+    pub fn feed(&mut self, m: &TimedMessage) -> Result<Vec<ExecutedInstr>, ReconstructError> {
+        let TraceSource::Core(core) = m.source else {
+            return Ok(Vec::new());
+        };
+        let flow = self.flows.entry(core).or_default();
+        match m.message {
+            TraceMessage::ProgSync { pc } => {
+                flow.pc = Some(pc);
+                Ok(Vec::new())
+            }
+            TraceMessage::Overflow { .. } => {
+                flow.pc = None;
+                Ok(Vec::new())
+            }
+            TraceMessage::DirectBranch { i_cnt } => {
+                self.advance(core, i_cnt, BranchBits::new(), Terminal::TakenDirect)
+            }
+            TraceMessage::IndirectBranch {
+                i_cnt,
+                history,
+                target,
+            } => self.advance(core, i_cnt, history, Terminal::Indirect(target)),
+            TraceMessage::BranchHistory { i_cnt, history }
+            | TraceMessage::FlowFlush { i_cnt, history } => {
+                self.advance(core, i_cnt, history, Terminal::None)
+            }
+            TraceMessage::DataWrite { .. }
+            | TraceMessage::DataRead { .. }
+            | TraceMessage::Watchpoint { .. } => Ok(Vec::new()),
+        }
+    }
+
+    fn advance(
+        &mut self,
+        core: CoreId,
+        i_cnt: u32,
+        history: BranchBits,
+        terminal: Terminal,
+    ) -> Result<Vec<ExecutedInstr>, ReconstructError> {
+        let flow = self.flows.entry(core).or_default();
+        let Some(mut pc) = flow.pc else {
+            self.skipped_unsynced += 1;
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::with_capacity(i_cnt as usize);
+        let mut bit = 0u8;
+        for k in 0..i_cnt {
+            let instr = match self.image.instr_at(pc) {
+                None => return Err(ReconstructError::MissingImage { pc }),
+                Some(Err(_)) => return Err(ReconstructError::BadInstr { pc }),
+                Some(Ok(i)) => i,
+            };
+            out.push(ExecutedInstr { core, pc });
+            let last = k + 1 == i_cnt;
+            pc = match instr {
+                Instr::Branch { imm, .. } => {
+                    let taken = if last && matches!(terminal, Terminal::TakenDirect) {
+                        true
+                    } else if bit < history.count {
+                        let t = history.get(bit);
+                        bit += 1;
+                        t
+                    } else if matches!(terminal, Terminal::TakenDirect | Terminal::None) || !last {
+                        // Per-branch message mode: untagged conditionals
+                        // fell through.
+                        false
+                    } else {
+                        return Err(ReconstructError::HistoryExhausted { pc });
+                    };
+                    if taken {
+                        pc.wrapping_add((imm as i32 as u32).wrapping_mul(4))
+                    } else {
+                        pc.wrapping_add(4)
+                    }
+                }
+                Instr::Jal { imm, .. } => pc.wrapping_add((imm as u32).wrapping_mul(4)),
+                Instr::Jalr { .. } | Instr::Eret => {
+                    if last {
+                        match terminal {
+                            Terminal::Indirect(target) => target,
+                            _ => return Err(ReconstructError::NotIndirect { pc }),
+                        }
+                    } else {
+                        // An indirect jump inside a counted run is
+                        // impossible: the observer always closes the run at
+                        // an indirect branch.
+                        return Err(ReconstructError::FlowDiverged { pc });
+                    }
+                }
+                Instr::Brk | Instr::Halt => return Err(ReconstructError::FlowDiverged { pc }),
+                _ => pc.wrapping_add(4),
+            };
+            if last {
+                match terminal {
+                    Terminal::TakenDirect => {
+                        if !matches!(instr, Instr::Branch { .. }) {
+                            return Err(ReconstructError::NotABranch {
+                                pc: out[out.len() - 1].pc,
+                            });
+                        }
+                    }
+                    Terminal::Indirect(_) => {
+                        if !matches!(instr, Instr::Jalr { .. } | Instr::Eret) {
+                            return Err(ReconstructError::NotIndirect {
+                                pc: out[out.len() - 1].pc,
+                            });
+                        }
+                    }
+                    Terminal::None => {}
+                }
+            }
+        }
+        self.flows.get_mut(&core).expect("flow exists").pc = Some(pc);
+        Ok(out)
+    }
+}
+
+/// Reconstructs the full per-core flow for a whole message stream.
+///
+/// # Errors
+///
+/// Returns the first [`ReconstructError`] encountered.
+pub fn reconstruct_flow(
+    image: &ProgramImage,
+    messages: &[TimedMessage],
+) -> Result<Vec<ExecutedInstr>, ReconstructError> {
+    let mut r = FlowReconstructor::new(image);
+    let mut out = Vec::new();
+    for m in messages {
+        out.extend(r.feed(m)?);
+    }
+    Ok(out)
+}
+
+/// Extracts the data log from a message stream.
+pub fn collect_data_log(messages: &[TimedMessage]) -> Vec<DataRecord> {
+    messages
+        .iter()
+        .filter_map(|m| match m.message {
+            TraceMessage::DataWrite { addr, value, width } => Some(DataRecord {
+                timestamp: m.timestamp,
+                source: m.source,
+                addr,
+                value,
+                width,
+                is_write: true,
+            }),
+            TraceMessage::DataRead { addr, value, width } => Some(DataRecord {
+                timestamp: m.timestamp,
+                source: m.source,
+                addr,
+                value,
+                width,
+                is_write: false,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::asm::assemble;
+
+    fn msg(core: u8, message: TraceMessage) -> TimedMessage {
+        TimedMessage {
+            timestamp: 0,
+            source: TraceSource::Core(CoreId(core)),
+            message,
+        }
+    }
+
+    /// A loop: 3 iterations of (addi, bne-taken), then bne falls through,
+    /// then halt.
+    fn loop_image() -> ProgramImage {
+        let p = assemble(
+            "
+            .org 0x1000
+            start:
+                li r1, 3
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                halt
+            ",
+        )
+        .unwrap();
+        ProgramImage::from(&p)
+    }
+
+    #[test]
+    fn direct_branch_mode_reconstructs_loop() {
+        let img = loop_image();
+        let mut r = FlowReconstructor::new(&img);
+        // sync at start; li retires, then addi+bne (taken) twice, then
+        // addi+bne (not taken) + trailing flush.
+        assert!(r
+            .feed(&msg(0, TraceMessage::ProgSync { pc: 0x1000 }))
+            .unwrap()
+            .is_empty());
+        let a = r
+            .feed(&msg(0, TraceMessage::DirectBranch { i_cnt: 3 }))
+            .unwrap();
+        assert_eq!(
+            a.iter().map(|e| e.pc).collect::<Vec<_>>(),
+            vec![0x1000, 0x1004, 0x1008],
+            "li, addi, bne-taken"
+        );
+        let b = r
+            .feed(&msg(0, TraceMessage::DirectBranch { i_cnt: 2 }))
+            .unwrap();
+        assert_eq!(
+            b.iter().map(|e| e.pc).collect::<Vec<_>>(),
+            vec![0x1004, 0x1008]
+        );
+        // Final iteration: bne falls through; flush covers addi+bne.
+        let c = r
+            .feed(&msg(
+                0,
+                TraceMessage::FlowFlush {
+                    i_cnt: 2,
+                    history: BranchBits::new(),
+                },
+            ))
+            .unwrap();
+        assert_eq!(
+            c.iter().map(|e| e.pc).collect::<Vec<_>>(),
+            vec![0x1004, 0x1008]
+        );
+        assert_eq!(r.current_pc(CoreId(0)), Some(0x100C), "lands on halt");
+    }
+
+    #[test]
+    fn history_mode_reconstructs_loop() {
+        let img = loop_image();
+        let mut r = FlowReconstructor::new(&img);
+        r.feed(&msg(0, TraceMessage::ProgSync { pc: 0x1000 }))
+            .unwrap();
+        let mut h = BranchBits::new();
+        h.push(true);
+        h.push(true);
+        h.push(false);
+        // One message covers li + 3×(addi,bne).
+        let a = r
+            .feed(&msg(
+                0,
+                TraceMessage::BranchHistory {
+                    i_cnt: 7,
+                    history: h,
+                },
+            ))
+            .unwrap();
+        assert_eq!(
+            a.iter().map(|e| e.pc).collect::<Vec<_>>(),
+            vec![0x1000, 0x1004, 0x1008, 0x1004, 0x1008, 0x1004, 0x1008]
+        );
+        assert_eq!(r.current_pc(CoreId(0)), Some(0x100C));
+    }
+
+    #[test]
+    fn jal_is_followed_without_messages() {
+        let p = assemble(
+            "
+            .org 0x2000
+            main:
+                nop
+                j over
+                nop            ; skipped
+            over:
+                nop
+                halt
+            ",
+        )
+        .unwrap();
+        let img = ProgramImage::from(&p);
+        let mut r = FlowReconstructor::new(&img);
+        r.feed(&msg(0, TraceMessage::ProgSync { pc: 0x2000 }))
+            .unwrap();
+        let a = r
+            .feed(&msg(
+                0,
+                TraceMessage::FlowFlush {
+                    i_cnt: 3,
+                    history: BranchBits::new(),
+                },
+            ))
+            .unwrap();
+        assert_eq!(
+            a.iter().map(|e| e.pc).collect::<Vec<_>>(),
+            vec![0x2000, 0x2004, 0x200C]
+        );
+    }
+
+    #[test]
+    fn indirect_branch_needs_target_message() {
+        let p = assemble(
+            "
+            .org 0x3000
+            main:
+                jalr r0, 0(r1)
+            elsewhere:
+                nop
+            ",
+        )
+        .unwrap();
+        let img = ProgramImage::from(&p);
+        let mut r = FlowReconstructor::new(&img);
+        r.feed(&msg(0, TraceMessage::ProgSync { pc: 0x3000 }))
+            .unwrap();
+        let a = r
+            .feed(&msg(
+                0,
+                TraceMessage::IndirectBranch {
+                    i_cnt: 1,
+                    history: BranchBits::new(),
+                    target: 0x3004,
+                },
+            ))
+            .unwrap();
+        assert_eq!(a[0].pc, 0x3000);
+        assert_eq!(r.current_pc(CoreId(0)), Some(0x3004));
+    }
+
+    #[test]
+    fn overflow_desyncs_until_next_sync() {
+        let img = loop_image();
+        let mut r = FlowReconstructor::new(&img);
+        r.feed(&msg(0, TraceMessage::ProgSync { pc: 0x1000 }))
+            .unwrap();
+        r.feed(&msg(0, TraceMessage::Overflow { lost: 5 })).unwrap();
+        let skipped = r
+            .feed(&msg(0, TraceMessage::DirectBranch { i_cnt: 3 }))
+            .unwrap();
+        assert!(skipped.is_empty());
+        assert_eq!(r.skipped_unsynced(), 1);
+        r.feed(&msg(0, TraceMessage::ProgSync { pc: 0x1004 }))
+            .unwrap();
+        let a = r
+            .feed(&msg(0, TraceMessage::DirectBranch { i_cnt: 2 }))
+            .unwrap();
+        assert_eq!(a.len(), 2, "resynced");
+    }
+
+    #[test]
+    fn trace_image_mismatch_is_detected() {
+        let img = loop_image();
+        let mut r = FlowReconstructor::new(&img);
+        r.feed(&msg(0, TraceMessage::ProgSync { pc: 0x1000 }))
+            .unwrap();
+        // Claim a taken direct branch after 1 instruction, but 0x1000 is li.
+        let e = r
+            .feed(&msg(0, TraceMessage::DirectBranch { i_cnt: 1 }))
+            .unwrap_err();
+        assert_eq!(e, ReconstructError::NotABranch { pc: 0x1000 });
+
+        let mut r = FlowReconstructor::new(&img);
+        r.feed(&msg(0, TraceMessage::ProgSync { pc: 0xFFFF_0000 }))
+            .unwrap();
+        let e = r
+            .feed(&msg(0, TraceMessage::DirectBranch { i_cnt: 1 }))
+            .unwrap_err();
+        assert_eq!(e, ReconstructError::MissingImage { pc: 0xFFFF_0000 });
+    }
+
+    #[test]
+    fn per_core_flows_are_independent() {
+        let img = loop_image();
+        let mut r = FlowReconstructor::new(&img);
+        r.feed(&msg(0, TraceMessage::ProgSync { pc: 0x1000 }))
+            .unwrap();
+        r.feed(&msg(1, TraceMessage::ProgSync { pc: 0x1004 }))
+            .unwrap();
+        let a = r
+            .feed(&msg(0, TraceMessage::DirectBranch { i_cnt: 3 }))
+            .unwrap();
+        let b = r
+            .feed(&msg(1, TraceMessage::DirectBranch { i_cnt: 2 }))
+            .unwrap();
+        assert_eq!(a[0].pc, 0x1000);
+        assert_eq!(b[0].pc, 0x1004);
+        assert_eq!(a[0].core, CoreId(0));
+        assert_eq!(b[0].core, CoreId(1));
+    }
+
+    #[test]
+    fn data_log_collects_reads_and_writes() {
+        let msgs = vec![
+            TimedMessage {
+                timestamp: 5,
+                source: TraceSource::Core(CoreId(0)),
+                message: TraceMessage::DataWrite {
+                    addr: 0x10,
+                    value: 1,
+                    width: MemWidth::Word,
+                },
+            },
+            TimedMessage {
+                timestamp: 9,
+                source: TraceSource::Bus,
+                message: TraceMessage::DataRead {
+                    addr: 0x14,
+                    value: 2,
+                    width: MemWidth::Byte,
+                },
+            },
+            msg(0, TraceMessage::ProgSync { pc: 0 }),
+        ];
+        let log = collect_data_log(&msgs);
+        assert_eq!(log.len(), 2);
+        assert!(log[0].is_write);
+        assert_eq!(log[1].source, TraceSource::Bus);
+        assert_eq!(log[1].timestamp, 9);
+    }
+}

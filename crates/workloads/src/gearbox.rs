@@ -1,0 +1,217 @@
+//! The gearbox (shift-controller) workload for the second core.
+//!
+//! The paper's motivating application pair: an automatic-gearbox controller
+//! sharing the SoC with the engine controller. It reads vehicle speed and
+//! the engine core's torque request (a **shared variable** in SRAM — the
+//! kind of cross-core data flow Section 3 says is "critical to debugging
+//! such systems"), applies hysteresis shift thresholds, and publishes the
+//! selected gear.
+
+use mcds_soc::asm::{assemble, Program};
+
+/// Input port index carrying vehicle speed.
+pub const SPEED_PORT: usize = 2;
+
+/// Output port index receiving the selected gear (1–5).
+pub const GEAR_PORT: usize = 1;
+
+/// SRAM address of the published gear (shared variable).
+pub const GEAR_ADDR: u32 = 0xD000_0008;
+
+/// SRAM address of the engine core's torque request (read here).
+pub const TORQUE_REQ_ADDR: u32 = crate::engine::TORQUE_REQ_ADDR;
+
+/// Number of gears.
+pub const GEARS: u32 = 5;
+
+/// Upshift speed thresholds per gear (gear g upshifts above
+/// `UPSHIFT[g-1]`).
+pub const UPSHIFT: [u32; 4] = [20, 40, 65, 95];
+
+/// Downshift thresholds (gear g downshifts below `DOWNSHIFT[g-2]`).
+pub const DOWNSHIFT: [u32; 4] = [12, 30, 52, 80];
+
+/// Torque-request level above which upshifts are delayed.
+pub const TORQUE_DELAY_THRESHOLD: u32 = 120;
+
+/// The reference shift law: next gear from current gear, speed and torque
+/// request (high torque demand delays upshifts by 10 speed units).
+pub fn reference_next_gear(gear: u32, speed: u32, torque: u32) -> u32 {
+    let delay = if torque > TORQUE_DELAY_THRESHOLD {
+        10
+    } else {
+        0
+    };
+    if gear < GEARS && speed > UPSHIFT[(gear - 1) as usize] + delay {
+        gear + 1
+    } else if gear > 1 && speed < DOWNSHIFT[(gear - 2) as usize] {
+        gear - 1
+    } else {
+        gear
+    }
+}
+
+/// Runs the reference law for `iterations` with constant inputs, returning
+/// the settled gear.
+pub fn reference_settled_gear(speed: u32, torque: u32, iterations: u32) -> u32 {
+    let mut gear = 1;
+    for _ in 0..iterations {
+        gear = reference_next_gear(gear, speed, torque);
+    }
+    gear
+}
+
+/// Assembles the gearbox controller, placed at a separate flash region so
+/// it coexists with the engine program. `iterations = None` runs forever.
+///
+/// # Panics
+///
+/// Panics if the embedded assembly fails to assemble (a bug, covered by
+/// tests).
+pub fn program(iterations: Option<u32>) -> Program {
+    let loop_control = match iterations {
+        Some(n) => format!(
+            "
+                addi r9, r9, 1
+                li   r10, {n}
+                bltu r9, r10, gloop
+                halt
+            "
+        ),
+        None => "    j gloop\n".to_string(),
+    };
+    // Threshold tables are emitted as .word data next to the code.
+    let up: Vec<String> = UPSHIFT.iter().map(|v| format!(".word {v}")).collect();
+    let down: Vec<String> = DOWNSHIFT.iter().map(|v| format!(".word {v}")).collect();
+    let source = format!(
+        "
+        .equ IN_SPEED, 0xF0000208
+        .equ OUT_GEAR, 0xF0000104
+        .equ GEAR,     {GEAR_ADDR:#x}
+        .equ TORQUE,   {TORQUE_REQ_ADDR:#x}
+        .org 0x80010000
+        gearbox_start:
+            li r12, IN_SPEED
+            li r13, OUT_GEAR
+            li r14, GEAR
+            li r1, 1
+            sw r1, 0(r14)          ; gear = 1
+        gloop:
+            lw r1, 0(r14)          ; gear
+            lw r2, 0(r12)          ; speed
+            li r5, TORQUE
+            lw r3, 0(r5)           ; torque request (shared with engine core)
+            ; delay = torque > THRESHOLD ? 10 : 0
+            li r4, 0
+            li r5, {thr}
+            bgeu r5, r3, no_delay  ; if THRESHOLD >= torque, no delay
+            li r4, 10
+        no_delay:
+            ; upshift? gear < 5 && speed > UPSHIFT[gear-1] + delay
+            li r5, 5
+            bgeu r1, r5, try_down
+            addi r6, r1, -1
+            slli r6, r6, 2
+            li r7, upshift_table
+            add r6, r6, r7
+            lw r6, 0(r6)
+            add r6, r6, r4         ; threshold + delay
+            bgeu r6, r2, try_down  ; if threshold >= speed, no upshift
+            addi r1, r1, 1
+            j publish
+        try_down:
+            ; downshift? gear > 1 && speed < DOWNSHIFT[gear-2]
+            li r5, 1
+            bgeu r5, r1, publish   ; if 1 >= gear, no downshift
+            addi r6, r1, -2
+            slli r6, r6, 2
+            li r7, downshift_table
+            add r6, r6, r7
+            lw r6, 0(r6)
+            bgeu r2, r6, publish   ; if speed >= threshold, stay
+            addi r1, r1, -1
+        publish:
+            sw r1, 0(r14)          ; shared gear variable
+            sw r1, 0(r13)          ; gear indicator port
+{loop_control}
+        upshift_table:
+            {up}
+        downshift_table:
+            {down}
+        ",
+        up = up.join("\n            "),
+        down = down.join("\n            "),
+        thr = TORQUE_DELAY_THRESHOLD,
+    );
+    assemble(&source).expect("gearbox workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::cpu::CoreConfig;
+    use mcds_soc::event::CoreId;
+    use mcds_soc::soc::SocBuilder;
+
+    fn run(speed: u32, torque: u32, iterations: u32) -> u32 {
+        let mut soc = SocBuilder::new()
+            .core(CoreConfig {
+                reset_pc: 0x8001_0000,
+                clock_div: 1,
+                ..Default::default()
+            })
+            .build();
+        soc.load_program(&program(Some(iterations)));
+        soc.periph_mut().set_input(SPEED_PORT, speed);
+        soc.backdoor_write(TORQUE_REQ_ADDR, &torque.to_le_bytes());
+        soc.run_until_halt(500_000);
+        assert!(soc.core(CoreId(0)).is_halted());
+        soc.backdoor_read_word(GEAR_ADDR)
+    }
+
+    #[test]
+    fn settles_to_reference_gear_across_speeds() {
+        for speed in [5u32, 15, 25, 45, 70, 100, 150] {
+            let expected = reference_settled_gear(speed, 0, 10);
+            assert_eq!(run(speed, 0, 10), expected, "speed {speed}");
+        }
+    }
+
+    #[test]
+    fn high_torque_delays_upshift() {
+        // At speed 45 with low torque the box reaches gear 3; with high
+        // torque demand the gear-2→3 threshold moves from 40 to 50 and it
+        // stays in gear 2.
+        assert_eq!(run(45, 0, 10), 3);
+        assert_eq!(run(45, 300, 10), 2);
+        assert_eq!(reference_settled_gear(45, 300, 10), 2);
+    }
+
+    #[test]
+    fn hysteresis_prevents_oscillation() {
+        // Speed 35 is above the 1→2 upshift (20) but above the 2→1
+        // downshift (12): settles in gear 2 ... and above the 2→3 upshift
+        // (40)? No — 35 < 40, so gear 2 is stable.
+        assert_eq!(run(35, 0, 20), 2);
+        // Speed between downshift(30) and upshift(40) thresholds for gear
+        // 3: a box already in gear 3 stays there (tested via reference).
+        assert_eq!(reference_next_gear(3, 35, 0), 3);
+    }
+
+    #[test]
+    fn gear_is_published_to_port_and_sram() {
+        let mut soc = SocBuilder::new()
+            .core(CoreConfig {
+                reset_pc: 0x8001_0000,
+                clock_div: 1,
+                ..Default::default()
+            })
+            .build();
+        soc.load_program(&program(Some(10)));
+        soc.periph_mut().set_input(SPEED_PORT, 70);
+        soc.run_until_halt(500_000);
+        let gear = soc.backdoor_read_word(GEAR_ADDR);
+        assert_eq!(soc.periph().output(GEAR_PORT), gear);
+        assert_eq!(gear, reference_settled_gear(70, 0, 10));
+    }
+}

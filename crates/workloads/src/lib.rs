@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # mcds-workloads — powertrain application workloads
+//!
+//! The TC-RISC programs driving the experiments of the MCDS/PSI
+//! reproduction (Mayer et al., DATE 2005), matching the workloads the
+//! paper's introduction motivates:
+//!
+//! * [`engine`] — a fuel-injection controller with a flash-resident
+//!   calibration map (the live-tuning target of Section 7);
+//! * [`gearbox`] — a shift controller sharing variables with the engine
+//!   core (the multi-core coupling of Section 3);
+//! * [`race`] — an unsynchronised shared-counter bug plus its SWAP-locked
+//!   fix (the scenario MCDS data trace exists to catch);
+//! * [`stimulus`] — deterministic sensor profiles (ramps, drive cycles,
+//!   seeded random walks).
+//!
+//! Every workload ships a Rust reference model so experiments can check
+//! control outputs bit-exactly.
+
+pub mod engine;
+pub mod gearbox;
+pub mod race;
+pub mod stimulus;
+
+pub use engine::FuelMap;
+pub use stimulus::{Profile, Sample, StimulusPlayer};

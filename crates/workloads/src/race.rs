@@ -1,0 +1,151 @@
+//! The shared-variable race workload: the bug MCDS data trace is built to
+//! catch.
+//!
+//! Two unsynchronised cores increment one SRAM counter. The increment is a
+//! load–modify–store sequence, so updates are lost when the cores
+//! interleave — the classic bug Section 3 motivates: *"Debugging systems
+//! with concurrency is seldom straightforward … Observation of shared
+//! variable accesses is critical to debugging such systems."*
+//!
+//! [`program_buggy`] exhibits lost updates; [`program_locked`] guards the
+//! counter with a SWAP-based test-and-set spinlock and is correct. The
+//! `race_hunt` example and the F1/T5 experiments trace the buggy version
+//! and find the interleaving in the temporally ordered data trace.
+
+use mcds_soc::asm::{assemble, Program};
+
+/// SRAM address of the shared counter.
+pub const COUNTER_ADDR: u32 = 0xD000_0100;
+
+/// SRAM address of the spinlock guarding the counter (locked version).
+pub const LOCK_ADDR: u32 = 0xD000_0104;
+
+/// SRAM address of core 1's completion flag.
+pub const DONE_FLAG_ADDR: u32 = 0xD000_0108;
+
+/// Each core increments the counter this many times.
+pub const INCREMENTS_PER_CORE: u32 = 200;
+
+/// The correct final counter value for two cores.
+pub fn expected_total() -> u32 {
+    2 * INCREMENTS_PER_CORE
+}
+
+fn common(body: &str) -> Program {
+    // Both cores run the same image: core 0 takes one path, core 1 the
+    // other, selected by MFSR coreid. Core 1 sets the done flag; core 0
+    // waits for it, then halts. Core 1 halts directly.
+    let source = format!(
+        "
+        .equ COUNTER, {COUNTER_ADDR:#x}
+        .equ LOCK,    {LOCK_ADDR:#x}
+        .equ DONE,    {DONE_FLAG_ADDR:#x}
+        .org 0x80000000
+        start:
+            li  r12, COUNTER
+            li  r13, LOCK
+            li  r14, DONE
+            li  r1, {n}
+        work:
+{body}
+            addi r1, r1, -1
+            bne  r1, r0, work
+            mfsr r2, coreid
+            bne  r2, r0, secondary_done
+            ; core 0: wait for core 1 then halt
+        waitpeer:
+            lw  r3, 0(r14)
+            beq r3, r0, waitpeer
+            halt
+        secondary_done:
+            li  r3, 1
+            sw  r3, 0(r14)
+            halt
+        ",
+        n = INCREMENTS_PER_CORE,
+    );
+    assemble(&source).expect("race workload assembles")
+}
+
+/// The buggy version: unguarded load–add–store on the shared counter. With
+/// two cores the final value is (almost always) less than
+/// [`expected_total`].
+pub fn program_buggy() -> Program {
+    common(
+        "
+            lw   r4, 0(r12)
+            addi r4, r4, 1
+            sw   r4, 0(r12)
+        ",
+    )
+}
+
+/// The fixed version: the increment is guarded by a SWAP-based spinlock,
+/// so every update survives.
+pub fn program_locked() -> Program {
+    common(
+        "
+        acquire:
+            li   r5, 1
+            swap r5, r13, r5       ; old = xchg(lock, 1)
+            bne  r5, r0, acquire   ; spin while it was held
+            lw   r4, 0(r12)
+            addi r4, r4, 1
+            sw   r4, 0(r12)
+            sw   r0, 0(r13)        ; release
+        ",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::event::CoreId;
+    use mcds_soc::soc::SocBuilder;
+    use mcds_soc::Soc;
+
+    fn run_two_cores(program: &Program) -> (Soc, u32) {
+        let mut soc = SocBuilder::new().cores(2).build();
+        soc.load_program(program);
+        soc.run_until_halt(3_000_000);
+        assert!(
+            soc.cores().all(|c| c.is_halted()),
+            "both cores finish (core0 pc={:#x}, core1 pc={:#x})",
+            soc.core(CoreId(0)).pc(),
+            soc.core(CoreId(1)).pc()
+        );
+        let total = soc.backdoor_read_word(COUNTER_ADDR);
+        (soc, total)
+    }
+
+    #[test]
+    fn buggy_version_loses_updates() {
+        let (_, total) = run_two_cores(&program_buggy());
+        assert!(
+            total < expected_total(),
+            "lost updates expected: got {total} of {}",
+            expected_total()
+        );
+        assert!(
+            total >= INCREMENTS_PER_CORE,
+            "at least one core's worth survives"
+        );
+    }
+
+    #[test]
+    fn locked_version_is_exact() {
+        let (_, total) = run_two_cores(&program_locked());
+        assert_eq!(total, expected_total());
+    }
+
+    #[test]
+    fn single_core_buggy_version_is_exact() {
+        // The bug only manifests with concurrency.
+        let mut soc = SocBuilder::new().cores(1).build();
+        soc.load_program(&program_buggy());
+        // With one core the done-flag wait would hang; pre-set it.
+        soc.backdoor_write(DONE_FLAG_ADDR, &1u32.to_le_bytes());
+        soc.run_until_halt(2_000_000);
+        assert_eq!(soc.backdoor_read_word(COUNTER_ADDR), INCREMENTS_PER_CORE);
+    }
+}

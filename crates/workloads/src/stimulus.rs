@@ -1,0 +1,211 @@
+//! Sensor stimulus profiles: the test bench's side of the powertrain.
+//!
+//! Profiles produce `(cycle, port, value)` samples the experiment harness
+//! feeds into the SoC's input ports — RPM ramps, throttle steps, drive
+//! cycles and seeded random walks (deterministic across runs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled sensor update.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// SoC cycle at which to apply the value.
+    pub cycle: u64,
+    /// Input port index.
+    pub port: usize,
+    /// Value to set.
+    pub value: u32,
+}
+
+/// A time-ordered stimulus profile.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default)]
+pub struct Profile {
+    samples: Vec<Sample>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// The scheduled samples (cycle-ordered).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Merges another profile into this one, keeping cycle order.
+    pub fn merge(mut self, other: Profile) -> Profile {
+        self.samples.extend(other.samples);
+        self.samples.sort_by_key(|s| s.cycle);
+        self
+    }
+
+    /// A linear ramp on `port` from `from` to `to` over `duration` cycles
+    /// in `steps` steps, starting at `start`.
+    pub fn ramp(port: usize, from: u32, to: u32, start: u64, duration: u64, steps: u32) -> Profile {
+        assert!(steps > 0, "ramp needs at least one step");
+        let mut samples = Vec::with_capacity(steps as usize);
+        for i in 0..steps {
+            let frac_num = i as i64;
+            let value =
+                from as i64 + (to as i64 - from as i64) * frac_num / (steps.max(2) - 1) as i64;
+            samples.push(Sample {
+                cycle: start + duration * i as u64 / steps as u64,
+                port,
+                value: value.max(0) as u32,
+            });
+        }
+        Profile { samples }
+    }
+
+    /// A single step on `port` to `value` at `cycle`.
+    pub fn step(port: usize, value: u32, cycle: u64) -> Profile {
+        Profile {
+            samples: vec![Sample { cycle, port, value }],
+        }
+    }
+
+    /// A seeded random walk on `port`: `steps` updates every `period`
+    /// cycles, each moving by at most `max_delta`, clamped to
+    /// `[min, max]`. Deterministic for a given seed.
+    #[allow(clippy::too_many_arguments)] // a parameter struct would obscure the call sites
+    pub fn random_walk(
+        port: usize,
+        seed: u64,
+        start_value: u32,
+        min: u32,
+        max: u32,
+        max_delta: u32,
+        period: u64,
+        steps: u32,
+    ) -> Profile {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = start_value as i64;
+        let mut samples = Vec::with_capacity(steps as usize);
+        for i in 0..steps {
+            let delta = rng.gen_range(-(max_delta as i64)..=max_delta as i64);
+            v = (v + delta).clamp(min as i64, max as i64);
+            samples.push(Sample {
+                cycle: (i as u64 + 1) * period,
+                port,
+                value: v as u32,
+            });
+        }
+        Profile { samples }
+    }
+
+    /// A compact urban drive cycle: idle, accelerate, cruise, decelerate —
+    /// RPM on `rpm_port`, load on `load_port`, `total_cycles` long.
+    pub fn drive_cycle(rpm_port: usize, load_port: usize, total_cycles: u64) -> Profile {
+        let q = total_cycles / 4;
+        Profile::step(rpm_port, 800, 0)
+            .merge(Profile::step(load_port, 15, 0))
+            .merge(Profile::ramp(rpm_port, 800, 4500, q, q, 8))
+            .merge(Profile::ramp(load_port, 15, 180, q, q, 8))
+            .merge(Profile::step(rpm_port, 3000, 2 * q))
+            .merge(Profile::step(load_port, 90, 2 * q))
+            .merge(Profile::ramp(rpm_port, 3000, 900, 3 * q, q, 8))
+            .merge(Profile::ramp(load_port, 90, 10, 3 * q, q, 8))
+    }
+}
+
+/// Applies due samples to a peripheral block as simulation time passes.
+///
+/// Call [`StimulusPlayer::apply_due`] once per step (or per chunk) with the
+/// current cycle.
+#[derive(Debug)]
+pub struct StimulusPlayer {
+    profile: Profile,
+    next: usize,
+}
+
+impl StimulusPlayer {
+    /// Creates a player over `profile`.
+    pub fn new(profile: Profile) -> StimulusPlayer {
+        StimulusPlayer { profile, next: 0 }
+    }
+
+    /// Applies every sample scheduled at or before `now` via `set_input`.
+    /// Returns how many samples were applied.
+    pub fn apply_due(&mut self, now: u64, mut set_input: impl FnMut(usize, u32)) -> usize {
+        let mut applied = 0;
+        while let Some(s) = self.profile.samples.get(self.next) {
+            if s.cycle > now {
+                break;
+            }
+            set_input(s.port, s.value);
+            self.next += 1;
+            applied += 1;
+        }
+        applied
+    }
+
+    /// True when every sample has been applied.
+    pub fn is_finished(&self) -> bool {
+        self.next >= self.profile.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_is_monotonic_and_bounded() {
+        let p = Profile::ramp(0, 1000, 5000, 0, 10_000, 10);
+        assert_eq!(p.samples().len(), 10);
+        assert_eq!(p.samples()[0].value, 1000);
+        assert_eq!(p.samples().last().unwrap().value, 5000);
+        for w in p.samples().windows(2) {
+            assert!(w[0].value <= w[1].value);
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_clamped() {
+        let a = Profile::random_walk(1, 42, 100, 50, 150, 20, 1000, 50);
+        let b = Profile::random_walk(1, 42, 100, 50, 150, 20, 1000, 50);
+        assert_eq!(a.samples(), b.samples(), "same seed, same walk");
+        let c = Profile::random_walk(1, 43, 100, 50, 150, 20, 1000, 50);
+        assert_ne!(a.samples(), c.samples(), "different seed differs");
+        for s in a.samples() {
+            assert!((50..=150).contains(&s.value));
+        }
+    }
+
+    #[test]
+    fn merge_keeps_cycle_order() {
+        let p = Profile::step(0, 1, 500).merge(Profile::step(1, 2, 100));
+        assert_eq!(p.samples()[0].cycle, 100);
+        assert_eq!(p.samples()[1].cycle, 500);
+    }
+
+    #[test]
+    fn player_applies_in_order() {
+        let p = Profile::ramp(0, 0, 90, 0, 900, 10);
+        let mut player = StimulusPlayer::new(p);
+        let mut log = Vec::new();
+        for now in (0..1000).step_by(100) {
+            player.apply_due(now, |port, v| log.push((port, v)));
+        }
+        assert!(player.is_finished());
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.last().unwrap().1, 90);
+    }
+
+    #[test]
+    fn drive_cycle_covers_all_phases() {
+        let p = Profile::drive_cycle(0, 1, 400_000);
+        assert!(p.samples().len() > 20);
+        let max_rpm = p
+            .samples()
+            .iter()
+            .filter(|s| s.port == 0)
+            .map(|s| s.value)
+            .max();
+        assert_eq!(max_rpm, Some(4500));
+    }
+}

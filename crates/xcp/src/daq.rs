@@ -1,0 +1,404 @@
+//! DAQ (data acquisition) lists: the measurement half of XCP.
+//!
+//! A DAQ list is a set of ODTs (object descriptor tables), each listing
+//! memory elements to sample. Lists are bound to an event channel (a
+//! periodic tick in this model — e.g. a 1 ms raster) and sampled without
+//! stopping the application: the paper's requirement that mechanical
+//! systems get "unobtrusive access to internal memories" (Section 2).
+
+use crate::packet::ErrCode;
+
+/// Maximum DAQ lists a slave allocates.
+pub const MAX_DAQ_LISTS: u16 = 8;
+
+/// Maximum ODTs per DAQ list.
+pub const MAX_ODTS_PER_LIST: u8 = 8;
+
+/// Maximum entries per ODT.
+pub const MAX_ENTRIES_PER_ODT: u8 = 7;
+
+/// Total ODT entries across all lists (the slave's DAQ memory budget).
+pub const DAQ_MEMORY_BUDGET: usize = 128;
+
+/// Number of event channels.
+pub const EVENT_CHANNELS: usize = 4;
+
+/// One sampled memory element.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OdtEntry {
+    /// Element byte address.
+    pub addr: u32,
+    /// Element size in bytes (1, 2 or 4; 0 = unconfigured).
+    pub size: u8,
+}
+
+/// One object descriptor table.
+#[derive(Debug, Clone, Default)]
+pub struct Odt {
+    /// The sampled elements.
+    pub entries: Vec<OdtEntry>,
+}
+
+/// One DAQ list.
+#[derive(Debug, Clone, Default)]
+pub struct DaqList {
+    /// The list's ODTs.
+    pub odts: Vec<Odt>,
+    /// Bound event channel.
+    pub event: u8,
+    /// Sample every `prescaler` events (≥ 1).
+    pub prescaler: u8,
+    /// True while sampling.
+    pub running: bool,
+}
+
+/// The DAQ write pointer set by `SET_DAQ_PTR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaqPointer {
+    /// DAQ list index.
+    pub daq: u16,
+    /// ODT index.
+    pub odt: u8,
+    /// Entry index.
+    pub entry: u8,
+}
+
+/// The slave's DAQ resource pool.
+#[derive(Debug, Clone, Default)]
+pub struct DaqPool {
+    lists: Vec<DaqList>,
+    pointer: Option<DaqPointer>,
+}
+
+impl DaqPool {
+    /// An empty pool.
+    pub fn new() -> DaqPool {
+        DaqPool::default()
+    }
+
+    /// Releases everything (`FREE_DAQ`).
+    pub fn free(&mut self) {
+        self.lists.clear();
+        self.pointer = None;
+    }
+
+    /// Allocates `count` empty DAQ lists (`ALLOC_DAQ`).
+    ///
+    /// # Errors
+    ///
+    /// `OutOfRange` above [`MAX_DAQ_LISTS`]; `Sequence` if lists already
+    /// exist (must `FREE_DAQ` first).
+    pub fn alloc_daq(&mut self, count: u16) -> Result<(), ErrCode> {
+        if !self.lists.is_empty() {
+            return Err(ErrCode::Sequence);
+        }
+        if count == 0 || count > MAX_DAQ_LISTS {
+            return Err(ErrCode::OutOfRange);
+        }
+        self.lists = vec![
+            DaqList {
+                prescaler: 1,
+                ..Default::default()
+            };
+            count as usize
+        ];
+        Ok(())
+    }
+
+    /// Allocates `count` ODTs on list `daq` (`ALLOC_ODT`).
+    ///
+    /// # Errors
+    ///
+    /// `OutOfRange` for bad indices/counts, `Sequence` if the list already
+    /// has ODTs.
+    pub fn alloc_odt(&mut self, daq: u16, count: u8) -> Result<(), ErrCode> {
+        let list = self
+            .lists
+            .get_mut(daq as usize)
+            .ok_or(ErrCode::OutOfRange)?;
+        if !list.odts.is_empty() {
+            return Err(ErrCode::Sequence);
+        }
+        if count == 0 || count > MAX_ODTS_PER_LIST {
+            return Err(ErrCode::OutOfRange);
+        }
+        list.odts = vec![Odt::default(); count as usize];
+        Ok(())
+    }
+
+    /// Allocates `count` entries on `daq`/`odt` (`ALLOC_ODT_ENTRY`).
+    ///
+    /// # Errors
+    ///
+    /// `OutOfRange` for bad indices/counts, `Sequence` if entries exist,
+    /// `MemoryOverflow` past the pool budget.
+    pub fn alloc_odt_entry(&mut self, daq: u16, odt: u8, count: u8) -> Result<(), ErrCode> {
+        if count == 0 || count > MAX_ENTRIES_PER_ODT {
+            return Err(ErrCode::OutOfRange);
+        }
+        let total: usize = self
+            .lists
+            .iter()
+            .flat_map(|l| l.odts.iter())
+            .map(|o| o.entries.len())
+            .sum();
+        if total + count as usize > DAQ_MEMORY_BUDGET {
+            return Err(ErrCode::MemoryOverflow);
+        }
+        let list = self
+            .lists
+            .get_mut(daq as usize)
+            .ok_or(ErrCode::OutOfRange)?;
+        let odt = list.odts.get_mut(odt as usize).ok_or(ErrCode::OutOfRange)?;
+        if !odt.entries.is_empty() {
+            return Err(ErrCode::Sequence);
+        }
+        odt.entries = vec![OdtEntry::default(); count as usize];
+        Ok(())
+    }
+
+    /// Positions the write pointer (`SET_DAQ_PTR`).
+    ///
+    /// # Errors
+    ///
+    /// `OutOfRange` if the position does not exist.
+    pub fn set_pointer(&mut self, p: DaqPointer) -> Result<(), ErrCode> {
+        let list = self.lists.get(p.daq as usize).ok_or(ErrCode::OutOfRange)?;
+        let odt = list.odts.get(p.odt as usize).ok_or(ErrCode::OutOfRange)?;
+        if (p.entry as usize) >= odt.entries.len() {
+            return Err(ErrCode::OutOfRange);
+        }
+        self.pointer = Some(p);
+        Ok(())
+    }
+
+    /// Writes the entry at the pointer and auto-increments (`WRITE_DAQ`).
+    ///
+    /// # Errors
+    ///
+    /// `Sequence` with no pointer, `OutOfRange` for a bad element size.
+    pub fn write_entry(&mut self, size: u8, addr: u32) -> Result<(), ErrCode> {
+        if !matches!(size, 1 | 2 | 4) {
+            return Err(ErrCode::OutOfRange);
+        }
+        let p = self.pointer.ok_or(ErrCode::Sequence)?;
+        let entry = &mut self.lists[p.daq as usize].odts[p.odt as usize].entries[p.entry as usize];
+        *entry = OdtEntry { addr, size };
+        // Auto-increment within the ODT; pointer invalidates at the end.
+        let next = p.entry + 1;
+        self.pointer = if (next as usize)
+            < self.lists[p.daq as usize].odts[p.odt as usize]
+                .entries
+                .len()
+        {
+            Some(DaqPointer { entry: next, ..p })
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    /// Binds list `daq` to an event channel (`SET_DAQ_LIST_MODE`).
+    ///
+    /// # Errors
+    ///
+    /// `OutOfRange` for bad indices or a zero prescaler.
+    pub fn set_mode(&mut self, daq: u16, event: u8, prescaler: u8) -> Result<(), ErrCode> {
+        if (event as usize) >= EVENT_CHANNELS || prescaler == 0 {
+            return Err(ErrCode::OutOfRange);
+        }
+        let list = self
+            .lists
+            .get_mut(daq as usize)
+            .ok_or(ErrCode::OutOfRange)?;
+        list.event = event;
+        list.prescaler = prescaler;
+        Ok(())
+    }
+
+    /// Starts or stops list `daq` (`START_STOP_DAQ_LIST`).
+    ///
+    /// # Errors
+    ///
+    /// `OutOfRange` for a bad index; `DaqConfig` when starting a list with
+    /// unconfigured entries.
+    pub fn start_stop(&mut self, daq: u16, start: bool) -> Result<(), ErrCode> {
+        let list = self
+            .lists
+            .get_mut(daq as usize)
+            .ok_or(ErrCode::OutOfRange)?;
+        if start {
+            let configured = !list.odts.is_empty()
+                && list
+                    .odts
+                    .iter()
+                    .all(|o| !o.entries.is_empty() && o.entries.iter().all(|e| e.size != 0));
+            if !configured {
+                return Err(ErrCode::DaqConfig);
+            }
+        }
+        list.running = start;
+        Ok(())
+    }
+
+    /// The DAQ lists.
+    pub fn lists(&self) -> &[DaqList] {
+        &self.lists
+    }
+
+    /// True if any list is running.
+    pub fn any_running(&self) -> bool {
+        self.lists.iter().any(|l| l.running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configured_pool() -> DaqPool {
+        let mut p = DaqPool::new();
+        p.alloc_daq(2).unwrap();
+        p.alloc_odt(0, 2).unwrap();
+        p.alloc_odt_entry(0, 0, 2).unwrap();
+        p.alloc_odt_entry(0, 1, 1).unwrap();
+        p.set_pointer(DaqPointer {
+            daq: 0,
+            odt: 0,
+            entry: 0,
+        })
+        .unwrap();
+        p.write_entry(4, 0x1000).unwrap();
+        p.write_entry(2, 0x1004).unwrap();
+        p.set_pointer(DaqPointer {
+            daq: 0,
+            odt: 1,
+            entry: 0,
+        })
+        .unwrap();
+        p.write_entry(1, 0x1006).unwrap();
+        p
+    }
+
+    #[test]
+    fn allocation_sequence_builds_lists() {
+        let p = configured_pool();
+        assert_eq!(p.lists().len(), 2);
+        assert_eq!(
+            p.lists()[0].odts[0].entries[0],
+            OdtEntry {
+                addr: 0x1000,
+                size: 4
+            }
+        );
+        assert_eq!(
+            p.lists()[0].odts[1].entries[0],
+            OdtEntry {
+                addr: 0x1006,
+                size: 1
+            }
+        );
+    }
+
+    #[test]
+    fn write_pointer_auto_increments_and_expires() {
+        let mut p = DaqPool::new();
+        p.alloc_daq(1).unwrap();
+        p.alloc_odt(0, 1).unwrap();
+        p.alloc_odt_entry(0, 0, 2).unwrap();
+        p.set_pointer(DaqPointer {
+            daq: 0,
+            odt: 0,
+            entry: 0,
+        })
+        .unwrap();
+        p.write_entry(1, 0xA).unwrap();
+        p.write_entry(1, 0xB).unwrap();
+        assert_eq!(
+            p.write_entry(1, 0xC),
+            Err(ErrCode::Sequence),
+            "pointer expired"
+        );
+    }
+
+    #[test]
+    fn start_requires_full_configuration() {
+        let mut p = DaqPool::new();
+        p.alloc_daq(1).unwrap();
+        p.alloc_odt(0, 1).unwrap();
+        p.alloc_odt_entry(0, 0, 1).unwrap();
+        assert_eq!(
+            p.start_stop(0, true),
+            Err(ErrCode::DaqConfig),
+            "entry unconfigured"
+        );
+        p.set_pointer(DaqPointer {
+            daq: 0,
+            odt: 0,
+            entry: 0,
+        })
+        .unwrap();
+        p.write_entry(4, 0x100).unwrap();
+        p.set_mode(0, 0, 1).unwrap();
+        p.start_stop(0, true).unwrap();
+        assert!(p.any_running());
+        p.start_stop(0, false).unwrap();
+        assert!(!p.any_running());
+    }
+
+    #[test]
+    fn realloc_requires_free() {
+        let mut p = configured_pool();
+        assert_eq!(p.alloc_daq(1), Err(ErrCode::Sequence));
+        p.free();
+        assert!(p.alloc_daq(1).is_ok());
+    }
+
+    #[test]
+    fn limits_enforced() {
+        let mut p = DaqPool::new();
+        assert_eq!(p.alloc_daq(0), Err(ErrCode::OutOfRange));
+        assert_eq!(p.alloc_daq(MAX_DAQ_LISTS + 1), Err(ErrCode::OutOfRange));
+        p.alloc_daq(MAX_DAQ_LISTS).unwrap();
+        assert_eq!(p.alloc_odt(99, 1), Err(ErrCode::OutOfRange));
+        assert_eq!(
+            p.alloc_odt(0, MAX_ODTS_PER_LIST + 1),
+            Err(ErrCode::OutOfRange)
+        );
+        // Exhaust the memory budget.
+        for daq in 0..MAX_DAQ_LISTS {
+            p.alloc_odt(daq, MAX_ODTS_PER_LIST).unwrap();
+        }
+        let mut allocated = 0;
+        let mut overflowed = false;
+        'outer: for daq in 0..MAX_DAQ_LISTS {
+            for odt in 0..MAX_ODTS_PER_LIST {
+                match p.alloc_odt_entry(daq, odt, MAX_ENTRIES_PER_ODT) {
+                    Ok(()) => allocated += MAX_ENTRIES_PER_ODT as usize,
+                    Err(ErrCode::MemoryOverflow) => {
+                        overflowed = true;
+                        break 'outer;
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+        }
+        assert!(overflowed);
+        assert!(allocated <= DAQ_MEMORY_BUDGET);
+    }
+
+    #[test]
+    fn bad_element_size_rejected() {
+        let mut p = DaqPool::new();
+        p.alloc_daq(1).unwrap();
+        p.alloc_odt(0, 1).unwrap();
+        p.alloc_odt_entry(0, 0, 1).unwrap();
+        p.set_pointer(DaqPointer {
+            daq: 0,
+            odt: 0,
+            entry: 0,
+        })
+        .unwrap();
+        assert_eq!(p.write_entry(3, 0x100), Err(ErrCode::OutOfRange));
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # mcds-xcp — measurement and calibration protocol
+//!
+//! An XCP-flavoured implementation of the calibration system of Section 6
+//! of Mayer et al. (DATE 2005): *"a robust calibration system is
+//! implemented using the universal measurement and calibration protocol XCP
+//! over USB, or for extreme form factors an existing CAN interface."*
+//!
+//! * [`packet`] — command/response/DTO objects with ASAM-style codes and
+//!   CAN-frame-friendly wire sizes;
+//! * [`daq`] — DAQ lists, ODTs and the allocation state machine;
+//! * [`slave`] — the protocol engine on the PCP2 service core: memory
+//!   access over the debug bus master, calibration-page commands driving
+//!   the address-mapping block, DAQ sampling that never stops a core;
+//! * [`master`] — the host-side tool: block read/write, page management,
+//!   one-call measurement setup, all paying transport timing.
+//!
+//! ```
+//! use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+//! use mcds_psi::interface::InterfaceKind;
+//! use mcds_soc::asm::assemble;
+//! use mcds_soc::soc::memmap;
+//! use mcds_xcp::XcpMaster;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster).cores(1).build();
+//! dev.soc_mut().load_program(&assemble(".org 0x80000000\nloop: j loop")?);
+//! let mut master = XcpMaster::new(InterfaceKind::Usb11);
+//! master.connect(&mut dev)?;
+//! master.write_block(&mut dev, memmap::SRAM_BASE, &[1, 2, 3, 4])?;
+//! assert_eq!(master.read_block(&mut dev, memmap::SRAM_BASE, 4)?, vec![1, 2, 3, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod daq;
+pub mod master;
+pub mod packet;
+pub mod slave;
+
+pub use daq::{DaqList, DaqPool, Odt, OdtEntry};
+pub use master::{ConnectInfo, XcpError, XcpMaster};
+pub use packet::{Command, DtoPacket, ErrCode, Response};
+pub use slave::XcpSlave;

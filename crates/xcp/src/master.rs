@@ -1,0 +1,521 @@
+//! The XCP master: the host-side calibration tool.
+//!
+//! Wraps an [`XcpSlave`] with a transport binding: each command exchange
+//! pays the chosen interface's latency and transfer time in simulated
+//! cycles (USB ≈ 3 ms per command, CAN slower still — Section 6), with the
+//! PCP2 driver overhead accounted on the service core. Block operations
+//! (`read_block`/`write_block`) chunk by the negotiated `MAX_CTO`.
+
+use crate::packet::{Command, DtoPacket, ErrCode, Response};
+use crate::slave::XcpSlave;
+use mcds_psi::device::Device;
+use mcds_psi::interface::InterfaceKind;
+use std::fmt;
+
+/// An error from a master-side operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XcpError {
+    /// The slave returned an error packet.
+    Slave(ErrCode),
+    /// The device lacks the chosen interface.
+    NoTransport(InterfaceKind),
+    /// The response type did not match the command (protocol violation).
+    UnexpectedResponse,
+    /// The session is not connected.
+    NotConnected,
+}
+
+impl fmt::Display for XcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XcpError::Slave(e) => write!(f, "slave error: {e}"),
+            XcpError::NoTransport(k) => write!(f, "no {k} transport on this device"),
+            XcpError::UnexpectedResponse => write!(f, "response does not match command"),
+            XcpError::NotConnected => write!(f, "session not connected"),
+        }
+    }
+}
+
+impl std::error::Error for XcpError {}
+
+impl From<ErrCode> for XcpError {
+    fn from(e: ErrCode) -> XcpError {
+        XcpError::Slave(e)
+    }
+}
+
+/// Connection parameters negotiated at `CONNECT`.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectInfo {
+    /// Largest CTO frame.
+    pub max_cto: u8,
+    /// Largest DTO frame.
+    pub max_dto: u16,
+    /// Calibration paging supported (development devices only).
+    pub cal_supported: bool,
+    /// DAQ measurement supported.
+    pub daq_supported: bool,
+}
+
+/// The host-side calibration/measurement master.
+#[derive(Debug)]
+pub struct XcpMaster {
+    slave: XcpSlave,
+    transport: InterfaceKind,
+    info: Option<ConnectInfo>,
+    commands_sent: u64,
+}
+
+impl XcpMaster {
+    /// Creates a master speaking over `transport`. The slave's CTO limit is
+    /// derived from the transport (64 bytes on USB, 8 on CAN/JTAG).
+    pub fn new(transport: InterfaceKind) -> XcpMaster {
+        let max_cto = match transport {
+            InterfaceKind::Usb11 => 64,
+            InterfaceKind::Jtag | InterfaceKind::Can => 8,
+        };
+        XcpMaster {
+            slave: XcpSlave::new(max_cto, 1024),
+            transport,
+            info: None,
+            commands_sent: 0,
+        }
+    }
+
+    /// The wrapped slave (event periods, DAQ statistics).
+    pub fn slave(&self) -> &XcpSlave {
+        &self.slave
+    }
+
+    /// Mutable access to the wrapped slave.
+    pub fn slave_mut(&mut self) -> &mut XcpSlave {
+        &mut self.slave
+    }
+
+    /// Commands exchanged so far.
+    pub fn commands_sent(&self) -> u64 {
+        self.commands_sent
+    }
+
+    /// Negotiated parameters, if connected.
+    pub fn info(&self) -> Option<ConnectInfo> {
+        self.info
+    }
+
+    /// Exchanges one command, paying transport timing in simulated cycles.
+    ///
+    /// # Errors
+    ///
+    /// Transport absence, slave protocol errors.
+    pub fn transact(&mut self, dev: &mut Device, cmd: Command) -> Result<Response, XcpError> {
+        let Some(iface) = dev.interface(self.transport) else {
+            return Err(XcpError::NoTransport(self.transport));
+        };
+        let inbound = iface.request_latency_cycles() + iface.transfer_cycles(cmd.wire_bytes());
+        let overhead = match dev.service_mut() {
+            Some(s) => s.process_command(self.transport),
+            None => 0,
+        };
+        dev.wait_cycles(inbound + overhead);
+        self.commands_sent += 1;
+        let result = self.slave.handle(dev, &cmd);
+        let response = result.map_err(XcpError::Slave)?;
+        let iface = dev.interface(self.transport).expect("checked above");
+        let outbound =
+            iface.transfer_cycles(response.wire_bytes()) + iface.response_latency_cycles();
+        dev.wait_cycles(outbound);
+        Ok(response)
+    }
+
+    /// `CONNECT`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors.
+    pub fn connect(&mut self, dev: &mut Device) -> Result<ConnectInfo, XcpError> {
+        match self.transact(dev, Command::Connect)? {
+            Response::Connected {
+                max_cto,
+                max_dto,
+                daq_supported,
+                cal_supported,
+            } => {
+                let info = ConnectInfo {
+                    max_cto,
+                    max_dto,
+                    cal_supported,
+                    daq_supported,
+                };
+                self.info = Some(info);
+                Ok(info)
+            }
+            _ => Err(XcpError::UnexpectedResponse),
+        }
+    }
+
+    /// `DISCONNECT`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors.
+    pub fn disconnect(&mut self, dev: &mut Device) -> Result<(), XcpError> {
+        self.transact(dev, Command::Disconnect)?;
+        self.info = None;
+        Ok(())
+    }
+
+    fn max_payload(&self) -> Result<usize, XcpError> {
+        self.info
+            .map(|i| i.max_cto as usize - 2)
+            .ok_or(XcpError::NotConnected)
+    }
+
+    /// Reads `len` bytes at `addr`, chunked by the CTO limit.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors; [`XcpError::NotConnected`] before
+    /// `CONNECT`.
+    pub fn read_block(
+        &mut self,
+        dev: &mut Device,
+        addr: u32,
+        len: usize,
+    ) -> Result<Vec<u8>, XcpError> {
+        let chunk = self.max_payload()?;
+        self.transact(dev, Command::SetMta { addr })?;
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let n = chunk.min(len - out.len()) as u8;
+            match self.transact(dev, Command::Upload { count: n })? {
+                Response::Bytes(b) => out.extend_from_slice(&b),
+                _ => return Err(XcpError::UnexpectedResponse),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` at `addr`, chunked by the CTO limit.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors; [`XcpError::NotConnected`] before
+    /// `CONNECT`.
+    pub fn write_block(
+        &mut self,
+        dev: &mut Device,
+        addr: u32,
+        data: &[u8],
+    ) -> Result<(), XcpError> {
+        let chunk = self.max_payload()?;
+        self.transact(dev, Command::SetMta { addr })?;
+        for part in data.chunks(chunk) {
+            self.transact(
+                dev,
+                Command::Download {
+                    data: part.to_vec(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads up to `count` bytes at `addr` in one exchange (`SHORT_UPLOAD`
+    /// — no MTA round trip, the low-latency poll a calibration tool uses
+    /// for single scalars).
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors (count must fit one CTO frame).
+    pub fn short_read(
+        &mut self,
+        dev: &mut Device,
+        addr: u32,
+        count: u8,
+    ) -> Result<Vec<u8>, XcpError> {
+        match self.transact(dev, Command::ShortUpload { count, addr })? {
+            Response::Bytes(b) => Ok(b),
+            _ => Err(XcpError::UnexpectedResponse),
+        }
+    }
+
+    /// Reads the slave's DAQ clock (its cycle counter).
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors.
+    pub fn daq_clock(&mut self, dev: &mut Device) -> Result<u32, XcpError> {
+        match self.transact(dev, Command::GetDaqClock)? {
+            Response::DaqClock(c) => Ok(c),
+            _ => Err(XcpError::UnexpectedResponse),
+        }
+    }
+
+    /// Verifies a block with `BUILD_CHECKSUM`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors.
+    pub fn checksum(&mut self, dev: &mut Device, addr: u32, len: u32) -> Result<u32, XcpError> {
+        self.transact(dev, Command::SetMta { addr })?;
+        match self.transact(dev, Command::BuildChecksum { len })? {
+            Response::Checksum(c) => Ok(c),
+            _ => Err(XcpError::UnexpectedResponse),
+        }
+    }
+
+    /// Selects the active calibration page (the atomic swap).
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors.
+    pub fn set_cal_page(&mut self, dev: &mut Device, page: u8) -> Result<(), XcpError> {
+        self.transact(dev, Command::SetCalPage { page })?;
+        Ok(())
+    }
+
+    /// Queries the active calibration page.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors.
+    pub fn cal_page(&mut self, dev: &mut Device) -> Result<u8, XcpError> {
+        match self.transact(dev, Command::GetCalPage)? {
+            Response::CalPage(p) => Ok(p),
+            _ => Err(XcpError::UnexpectedResponse),
+        }
+    }
+
+    /// Copies calibration page `from` onto `to`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors.
+    pub fn copy_cal_page(&mut self, dev: &mut Device, from: u8, to: u8) -> Result<(), XcpError> {
+        self.transact(dev, Command::CopyCalPage { from, to })?;
+        Ok(())
+    }
+
+    /// Configures a single-ODT DAQ list sampling the given `(addr, size)`
+    /// elements on `event` every `prescaler` events, and starts it.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors (e.g. too many elements).
+    pub fn start_measurement(
+        &mut self,
+        dev: &mut Device,
+        elements: &[(u32, u8)],
+        event: u8,
+        prescaler: u8,
+    ) -> Result<(), XcpError> {
+        self.transact(dev, Command::FreeDaq)?;
+        self.transact(dev, Command::AllocDaq { count: 1 })?;
+        self.transact(dev, Command::AllocOdt { daq: 0, count: 1 })?;
+        self.transact(
+            dev,
+            Command::AllocOdtEntry {
+                daq: 0,
+                odt: 0,
+                count: elements.len() as u8,
+            },
+        )?;
+        self.transact(
+            dev,
+            Command::SetDaqPtr {
+                daq: 0,
+                odt: 0,
+                entry: 0,
+            },
+        )?;
+        for &(addr, size) in elements {
+            self.transact(dev, Command::WriteDaq { size, addr })?;
+        }
+        self.transact(
+            dev,
+            Command::SetDaqListMode {
+                daq: 0,
+                event,
+                prescaler,
+            },
+        )?;
+        self.transact(
+            dev,
+            Command::StartStopDaqList {
+                daq: 0,
+                start: true,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Stops DAQ list 0.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors.
+    pub fn stop_measurement(&mut self, dev: &mut Device) -> Result<(), XcpError> {
+        self.transact(
+            dev,
+            Command::StartStopDaqList {
+                daq: 0,
+                start: false,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Lets the device run for `cycles` while the slave samples, then
+    /// drains the collected DTO packets, paying their transfer time.
+    pub fn measure(&mut self, dev: &mut Device, cycles: u64) -> Vec<DtoPacket> {
+        self.slave.run(dev, cycles);
+        let dtos = self.slave.drain_dtos(usize::MAX);
+        if let Some(iface) = dev.interface(self.transport) {
+            let bytes: usize = dtos.iter().map(|d| d.wire_bytes()).sum();
+            let cost = iface.transfer_cycles(bytes) + iface.response_latency_cycles();
+            dev.wait_cycles(cost);
+        }
+        dtos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+    use mcds_soc::asm::assemble;
+    use mcds_soc::soc::memmap;
+
+    fn running_device() -> Device {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut().load_program(
+            &assemble(
+                "
+                .org 0x80000000
+                start:
+                    li r2, 0xD0000000
+                loop:
+                    addi r1, r1, 1
+                    sw r1, 0(r2)
+                    j loop
+                ",
+            )
+            .unwrap(),
+        );
+        dev
+    }
+
+    #[test]
+    fn connect_negotiates_by_transport() {
+        let mut dev = running_device();
+        let mut usb = XcpMaster::new(InterfaceKind::Usb11);
+        let info = usb.connect(&mut dev).unwrap();
+        assert_eq!(info.max_cto, 64);
+        assert!(info.cal_supported);
+        let mut can = XcpMaster::new(InterfaceKind::Can);
+        let info = can.connect(&mut dev).unwrap();
+        assert_eq!(info.max_cto, 8, "CAN frames cap the CTO");
+    }
+
+    #[test]
+    fn block_transfer_roundtrips_with_chunking() {
+        let mut dev = running_device();
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        let data: Vec<u8> = (0..200u16).map(|x| x as u8).collect();
+        m.write_block(&mut dev, memmap::SRAM_BASE + 0x400, &data)
+            .unwrap();
+        let back = m
+            .read_block(&mut dev, memmap::SRAM_BASE + 0x400, 200)
+            .unwrap();
+        assert_eq!(back, data);
+        // 200 bytes / 62-byte chunks = 4 download commands (+ MTA + ...).
+        assert!(m.commands_sent() > 8);
+    }
+
+    #[test]
+    fn usb_commands_cost_milliseconds_of_simulated_time() {
+        let mut dev = running_device();
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        let t0 = dev.soc().cycle();
+        m.connect(&mut dev).unwrap();
+        let elapsed_ns = memmap::cycles_to_ns(dev.soc().cycle() - t0);
+        assert!(
+            elapsed_ns >= 3_000_000,
+            "USB connect took {elapsed_ns} ns (≥ 3 ms)"
+        );
+    }
+
+    #[test]
+    fn requires_connect_for_blocks() {
+        let mut dev = running_device();
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        assert_eq!(
+            m.read_block(&mut dev, memmap::SRAM_BASE, 4),
+            Err(XcpError::NotConnected)
+        );
+    }
+
+    #[test]
+    fn measurement_over_usb_samples_live_values() {
+        let mut dev = running_device();
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        m.slave_mut().set_event_period(0, 5_000);
+        m.start_measurement(&mut dev, &[(memmap::SRAM_BASE, 4)], 0, 1)
+            .unwrap();
+        let dtos = m.measure(&mut dev, 100_000);
+        assert!(dtos.len() >= 10, "{} samples", dtos.len());
+        m.stop_measurement(&mut dev).unwrap();
+        let values: Vec<u32> = dtos
+            .iter()
+            .map(|d| u32::from_le_bytes(d.data.clone().try_into().unwrap()))
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        // Timestamps come from the slave's DAQ clock, strictly increasing.
+        assert!(dtos.windows(2).all(|w| w[0].timestamp < w[1].timestamp));
+    }
+
+    #[test]
+    fn checksum_verifies_downloads() {
+        let mut dev = running_device();
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        m.write_block(&mut dev, memmap::SRAM_BASE + 0x800, &[7; 32])
+            .unwrap();
+        assert_eq!(
+            m.checksum(&mut dev, memmap::SRAM_BASE + 0x800, 32).unwrap(),
+            224
+        );
+    }
+}
+
+#[cfg(test)]
+mod short_tests {
+    use super::*;
+    use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+    use mcds_soc::asm::assemble;
+    use mcds_soc::soc::memmap;
+
+    #[test]
+    fn short_read_and_daq_clock() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nloop: j loop").unwrap());
+        dev.soc_mut()
+            .backdoor_write(memmap::SRAM_BASE + 0x20, &[9, 8, 7, 6]);
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        assert_eq!(
+            m.short_read(&mut dev, memmap::SRAM_BASE + 0x20, 4).unwrap(),
+            vec![9, 8, 7, 6]
+        );
+        let t0 = m.daq_clock(&mut dev).unwrap();
+        let t1 = m.daq_clock(&mut dev).unwrap();
+        assert!(t1 > t0, "the DAQ clock advances with simulated time");
+    }
+}

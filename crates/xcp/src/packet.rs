@@ -1,0 +1,409 @@
+//! XCP packet model: command (CTO) and data (DTO) objects.
+//!
+//! The paper (Section 6) implements calibration with "the universal
+//! measurement and calibration protocol XCP over USB, or for extreme form
+//! factors an existing CAN interface". This module models the protocol
+//! surface the reproduction needs: the standard command set for memory
+//! access, calibration-page management and DAQ-list measurement, with the
+//! classic response/error framing.
+//!
+//! Frames are kept as typed enums rather than raw bytes; the wire cost
+//! (bytes per frame, bounded by the transport's `MAX_CTO`/`MAX_DTO`) is
+//! modelled for interface timing.
+
+use std::fmt;
+
+/// XCP command codes (ASAM XCP part 2 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CmdCode {
+    /// Establish a session.
+    Connect = 0xFF,
+    /// End the session.
+    Disconnect = 0xFE,
+    /// Session/resource status.
+    GetStatus = 0xFD,
+    /// Resynchronise after errors.
+    Synch = 0xFC,
+    /// Set the memory transfer address.
+    SetMta = 0xF6,
+    /// Read bytes at the MTA (auto-increment).
+    Upload = 0xF5,
+    /// Read bytes at an explicit address.
+    ShortUpload = 0xF4,
+    /// Write bytes at the MTA (auto-increment).
+    Download = 0xF0,
+    /// Checksum over a block at the MTA.
+    BuildChecksum = 0xF3,
+    /// Select the active calibration page.
+    SetCalPage = 0xEB,
+    /// Query the active calibration page.
+    GetCalPage = 0xEA,
+    /// Copy one calibration page onto another.
+    CopyCalPage = 0xE4,
+    /// Release all DAQ resources.
+    FreeDaq = 0xD6,
+    /// Allocate DAQ lists.
+    AllocDaq = 0xD5,
+    /// Allocate ODTs for a DAQ list.
+    AllocOdt = 0xD4,
+    /// Allocate entries for an ODT.
+    AllocOdtEntry = 0xD3,
+    /// Position the DAQ write pointer.
+    SetDaqPtr = 0xE2,
+    /// Write one ODT entry at the pointer.
+    WriteDaq = 0xE1,
+    /// Bind a DAQ list to an event channel.
+    SetDaqListMode = 0xE0,
+    /// Start or stop a DAQ list.
+    StartStopDaqList = 0xDE,
+    /// Read the slave's DAQ clock.
+    GetDaqClock = 0xDC,
+}
+
+/// XCP error codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrCode {
+    /// Command busy.
+    CmdBusy = 0x10,
+    /// Unknown command.
+    CmdUnknown = 0x20,
+    /// Command syntax error.
+    CmdSyntax = 0x21,
+    /// Parameter out of range.
+    OutOfRange = 0x22,
+    /// Access denied (e.g. write to flash).
+    AccessDenied = 0x24,
+    /// Calibration page not valid.
+    PageNotValid = 0x26,
+    /// Sequence error (e.g. command before CONNECT).
+    Sequence = 0x29,
+    /// DAQ configuration invalid.
+    DaqConfig = 0x28,
+    /// Memory overflow (DAQ allocation).
+    MemoryOverflow = 0x30,
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrCode::CmdBusy => "command busy",
+            ErrCode::CmdUnknown => "unknown command",
+            ErrCode::CmdSyntax => "command syntax error",
+            ErrCode::OutOfRange => "parameter out of range",
+            ErrCode::AccessDenied => "access denied",
+            ErrCode::PageNotValid => "calibration page not valid",
+            ErrCode::Sequence => "sequence error",
+            ErrCode::DaqConfig => "DAQ configuration invalid",
+            ErrCode::MemoryOverflow => "memory overflow",
+        };
+        write!(f, "{name} ({:#04x})", *self as u8)
+    }
+}
+
+/// A command object (master → slave).
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `CONNECT`.
+    Connect,
+    /// `DISCONNECT`.
+    Disconnect,
+    /// `GET_STATUS`.
+    GetStatus,
+    /// `SYNCH`.
+    Synch,
+    /// `SET_MTA addr`.
+    SetMta {
+        /// New memory transfer address.
+        addr: u32,
+    },
+    /// `UPLOAD n` — read `n` bytes at the MTA.
+    Upload {
+        /// Bytes to read (≤ MAX_CTO − 1).
+        count: u8,
+    },
+    /// `SHORT_UPLOAD n, addr`.
+    ShortUpload {
+        /// Bytes to read.
+        count: u8,
+        /// Address to read from.
+        addr: u32,
+    },
+    /// `DOWNLOAD data` — write at the MTA.
+    Download {
+        /// Bytes to write (≤ MAX_CTO − 2).
+        data: Vec<u8>,
+    },
+    /// `BUILD_CHECKSUM len` over `[MTA, MTA+len)`.
+    BuildChecksum {
+        /// Block length in bytes.
+        len: u32,
+    },
+    /// `SET_CAL_PAGE page`.
+    SetCalPage {
+        /// Page number (0 or 1).
+        page: u8,
+    },
+    /// `GET_CAL_PAGE`.
+    GetCalPage,
+    /// `COPY_CAL_PAGE from → to`.
+    CopyCalPage {
+        /// Source page.
+        from: u8,
+        /// Destination page.
+        to: u8,
+    },
+    /// `FREE_DAQ`.
+    FreeDaq,
+    /// `ALLOC_DAQ n`.
+    AllocDaq {
+        /// Number of DAQ lists.
+        count: u16,
+    },
+    /// `ALLOC_ODT daq, n`.
+    AllocOdt {
+        /// DAQ list index.
+        daq: u16,
+        /// ODTs to allocate.
+        count: u8,
+    },
+    /// `ALLOC_ODT_ENTRY daq, odt, n`.
+    AllocOdtEntry {
+        /// DAQ list index.
+        daq: u16,
+        /// ODT index.
+        odt: u8,
+        /// Entries to allocate.
+        count: u8,
+    },
+    /// `SET_DAQ_PTR daq, odt, entry`.
+    SetDaqPtr {
+        /// DAQ list index.
+        daq: u16,
+        /// ODT index.
+        odt: u8,
+        /// Entry index.
+        entry: u8,
+    },
+    /// `WRITE_DAQ size, addr` at the DAQ pointer (auto-increment).
+    WriteDaq {
+        /// Element size in bytes (1, 2 or 4).
+        size: u8,
+        /// Element address.
+        addr: u32,
+    },
+    /// `SET_DAQ_LIST_MODE daq, event, prescaler`.
+    SetDaqListMode {
+        /// DAQ list index.
+        daq: u16,
+        /// Event channel.
+        event: u8,
+        /// Sample every `prescaler` events (≥ 1).
+        prescaler: u8,
+    },
+    /// `START_STOP_DAQ_LIST daq, start`.
+    StartStopDaqList {
+        /// DAQ list index.
+        daq: u16,
+        /// True to start, false to stop.
+        start: bool,
+    },
+    /// `GET_DAQ_CLOCK`.
+    GetDaqClock,
+}
+
+impl Command {
+    /// The command code.
+    pub fn code(&self) -> CmdCode {
+        match self {
+            Command::Connect => CmdCode::Connect,
+            Command::Disconnect => CmdCode::Disconnect,
+            Command::GetStatus => CmdCode::GetStatus,
+            Command::Synch => CmdCode::Synch,
+            Command::SetMta { .. } => CmdCode::SetMta,
+            Command::Upload { .. } => CmdCode::Upload,
+            Command::ShortUpload { .. } => CmdCode::ShortUpload,
+            Command::Download { .. } => CmdCode::Download,
+            Command::BuildChecksum { .. } => CmdCode::BuildChecksum,
+            Command::SetCalPage { .. } => CmdCode::SetCalPage,
+            Command::GetCalPage => CmdCode::GetCalPage,
+            Command::CopyCalPage { .. } => CmdCode::CopyCalPage,
+            Command::FreeDaq => CmdCode::FreeDaq,
+            Command::AllocDaq { .. } => CmdCode::AllocDaq,
+            Command::AllocOdt { .. } => CmdCode::AllocOdt,
+            Command::AllocOdtEntry { .. } => CmdCode::AllocOdtEntry,
+            Command::SetDaqPtr { .. } => CmdCode::SetDaqPtr,
+            Command::WriteDaq { .. } => CmdCode::WriteDaq,
+            Command::SetDaqListMode { .. } => CmdCode::SetDaqListMode,
+            Command::StartStopDaqList { .. } => CmdCode::StartStopDaqList,
+            Command::GetDaqClock => CmdCode::GetDaqClock,
+        }
+    }
+
+    /// Bytes this command occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Command::Connect
+            | Command::Disconnect
+            | Command::GetStatus
+            | Command::Synch
+            | Command::GetCalPage
+            | Command::FreeDaq
+            | Command::GetDaqClock => 1,
+            Command::SetMta { .. } => 5,
+            Command::Upload { .. } => 2,
+            Command::ShortUpload { .. } => 6,
+            Command::Download { data } => 2 + data.len(),
+            Command::BuildChecksum { .. } => 5,
+            Command::SetCalPage { .. } => 2,
+            Command::CopyCalPage { .. } => 3,
+            Command::AllocDaq { .. } => 3,
+            Command::AllocOdt { .. } => 4,
+            Command::AllocOdtEntry { .. } => 5,
+            Command::SetDaqPtr { .. } => 5,
+            Command::WriteDaq { .. } => 6,
+            Command::SetDaqListMode { .. } => 5,
+            Command::StartStopDaqList { .. } => 4,
+        }
+    }
+}
+
+/// A positive response payload (slave → master, `0xFF` framing).
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Plain acknowledge.
+    Ok,
+    /// `CONNECT` response.
+    Connected {
+        /// Largest CTO frame in bytes.
+        max_cto: u8,
+        /// Largest DTO frame in bytes.
+        max_dto: u16,
+        /// DAQ supported.
+        daq_supported: bool,
+        /// Calibration/paging supported.
+        cal_supported: bool,
+    },
+    /// `GET_STATUS` response.
+    Status {
+        /// A DAQ list is running.
+        daq_running: bool,
+        /// Session is connected.
+        connected: bool,
+    },
+    /// Uploaded bytes.
+    Bytes(Vec<u8>),
+    /// Checksum result.
+    Checksum(u32),
+    /// Active calibration page.
+    CalPage(u8),
+    /// DAQ clock (slave cycle counter).
+    DaqClock(u32),
+}
+
+impl Response {
+    /// Bytes this response occupies on the wire (including the `0xFF` pid).
+    pub fn wire_bytes(&self) -> usize {
+        1 + match self {
+            Response::Ok => 0,
+            Response::Connected { .. } => 7,
+            Response::Status { .. } => 5,
+            Response::Bytes(b) => b.len(),
+            Response::Checksum(_) => 7,
+            Response::CalPage(_) => 3,
+            Response::DaqClock(_) => 7,
+        }
+    }
+}
+
+/// A measurement data object (slave → master), one per sampled ODT.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct DtoPacket {
+    /// DAQ list index.
+    pub daq: u16,
+    /// ODT index within the list.
+    pub odt: u8,
+    /// Slave timestamp (SoC cycle truncated to 32 bits).
+    pub timestamp: u32,
+    /// Sampled element bytes, concatenated in entry order.
+    pub data: Vec<u8>,
+}
+
+impl DtoPacket {
+    /// Bytes on the wire: pid + timestamp + payload.
+    pub fn wire_bytes(&self) -> usize {
+        1 + 4 + self.data.len()
+    }
+}
+
+/// Outcome of one command exchange.
+pub type XcpResult = Result<Response, ErrCode>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_codes_match_asam_values() {
+        assert_eq!(Command::Connect.code() as u8, 0xFF);
+        assert_eq!(Command::SetMta { addr: 0 }.code() as u8, 0xF6);
+        assert_eq!(Command::Download { data: vec![] }.code() as u8, 0xF0);
+        assert_eq!(Command::SetCalPage { page: 0 }.code() as u8, 0xEB);
+        assert_eq!(Command::CopyCalPage { from: 0, to: 1 }.code() as u8, 0xE4);
+        assert_eq!(
+            Command::StartStopDaqList {
+                daq: 0,
+                start: true
+            }
+            .code() as u8,
+            0xDE
+        );
+    }
+
+    #[test]
+    fn wire_sizes_are_can_frame_friendly() {
+        // Every fixed-size command fits an 8-byte CAN frame.
+        let cmds = [
+            Command::Connect,
+            Command::SetMta { addr: 0xDEAD_BEEF },
+            Command::Upload { count: 7 },
+            Command::ShortUpload {
+                count: 4,
+                addr: 0x1000,
+            },
+            Command::BuildChecksum { len: 256 },
+            Command::SetCalPage { page: 1 },
+            Command::CopyCalPage { from: 0, to: 1 },
+            Command::AllocOdtEntry {
+                daq: 1,
+                odt: 2,
+                count: 3,
+            },
+            Command::WriteDaq {
+                size: 4,
+                addr: 0x2000,
+            },
+        ];
+        for c in cmds {
+            assert!(c.wire_bytes() <= 8, "{c:?} is {} bytes", c.wire_bytes());
+        }
+    }
+
+    #[test]
+    fn dto_wire_size_counts_header() {
+        let d = DtoPacket {
+            daq: 0,
+            odt: 0,
+            timestamp: 5,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(d.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn error_codes_display() {
+        assert!(ErrCode::Sequence.to_string().contains("0x29"));
+        assert!(ErrCode::PageNotValid.to_string().contains("page"));
+    }
+}

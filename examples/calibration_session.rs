@@ -1,0 +1,109 @@
+//! Calibration session: live-tune a running engine controller with XCP
+//! over USB, exactly the Section 6/7 workflow:
+//!
+//! 1. the engine runs its fuel map from flash, overlaid by emulation RAM;
+//! 2. the calibration tool connects with XCP, measures the torque request
+//!    with a DAQ list (never stopping the engine);
+//! 3. it authors a leaner map on the *inactive* calibration page, verifies
+//!    it by checksum, and swaps pages atomically;
+//! 4. the actuator output drops — the tune is live, the engine never
+//!    missed a control deadline.
+//!
+//! ```sh
+//! cargo run --example calibration_session
+//! ```
+
+use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+use mcds_psi::interface::InterfaceKind;
+use mcds_soc::overlay::OverlayRange;
+use mcds_soc::soc::memmap;
+use mcds_workloads::{engine, FuelMap};
+use mcds_xcp::XcpMaster;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Target setup: engine + overlaid fuel map. ---
+    let factory = FuelMap::factory();
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .build();
+    dev.soc_mut()
+        .load_program(&engine::program_with_map(None, &factory));
+    dev.soc_mut().mapper_mut().configure_range(
+        0,
+        OverlayRange {
+            flash_addr: engine::MAP_FLASH_ADDR,
+            size: 1024,
+            offset_page0: 0,    // page 0: working copy of the factory map
+            offset_page1: 1024, // page 1: the tune we are authoring
+        },
+    )?;
+    dev.soc_mut().mapper_mut().set_range_enabled(0, true);
+    dev.soc_mut()
+        .backdoor_write(memmap::EMEM_BASE, &factory.to_bytes());
+    dev.soc_mut().periph_mut().set_input(engine::RPM_PORT, 3000);
+    dev.soc_mut().periph_mut().set_input(engine::LOAD_PORT, 120);
+    dev.run_cycles(20_000);
+    let duration_factory = dev.soc().periph().output(engine::INJECTION_PORT);
+    println!("factory tune : injection duration = {duration_factory}");
+    assert_eq!(
+        duration_factory,
+        engine::reference_duration(&factory, 3000, 120)
+    );
+
+    // --- The calibration tool connects. ---
+    let mut xcp = XcpMaster::new(InterfaceKind::Usb11);
+    let info = xcp.connect(&mut dev)?;
+    println!(
+        "XCP connected: MAX_CTO={}, calibration={}, daq={}",
+        info.max_cto, info.cal_supported, info.daq_supported
+    );
+
+    // Measure the torque request at a 1 ms raster while the engine runs.
+    xcp.start_measurement(&mut dev, &[(engine::TORQUE_REQ_ADDR, 4)], 0, 1)?;
+    let dtos = xcp.measure(&mut dev, 450_000); // 3 ms of engine time
+    println!("DAQ          : {} torque samples while running", dtos.len());
+    assert!(!dtos.is_empty());
+    xcp.stop_measurement(&mut dev)?;
+
+    // --- Author the lean tune on the inactive page. ---
+    let lean = factory.lean();
+    xcp.write_block(&mut dev, memmap::EMEM_BASE + 1024, &lean.to_bytes())?;
+    let sum = xcp.checksum(&mut dev, memmap::EMEM_BASE + 1024, 128)?;
+    let expected: u32 = lean.to_bytes().iter().map(|&b| b as u32).sum();
+    assert_eq!(sum, expected, "tune verified on the device");
+    println!(
+        "lean tune    : {} bytes downloaded and checksum-verified",
+        128
+    );
+
+    // --- The atomic swap: one control access. ---
+    assert_eq!(xcp.cal_page(&mut dev)?, 0);
+    xcp.set_cal_page(&mut dev, 1)?;
+    dev.run_cycles(20_000);
+    let duration_lean = dev.soc().periph().output(engine::INJECTION_PORT);
+    println!("lean tune    : injection duration = {duration_lean}");
+    assert_eq!(duration_lean, engine::reference_duration(&lean, 3000, 120));
+    assert!(
+        duration_lean < duration_factory,
+        "the tune is visibly leaner"
+    );
+
+    // --- Roll back just as atomically. ---
+    xcp.set_cal_page(&mut dev, 0)?;
+    dev.run_cycles(20_000);
+    assert_eq!(
+        dev.soc().periph().output(engine::INJECTION_PORT),
+        duration_factory,
+        "rollback restores the factory behaviour"
+    );
+    assert!(
+        !dev.soc().core(mcds_soc::CoreId(0)).is_halted(),
+        "the engine never stopped"
+    );
+    println!(
+        "\ncalibration session OK — tuned, verified, swapped and rolled back\n\
+         over USB ({} XCP commands) without stopping the engine.",
+        xcp.commands_sent()
+    );
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! Dual-ECU cross-triggering: the engine ECU and the gearbox ECU are two
+//! separate PSI devices wired pin-to-pin. A complex trigger on the engine
+//! ECU (a torque spike) freezes *both* controllers at the same simulated
+//! instant — the external-trigger capability the break & suspend switch
+//! "manages" (Section 4), across package boundaries.
+//!
+//! ```sh
+//! cargo run --example dual_ecu
+//! ```
+
+use mcds::observer::CoreTraceConfig;
+use mcds::{AccessKind, CrossTrigger, DataComparator, McdsConfig, SignalRef, TriggerAction};
+use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+use mcds_psi::{MultiChipBench, TriggerWire};
+use mcds_soc::bus::AddrRange;
+use mcds_soc::event::CoreId;
+use mcds_workloads::{engine, gearbox, FuelMap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Engine ECU: trigger when the torque request exceeds 150. ---
+    // (A masked value comparator: torque is always < 256 here, so watch for
+    //  any write with a value whose bit 7 is set and ≥ 0b1001_0000 …
+    //  simpler: exact-range trigger via value mask on the high bits.)
+    let torque_spike = DataComparator::on(
+        AddrRange::new(engine::TORQUE_REQ_ADDR, 4),
+        AccessKind::Write,
+    )
+    .with_value(0x80, 0x80); // any torque with bit 7 set (≥128)
+    let cfg_engine = McdsConfig {
+        cores: vec![CoreTraceConfig {
+            data_comparators: vec![torque_spike],
+            ..Default::default()
+        }],
+        cross_triggers: vec![
+            // Stop our own core…
+            CrossTrigger::on_any(
+                vec![SignalRef::DataComp {
+                    core: CoreId(0),
+                    idx: 0,
+                }],
+                TriggerAction::BreakCores(vec![CoreId(0)]),
+            ),
+            // …and tell the other ECU over trigger pin 0.
+            CrossTrigger::on_any(
+                vec![SignalRef::DataComp {
+                    core: CoreId(0),
+                    idx: 0,
+                }],
+                TriggerAction::TriggerOutPin(0),
+            ),
+        ],
+        ..Default::default()
+    };
+    let mut engine_ecu = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .mcds(cfg_engine)
+        .build();
+    engine_ecu
+        .soc_mut()
+        .load_program(&engine::program_with_map(None, &FuelMap::factory()));
+    // Start gentle; the spike comes later.
+    engine_ecu
+        .soc_mut()
+        .periph_mut()
+        .set_input(engine::RPM_PORT, 1200);
+    engine_ecu
+        .soc_mut()
+        .periph_mut()
+        .set_input(engine::LOAD_PORT, 20);
+
+    // --- Gearbox ECU: break on the external pin. ---
+    let cfg_gear = McdsConfig {
+        cores: vec![CoreTraceConfig::default()],
+        cross_triggers: vec![CrossTrigger::on_any(
+            vec![SignalRef::ExternalPin(0)],
+            TriggerAction::BreakCores(vec![CoreId(0)]),
+        )],
+        ..Default::default()
+    };
+    let mut gearbox_ecu = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .mcds(cfg_gear)
+        .build();
+    gearbox_ecu.soc_mut().load_program(&gearbox::program(None));
+    gearbox_ecu
+        .soc_mut()
+        .core_mut(CoreId(0))
+        .set_pc(0x8001_0000);
+    gearbox_ecu
+        .soc_mut()
+        .periph_mut()
+        .set_input(gearbox::SPEED_PORT, 40);
+
+    // --- Wire them and drive. ---
+    let mut bench = MultiChipBench::new(
+        vec![engine_ecu, gearbox_ecu],
+        vec![TriggerWire {
+            from: 0,
+            pin: 0,
+            to: 1,
+            line: 0,
+        }],
+    );
+    bench.run_cycles(30_000);
+    assert!(
+        !bench.devices()[0].soc().core(CoreId(0)).is_halted(),
+        "gentle running: no trigger yet"
+    );
+    let gear_before = bench.devices()[1]
+        .soc()
+        .backdoor_read_word(gearbox::GEAR_ADDR);
+    println!("phase 1: both ECUs running; gearbox in gear {gear_before}");
+
+    // The driver floors it: torque request jumps past 128.
+    bench
+        .device_mut(0)
+        .soc_mut()
+        .periph_mut()
+        .set_input(engine::RPM_PORT, 6500);
+    bench
+        .device_mut(0)
+        .soc_mut()
+        .periph_mut()
+        .set_input(engine::LOAD_PORT, 255);
+    bench.run_cycles(5_000);
+
+    let engine_core = bench.devices()[0].soc().core(CoreId(0));
+    let gear_core = bench.devices()[1].soc().core(CoreId(0));
+    assert!(engine_core.is_halted(), "engine ECU froze at the spike");
+    assert!(
+        gear_core.is_halted(),
+        "gearbox ECU froze via the trigger wire"
+    );
+    let torque = bench.devices()[0]
+        .soc()
+        .backdoor_read_word(engine::TORQUE_REQ_ADDR);
+    println!(
+        "phase 2: torque spike ({torque}) froze engine ECU @ {:#010x} and gearbox ECU @ {:#010x}",
+        engine_core.pc(),
+        gear_core.pc()
+    );
+    assert!(torque >= 128);
+    println!("\ndual ECU cross-trigger OK — both controllers stopped in step");
+    Ok(())
+}

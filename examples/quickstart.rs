@@ -1,0 +1,73 @@
+//! Quickstart: build a TC1796ED-class device, run a small program under
+//! full MCDS trace, download the trace memory over USB and reconstruct
+//! exactly which instructions executed.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mcds::observer::{CoreTraceConfig, TraceQualifier};
+use mcds::McdsConfig;
+use mcds_host::{Debugger, TraceSession};
+use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+use mcds_psi::interface::InterfaceKind;
+use mcds_soc::asm::assemble;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A program: compute 10! by repeated multiplication.
+    let program = assemble(
+        "
+        .org 0x80000000
+        start:
+            li r1, 1           ; acc
+            li r2, 10          ; n
+        loop:
+            mul r1, r1, r2
+            addi r2, r2, -1
+            bne r2, r0, loop
+            li r3, 0xD0000000
+            sw r1, 0(r3)       ; publish the result
+            halt
+        ",
+    )?;
+
+    // 2. A development device (the PSI single-chip side booster) with
+    //    program trace always on.
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .mcds(McdsConfig {
+            cores: vec![CoreTraceConfig {
+                program_trace: TraceQualifier::Always,
+                ..Default::default()
+            }],
+            ..Default::default()
+        })
+        .build();
+    dev.soc_mut().load_program(&program);
+
+    // 3. Attach the debugger over USB and capture a full trace session.
+    let mut dbg = Debugger::attach(dev, InterfaceKind::Usb11);
+    dbg.hold_all_at_reset();
+    let session = TraceSession::new(&program);
+    dbg.resume_all()?;
+    let outcome = session.capture(&mut dbg, 1_000_000)?;
+
+    // 4. The reconstruction shows every executed instruction.
+    println!("trace memory used : {} bytes", outcome.trace_bytes);
+    println!("messages decoded  : {}", outcome.messages.len());
+    println!("instructions run  : {}", outcome.flow.len());
+    println!("first ten pcs     :");
+    for e in outcome.flow.iter().take(10) {
+        println!("    {} @ {:#010x}", e.core, e.pc);
+    }
+
+    // 5. And the program's answer, read over the debug link.
+    let result = dbg.read_words(0xD000_0000, 1)?[0];
+    println!("10! (from target) : {result}");
+    assert_eq!(result, 3_628_800);
+    // 2 li + 10 iterations × 3 + 2-word li + sw = 35 retired instructions
+    // (HALT never retires).
+    assert_eq!(outcome.flow.len(), 2 + 10 * 3 + 2 + 1);
+    println!("\nquickstart OK");
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Race hunt: find a cross-core lost-update bug with the MCDS — the
+//! debugging scenario Section 3 motivates ("Observation of shared variable
+//! accesses is critical").
+//!
+//! Two cores increment a shared counter without synchronisation, so
+//! updates are lost. The hunt:
+//!
+//! 1. data-trace both cores' writes to the shared counter (qualified — no
+//!    other traffic costs bandwidth);
+//! 2. reconstruct the temporally ordered write log and spot the smoking
+//!    gun: two consecutive writes carrying the *same value* (both cores
+//!    read the same old value);
+//! 3. re-run with a cross-trigger armed on the culprit pattern and break
+//!    **both** cores together at the scene;
+//! 4. verify the fix (a SWAP-based lock) with the same trace.
+//!
+//! ```sh
+//! cargo run --example race_hunt
+//! ```
+
+use mcds::observer::DataTraceConfig;
+use mcds::{
+    AccessKind, CrossTrigger, DataComparator, McdsConfig, SignalRef, TraceQualifier, TriggerAction,
+};
+use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
+use mcds_soc::asm::Program;
+use mcds_soc::bus::AddrRange;
+use mcds_soc::event::CoreId;
+use mcds_trace::{StreamDecoder, TimedMessage, TraceMessage, TraceSource};
+use mcds_workloads::race;
+
+fn watch_counter_config() -> McdsConfig {
+    let mut config = McdsConfig {
+        cores: vec![Default::default(), Default::default()],
+        fifo_depth: 4096,
+        sink_bandwidth: 8,
+        ..Default::default()
+    };
+    for c in &mut config.cores {
+        c.data_trace = DataTraceConfig {
+            qualifier: TraceQualifier::Always,
+            filter: Some(DataComparator::on(
+                AddrRange::new(race::COUNTER_ADDR, 4),
+                AccessKind::Write,
+            )),
+        };
+    }
+    config
+}
+
+fn run_traced(program: &Program, config: McdsConfig) -> (Device, Vec<TimedMessage>) {
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(2)
+        .mcds(config)
+        .build();
+    dev.soc_mut().load_program(program);
+    for _ in 0..3_000_000u64 {
+        dev.step();
+        if dev.soc().cores().all(|c| c.is_halted()) {
+            break;
+        }
+    }
+    let now = dev.soc().cycle();
+    dev.mcds_mut().flush(now);
+    let residual = dev.mcds_mut().take_messages();
+    {
+        let (soc, sink) = dev.soc_sink_mut();
+        sink.store(&residual, soc.mapper_mut().emem_mut().unwrap());
+    }
+    let bytes = dev.sink().read_back(dev.soc().mapper().emem().unwrap());
+    let messages = StreamDecoder::new(bytes)
+        .collect_all()
+        .expect("trace decodes");
+    (dev, messages)
+}
+
+fn write_log(messages: &[TimedMessage]) -> Vec<(u64, CoreId, u32)> {
+    messages
+        .iter()
+        .filter_map(|m| match (m.source, m.message) {
+            (TraceSource::Core(c), TraceMessage::DataWrite { value, .. }) => {
+                Some((m.timestamp, c, value))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Step 1: trace the buggy system. ---
+    let buggy = race::program_buggy();
+    let (dev, messages) = run_traced(&buggy, watch_counter_config());
+    let total = dev.soc().backdoor_read_word(race::COUNTER_ADDR);
+    println!(
+        "buggy run    : counter = {total}, expected {} → {} updates lost",
+        race::expected_total(),
+        race::expected_total() - total
+    );
+    assert!(total < race::expected_total());
+
+    // --- Step 2: the smoking gun in the ordered write log. ---
+    let log = write_log(&messages);
+    let collisions: Vec<&[(u64, CoreId, u32)]> =
+        log.windows(2).filter(|w| w[0].2 == w[1].2).collect();
+    println!(
+        "trace        : {} counter writes captured, {} lost-update collisions visible",
+        log.len(),
+        collisions.len()
+    );
+    assert!(
+        !collisions.is_empty(),
+        "the race is visible in the data trace"
+    );
+    let (t0, c0, v) = collisions[0][0];
+    let (t1, c1, _) = collisions[0][1];
+    println!(
+        "first culprit: {c0} wrote {v} @ cycle {t0}, then {c1} wrote {v} again @ cycle {t1} — a lost update"
+    );
+    assert_ne!(c0, c1, "the collision is cross-core");
+
+    // --- Step 3: break both cores at the scene with a cross trigger. ---
+    // Arm a data comparator on the counter and break both cores on the
+    // N-th write, landing us mid-race with all state intact.
+    let mut config = watch_counter_config();
+    for c in &mut config.cores {
+        c.data_comparators = vec![DataComparator::on(
+            AddrRange::new(race::COUNTER_ADDR, 4),
+            AccessKind::Write,
+        )];
+    }
+    config.cross_triggers = vec![CrossTrigger::on_any(
+        vec![
+            SignalRef::DataComp {
+                core: CoreId(0),
+                idx: 0,
+            },
+            SignalRef::DataComp {
+                core: CoreId(1),
+                idx: 0,
+            },
+        ],
+        TriggerAction::BreakCores(vec![CoreId(0), CoreId(1)]),
+    )
+    .with_count(50)];
+    let (dev, _) = run_traced(&buggy, config);
+    assert!(dev.soc().core(CoreId(0)).is_halted());
+    assert!(dev.soc().core(CoreId(1)).is_halted());
+    println!(
+        "cross trigger: both cores halted together at the 50th counter write\n\
+               (core0 pc={:#010x}, core1 pc={:#010x}) — registers inspectable",
+        dev.soc().core(CoreId(0)).pc(),
+        dev.soc().core(CoreId(1)).pc()
+    );
+
+    // --- Step 4: verify the fix with the same instruments. ---
+    let fixed = race::program_locked();
+    let (dev, messages) = run_traced(&fixed, watch_counter_config());
+    let total = dev.soc().backdoor_read_word(race::COUNTER_ADDR);
+    let log = write_log(&messages);
+    let collisions = log.windows(2).filter(|w| w[0].2 == w[1].2).count();
+    println!("fixed run    : counter = {total} (exact), {collisions} collisions in the trace");
+    assert_eq!(total, race::expected_total());
+    assert_eq!(collisions, 0);
+    println!("\nrace hunt OK — found, caught in the act, and fixed");
+    Ok(())
+}

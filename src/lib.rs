@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # mcds-suite — examples and integration tests
+//!
+//! The umbrella crate of the MCDS/PSI reproduction (Mayer et al., DATE
+//! 2005). It re-exports the workspace crates so the `examples/` binaries
+//! and `tests/` integration suite can use one dependency, and hosts
+//! nothing else — the functionality lives in:
+//!
+//! * [`mcds_soc`] — the SoC substrate,
+//! * [`mcds`] — the Multi-Core Debug Solution,
+//! * [`mcds_trace`] — trace messages, wire codec, reconstruction,
+//! * [`mcds_psi`] — the Package-Sized ICE device model,
+//! * [`mcds_xcp`] — the calibration/measurement protocol,
+//! * [`mcds_host`] — the host-side debugger,
+//! * [`mcds_workloads`] — powertrain workloads.
+
+pub use mcds;
+pub use mcds_host;
+pub use mcds_psi;
+pub use mcds_soc;
+pub use mcds_trace;
+pub use mcds_workloads;
+pub use mcds_xcp;

@@ -1,0 +1,418 @@
+//! Property-based tests over the core data structures and invariants:
+//! instruction encode/decode, the trace wire codec, the message sorter,
+//! overlay redirection arithmetic, the assembler's numeric handling, and
+//! end-to-end trace→reconstruction fidelity for randomly parameterised
+//! programs.
+
+use mcds::observer::{CoreTraceConfig, TraceQualifier};
+use mcds::sorter::MessageSorter;
+use mcds::{Mcds, McdsConfig};
+use mcds_soc::asm::assemble;
+use mcds_soc::bus::AddrRange;
+use mcds_soc::event::CoreId;
+use mcds_soc::isa::{AluOp, BranchCond, Instr, MemWidth, Reg, SpecialReg};
+use mcds_soc::mem::{EmulationRam, Flash, SegmentRole};
+use mcds_soc::overlay::{CalPage, OverlayMapper, OverlayRange};
+use mcds_soc::soc::SocBuilder;
+use mcds_trace::{
+    encode_all, reconstruct_flow, BranchBits, ProgramImage, StreamDecoder, TimedMessage,
+    TraceMessage, TraceSource,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ]
+}
+
+fn arb_alui_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Slt),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+/// Canonical instructions (the forms the decoder produces).
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Brk),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Sync),
+        (
+            arb_reg(),
+            prop_oneof![
+                Just(SpecialReg::CoreId),
+                Just(SpecialReg::CycleLo),
+                Just(SpecialReg::CycleHi)
+            ]
+        )
+            .prop_map(|(rd, sr)| Instr::Mfsr { rd, sr }),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_alui_op(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        // Canonical loads: word loads are unsigned; byte/half carry sign.
+        (arb_reg(), arb_reg(), any::<i16>(), any::<bool>(), 0u8..2).prop_map(
+            |(rd, rs1, imm, signed, w)| {
+                let width = if w == 0 {
+                    MemWidth::Byte
+                } else {
+                    MemWidth::Half
+                };
+                Instr::Load {
+                    width,
+                    signed,
+                    rd,
+                    rs1,
+                    imm,
+                }
+            }
+        ),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Load {
+            width: MemWidth::Word,
+            signed: false,
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg(), any::<i16>(), 0u8..3).prop_map(|(rs2, rs1, imm, w)| {
+            let width = match w {
+                0 => MemWidth::Byte,
+                1 => MemWidth::Half,
+                _ => MemWidth::Word,
+            };
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            }
+        }),
+        (arb_cond(), arb_reg(), arb_reg(), any::<i16>()).prop_map(|(cond, rs1, rs2, imm)| {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            }
+        }),
+        (arb_reg(), -(1i32 << 19)..(1i32 << 19)).prop_map(|(rd, imm)| Instr::Jal { rd, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Jalr {
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Swap { rd, rs1, rs2 }),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = TraceMessage> {
+    let history = (any::<u32>(), 0u8..=32).prop_map(|(bits, count)| BranchBits {
+        bits: if count == 0 {
+            0
+        } else {
+            bits & (u32::MAX >> (32 - count.min(32) as u32))
+        },
+        count,
+    });
+    prop_oneof![
+        any::<u32>().prop_map(|pc| TraceMessage::ProgSync { pc }),
+        (1u32..100_000).prop_map(|i_cnt| TraceMessage::DirectBranch { i_cnt }),
+        (1u32..100_000, history.clone(), any::<u32>()).prop_map(|(i_cnt, history, target)| {
+            TraceMessage::IndirectBranch {
+                i_cnt,
+                history,
+                target,
+            }
+        }),
+        (1u32..100_000, history.clone())
+            .prop_map(|(i_cnt, history)| TraceMessage::BranchHistory { i_cnt, history }),
+        (0u32..100_000, history)
+            .prop_map(|(i_cnt, history)| TraceMessage::FlowFlush { i_cnt, history }),
+        (any::<u32>(), any::<u32>()).prop_map(|(addr, value)| TraceMessage::DataWrite {
+            addr,
+            value,
+            width: MemWidth::Word
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(addr, value)| TraceMessage::DataRead {
+            addr,
+            value,
+            width: MemWidth::Half
+        }),
+        any::<u8>().prop_map(|id| TraceMessage::Watchpoint { id }),
+        (1u32..1_000_000).prop_map(|lost| TraceMessage::Overflow { lost }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn instr_encode_decode_roundtrips(instr in arb_instr()) {
+        let word = instr.encode();
+        let back = Instr::decode(word).expect("canonical instruction decodes");
+        prop_assert_eq!(instr, back);
+    }
+
+    #[test]
+    fn wire_codec_roundtrips(
+        deltas in proptest::collection::vec((0u64..10_000, 0u8..3, arb_message()), 1..200)
+    ) {
+        let mut ts = 0u64;
+        let msgs: Vec<TimedMessage> = deltas
+            .into_iter()
+            .map(|(d, src, message)| {
+                ts += d;
+                let source = if src == 2 {
+                    TraceSource::Bus
+                } else {
+                    TraceSource::Core(CoreId(src))
+                };
+                TimedMessage { timestamp: ts, source, message }
+            })
+            .collect();
+        let bytes = encode_all(&msgs);
+        let back = StreamDecoder::new(bytes).collect_all().expect("decodes");
+        prop_assert_eq!(msgs, back);
+    }
+
+    #[test]
+    fn sorter_output_is_always_temporally_ordered(
+        pushes in proptest::collection::vec((0u8..3, 0u64..50), 1..300),
+        bandwidth in 1usize..8,
+    ) {
+        // Per-source timestamps must be non-decreasing (cycle-synchronous
+        // producers): accumulate deltas per source.
+        let sources = vec![
+            TraceSource::Core(CoreId(0)),
+            TraceSource::Core(CoreId(1)),
+            TraceSource::Bus,
+        ];
+        let mut clocks = [0u64; 3];
+        let mut sorter = MessageSorter::new(&sources, 1 << 12, bandwidth);
+        let mut out = Vec::new();
+        for (src, delta) in pushes {
+            // A global clock: every source's next message is stamped at or
+            // after every previously *pushed* message of that source.
+            let global = *clocks.iter().max().unwrap();
+            clocks[src as usize] = global + delta;
+            sorter.push(TimedMessage {
+                timestamp: clocks[src as usize],
+                source: sources[src as usize],
+                message: TraceMessage::Watchpoint { id: src },
+            });
+            // Drain opportunistically like the hardware does.
+            sorter.drain_cycle(&mut out);
+        }
+        sorter.drain_all(&mut out);
+        prop_assert!(out.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        prop_assert_eq!(out.len() as u64, sorter.emitted());
+    }
+
+    #[test]
+    fn overlay_redirection_matches_arithmetic(
+        range_idx in 0usize..16,
+        block_log2 in 10u32..=15,
+        window in 0u32..32,
+        offset_units in 0u32..8,
+        probe in 0u32..(1 << 15),
+        page in any::<bool>(),
+    ) {
+        let size = 1u32 << block_log2;
+        let flash_addr = 0x8000_0000 + window * 0x8000; // 32 KB aligned
+        let offset0 = offset_units * 0x8000;
+        let offset1 = (offset_units + 1) % 16 * 0x8000;
+        prop_assume!(offset0 + size <= 512 * 1024 && offset1 + size <= 512 * 1024);
+        let flash = Flash::new(2 * 1024 * 1024, 3);
+        let mut emem = EmulationRam::new(8);
+        for s in 0..8 {
+            emem.set_segment_role(s, SegmentRole::Overlay);
+        }
+        let mut m = OverlayMapper::new(
+            flash,
+            0x8000_0000,
+            Some(emem),
+            0xE000_0000,
+            0xF001_0000,
+        );
+        m.configure_range(
+            range_idx,
+            OverlayRange { flash_addr, size, offset_page0: offset0, offset_page1: offset1 },
+        )
+        .expect("valid range");
+        m.set_range_enabled(range_idx, true);
+        let cal_page = if page { CalPage::Page1 } else { CalPage::Page0 };
+        m.set_active_page(cal_page);
+        let addr = flash_addr.wrapping_add(probe);
+        let expected = if probe < size {
+            Some(if page { offset1 + probe } else { offset0 + probe })
+        } else {
+            None
+        };
+        prop_assert_eq!(m.redirect_of(addr), expected);
+    }
+
+    #[test]
+    fn assembler_immediates_roundtrip_through_execution(v in any::<i16>()) {
+        // li with any 16-bit immediate produces that value in the register.
+        let src = format!(".org 0xD0000000\nli r1, {v}\nhalt");
+        let p = assemble(&src).expect("assembles");
+        let mut soc = SocBuilder::new()
+            .core(mcds_soc::CoreConfig { reset_pc: 0xD000_0000, clock_div: 1, ..Default::default() })
+            .build();
+        soc.load_program(&p);
+        soc.run_until_halt(1_000);
+        prop_assert_eq!(soc.core(CoreId(0)).reg(Reg::new(1)), v as i32 as u32);
+    }
+}
+
+proptest! {
+    // Fewer cases: each runs a simulation.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traced_loop_reconstructs_exactly(
+        iterations in 1u32..200,
+        history_mode in any::<bool>(),
+        sync_period in 1u32..64,
+        stride in 1u32..5,
+    ) {
+        // A loop with a data-dependent inner conditional: iterations and
+        // branch pattern vary per case; the reconstructed flow must equal
+        // the ground truth exactly.
+        let src = format!(
+            "
+            .org 0x80000000
+            start:
+                li r1, {iterations}
+                li r3, 0
+            loop:
+                addi r3, r3, {stride}
+                andi r4, r3, 4
+                beq r4, r0, even
+                addi r5, r5, 1
+            even:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                halt
+            "
+        );
+        let program = assemble(&src).expect("assembles");
+        let mut soc = SocBuilder::new().cores(1).build();
+        soc.load_program(&program);
+        let mut mcds = Mcds::new(McdsConfig {
+            cores: vec![CoreTraceConfig {
+                program_trace: TraceQualifier::Always,
+                ..Default::default()
+            }],
+            history_mode,
+            sync_period,
+            fifo_depth: 1 << 16,
+            sink_bandwidth: 16,
+            ..Default::default()
+        });
+        let mut truth = Vec::new();
+        for _ in 0..2_000_000u64 {
+            let record = soc.step();
+            for r in record.retires() {
+                truth.push(r.pc);
+            }
+            mcds.on_cycle(&record);
+            if soc.core(CoreId(0)).is_halted() {
+                break;
+            }
+        }
+        prop_assert!(soc.core(CoreId(0)).is_halted());
+        mcds.flush(soc.cycle());
+        let messages = mcds.take_messages();
+        prop_assert_eq!(mcds.stats().lost, 0);
+        let image = ProgramImage::from(&program);
+        let flow = reconstruct_flow(&image, &messages).expect("reconstructs");
+        let pcs: Vec<u32> = flow.iter().map(|e| e.pc).collect();
+        prop_assert_eq!(pcs, truth);
+    }
+
+    #[test]
+    fn memory_widths_roundtrip_via_bus(
+        addr_off in (0u32..0x3F).prop_map(|x| x * 4),
+        value in any::<u32>(),
+    ) {
+        // Byte/half/word writes then reads through the full SoC bus path.
+        let mut soc = SocBuilder::new().cores(1).build();
+        soc.load_program(&assemble(".org 0x80000000\nhalt").unwrap());
+        soc.run_until_halt(100);
+        let base = 0xD000_1000 + addr_off;
+        soc.debug_write(base, MemWidth::Word, value).unwrap();
+        let (w, _) = soc.debug_read(base, MemWidth::Word).unwrap();
+        prop_assert_eq!(w, value);
+        let (b, _) = soc.debug_read(base, MemWidth::Byte).unwrap();
+        prop_assert_eq!(b, value & 0xFF);
+        let (h, _) = soc.debug_read(base + 2, MemWidth::Half).unwrap();
+        prop_assert_eq!(h, (value >> 16) & 0xFFFF);
+    }
+
+    #[test]
+    fn data_comparator_never_false_positives(
+        base in (0u32..0xFFFF).prop_map(|x| 0xD000_0000 + x * 4),
+        len in 1u32..64,
+        probe in 0u32..0x4_0000,
+        is_write in any::<bool>(),
+    ) {
+        let cmp = mcds::DataComparator::on(
+            AddrRange::new(base, len * 4),
+            mcds::AccessKind::Write,
+        );
+        let access = mcds_soc::MemAccessInfo {
+            addr: 0xD000_0000 + probe,
+            width: MemWidth::Word,
+            is_write,
+            value: 0,
+        };
+        let matched = cmp.matches(&access);
+        let should = is_write
+            && access.addr >= base
+            && access.addr < base + len * 4;
+        prop_assert_eq!(matched, should);
+    }
+}
