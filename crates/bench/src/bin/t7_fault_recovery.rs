@@ -1,0 +1,365 @@
+//! Experiment T7 — robustness: deterministic link faults and end-to-end
+//! recovery.
+//!
+//! The paper's debug links (USB 1.1 in particular, Section 6) run through
+//! connectors, harnesses and an engine-bay environment; frames get lost.
+//! Two recovery mechanisms are measured against a seeded, deterministic
+//! fault model ([`mcds_psi::faults`]):
+//!
+//! * **Calibration** — the XCP master's per-command timeout, bounded retry
+//!   with exponential backoff and SYNCH resynchronization
+//!   ([`mcds_xcp::RetryPolicy`]). Swept over 0–10 % frame loss, with a
+//!   no-recovery ablation.
+//! * **Trace** — stream-level sync records in the wire format plus decoder
+//!   resync ([`mcds_trace::StreamDecoder::collect_resilient`]) and lossy
+//!   flow reconstruction ([`mcds_trace::reconstruct_flow_lossy`]). Trace
+//!   is uploaded through a faulty link and the recovered share is measured
+//!   with sync records on vs off.
+//!
+//! Everything is keyed by fixed seeds: the same binary prints byte-identical
+//! numbers on every run.
+
+use mcds_bench::{print_table, run_with_stimulus, tracing_config, with_data_trace};
+use mcds_psi::device::{DebugOp, DebugResponse, Device, DeviceBuilder, DeviceVariant};
+use mcds_psi::faults::FaultPlan;
+use mcds_psi::interface::InterfaceKind;
+use mcds_soc::asm::assemble;
+use mcds_soc::event::CoreId;
+use mcds_soc::soc::memmap;
+use mcds_trace::{
+    reconstruct_flow, reconstruct_flow_lossy, ProgramImage, StreamDecoder, TimedMessage,
+};
+use mcds_workloads::stimulus::{Profile, StimulusPlayer};
+use mcds_workloads::{engine, FuelMap};
+use mcds_xcp::{RetryPolicy, XcpMaster};
+
+const SEED: u64 = 0xD1CE;
+const SWEEP_PER_MILLE: [u16; 6] = [0, 10, 25, 50, 75, 100];
+const XCP_COMMANDS: u64 = 1000;
+const TRACE_RUN_CYCLES: u64 = 150_000;
+const SYNC_INTERVAL: u64 = 4;
+
+/// A halted single-core ED device: `wait_cycles` jumps the clock, so the
+/// multi-millisecond USB timeouts of the sweep cost no host time.
+fn quiescent_device() -> Device {
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .build();
+    dev.soc_mut()
+        .load_program(&assemble(".org 0x80000000\nhalt").expect("assembles"));
+    dev.run_until_halt(100);
+    dev
+}
+
+struct XcpOutcome {
+    commands: u64,
+    timeouts: u64,
+    retries: u64,
+    synchs: u64,
+    chunk_restarts: u64,
+    gave_up: u64,
+    failed_calls: u64,
+    data_intact: bool,
+    sim_ms: f64,
+}
+
+/// Runs a calibration session of `XCP_COMMANDS` commands (status polls plus
+/// block writes/reads of a 64-byte tune region) at `per_mille` frame loss.
+fn xcp_session(per_mille: u16, policy: RetryPolicy) -> XcpOutcome {
+    let mut dev = quiescent_device();
+    if per_mille > 0 {
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(SEED, per_mille));
+    }
+    let mut master = XcpMaster::new(InterfaceKind::Usb11);
+    master.set_retry_policy(policy);
+    let start = dev.soc().cycle();
+    let mut failed_calls = 0u64;
+    if master.connect(&mut dev).is_err() {
+        failed_calls += 1;
+    }
+    let tune: Vec<u8> = (0..64u32).map(|i| (i * 7 + 3) as u8).collect();
+    let mut data_intact = true;
+    let mut round = 0u32;
+    while master.commands_sent() < XCP_COMMANDS {
+        let addr = memmap::SRAM_BASE + (round % 8) * 64;
+        match master.write_block(&mut dev, addr, &tune) {
+            Ok(()) => match master.read_block(&mut dev, addr, tune.len()) {
+                Ok(back) => data_intact &= back == tune,
+                Err(_) => failed_calls += 1,
+            },
+            Err(_) => failed_calls += 1,
+        }
+        if master.daq_clock(&mut dev).is_err() {
+            failed_calls += 1;
+        }
+        round += 1;
+    }
+    let stats = master.recovery_stats();
+    XcpOutcome {
+        commands: master.commands_sent(),
+        timeouts: stats.timeouts,
+        retries: stats.retries,
+        synchs: stats.synchs,
+        chunk_restarts: stats.chunk_restarts,
+        gave_up: stats.gave_up,
+        failed_calls,
+        data_intact,
+        sim_ms: (dev.soc().cycle() - start) as f64 / 150_000.0,
+    }
+}
+
+/// Captures an engine-control trace, then uploads it twice over USB at
+/// `per_mille` frame loss — with and without stream-level sync records —
+/// and measures how much of the clean stream each decode recovers.
+struct TraceOutcome {
+    truth_messages: usize,
+    recovered: usize,
+    coverage_pct: f64,
+    gaps: u64,
+    bytes_skipped: u64,
+    instrs_lossy: usize,
+    instrs_truth: usize,
+}
+
+fn capture_trace(sync_records: bool) -> (Device, Vec<TimedMessage>) {
+    // Dense periodic ProgSync (absolute PC) so flow re-anchors quickly
+    // after a gap — the observer-level half of Nexus-style resync.
+    let mut mcds_config = with_data_trace(tracing_config(1));
+    mcds_config.sync_period = 8;
+    let mut builder = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .mcds(mcds_config)
+        .trace_segments(vec![4, 5, 6, 7]);
+    if sync_records {
+        builder = builder.trace_sync_interval(SYNC_INTERVAL);
+    }
+    let mut dev = builder.build();
+    dev.soc_mut()
+        .load_program(&engine::program_with_map(None, &FuelMap::factory()));
+    let mut player = StimulusPlayer::new(Profile::drive_cycle(
+        engine::RPM_PORT,
+        engine::LOAD_PORT,
+        TRACE_RUN_CYCLES,
+    ));
+    run_with_stimulus(&mut dev, &mut player, TRACE_RUN_CYCLES, true);
+    dev.execute(InterfaceKind::Jtag, DebugOp::HaltCore(CoreId(0)))
+        .expect("halt for upload");
+    // Ground truth: the stored stream read back over a clean link.
+    let clean = match dev
+        .execute(InterfaceKind::Usb11, DebugOp::ReadTrace)
+        .expect("clean upload")
+    {
+        DebugResponse::TraceBytes(b) => b,
+        other => panic!("unexpected response {other:?}"),
+    };
+    let truth = StreamDecoder::new(clean).collect_all().expect("clean trace");
+    (dev, truth)
+}
+
+/// Longest-common-subsequence-free coverage: greedy in-order matching of
+/// recovered messages against the truth stream. Mis-framed garbage between
+/// gaps cannot inflate the score.
+fn matched_in_order(truth: &[TimedMessage], recovered: &[TimedMessage]) -> usize {
+    const PROBE: usize = 64;
+    let mut idx = 0;
+    let mut matched = 0;
+    for r in recovered {
+        let window = &truth[idx..(idx + PROBE).min(truth.len())];
+        if let Some(j) = window.iter().position(|t| t == r) {
+            matched += 1;
+            idx += j + 1;
+        }
+        // No match within the probe window: mis-framed garbage — skip it
+        // without consuming truth.
+    }
+    matched
+}
+
+fn trace_upload(per_mille: u16, sync_records: bool) -> TraceOutcome {
+    let (mut dev, truth) = capture_trace(sync_records);
+    if per_mille > 0 {
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(SEED ^ 0x7, per_mille));
+    }
+    // The request frame itself can be lost: retry like any debug tool.
+    let damaged = loop {
+        match dev.execute(InterfaceKind::Usb11, DebugOp::ReadTrace) {
+            Ok(DebugResponse::TraceBytes(b)) => break b,
+            Ok(other) => panic!("unexpected response {other:?}"),
+            Err(_) => continue,
+        }
+    };
+    let (recovered, report) = StreamDecoder::new(damaged).collect_resilient();
+    let matched = matched_in_order(&truth, &recovered);
+
+    // Flow reconstruction through the gaps (part of the same recovery
+    // path): strict on truth, lossy on the damaged stream.
+    let image = ProgramImage::from(&engine::program_with_map(None, &FuelMap::factory()));
+    let instrs_truth = reconstruct_flow(&image, &truth)
+        .map(|v| v.len())
+        .unwrap_or_else(|_| reconstruct_flow_lossy(&image, &truth).0.len());
+    let (lossy_instrs, _) = reconstruct_flow_lossy(&image, &recovered);
+
+    TraceOutcome {
+        truth_messages: truth.len(),
+        recovered: recovered.len(),
+        coverage_pct: matched as f64 * 100.0 / truth.len().max(1) as f64,
+        gaps: report.gaps,
+        bytes_skipped: report.bytes_skipped,
+        instrs_lossy: lossy_instrs.len(),
+        instrs_truth,
+    }
+}
+
+/// A short session against live (never-halting) cores: recovery works the
+/// same when the SoC is executing, it just costs real stepping time — so
+/// this confirmation is kept small.
+fn live_confirmation() -> (u64, u64) {
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(1)
+        .build();
+    dev.soc_mut()
+        .load_program(&engine::program_with_map(None, &FuelMap::factory()));
+    dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(SEED ^ 0x33, 50));
+    let mut master = XcpMaster::new(InterfaceKind::Usb11);
+    master.set_retry_policy(RetryPolicy::standard());
+    master.connect(&mut dev).expect("connect through 5% loss");
+    for i in 0..12u32 {
+        let addr = memmap::SRAM_BASE + 0x200 + (i % 4) * 16;
+        master
+            .write_block(&mut dev, addr, &[1, 2, 3, 4])
+            .expect("live write");
+        assert_eq!(
+            master.read_block(&mut dev, addr, 4).expect("live read"),
+            vec![1, 2, 3, 4]
+        );
+    }
+    let stats = master.recovery_stats();
+    (master.commands_sent(), stats.gave_up)
+}
+
+fn main() {
+    // --- T7a: XCP calibration sweep, recovery on. ---
+    let mut rows = Vec::new();
+    let mut at_5pct = None;
+    for &pm in &SWEEP_PER_MILLE {
+        let o = xcp_session(pm, RetryPolicy::standard());
+        rows.push(vec![
+            format!("{:.1} %", pm as f64 / 10.0),
+            o.commands.to_string(),
+            o.timeouts.to_string(),
+            o.retries.to_string(),
+            o.synchs.to_string(),
+            o.chunk_restarts.to_string(),
+            o.gave_up.to_string(),
+            o.failed_calls.to_string(),
+            format!("{:.1} ms", o.sim_ms),
+        ]);
+        assert!(o.data_intact, "calibration data corrupted at {pm}‰");
+        assert_eq!(o.gave_up, 0, "unrecovered command at {pm}‰");
+        assert_eq!(o.failed_calls, 0, "failed API call at {pm}‰");
+        if pm == 50 {
+            at_5pct = Some((o.commands, o.retries));
+        }
+    }
+    print_table(
+        "T7a: XCP calibration session vs USB frame loss (retry + SYNCH on)",
+        &[
+            "frame loss",
+            "commands",
+            "timeouts",
+            "retries",
+            "SYNCHs",
+            "chunk restarts",
+            "gave up",
+            "failed calls",
+            "sim time",
+        ],
+        &rows,
+    );
+    let (cmds, retries) = at_5pct.expect("5% point swept");
+    assert!(cmds >= XCP_COMMANDS, "session long enough");
+    assert!(retries > 0, "5% loss must actually exercise recovery");
+
+    // --- T7b: ablation, recovery off. ---
+    let off = xcp_session(50, RetryPolicy::none());
+    print_table(
+        "T7b: the same 5%-loss session without recovery (ablation)",
+        &["commands", "timeouts", "failed calls", "data intact"],
+        &[vec![
+            off.commands.to_string(),
+            off.timeouts.to_string(),
+            off.failed_calls.to_string(),
+            off.data_intact.to_string(),
+        ]],
+    );
+    assert!(
+        off.failed_calls > 0,
+        "without retry, 5% frame loss must break calls"
+    );
+
+    // --- T7c: trace upload through a faulty link. ---
+    let mut rows = Vec::new();
+    for &pm in &SWEEP_PER_MILLE {
+        let on = trace_upload(pm, true);
+        let off = trace_upload(pm, false);
+        rows.push(vec![
+            format!("{:.1} %", pm as f64 / 10.0),
+            on.truth_messages.to_string(),
+            format!("{:.1} %", on.coverage_pct),
+            on.gaps.to_string(),
+            on.bytes_skipped.to_string(),
+            format!("{}/{}", on.instrs_lossy, on.instrs_truth),
+            format!("{:.1} %", off.coverage_pct),
+        ]);
+        if pm == 0 {
+            assert_eq!(on.recovered, on.truth_messages, "clean link is lossless");
+            assert_eq!(off.coverage_pct, 100.0);
+        }
+        if pm == 50 {
+            assert!(
+                on.coverage_pct >= 90.0,
+                "sync-record resync must recover ≥90% at 5% loss (got {:.1}%)",
+                on.coverage_pct
+            );
+            assert!(
+                off.coverage_pct < on.coverage_pct,
+                "sync records must beat the no-record ablation ({:.1}% vs {:.1}%)",
+                on.coverage_pct,
+                off.coverage_pct
+            );
+        }
+    }
+    print_table(
+        &format!(
+            "T7c: trace recovered from a damaged upload (sync records every {SYNC_INTERVAL} msgs vs none)"
+        ),
+        &[
+            "frame loss",
+            "messages",
+            "recovered (sync on)",
+            "gaps",
+            "bytes skipped",
+            "instrs lossy/truth",
+            "recovered (sync off)",
+        ],
+        &rows,
+    );
+
+    // --- T7d: determinism + live-core confirmation. ---
+    let a = xcp_session(50, RetryPolicy::standard());
+    let b = xcp_session(50, RetryPolicy::standard());
+    assert_eq!(
+        (a.commands, a.timeouts, a.retries, a.synchs, a.gave_up),
+        (b.commands, b.timeouts, b.retries, b.synchs, b.gave_up),
+        "same seed, same plan — identical run"
+    );
+    let (live_cmds, live_gave_up) = live_confirmation();
+    assert_eq!(live_gave_up, 0);
+    println!(
+        "\nT7d: determinism check passed (two 5%-loss sessions identical);\n\
+         live-core confirmation: {live_cmds} commands through 5% loss, 0 unrecovered.\n\
+         Robustness claim reproduced: bounded retry + SYNCH turns a lossy\n\
+         calibration link into a reliable one, and periodic sync records map\n\
+         link damage to a measured, bounded trace gap instead of a lost stream."
+    );
+}

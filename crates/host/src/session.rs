@@ -39,6 +39,9 @@ pub enum SessionError {
         /// Ranges needed.
         needed: usize,
     },
+    /// An overlay range configuration was rejected (e.g. an unaligned
+    /// emulation-RAM offset, or a program chunk outside flash).
+    Overlay(mcds_soc::overlay::ConfigOverlayError),
 }
 
 impl fmt::Display for SessionError {
@@ -51,6 +54,7 @@ impl fmt::Display for SessionError {
                 f,
                 "program needs {needed} overlay ranges but only {OVERLAY_RANGE_COUNT} exist"
             ),
+            SessionError::Overlay(e) => write!(f, "overlay configuration failed: {e}"),
         }
     }
 }
@@ -137,11 +141,10 @@ impl TraceSession {
         dbg.device_mut().mcds_mut().flush(now);
         let residual = dbg.device_mut().mcds_mut().take_messages();
         if !residual.is_empty() {
-            let dev = dbg.device_mut();
-            if dev.soc().mapper().emem().is_some() {
-                // Store through the same sink path the hardware uses.
-                let (soc, sink) = dev.soc_sink_mut();
-                sink.store(&residual, soc.mapper_mut().emem_mut().expect("emem"));
+            // Store through the same sink path the hardware uses.
+            let (soc, sink) = dbg.device_mut().soc_sink_mut();
+            if let Some(emem) = soc.mapper_mut().emem_mut() {
+                sink.store(&residual, emem);
             }
         }
         self.download(dbg)
@@ -214,7 +217,8 @@ impl TraceSession {
 /// # Errors
 ///
 /// [`SessionError::OverlayCapacity`] if more than 16 ranges would be
-/// needed; host/device errors for the transfers.
+/// needed; [`SessionError::Overlay`] if a range is rejected (e.g. an
+/// unaligned `emem_offset`); host/device errors for the transfers.
 pub fn load_program_to_emulation_ram(
     dbg: &mut Debugger,
     program: &Program,
@@ -264,7 +268,7 @@ pub fn load_program_to_emulation_ram(
                     offset_page1: b.emem_offset,
                 },
             )
-            .expect("32 KB aligned block is always valid");
+            .map_err(SessionError::Overlay)?;
         dbg.device_mut()
             .soc_mut()
             .mapper_mut()

@@ -19,6 +19,7 @@
 //! idle, identical behaviour — the transparency property experiments F3/F4
 //! verify.
 
+use crate::faults::{FaultInjector, FaultPlan, FaultStats, FrameFate};
 use crate::interface::{InterfaceKind, InterfaceModel};
 use crate::service::ServiceProcessor;
 use crate::trace_sink::{FullPolicy, TraceSink};
@@ -29,6 +30,7 @@ use mcds_soc::event::{CoreId, CycleRecord};
 use mcds_soc::isa::{MemWidth, Reg};
 use mcds_soc::mem::SegmentRole;
 use mcds_soc::soc::{memmap, Soc, SocBuilder};
+use std::collections::HashMap;
 use std::fmt;
 
 /// How the development device is constructed.
@@ -262,6 +264,11 @@ pub enum DeviceError {
         /// Offending address.
         addr: u32,
     },
+    /// A command or response frame was lost on the link (injected fault);
+    /// the host observes this as a timeout. The operation may or may not
+    /// have executed on the device — exactly the ambiguity real debug
+    /// tools must resolve with retry and resynchronization.
+    LinkTimeout(InterfaceKind),
 }
 
 impl fmt::Display for DeviceError {
@@ -277,6 +284,9 @@ impl fmt::Display for DeviceError {
             DeviceError::NoSuchCore(c) => write!(f, "no such core {c}"),
             DeviceError::BadFlashRange { addr } => {
                 write!(f, "address {addr:#010x} outside program flash")
+            }
+            DeviceError::LinkTimeout(k) => {
+                write!(f, "{k} link timed out (frame lost or corrupted)")
             }
         }
     }
@@ -309,6 +319,7 @@ pub struct DeviceBuilder {
     mcds: McdsConfig,
     trace_segments: Vec<usize>,
     trace_policy: FullPolicy,
+    trace_sync_interval: Option<u64>,
     flash_wait_states: Option<u32>,
     dma: bool,
 }
@@ -322,6 +333,7 @@ impl DeviceBuilder {
             mcds: McdsConfig::default(),
             trace_segments: vec![6, 7],
             trace_policy: FullPolicy::Stop,
+            trace_sync_interval: None,
             flash_wait_states: None,
             dma: false,
         }
@@ -365,6 +377,15 @@ impl DeviceBuilder {
     /// Sets the trace-full policy.
     pub fn trace_policy(mut self, policy: FullPolicy) -> DeviceBuilder {
         self.trace_policy = policy;
+        self
+    }
+
+    /// Emits a stream-level sync record every `interval` trace messages
+    /// (absolute timestamp + compression reset), letting host-side decoders
+    /// resynchronize after a corrupt region of an uploaded trace. Off by
+    /// default — a lossless link does not need the extra bytes.
+    pub fn trace_sync_interval(mut self, interval: u64) -> DeviceBuilder {
+        self.trace_sync_interval = Some(interval);
         self
     }
 
@@ -423,6 +444,10 @@ impl DeviceBuilder {
         } else {
             TraceSink::discarding()
         };
+        let sink = match self.trace_sync_interval {
+            Some(n) => sink.with_sync_interval(n),
+            None => sink,
+        };
 
         if self.mcds.cores.is_empty() {
             self.mcds.cores = vec![Default::default(); core_count];
@@ -442,6 +467,7 @@ impl DeviceBuilder {
                 .then(|| ServiceProcessor::new(core_count)),
             trigger_out_log: Vec::new(),
             sink_dropped: 0,
+            faults: HashMap::new(),
         }
     }
 }
@@ -458,6 +484,7 @@ pub struct Device {
     service: Option<ServiceProcessor>,
     trigger_out_log: Vec<(u64, u8)>,
     sink_dropped: u64,
+    faults: HashMap<InterfaceKind, FaultInjector>,
 }
 
 impl fmt::Debug for Device {
@@ -524,6 +551,29 @@ impl Device {
             InterfaceKind::Usb11 => self.usb.as_ref(),
             InterfaceKind::Can => Some(&self.can),
         }
+    }
+
+    /// Installs a deterministic fault plan on one link, replacing any
+    /// prior plan (and resetting its statistics). Until cleared, every
+    /// command, response and trace upload crossing that link runs through
+    /// the plan's frame-fate draws.
+    pub fn set_fault_plan(&mut self, kind: InterfaceKind, plan: FaultPlan) {
+        self.faults.insert(kind, FaultInjector::new(kind, plan));
+    }
+
+    /// Removes the fault plan from one link, restoring lossless delivery.
+    pub fn clear_fault_plan(&mut self, kind: InterfaceKind) {
+        self.faults.remove(&kind);
+    }
+
+    /// The fault plan active on a link, if any.
+    pub fn fault_plan(&self, kind: InterfaceKind) -> Option<&FaultPlan> {
+        self.faults.get(&kind).map(|i| i.plan())
+    }
+
+    /// Cumulative fault statistics for a link (None if no plan installed).
+    pub fn fault_stats(&self, kind: InterfaceKind) -> Option<FaultStats> {
+        self.faults.get(&kind).map(|i| i.stats())
     }
 
     /// Messages the sink had to drop (production devices without trace
@@ -770,7 +820,8 @@ impl Device {
     /// # Errors
     ///
     /// Returns [`DeviceError::InterfaceUnavailable`] if the variant lacks
-    /// the link, or the underlying operation's error.
+    /// the link, [`DeviceError::LinkTimeout`] if an injected fault ate a
+    /// command or response frame, or the underlying operation's error.
     pub fn execute(
         &mut self,
         kind: InterfaceKind,
@@ -788,12 +839,44 @@ impl Device {
         let iface = self.interface(kind).expect("checked above");
         let inbound =
             iface.request_latency_cycles() + iface.transfer_cycles(request_bytes) + overhead;
+        let frame_payload = iface.frame_payload();
+        let request_frames = iface.frames_for(request_bytes.max(1));
         self.wait_cycles(inbound);
+        // Command-direction faults: a lost or corrupted command frame means
+        // the device never sees a coherent command — the host observes a
+        // timeout and the operation does NOT execute.
+        self.transmit_frames(kind, request_frames)?;
         let response = self.perform(op)?;
         let iface = self.interface(kind).expect("checked above");
-        let outbound =
-            iface.transfer_cycles(response.response_bytes()) + iface.response_latency_cycles();
+        let response_bytes = response.response_bytes();
+        let outbound = iface.transfer_cycles(response_bytes) + iface.response_latency_cycles();
+        let response_frames = iface.frames_for(response_bytes.max(1));
         self.wait_cycles(outbound);
+        let response = match response {
+            // Bulk trace upload: faults perturb the payload itself — dropped
+            // frames leave gaps, corrupted frames carry a flipped bit — and
+            // the damaged stream is still delivered. Surviving that is the
+            // trace decoder's job (sync markers + resync), not the link's.
+            DebugResponse::TraceBytes(bytes) => {
+                let now = self.soc.cycle();
+                match self.faults.get_mut(&kind) {
+                    Some(inj) => {
+                        let (mangled, delay) = inj.mangle_payload(&bytes, frame_payload, now);
+                        self.wait_cycles(delay);
+                        DebugResponse::TraceBytes(mangled)
+                    }
+                    None => DebugResponse::TraceBytes(bytes),
+                }
+            }
+            // Control responses: link CRCs discard damaged frames, so a lost
+            // or corrupted response frame is a host-side timeout — but the
+            // operation DID execute, so device state (e.g. an auto-increment
+            // MTA) has already advanced. Retry layers must handle this.
+            other => {
+                self.transmit_frames(kind, response_frames)?;
+                other
+            }
+        };
         let busy = self.soc.cycle() - start;
         let payload = request_bytes + response.response_bytes();
         match kind {
@@ -806,6 +889,44 @@ impl Device {
             InterfaceKind::Can => self.can.record_transaction(payload, busy),
         }
         Ok(response)
+    }
+
+    /// Runs `frames` control frames through the link's fault injector (if
+    /// one is installed), charging any jitter in simulated time. Corrupted
+    /// control frames count as lost — the receiver's CRC discards them.
+    ///
+    /// Transports layered over the device (e.g. the XCP master) call this
+    /// so their traffic faces the same hostile link as debug commands.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::LinkTimeout`] if any frame was lost.
+    pub fn transmit_frames(&mut self, kind: InterfaceKind, frames: u64) -> Result<(), DeviceError> {
+        let now = self.soc.cycle();
+        let Some(inj) = self.faults.get_mut(&kind) else {
+            return Ok(());
+        };
+        let mut lost = false;
+        let mut delay = 0u64;
+        for _ in 0..frames {
+            match inj.next_frame(now) {
+                FrameFate::Dropped => lost = true,
+                FrameFate::Corrupted {
+                    extra_delay_cycles, ..
+                } => {
+                    lost = true;
+                    delay += extra_delay_cycles;
+                }
+                FrameFate::Delivered {
+                    extra_delay_cycles, ..
+                } => delay += extra_delay_cycles,
+            }
+        }
+        self.wait_cycles(delay);
+        if lost {
+            return Err(DeviceError::LinkTimeout(kind));
+        }
+        Ok(())
     }
 }
 
@@ -1224,5 +1345,150 @@ mod interface_stats_tests {
         assert_eq!(usb.transactions(), 2);
         // The PCP2 processed all three commands.
         assert_eq!(dev.service().unwrap().commands_processed(), 3);
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use mcds::observer::{CoreTraceConfig, TraceQualifier};
+    use mcds_soc::asm::assemble;
+
+    fn halted_ed_device() -> Device {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nhalt").unwrap());
+        dev.run_until_halt(100);
+        dev
+    }
+
+    #[test]
+    fn lossless_fault_plan_is_transparent() {
+        let mut plain = halted_ed_device();
+        let mut faulty = halted_ed_device();
+        faulty.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossless(1));
+        let a = plain.execute(InterfaceKind::Usb11, DebugOp::ReadStats).unwrap();
+        let b = faulty.execute(InterfaceKind::Usb11, DebugOp::ReadStats).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(plain.soc().cycle(), faulty.soc().cycle());
+        let stats = faulty.fault_stats(InterfaceKind::Usb11).unwrap();
+        assert!(stats.frames > 0);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn total_loss_plan_times_out_every_command() {
+        let mut dev = halted_ed_device();
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(7, 1000));
+        for _ in 0..5 {
+            assert_eq!(
+                dev.execute(InterfaceKind::Usb11, DebugOp::ReadStats)
+                    .unwrap_err(),
+                DeviceError::LinkTimeout(InterfaceKind::Usb11)
+            );
+        }
+        assert!(dev.fault_stats(InterfaceKind::Usb11).unwrap().dropped >= 5);
+        // Other links stay lossless.
+        assert!(dev.execute(InterfaceKind::Jtag, DebugOp::ReadStats).is_ok());
+    }
+
+    #[test]
+    fn timeouts_still_charge_simulated_time() {
+        let mut dev = halted_ed_device();
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(7, 1000));
+        let before = dev.soc().cycle();
+        let _ = dev.execute(InterfaceKind::Usb11, DebugOp::ReadStats);
+        assert!(
+            dev.soc().cycle() > before,
+            "a lost command still burns link latency"
+        );
+    }
+
+    #[test]
+    fn moderate_loss_lets_retries_through() {
+        let mut dev = halted_ed_device();
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(21, 300));
+        let mut ok = 0;
+        let mut err = 0;
+        for _ in 0..40 {
+            match dev.execute(InterfaceKind::Usb11, DebugOp::ReadStats) {
+                Ok(_) => ok += 1,
+                Err(DeviceError::LinkTimeout(_)) => err += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(ok > 0, "30% loss must let some commands through");
+        assert!(err > 0, "30% loss must kill some commands");
+    }
+
+    #[test]
+    fn trace_upload_is_mangled_not_timed_out() {
+        let trace_dev = || {
+            let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+                .cores(1)
+                .mcds(McdsConfig {
+                    cores: vec![CoreTraceConfig {
+                        program_trace: TraceQualifier::Always,
+                        ..Default::default()
+                    }],
+                    fifo_depth: 256,
+                    sink_bandwidth: 4,
+                    ..Default::default()
+                })
+                .build();
+            dev.soc_mut().load_program(
+                &assemble(
+                    ".org 0x80000000\nli r1, 40\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt",
+                )
+                .unwrap(),
+            );
+            dev.run_until_halt(50_000);
+            dev
+        };
+        let mut clean = trace_dev();
+        let clean_bytes = match clean.execute(InterfaceKind::Usb11, DebugOp::ReadTrace).unwrap() {
+            DebugResponse::TraceBytes(b) => b,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert!(!clean_bytes.is_empty());
+        // A short upload is only a few frames; scan seeds until one both
+        // gets the command through and perturbs the payload. Deterministic:
+        // the same seed always shows the same behaviour.
+        let mut perturbed = false;
+        for seed in 0..64 {
+            let mut faulty = trace_dev();
+            faulty.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(seed, 300));
+            match faulty.execute(InterfaceKind::Usb11, DebugOp::ReadTrace) {
+                Ok(DebugResponse::TraceBytes(b)) => {
+                    assert!(faulty.fault_stats(InterfaceKind::Usb11).unwrap().frames > 0);
+                    if b != clean_bytes {
+                        perturbed = true;
+                        break;
+                    }
+                }
+                Ok(other) => panic!("unexpected response {other:?}"),
+                Err(DeviceError::LinkTimeout(_)) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(
+            perturbed,
+            "30% frame faults must perturb some bulk trace upload"
+        );
+    }
+
+    #[test]
+    fn fault_plan_accessors_roundtrip() {
+        let mut dev = halted_ed_device();
+        assert!(dev.fault_plan(InterfaceKind::Can).is_none());
+        let plan = FaultPlan::lossy(3, 50);
+        dev.set_fault_plan(InterfaceKind::Can, plan.clone());
+        assert_eq!(dev.fault_plan(InterfaceKind::Can), Some(&plan));
+        dev.clear_fault_plan(InterfaceKind::Can);
+        assert!(dev.fault_plan(InterfaceKind::Can).is_none());
+        assert!(dev.fault_stats(InterfaceKind::Can).is_none());
     }
 }

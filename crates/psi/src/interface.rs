@@ -38,6 +38,26 @@ impl fmt::Display for InterfaceKind {
     }
 }
 
+/// Rejected [`InterfaceModel`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterfaceModelError {
+    /// `bits_per_second` must be non-zero.
+    ZeroBitRate,
+    /// `frame_payload` must be non-zero.
+    ZeroFramePayload,
+}
+
+impl fmt::Display for InterfaceModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterfaceModelError::ZeroBitRate => write!(f, "bits_per_second must be non-zero"),
+            InterfaceModelError::ZeroFramePayload => write!(f, "frame_payload must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for InterfaceModelError {}
+
 /// A latency/bandwidth model of one debug link.
 #[derive(Debug, Clone)]
 pub struct InterfaceModel {
@@ -59,54 +79,56 @@ pub struct InterfaceModel {
 }
 
 impl InterfaceModel {
+    /// Builds a link model, rejecting parameters that would divide by zero
+    /// in the timing arithmetic.
+    pub fn custom(
+        kind: InterfaceKind,
+        request_latency_ns: u64,
+        response_latency_ns: u64,
+        bits_per_second: u64,
+        frame_overhead_bits: u64,
+        frame_payload: u64,
+    ) -> Result<InterfaceModel, InterfaceModelError> {
+        if bits_per_second == 0 {
+            return Err(InterfaceModelError::ZeroBitRate);
+        }
+        if frame_payload == 0 {
+            return Err(InterfaceModelError::ZeroFramePayload);
+        }
+        Ok(InterfaceModel {
+            kind,
+            request_latency_ns,
+            response_latency_ns,
+            bits_per_second,
+            frame_overhead_bits,
+            frame_payload,
+            transactions: 0,
+            payload_bytes: 0,
+            busy_cycles: 0,
+        })
+    }
+
     /// The USB 1.1 model: 12 Mbit/s bulk, 3 ms command latency (one
     /// polling interval request + response processing), 64-byte frames
     /// with 13 bytes of protocol overhead.
     pub fn usb11() -> InterfaceModel {
-        InterfaceModel {
-            kind: InterfaceKind::Usb11,
-            request_latency_ns: 1_500_000,
-            response_latency_ns: 1_500_000,
-            bits_per_second: 12_000_000,
-            frame_overhead_bits: 13 * 8,
-            frame_payload: 64,
-            transactions: 0,
-            payload_bytes: 0,
-            busy_cycles: 0,
-        }
+        InterfaceModel::custom(InterfaceKind::Usb11, 1_500_000, 1_500_000, 12_000_000, 13 * 8, 64)
+            .expect("static USB 1.1 parameters are valid")
     }
 
     /// The JTAG model: 2 µs fixed transaction latency (1 µs each way, the
     /// paper's "2 µs latency" for control actions), 10 MHz TCK with 8
     /// capture/update overhead bits per 4-byte word.
     pub fn jtag() -> InterfaceModel {
-        InterfaceModel {
-            kind: InterfaceKind::Jtag,
-            request_latency_ns: 1_000,
-            response_latency_ns: 1_000,
-            bits_per_second: 10_000_000,
-            frame_overhead_bits: 8,
-            frame_payload: 4,
-            transactions: 0,
-            payload_bytes: 0,
-            busy_cycles: 0,
-        }
+        InterfaceModel::custom(InterfaceKind::Jtag, 1_000, 1_000, 10_000_000, 8, 4)
+            .expect("static JTAG parameters are valid")
     }
 
     /// The CAN model: 500 kbit/s, 8-byte frames with 47 bits of frame
     /// overhead, ~220 µs request latency (frame time plus scheduling).
     pub fn can() -> InterfaceModel {
-        InterfaceModel {
-            kind: InterfaceKind::Can,
-            request_latency_ns: 220_000,
-            response_latency_ns: 220_000,
-            bits_per_second: 500_000,
-            frame_overhead_bits: 47,
-            frame_payload: 8,
-            transactions: 0,
-            payload_bytes: 0,
-            busy_cycles: 0,
-        }
+        InterfaceModel::custom(InterfaceKind::Can, 220_000, 220_000, 500_000, 47, 8)
+            .expect("static CAN parameters are valid")
     }
 
     /// The link kind.
@@ -124,14 +146,26 @@ impl InterfaceModel {
         memmap::ns_to_cycles(self.response_latency_ns)
     }
 
+    /// Payload bytes carried per link frame.
+    pub fn frame_payload(&self) -> u64 {
+        self.frame_payload
+    }
+
+    /// Number of link frames needed to carry `bytes` of payload.
+    pub fn frames_for(&self, bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(self.frame_payload)
+    }
+
     /// Cycles to move `bytes` of payload across the link (frame overhead
-    /// included).
+    /// included). Saturates instead of overflowing for absurd sizes.
     pub fn transfer_cycles(&self, bytes: usize) -> u64 {
         if bytes == 0 {
             return 0;
         }
-        let frames = (bytes as u64).div_ceil(self.frame_payload);
-        let bits = bytes as u64 * 8 + frames * self.frame_overhead_bits;
+        let frames = self.frames_for(bytes);
+        let bits = (bytes as u64)
+            .saturating_mul(8)
+            .saturating_add(frames.saturating_mul(self.frame_overhead_bits));
         let ns = bits.saturating_mul(1_000_000_000) / self.bits_per_second;
         memmap::ns_to_cycles(ns)
     }
@@ -140,9 +174,9 @@ impl InterfaceModel {
     /// `request_bytes` out and `response_bytes` back.
     pub fn round_trip_cycles(&self, request_bytes: usize, response_bytes: usize) -> u64 {
         self.request_latency_cycles()
-            + self.transfer_cycles(request_bytes)
-            + self.response_latency_cycles()
-            + self.transfer_cycles(response_bytes)
+            .saturating_add(self.transfer_cycles(request_bytes))
+            .saturating_add(self.response_latency_cycles())
+            .saturating_add(self.transfer_cycles(response_bytes))
     }
 
     /// Effective payload throughput in bits per second for large transfers.
@@ -234,6 +268,26 @@ mod tests {
         let j = InterfaceModel::jtag();
         assert_eq!(j.transfer_cycles(0), 0);
         assert!(j.round_trip_cycles(0, 0) > 0, "latency still applies");
+    }
+
+    #[test]
+    fn zero_rate_and_zero_frame_payload_are_rejected() {
+        assert_eq!(
+            InterfaceModel::custom(InterfaceKind::Can, 1, 1, 0, 47, 8).unwrap_err(),
+            InterfaceModelError::ZeroBitRate
+        );
+        assert_eq!(
+            InterfaceModel::custom(InterfaceKind::Can, 1, 1, 500_000, 47, 0).unwrap_err(),
+            InterfaceModelError::ZeroFramePayload
+        );
+    }
+
+    #[test]
+    fn huge_transfers_saturate_instead_of_overflowing() {
+        let j = InterfaceModel::jtag();
+        let c = j.transfer_cycles(usize::MAX);
+        assert!(c > 0);
+        assert!(j.round_trip_cycles(usize::MAX, usize::MAX) >= c);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   booster), debug command execution with realistic link timing;
 //! * [`interface`] — USB 1.1 / JTAG / CAN latency+bandwidth models
 //!   (JTAG ≈ 2 µs, USB ≈ 3 ms, Section 6);
+//! * [`faults`] — deterministic, seedable fault injection on those links
+//!   (frame drop / corruption / duplication / jitter, outage windows);
 //! * [`service`] — the PCP2 debug-service core: driver overhead,
 //!   performance monitor, consistency checker;
 //! * [`trace_sink`] — trace storage in the 64 KB emulation-RAM segments.
@@ -37,6 +39,7 @@
 //! ```
 
 pub mod device;
+pub mod faults;
 pub mod interface;
 pub mod multichip;
 pub mod service;
@@ -45,7 +48,8 @@ pub mod trace_sink;
 pub use device::{
     DebugOp, DebugResponse, Device, DeviceBuilder, DeviceError, DeviceVariant, VariantInfo,
 };
-pub use interface::{InterfaceKind, InterfaceModel};
+pub use faults::{DownWindow, FaultInjector, FaultPlan, FaultStats, FrameFate};
+pub use interface::{InterfaceKind, InterfaceModel, InterfaceModelError};
 pub use multichip::{MultiChipBench, TriggerWire};
 pub use service::{ConsistencyChecker, ConsistencyRule, PerfMonitor, ServiceProcessor};
 pub use trace_sink::{FullPolicy, TraceSink};

@@ -81,6 +81,30 @@ impl TraceSink {
         }
     }
 
+    /// Configures stream-level sync records every `interval` messages
+    /// (see [`mcds_trace::StreamEncoder::with_sync_interval`]): the stored
+    /// stream then carries periodic absolute-timestamp resynchronization
+    /// points, so a decoder can skip a corrupt region and continue exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages have already been stored.
+    ///
+    /// [`mcds_trace::StreamEncoder::with_sync_interval`]: StreamEncoder::with_sync_interval
+    pub fn with_sync_interval(mut self, interval: u64) -> TraceSink {
+        assert!(
+            self.encoder.byte_len() == 0,
+            "sync interval must be configured before the first store"
+        );
+        self.encoder = StreamEncoder::with_sync_interval(interval);
+        self
+    }
+
+    /// The configured sync-record interval, if any.
+    pub fn sync_interval(&self) -> Option<u64> {
+        self.encoder.sync_interval()
+    }
+
     /// Capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -254,6 +278,20 @@ mod tests {
     fn wrong_role_segment_rejected() {
         let emem = trace_emem(1);
         let _ = TraceSink::new(&emem, vec![3], FullPolicy::Stop);
+    }
+
+    #[test]
+    fn sync_interval_survives_store_and_decode() {
+        let mut emem = trace_emem(1);
+        let mut sink =
+            TraceSink::new(&emem, vec![0], FullPolicy::Stop).with_sync_interval(16);
+        assert_eq!(sink.sync_interval(), Some(16));
+        let msgs: Vec<TimedMessage> = (0..100).map(|i| m(i as u64 * 3, i as u8)).collect();
+        assert_eq!(sink.store(&msgs, &mut emem), 100);
+        let decoded = StreamDecoder::new(sink.read_back(&emem))
+            .collect_all()
+            .unwrap();
+        assert_eq!(decoded, msgs, "sync records are transparent to decode");
     }
 
     #[test]

@@ -65,4 +65,4 @@ pub use bus::{Addr, AddrRange, BusFault, BusRequest, BusTarget, MasterId};
 pub use cpu::{CoreConfig, Cpu, RunState};
 pub use event::{CoreId, CycleRecord, MemAccessInfo, RetireEvent, SocEvent, StopCause};
 pub use isa::{Instr, MemWidth, Reg};
-pub use soc::{memmap, Soc, SocBuilder};
+pub use soc::{memmap, BackdoorError, Soc, SocBuilder};

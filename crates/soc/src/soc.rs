@@ -56,6 +56,75 @@ pub mod memmap {
     }
 }
 
+/// Error raised by the fallible backdoor-access methods
+/// ([`Soc::try_backdoor_read`], [`Soc::try_backdoor_write`],
+/// [`Soc::try_load_program`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackdoorError {
+    /// The range is not fully backed by flash, SRAM or emulation RAM
+    /// (it starts outside every region, or runs past a region's end).
+    #[allow(missing_docs)]
+    OutsideMemory { addr: Addr, len: usize },
+    /// The range targets emulation RAM on a device variant without one.
+    #[allow(missing_docs)]
+    NoEmulationRam { addr: Addr },
+}
+
+impl std::fmt::Display for BackdoorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BackdoorError::OutsideMemory { addr, len } => {
+                write!(f, "backdoor access outside memory at {addr:#010x}+{len:#x}")
+            }
+            BackdoorError::NoEmulationRam { addr } => write!(
+                f,
+                "backdoor access to emulation RAM at {addr:#010x} on a device without one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackdoorError {}
+
+/// Which backdoor-reachable memory a range falls into.
+#[derive(Clone, Copy)]
+enum BackdoorRegion {
+    Flash,
+    Sram,
+    Emem,
+}
+
+impl BackdoorRegion {
+    fn base(self) -> Addr {
+        match self {
+            BackdoorRegion::Flash => memmap::FLASH_BASE,
+            BackdoorRegion::Sram => memmap::SRAM_BASE,
+            BackdoorRegion::Emem => memmap::EMEM_BASE,
+        }
+    }
+}
+
+/// Classifies `addr..addr+len`, requiring it to sit entirely inside one
+/// backdoor-reachable region.
+fn backdoor_region(addr: Addr, len: usize) -> Result<BackdoorRegion, BackdoorError> {
+    const REGIONS: [(BackdoorRegion, Addr, u32); 3] = [
+        (BackdoorRegion::Flash, memmap::FLASH_BASE, memmap::FLASH_SIZE),
+        (BackdoorRegion::Sram, memmap::SRAM_BASE, memmap::SRAM_SIZE),
+        (BackdoorRegion::Emem, memmap::EMEM_BASE, memmap::EMEM_SIZE),
+    ];
+    for (region, base, size) in REGIONS {
+        if (base..base + size).contains(&addr) {
+            let within = (addr - base) as u64 + len as u64 <= size as u64;
+            return if within {
+                Ok(region)
+            } else {
+                Err(BackdoorError::OutsideMemory { addr, len })
+            };
+        }
+    }
+    Err(BackdoorError::OutsideMemory { addr, len })
+}
+
 /// The concrete bus-target set of the SoC (typed, so backdoor access needs
 /// no downcasting).
 #[allow(clippy::large_enum_variant)] // the mapper variant carries the 16-range table
@@ -520,11 +589,21 @@ impl Soc {
     ///
     /// # Panics
     ///
-    /// Panics if a chunk falls outside flash, SRAM or emulation RAM.
+    /// Panics if a chunk falls outside flash, SRAM or emulation RAM. Use
+    /// [`Soc::try_load_program`] to get a typed error instead.
     pub fn load_program(&mut self, program: &Program) {
+        self.try_load_program(program)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`Soc::load_program`]: returns a [`BackdoorError`]
+    /// for the first chunk that falls outside flash, SRAM or emulation RAM.
+    /// Chunks before the failing one stay written.
+    pub fn try_load_program(&mut self, program: &Program) -> Result<(), BackdoorError> {
         for (base, bytes) in &program.chunks {
-            self.backdoor_write(*base, bytes);
+            self.try_backdoor_write(*base, bytes)?;
         }
+        Ok(())
     }
 
     /// Backdoor write of raw bytes at an absolute address (no simulated
@@ -533,24 +612,35 @@ impl Soc {
     /// # Panics
     ///
     /// Panics if the range is not backed by flash, SRAM or emulation RAM.
+    /// Use [`Soc::try_backdoor_write`] to get a typed error instead.
     pub fn backdoor_write(&mut self, addr: Addr, bytes: &[u8]) {
-        if (memmap::FLASH_BASE..memmap::FLASH_BASE + memmap::FLASH_SIZE).contains(&addr) {
-            self.mapper_mut()
-                .flash_mut()
-                .program(addr - memmap::FLASH_BASE, bytes);
-        } else if (memmap::SRAM_BASE..memmap::SRAM_BASE + memmap::SRAM_SIZE).contains(&addr) {
-            let off = (addr - memmap::SRAM_BASE) as usize;
-            self.sram_mut().bytes_mut()[off..off + bytes.len()].copy_from_slice(bytes);
-        } else if (memmap::EMEM_BASE..memmap::EMEM_BASE + memmap::EMEM_SIZE).contains(&addr) {
-            let off = (addr - memmap::EMEM_BASE) as usize;
-            let emem = self
+        self.try_backdoor_write(addr, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`Soc::backdoor_write`]: rejects ranges that are
+    /// not fully backed by flash, SRAM or emulation RAM with a typed
+    /// [`BackdoorError`] instead of panicking.
+    pub fn try_backdoor_write(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), BackdoorError> {
+        let region = backdoor_region(addr, bytes.len())?;
+        let off = (addr - region.base()) as usize;
+        match region {
+            BackdoorRegion::Flash => self
                 .mapper_mut()
-                .emem_mut()
-                .expect("backdoor write to emulation RAM on a device without one");
-            emem.bytes_mut()[off..off + bytes.len()].copy_from_slice(bytes);
-        } else {
-            panic!("backdoor write outside memory at {addr:#010x}");
+                .flash_mut()
+                .program(addr - memmap::FLASH_BASE, bytes),
+            BackdoorRegion::Sram => {
+                self.sram_mut().bytes_mut()[off..off + bytes.len()].copy_from_slice(bytes);
+            }
+            BackdoorRegion::Emem => {
+                let emem = self
+                    .mapper_mut()
+                    .emem_mut()
+                    .ok_or(BackdoorError::NoEmulationRam { addr })?;
+                emem.bytes_mut()[off..off + bytes.len()].copy_from_slice(bytes);
+            }
         }
+        Ok(())
     }
 
     /// Backdoor read of raw bytes at an absolute address.
@@ -558,23 +648,29 @@ impl Soc {
     /// # Panics
     ///
     /// Panics if the range is not backed by flash, SRAM or emulation RAM.
+    /// Use [`Soc::try_backdoor_read`] to get a typed error instead.
     pub fn backdoor_read(&self, addr: Addr, len: usize) -> Vec<u8> {
-        if (memmap::FLASH_BASE..memmap::FLASH_BASE + memmap::FLASH_SIZE).contains(&addr) {
-            let off = (addr - memmap::FLASH_BASE) as usize;
-            self.mapper().flash().bytes()[off..off + len].to_vec()
-        } else if (memmap::SRAM_BASE..memmap::SRAM_BASE + memmap::SRAM_SIZE).contains(&addr) {
-            let off = (addr - memmap::SRAM_BASE) as usize;
-            self.sram().bytes()[off..off + len].to_vec()
-        } else if (memmap::EMEM_BASE..memmap::EMEM_BASE + memmap::EMEM_SIZE).contains(&addr) {
-            let off = (addr - memmap::EMEM_BASE) as usize;
-            let emem = self
-                .mapper()
-                .emem()
-                .expect("backdoor read from emulation RAM on a device without one");
-            emem.bytes()[off..off + len].to_vec()
-        } else {
-            panic!("backdoor read outside memory at {addr:#010x}");
-        }
+        self.try_backdoor_read(addr, len)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Soc::backdoor_read`]: rejects ranges that are not
+    /// fully backed by flash, SRAM or emulation RAM with a typed
+    /// [`BackdoorError`] instead of panicking.
+    pub fn try_backdoor_read(&self, addr: Addr, len: usize) -> Result<Vec<u8>, BackdoorError> {
+        let region = backdoor_region(addr, len)?;
+        let off = (addr - region.base()) as usize;
+        Ok(match region {
+            BackdoorRegion::Flash => self.mapper().flash().bytes()[off..off + len].to_vec(),
+            BackdoorRegion::Sram => self.sram().bytes()[off..off + len].to_vec(),
+            BackdoorRegion::Emem => {
+                let emem = self
+                    .mapper()
+                    .emem()
+                    .ok_or(BackdoorError::NoEmulationRam { addr })?;
+                emem.bytes()[off..off + len].to_vec()
+            }
+        })
     }
 
     /// Backdoor read of one little-endian word.
@@ -896,6 +992,70 @@ mod tests {
         assert!(soc.mapper().emem().is_none());
         let soc = SocBuilder::new().cores(1).with_emulation_ram().build();
         assert_eq!(soc.mapper().emem().unwrap().size(), memmap::EMEM_SIZE);
+    }
+
+    #[test]
+    fn backdoor_access_outside_memory_is_a_typed_error() {
+        let mut soc = SocBuilder::new().cores(1).build();
+        assert_eq!(
+            soc.try_backdoor_read(0x1234_0000, 4),
+            Err(BackdoorError::OutsideMemory {
+                addr: 0x1234_0000,
+                len: 4
+            })
+        );
+        assert_eq!(
+            soc.try_backdoor_write(0x1234_0000, &[0; 4]),
+            Err(BackdoorError::OutsideMemory {
+                addr: 0x1234_0000,
+                len: 4
+            })
+        );
+        // A range that starts inside SRAM but runs past its end is rejected
+        // up front (nothing is written).
+        let end = memmap::SRAM_BASE + memmap::SRAM_SIZE - 2;
+        assert_eq!(
+            soc.try_backdoor_write(end, &[0xAA; 8]),
+            Err(BackdoorError::OutsideMemory { addr: end, len: 8 })
+        );
+        assert_eq!(soc.try_backdoor_read(end, 2).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn backdoor_emem_without_emulation_ram_is_a_typed_error() {
+        let mut soc = SocBuilder::new().cores(1).build();
+        assert_eq!(
+            soc.try_backdoor_read(memmap::EMEM_BASE, 4),
+            Err(BackdoorError::NoEmulationRam {
+                addr: memmap::EMEM_BASE
+            })
+        );
+        assert_eq!(
+            soc.try_backdoor_write(memmap::EMEM_BASE, &[1, 2, 3]),
+            Err(BackdoorError::NoEmulationRam {
+                addr: memmap::EMEM_BASE
+            })
+        );
+        let mut dev = SocBuilder::new().cores(1).with_emulation_ram().build();
+        dev.try_backdoor_write(memmap::EMEM_BASE, &[1, 2, 3]).unwrap();
+        assert_eq!(
+            dev.try_backdoor_read(memmap::EMEM_BASE, 3).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn try_load_program_reports_bad_chunks() {
+        let mut soc = SocBuilder::new().cores(1).build();
+        let mut prog = assemble(".org 0x80000000\nhalt").unwrap();
+        prog.chunks.push((0x4000_0000, vec![0xFF; 16]));
+        assert_eq!(
+            soc.try_load_program(&prog),
+            Err(BackdoorError::OutsideMemory {
+                addr: 0x4000_0000,
+                len: 16
+            })
+        );
     }
 
     #[test]

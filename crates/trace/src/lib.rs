@@ -49,7 +49,10 @@ pub mod wire;
 pub use image::ProgramImage;
 pub use message::{BranchBits, TimedMessage, TraceMessage, TraceSource};
 pub use reconstruct::{
-    collect_data_log, reconstruct_flow, DataRecord, ExecutedInstr, FlowReconstructor,
-    ReconstructError,
+    collect_data_log, reconstruct_flow, reconstruct_flow_lossy, DataRecord, ExecutedInstr,
+    FlowReconstructor, LossyFlowReport, ReconstructError,
 };
-pub use wire::{decode_wrapped, encode_all, DecodeStreamError, StreamDecoder, StreamEncoder};
+pub use wire::{
+    decode_wrapped, encode_all, DecodeStreamError, ResyncReport, StreamDecoder, StreamEncoder,
+    SYNC_MAGIC,
+};

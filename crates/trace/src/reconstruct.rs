@@ -153,6 +153,14 @@ impl<'a> FlowReconstructor<'a> {
         self.skipped_unsynced
     }
 
+    /// Drops `core`'s flow anchor: program messages from it are skipped
+    /// (and counted) until its next `ProgSync`, exactly as after a FIFO
+    /// overflow. Lossy reconstruction uses this when a trace/image
+    /// contradiction reveals that messages were lost.
+    pub fn desync(&mut self, core: CoreId) {
+        self.flows.entry(core).or_default().pc = None;
+    }
+
     /// The current anchored PC of `core`, if synced.
     pub fn current_pc(&self, core: CoreId) -> Option<u32> {
         self.flows.get(&core).and_then(|f| f.pc)
@@ -297,6 +305,46 @@ pub fn reconstruct_flow(
         out.extend(r.feed(m)?);
     }
     Ok(out)
+}
+
+/// Accounting of what lossy reconstruction had to give up on.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossyFlowReport {
+    /// Trace/image contradictions converted into desyncs (each one is a
+    /// symptom of lost or corrupt messages upstream).
+    pub desyncs: u64,
+    /// Program messages skipped while a core's flow was unsynced.
+    pub skipped_unsynced: u64,
+}
+
+/// Reconstructs per-core flow from a stream that may have gaps (dropped
+/// frames, skipped corrupt regions, FIFO overflows).
+///
+/// Where [`reconstruct_flow`] aborts on the first trace/image
+/// contradiction, this treats a contradiction the same way the strict path
+/// treats an `Overflow` message: the offending core's flow is dropped and
+/// re-anchors at its next `ProgSync`. The instructions proven by cleanly
+/// decoded runs between gaps are all recovered.
+pub fn reconstruct_flow_lossy(
+    image: &ProgramImage,
+    messages: &[TimedMessage],
+) -> (Vec<ExecutedInstr>, LossyFlowReport) {
+    let mut r = FlowReconstructor::new(image);
+    let mut out = Vec::new();
+    let mut report = LossyFlowReport::default();
+    for m in messages {
+        match r.feed(m) {
+            Ok(instrs) => out.extend(instrs),
+            Err(_) => {
+                if let TraceSource::Core(core) = m.source {
+                    r.desync(core);
+                }
+                report.desyncs += 1;
+            }
+        }
+    }
+    report.skipped_unsynced = r.skipped_unsynced();
+    (out, report)
 }
 
 /// Extracts the data log from a message stream.
@@ -548,6 +596,60 @@ mod tests {
         assert_eq!(b[0].pc, 0x1004);
         assert_eq!(a[0].core, CoreId(0));
         assert_eq!(b[0].core, CoreId(1));
+    }
+
+    #[test]
+    fn lossy_reconstruction_survives_a_gap() {
+        let img = loop_image();
+        // A stream with a gap: sync, one good run, then a run that
+        // contradicts the image (stale messages after lost ones), then a
+        // fresh sync and another good run.
+        let msgs = vec![
+            msg(0, TraceMessage::ProgSync { pc: 0x1000 }),
+            msg(0, TraceMessage::DirectBranch { i_cnt: 3 }),
+            // Gap: pretend intermediate messages were dropped; this run no
+            // longer lines up with the image (ends on addi, not a branch).
+            msg(0, TraceMessage::DirectBranch { i_cnt: 1 }),
+            msg(0, TraceMessage::ProgSync { pc: 0x1004 }),
+            msg(0, TraceMessage::DirectBranch { i_cnt: 2 }),
+        ];
+        assert!(reconstruct_flow(&img, &msgs).is_err(), "strict path aborts");
+        let (instrs, report) = reconstruct_flow_lossy(&img, &msgs);
+        assert_eq!(report.desyncs, 1);
+        assert_eq!(
+            instrs.iter().map(|e| e.pc).collect::<Vec<_>>(),
+            vec![0x1000, 0x1004, 0x1008, 0x1004, 0x1008],
+            "both clean runs recovered"
+        );
+    }
+
+    #[test]
+    fn lossy_reconstruction_counts_unsynced_skips() {
+        let img = loop_image();
+        let msgs = vec![
+            // No sync yet: skipped.
+            msg(0, TraceMessage::DirectBranch { i_cnt: 3 }),
+            msg(0, TraceMessage::ProgSync { pc: 0x1000 }),
+            msg(0, TraceMessage::DirectBranch { i_cnt: 3 }),
+        ];
+        let (instrs, report) = reconstruct_flow_lossy(&img, &msgs);
+        assert_eq!(instrs.len(), 3);
+        assert_eq!(report.desyncs, 0);
+        assert_eq!(report.skipped_unsynced, 1);
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_streams() {
+        let img = loop_image();
+        let msgs = vec![
+            msg(0, TraceMessage::ProgSync { pc: 0x1000 }),
+            msg(0, TraceMessage::DirectBranch { i_cnt: 3 }),
+            msg(0, TraceMessage::DirectBranch { i_cnt: 2 }),
+        ];
+        let strict = reconstruct_flow(&img, &msgs).unwrap();
+        let (lossy, report) = reconstruct_flow_lossy(&img, &msgs);
+        assert_eq!(strict, lossy);
+        assert_eq!(report, LossyFlowReport::default());
     }
 
     #[test]

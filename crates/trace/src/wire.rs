@@ -19,6 +19,29 @@
 //! (like a Nexus full-sync): a decoder that joins the stream mid-way — the
 //! wrapped flight-recorder window of [`decode_wrapped`] — is fully exact
 //! from each source's first sync onwards.
+//!
+//! ## Stream-level sync records
+//!
+//! When the encoder is built with [`StreamEncoder::with_sync_interval`], it
+//! interleaves *sync records* every N messages: the magic bytes
+//! [`SYNC_MAGIC`] followed by a varint **absolute** timestamp. A sync
+//! record resets the timestamp context and *every* source's address-XOR
+//! state, so a decoder joining (or re-joining) the stream at a sync record
+//! is byte-exact from there on — absolute time included. The magic's
+//! leading byte `0xFF` can never open a valid message (type nibble `0xF` is
+//! unassigned), so a header can never be mistaken for a sync record.
+//! [`StreamDecoder::resync`] scans forward for the magic after corruption,
+//! and [`StreamDecoder::collect_resilient`] drives decode/resync
+//! end-to-end, reporting every gap it skipped. Program flow re-anchors at
+//! the first genuine [`TraceMessage::ProgSync`] after the gap (the MCDS
+//! observer emits one every `sync_period` program messages).
+//!
+//! One caveat: varint *payload* bytes can legitimately contain `0xFF`, so
+//! in a damaged stream a payload position can masquerade as the magic.
+//! Intact streams are unaffected (the sequential decoder only interprets
+//! the magic at message boundaries), and recovery is always exact from the
+//! first genuine sync record after the damage; a false match can only cost
+//! part of the single inter-record segment it lies in.
 
 use crate::message::{BranchBits, TimedMessage, TraceMessage, TraceSource};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -65,6 +88,14 @@ impl fmt::Display for DecodeStreamError {
 }
 
 impl std::error::Error for DecodeStreamError {}
+
+/// Magic prefix of a stream-level sync record.
+///
+/// The leading `0xFF` is unambiguous at a message boundary: a valid header
+/// never carries the unassigned type nibble `0xF`. The second byte guards
+/// the mid-stream scan of [`StreamDecoder::resync`] against stray `0xFF`
+/// payload bytes.
+pub const SYNC_MAGIC: [u8; 2] = [0xFF, 0xA5];
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -129,12 +160,41 @@ pub struct StreamEncoder {
     last_timestamp: u64,
     state: HashMap<u8, SourceState>,
     messages: u64,
+    sync_interval: Option<u64>,
+    sync_records: u64,
 }
 
 impl StreamEncoder {
-    /// Creates an empty encoder.
+    /// Creates an empty encoder. No stream-level sync records are emitted;
+    /// use [`StreamEncoder::with_sync_interval`] for a resynchronizable
+    /// stream.
     pub fn new() -> StreamEncoder {
         StreamEncoder::default()
+    }
+
+    /// Creates an encoder that emits a stream-level sync record
+    /// ([`SYNC_MAGIC`] + varint absolute timestamp, resetting the timestamp
+    /// context and all per-source compression state) before the first
+    /// message and then before every `interval`-th message.
+    ///
+    /// Smaller intervals cost a few bytes per record but bound how much
+    /// trace a corrupt byte can destroy: a decoder re-joins exactly at the
+    /// next record.
+    pub fn with_sync_interval(interval: u64) -> StreamEncoder {
+        StreamEncoder {
+            sync_interval: Some(interval.max(1)),
+            ..StreamEncoder::default()
+        }
+    }
+
+    /// The configured sync-record interval, if any.
+    pub fn sync_interval(&self) -> Option<u64> {
+        self.sync_interval
+    }
+
+    /// Number of stream-level sync records emitted so far.
+    pub fn sync_record_count(&self) -> u64 {
+        self.sync_records
     }
 
     /// Number of messages encoded so far.
@@ -158,6 +218,11 @@ impl StreamEncoder {
             m.timestamp >= self.last_timestamp,
             "messages must arrive in timestamp order"
         );
+        if let Some(n) = self.sync_interval {
+            if self.messages.is_multiple_of(n) {
+                self.emit_sync_record(m.timestamp);
+            }
+        }
         let delta = m.timestamp.saturating_sub(self.last_timestamp);
         self.last_timestamp = m.timestamp;
         let src = m.source.code();
@@ -208,6 +273,16 @@ impl StreamEncoder {
         self.messages += 1;
     }
 
+    /// Writes a sync record: magic + absolute timestamp, and resets the
+    /// whole compression context so a decoder can join here byte-exactly.
+    fn emit_sync_record(&mut self, timestamp: u64) {
+        self.buf.put_slice(&SYNC_MAGIC);
+        put_varint(&mut self.buf, timestamp);
+        self.last_timestamp = timestamp;
+        self.state.clear();
+        self.sync_records += 1;
+    }
+
     /// Finishes encoding and returns the byte stream.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
@@ -219,12 +294,32 @@ impl StreamEncoder {
     }
 }
 
+/// Accounting of what [`StreamDecoder::collect_resilient`] had to skip.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResyncReport {
+    /// Number of corrupt regions skipped (each ended at a sync record).
+    pub gaps: u64,
+    /// Total bytes discarded while scanning for sync records.
+    pub bytes_skipped: u64,
+    /// True if the stream ended inside a corrupt region with no further
+    /// sync record to re-join at (the tail after the last good message is
+    /// lost).
+    pub tail_lost: bool,
+}
+
 /// Decodes a trace byte stream back into [`TimedMessage`]s.
+///
+/// Decode errors are **sticky**: once [`StreamDecoder::next_message`]
+/// returns an error, every further call returns the same error until
+/// [`StreamDecoder::resync`] skips ahead to the next stream-level sync
+/// record. A corrupt byte therefore cannot silently smear mis-framed
+/// garbage into the output.
 #[derive(Debug)]
 pub struct StreamDecoder {
     buf: Bytes,
     last_timestamp: u64,
     state: HashMap<u8, SourceState>,
+    failed: Option<DecodeStreamError>,
 }
 
 impl StreamDecoder {
@@ -234,15 +329,45 @@ impl StreamDecoder {
             buf: bytes.into(),
             last_timestamp: 0,
             state: HashMap::new(),
+            failed: None,
         }
     }
 
     /// Decodes the next message, or `None` at a clean end of stream.
     ///
+    /// Stream-level sync records are consumed transparently: they reset the
+    /// timestamp context and all per-source compression state but produce
+    /// no message.
+    ///
     /// # Errors
     ///
     /// Returns a [`DecodeStreamError`] on truncation or malformed fields.
+    /// The error is sticky — see [`StreamDecoder::resync`].
     pub fn next_message(&mut self) -> Result<Option<TimedMessage>, DecodeStreamError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        match self.parse_next() {
+            Ok(m) => Ok(m),
+            Err(e) => {
+                self.failed = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn parse_next(&mut self) -> Result<Option<TimedMessage>, DecodeStreamError> {
+        while self.buf.has_remaining() && self.buf[0] == SYNC_MAGIC[0] {
+            if self.buf.remaining() < 2 {
+                return Err(DecodeStreamError::Truncated);
+            }
+            if self.buf[1] != SYNC_MAGIC[1] {
+                return Err(DecodeStreamError::BadType { code: 0xF });
+            }
+            self.buf.advance(2);
+            self.last_timestamp = get_varint(&mut self.buf)?;
+            self.state.clear();
+        }
         if !self.buf.has_remaining() {
             return Ok(None);
         }
@@ -344,6 +469,76 @@ impl StreamDecoder {
             out.push(m);
         }
         Ok(out)
+    }
+
+    /// Recovers from a decode error (or joins mid-stream) by scanning
+    /// forward for the next stream-level sync record.
+    ///
+    /// On success the sticky error is cleared, all decode state is reset
+    /// (the record itself re-establishes absolute time), and the number of
+    /// bytes skipped to reach the record is returned. Returns `None` — and
+    /// leaves the decoder failed — when no sync record remains, i.e. the
+    /// rest of the stream is unrecoverable.
+    pub fn resync(&mut self) -> Option<usize> {
+        let pos = self
+            .buf
+            .windows(2)
+            .position(|w| w == SYNC_MAGIC)?;
+        self.buf.advance(pos);
+        self.failed = None;
+        self.state.clear();
+        Some(pos)
+    }
+
+    /// Decodes as much of the stream as possible, skipping corrupt regions
+    /// at sync-record boundaries.
+    ///
+    /// Because a sync record resets the timestamp context and *all*
+    /// per-source compression state, the stretch between two sync records
+    /// decodes identically in isolation. This method therefore splits the
+    /// stream at every [`SYNC_MAGIC`] occurrence and decodes each segment
+    /// independently — so damage in one segment (even damage that happens
+    /// to keep parsing, mis-framed, for a while) can never swallow the
+    /// segments after it.
+    ///
+    /// Returns every message that decoded cleanly plus a [`ResyncReport`]
+    /// of the gaps. A stream with no corruption returns all messages and a
+    /// zeroed report; a stream with no sync records degrades to "everything
+    /// up to the first bad byte".
+    pub fn collect_resilient(self) -> (Vec<TimedMessage>, ResyncReport) {
+        let data: &[u8] = &self.buf;
+        let mut starts: Vec<usize> = vec![0];
+        starts.extend(
+            data.windows(2)
+                .enumerate()
+                .filter(|(_, w)| *w == SYNC_MAGIC)
+                .map(|(i, _)| i),
+        );
+        starts.dedup();
+        let mut out = Vec::new();
+        let mut report = ResyncReport::default();
+        for (k, &s) in starts.iter().enumerate() {
+            let end = starts.get(k + 1).copied().unwrap_or(data.len());
+            if s == end {
+                continue;
+            }
+            let mut dec = StreamDecoder::new(self.buf.slice(s..end));
+            loop {
+                match dec.next_message() {
+                    Ok(Some(m)) => out.push(m),
+                    Ok(None) => break,
+                    Err(_) => {
+                        report.gaps += 1;
+                        report.bytes_skipped += dec.buf.remaining() as u64;
+                        if k + 1 == starts.len() {
+                            report.tail_lost = true;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        (out, report)
     }
 }
 
@@ -774,5 +969,158 @@ mod sync_reset_tests {
         ));
         // Timestamps are deltas, so the late joiner sees relative time
         // starting at its first message — expected and harmless.
+    }
+}
+
+#[cfg(test)]
+mod sync_record_tests {
+    use super::*;
+    use mcds_soc::event::CoreId;
+
+    fn mk(ts: u64, message: TraceMessage) -> TimedMessage {
+        TimedMessage {
+            timestamp: ts,
+            source: TraceSource::Core(CoreId(0)),
+            message,
+        }
+    }
+
+    fn flow_stream(n: u64) -> Vec<TimedMessage> {
+        (0..n)
+            .map(|i| {
+                if i % 8 == 0 {
+                    mk(
+                        i * 10,
+                        TraceMessage::ProgSync {
+                            pc: 0x8000_0000 + i as u32 * 4,
+                        },
+                    )
+                } else {
+                    mk(
+                        i * 10,
+                        TraceMessage::IndirectBranch {
+                            i_cnt: i as u32 % 5 + 1,
+                            history: BranchBits::new(),
+                            target: 0x8000_0000 + (i as u32 * 52) % 0x400,
+                        },
+                    )
+                }
+            })
+            .collect()
+    }
+
+    fn encode_synced(msgs: &[TimedMessage], interval: u64) -> Bytes {
+        let mut enc = StreamEncoder::with_sync_interval(interval);
+        for m in msgs {
+            enc.push(m);
+        }
+        enc.finish()
+    }
+
+    #[test]
+    fn synced_stream_roundtrips_exactly() {
+        let msgs = flow_stream(100);
+        let bytes = encode_synced(&msgs, 10);
+        let back = StreamDecoder::new(bytes).collect_all().unwrap();
+        assert_eq!(back, msgs);
+    }
+
+    #[test]
+    fn sync_records_are_emitted_at_the_interval() {
+        let msgs = flow_stream(100);
+        let mut enc = StreamEncoder::with_sync_interval(10);
+        for m in &msgs {
+            enc.push(m);
+        }
+        assert_eq!(enc.sync_record_count(), 10, "one per 10 messages");
+        assert!(StreamEncoder::new().sync_interval().is_none());
+    }
+
+    #[test]
+    fn decode_errors_are_sticky() {
+        let mut dec = StreamDecoder::new(vec![0x0F, 0x00]);
+        let first = dec.next_message();
+        assert!(matches!(first, Err(DecodeStreamError::BadType { code: 0xF })));
+        // Every further call repeats the same error — no mis-framed decode.
+        for _ in 0..4 {
+            assert_eq!(dec.next_message(), first);
+        }
+    }
+
+    #[test]
+    fn resync_skips_to_next_sync_record() {
+        let msgs = flow_stream(60);
+        let bytes = encode_synced(&msgs, 20);
+        let mut corrupted = bytes.to_vec();
+        // Smash the first message header (right after the 3-byte leading
+        // sync record) into the invalid type nibble 0xF.
+        corrupted[3] = 0x0F;
+        let (recovered, report) = StreamDecoder::new(corrupted).collect_resilient();
+        assert!(report.gaps >= 1, "at least one gap: {report:?}");
+        assert!(!report.tail_lost);
+        assert!(report.bytes_skipped > 0);
+        // Everything from the second sync record (message 20) onwards is
+        // byte-exact, absolute timestamps included.
+        let tail = &msgs[20..];
+        assert!(
+            recovered.len() >= tail.len(),
+            "recovered {} < tail {}",
+            recovered.len(),
+            tail.len()
+        );
+        assert_eq!(&recovered[recovered.len() - tail.len()..], tail);
+    }
+
+    #[test]
+    fn resync_restores_absolute_timestamps() {
+        let msgs = flow_stream(40);
+        let bytes = encode_synced(&msgs, 10);
+        let mut corrupted = bytes.to_vec();
+        corrupted[3] = 0x0F;
+        let (recovered, _) = StreamDecoder::new(corrupted).collect_resilient();
+        let last = recovered.last().expect("something recovered");
+        assert_eq!(
+            last.timestamp,
+            msgs.last().unwrap().timestamp,
+            "sync record carries absolute time"
+        );
+    }
+
+    #[test]
+    fn stream_without_sync_records_loses_the_tail() {
+        let msgs = flow_stream(30);
+        let bytes = encode_all(&msgs); // no sync records
+        let mut corrupted = bytes.to_vec();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] = 0x0F;
+        let (recovered, report) = StreamDecoder::new(corrupted).collect_resilient();
+        if recovered.len() < msgs.len() {
+            assert!(report.tail_lost, "no sync record to re-join at");
+        }
+    }
+
+    #[test]
+    fn truncated_sync_record_is_an_error_not_a_panic() {
+        // Magic with the varint cut off.
+        let mut dec = StreamDecoder::new(vec![0xFF, 0xA5]);
+        assert!(matches!(
+            dec.next_message(),
+            Err(DecodeStreamError::Truncated)
+        ));
+        // Lone 0xFF at end of stream.
+        let mut dec = StreamDecoder::new(vec![0xFF]);
+        assert!(matches!(
+            dec.next_message(),
+            Err(DecodeStreamError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn collect_resilient_on_clean_stream_reports_no_gaps() {
+        let msgs = flow_stream(50);
+        let bytes = encode_synced(&msgs, 10);
+        let (recovered, report) = StreamDecoder::new(bytes).collect_resilient();
+        assert_eq!(recovered, msgs);
+        assert_eq!(report, ResyncReport::default());
     }
 }

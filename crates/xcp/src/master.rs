@@ -5,10 +5,23 @@
 //! cycles (USB ≈ 3 ms per command, CAN slower still — Section 6), with the
 //! PCP2 driver overhead accounted on the service core. Block operations
 //! (`read_block`/`write_block`) chunk by the negotiated `MAX_CTO`.
+//!
+//! ## Fault recovery
+//!
+//! When the device carries a fault plan (see `mcds_psi::faults`), command
+//! and response frames can be lost, which the master observes as
+//! [`XcpError::Timeout`]. The [`RetryPolicy`] governs recovery: bounded
+//! retries with exponential backoff, preceded by the XCP `SYNCH` command
+//! that re-synchronizes the slave's command processor. Commands whose
+//! effect is *not* idempotent (`UPLOAD`/`DOWNLOAD` auto-increment the
+//! slave's MTA, `WRITE_DAQ` advances the DAQ pointer) are never retried
+//! blindly: the block helpers re-anchor with `SET_MTA`/`SET_DAQ_PTR` and
+//! restart the whole chunk, so a response lost *after* the slave applied
+//! the command cannot corrupt data silently.
 
 use crate::packet::{Command, DtoPacket, ErrCode, Response};
 use crate::slave::XcpSlave;
-use mcds_psi::device::Device;
+use mcds_psi::device::{Device, DeviceError};
 use mcds_psi::interface::InterfaceKind;
 use std::fmt;
 
@@ -23,6 +36,10 @@ pub enum XcpError {
     UnexpectedResponse,
     /// The session is not connected.
     NotConnected,
+    /// No (coherent) response arrived within the command timeout — a
+    /// command or response frame was lost on the link. Whether the slave
+    /// executed the command is unknown to the master.
+    Timeout(InterfaceKind),
 }
 
 impl fmt::Display for XcpError {
@@ -32,6 +49,7 @@ impl fmt::Display for XcpError {
             XcpError::NoTransport(k) => write!(f, "no {k} transport on this device"),
             XcpError::UnexpectedResponse => write!(f, "response does not match command"),
             XcpError::NotConnected => write!(f, "session not connected"),
+            XcpError::Timeout(k) => write!(f, "command timed out on {k}"),
         }
     }
 }
@@ -57,6 +75,78 @@ pub struct ConnectInfo {
     pub daq_supported: bool,
 }
 
+/// How the master recovers from lost command/response frames.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per command or block chunk (1 = no retry).
+    pub max_attempts: u32,
+    /// Simulated cycles the host waits before declaring a timeout.
+    pub timeout_cycles: u64,
+    /// Extra wait before the first retry; doubles on each further retry.
+    pub backoff_cycles: u64,
+    /// Send `SYNCH` before re-issuing a timed-out command, per the XCP
+    /// resynchronization procedure.
+    pub synch_on_retry: bool,
+}
+
+impl RetryPolicy {
+    /// Backoff for a given retry round: doubles each round, capped at four
+    /// timeouts so deep retry chains don't dilate simulated time absurdly.
+    fn backoff_for(&self, round: u32) -> u64 {
+        let cap = self.timeout_cycles.saturating_mul(4);
+        self.backoff_cycles
+            .saturating_mul(1u64 << round.min(16))
+            .min(cap)
+    }
+}
+
+impl RetryPolicy {
+    /// No recovery: one attempt, fail on the first timeout. The ablation
+    /// baseline for T7.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            timeout_cycles: 450_000, // 3 ms at 150 MHz
+            backoff_cycles: 0,
+            synch_on_retry: false,
+        }
+    }
+
+    /// The default recovery: up to 16 attempts, 3 ms timeout, 1 ms initial
+    /// backoff (doubling, capped at four timeouts), SYNCH before each
+    /// retry. Sized so a 1000-command session at 10% frame loss has a
+    /// negligible chance of an unrecovered failure.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 16,
+            timeout_cycles: 450_000,
+            backoff_cycles: 150_000, // 1 ms at 150 MHz
+            synch_on_retry: true,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::standard()
+    }
+}
+
+/// Cumulative recovery statistics.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Exchanges that timed out (command or response frame lost).
+    pub timeouts: u64,
+    /// Command re-issues after a timeout.
+    pub retries: u64,
+    /// `SYNCH` resynchronizations performed.
+    pub synchs: u64,
+    /// Block chunks restarted from `SET_MTA` / `SET_DAQ_PTR`.
+    pub chunk_restarts: u64,
+    /// Operations abandoned after exhausting every attempt.
+    pub gave_up: u64,
+}
+
 /// The host-side calibration/measurement master.
 #[derive(Debug)]
 pub struct XcpMaster {
@@ -64,6 +154,8 @@ pub struct XcpMaster {
     transport: InterfaceKind,
     info: Option<ConnectInfo>,
     commands_sent: u64,
+    retry: RetryPolicy,
+    recovery: RecoveryStats,
 }
 
 impl XcpMaster {
@@ -79,7 +171,24 @@ impl XcpMaster {
             transport,
             info: None,
             commands_sent: 0,
+            retry: RetryPolicy::standard(),
+            recovery: RecoveryStats::default(),
         }
+    }
+
+    /// Replaces the retry policy ([`RetryPolicy::standard`] by default).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Cumulative recovery statistics.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
     }
 
     /// The wrapped slave (event periods, DAQ statistics).
@@ -102,29 +211,134 @@ impl XcpMaster {
         self.info
     }
 
-    /// Exchanges one command, paying transport timing in simulated cycles.
-    ///
-    /// # Errors
-    ///
-    /// Transport absence, slave protocol errors.
-    pub fn transact(&mut self, dev: &mut Device, cmd: Command) -> Result<Response, XcpError> {
+    /// One wire exchange: pays transport timing and runs command and
+    /// response frames through the device's fault injector. No retry.
+    fn transact_once(&mut self, dev: &mut Device, cmd: &Command) -> Result<Response, XcpError> {
         let Some(iface) = dev.interface(self.transport) else {
             return Err(XcpError::NoTransport(self.transport));
         };
         let inbound = iface.request_latency_cycles() + iface.transfer_cycles(cmd.wire_bytes());
+        let request_frames = iface.frames_for(cmd.wire_bytes().max(1));
         let overhead = match dev.service_mut() {
             Some(s) => s.process_command(self.transport),
             None => 0,
         };
         dev.wait_cycles(inbound + overhead);
         self.commands_sent += 1;
-        let result = self.slave.handle(dev, &cmd);
+        // A lost command frame: the slave never sees the command, the host
+        // waits out its timeout.
+        if self.link_lost(dev, request_frames) {
+            return Err(XcpError::Timeout(self.transport));
+        }
+        let result = self.slave.handle(dev, cmd);
         let response = result.map_err(XcpError::Slave)?;
         let iface = dev.interface(self.transport).expect("checked above");
         let outbound =
             iface.transfer_cycles(response.wire_bytes()) + iface.response_latency_cycles();
+        let response_frames = iface.frames_for(response.wire_bytes().max(1));
         dev.wait_cycles(outbound);
+        // A lost response frame: the slave DID execute (its MTA may have
+        // advanced), but the host still sees only a timeout.
+        if self.link_lost(dev, response_frames) {
+            return Err(XcpError::Timeout(self.transport));
+        }
         Ok(response)
+    }
+
+    /// Consults the link's fault injector for `frames` frames. On loss,
+    /// charges the host-side timeout wait and records it.
+    fn link_lost(&mut self, dev: &mut Device, frames: u64) -> bool {
+        match dev.transmit_frames(self.transport, frames) {
+            Ok(()) => false,
+            Err(DeviceError::LinkTimeout(_)) | Err(_) => {
+                self.recovery.timeouts += 1;
+                dev.wait_cycles(self.retry.timeout_cycles);
+                true
+            }
+        }
+    }
+
+    /// Exchanges one command, paying transport timing in simulated cycles.
+    ///
+    /// On [`XcpError::Timeout`] the command is re-issued per the
+    /// [`RetryPolicy`] (backoff, optional `SYNCH` first). Only idempotent
+    /// commands should be routed here — the block helpers implement
+    /// chunk-level recovery for the MTA-advancing `UPLOAD`/`DOWNLOAD` and
+    /// the pointer-advancing `WRITE_DAQ`.
+    ///
+    /// # Errors
+    ///
+    /// Transport absence, slave protocol errors, or a timeout that
+    /// survived every retry.
+    pub fn transact(&mut self, dev: &mut Device, cmd: Command) -> Result<Response, XcpError> {
+        for attempt in 1u32.. {
+            match self.transact_once(dev, &cmd) {
+                Err(XcpError::Timeout(k)) => {
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        self.recovery.gave_up += 1;
+                        return Err(XcpError::Timeout(k));
+                    }
+                    self.recovery.retries += 1;
+                    dev.wait_cycles(self.retry.backoff_for(attempt - 1));
+                    if self.retry.synch_on_retry && !matches!(cmd, Command::Synch) {
+                        self.resynchronize(dev)?;
+                    }
+                }
+                other => return other,
+            }
+        }
+        unreachable!("bounded retry loop always returns")
+    }
+
+    /// Sends `SYNCH` until one exchange completes (bounded by the policy's
+    /// attempt budget), re-aligning the slave's command processor after a
+    /// timeout — the XCP resynchronization procedure.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`XcpError::Timeout`] if no `SYNCH` got
+    /// through.
+    pub fn resynchronize(&mut self, dev: &mut Device) -> Result<(), XcpError> {
+        for round in 0..self.retry.max_attempts.max(1) {
+            self.recovery.synchs += 1;
+            match self.transact_once(dev, &Command::Synch) {
+                Ok(_) => return Ok(()),
+                Err(XcpError::Timeout(_)) => {
+                    dev.wait_cycles(self.retry.backoff_for(round));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.recovery.gave_up += 1;
+        Err(XcpError::Timeout(self.transport))
+    }
+
+    /// Runs one non-idempotent chunk (anchoring command plus payload
+    /// commands) with chunk-level recovery: on timeout the whole closure
+    /// re-runs from its anchor, so a response lost *after* the slave
+    /// applied a command can never silently skew a transfer.
+    fn with_chunk_retry<T>(
+        &mut self,
+        dev: &mut Device,
+        mut chunk: impl FnMut(&mut XcpMaster, &mut Device) -> Result<T, XcpError>,
+    ) -> Result<T, XcpError> {
+        for attempt in 1u32.. {
+            match chunk(self, dev) {
+                Err(XcpError::Timeout(k)) => {
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        self.recovery.gave_up += 1;
+                        return Err(XcpError::Timeout(k));
+                    }
+                    self.recovery.chunk_restarts += 1;
+                    dev.wait_cycles(self.retry.backoff_for(attempt - 1));
+                    if self.retry.synch_on_retry {
+                        self.resynchronize(dev)?;
+                    }
+                }
+                other => return other,
+            }
+        }
+        unreachable!("bounded retry loop always returns")
     }
 
     /// `CONNECT`.
@@ -172,6 +386,11 @@ impl XcpMaster {
 
     /// Reads `len` bytes at `addr`, chunked by the CTO limit.
     ///
+    /// Every chunk is anchored by its own `SET_MTA`, so a timed-out
+    /// `UPLOAD` (which auto-increments the slave's MTA whether or not the
+    /// response survived) restarts from a known address instead of
+    /// silently reading skewed data.
+    ///
     /// # Errors
     ///
     /// Transport or slave errors; [`XcpError::NotConnected`] before
@@ -183,19 +402,26 @@ impl XcpMaster {
         len: usize,
     ) -> Result<Vec<u8>, XcpError> {
         let chunk = self.max_payload()?;
-        self.transact(dev, Command::SetMta { addr })?;
         let mut out = Vec::with_capacity(len);
         while out.len() < len {
             let n = chunk.min(len - out.len()) as u8;
-            match self.transact(dev, Command::Upload { count: n })? {
-                Response::Bytes(b) => out.extend_from_slice(&b),
-                _ => return Err(XcpError::UnexpectedResponse),
-            }
+            let chunk_addr = addr.wrapping_add(out.len() as u32);
+            let bytes = self.with_chunk_retry(dev, |m, dev| {
+                m.transact_once(dev, &Command::SetMta { addr: chunk_addr })?;
+                match m.transact_once(dev, &Command::Upload { count: n })? {
+                    Response::Bytes(b) => Ok(b),
+                    _ => Err(XcpError::UnexpectedResponse),
+                }
+            })?;
+            out.extend_from_slice(&bytes);
         }
         Ok(out)
     }
 
     /// Writes `data` at `addr`, chunked by the CTO limit.
+    ///
+    /// Like [`read_block`](XcpMaster::read_block), each chunk re-anchors
+    /// with `SET_MTA` so retried `DOWNLOAD`s are idempotent.
     ///
     /// # Errors
     ///
@@ -208,14 +434,20 @@ impl XcpMaster {
         data: &[u8],
     ) -> Result<(), XcpError> {
         let chunk = self.max_payload()?;
-        self.transact(dev, Command::SetMta { addr })?;
+        let mut offset = 0usize;
         for part in data.chunks(chunk) {
-            self.transact(
-                dev,
-                Command::Download {
-                    data: part.to_vec(),
-                },
-            )?;
+            let chunk_addr = addr.wrapping_add(offset as u32);
+            self.with_chunk_retry(dev, |m, dev| {
+                m.transact_once(dev, &Command::SetMta { addr: chunk_addr })?;
+                m.transact_once(
+                    dev,
+                    &Command::Download {
+                        data: part.to_vec(),
+                    },
+                )?;
+                Ok(())
+            })?;
+            offset += part.len();
         }
         Ok(())
     }
@@ -309,44 +541,50 @@ impl XcpMaster {
         event: u8,
         prescaler: u8,
     ) -> Result<(), XcpError> {
-        self.transact(dev, Command::FreeDaq)?;
-        self.transact(dev, Command::AllocDaq { count: 1 })?;
-        self.transact(dev, Command::AllocOdt { daq: 0, count: 1 })?;
-        self.transact(
-            dev,
-            Command::AllocOdtEntry {
-                daq: 0,
-                odt: 0,
-                count: elements.len() as u8,
-            },
-        )?;
-        self.transact(
-            dev,
-            Command::SetDaqPtr {
-                daq: 0,
-                odt: 0,
-                entry: 0,
-            },
-        )?;
-        for &(addr, size) in elements {
-            self.transact(dev, Command::WriteDaq { size, addr })?;
-        }
-        self.transact(
-            dev,
-            Command::SetDaqListMode {
-                daq: 0,
-                event,
-                prescaler,
-            },
-        )?;
-        self.transact(
-            dev,
-            Command::StartStopDaqList {
-                daq: 0,
-                start: true,
-            },
-        )?;
-        Ok(())
+        // The whole setup sequence is one recovery unit anchored by
+        // FREE_DAQ: `WRITE_DAQ` advances the slave's DAQ pointer, so a
+        // timeout mid-sequence restarts from a clean allocation instead of
+        // leaving a half-written ODT.
+        self.with_chunk_retry(dev, |m, dev| {
+            m.transact_once(dev, &Command::FreeDaq)?;
+            m.transact_once(dev, &Command::AllocDaq { count: 1 })?;
+            m.transact_once(dev, &Command::AllocOdt { daq: 0, count: 1 })?;
+            m.transact_once(
+                dev,
+                &Command::AllocOdtEntry {
+                    daq: 0,
+                    odt: 0,
+                    count: elements.len() as u8,
+                },
+            )?;
+            m.transact_once(
+                dev,
+                &Command::SetDaqPtr {
+                    daq: 0,
+                    odt: 0,
+                    entry: 0,
+                },
+            )?;
+            for &(addr, size) in elements {
+                m.transact_once(dev, &Command::WriteDaq { size, addr })?;
+            }
+            m.transact_once(
+                dev,
+                &Command::SetDaqListMode {
+                    daq: 0,
+                    event,
+                    prescaler,
+                },
+            )?;
+            m.transact_once(
+                dev,
+                &Command::StartStopDaqList {
+                    daq: 0,
+                    start: true,
+                },
+            )?;
+            Ok(())
+        })
     }
 
     /// Stops DAQ list 0.
@@ -517,5 +755,125 @@ mod short_tests {
         let t0 = m.daq_clock(&mut dev).unwrap();
         let t1 = m.daq_clock(&mut dev).unwrap();
         assert!(t1 > t0, "the DAQ clock advances with simulated time");
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+    use mcds_psi::faults::FaultPlan;
+    use mcds_soc::asm::assemble;
+    use mcds_soc::soc::memmap;
+
+    /// A halted device: `wait_cycles` jumps the clock instead of stepping,
+    /// so the multi-millisecond timeout/backoff waits cost nothing in host
+    /// time. The XCP slave serves memory commands regardless of core state.
+    fn quiescent_device() -> Device {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nhalt").unwrap());
+        dev.run_until_halt(100);
+        dev
+    }
+
+    #[test]
+    fn lossy_link_times_out_without_recovery() {
+        let mut dev = quiescent_device();
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(13, 400));
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.set_retry_policy(RetryPolicy::none());
+        // 40% loss per frame: some command in a long session dies.
+        let mut failed = false;
+        for _ in 0..30 {
+            match m.transact(&mut dev, Command::GetStatus) {
+                Ok(_) => {}
+                Err(XcpError::Timeout(_)) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failed, "recovery-off master must hit an unrecovered timeout");
+        assert!(m.recovery_stats().gave_up > 0);
+    }
+
+    #[test]
+    fn retry_policy_rides_through_frame_loss() {
+        let mut dev = quiescent_device();
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(13, 100));
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        for _ in 0..100 {
+            m.transact(&mut dev, Command::GetStatus).unwrap();
+        }
+        let stats = m.recovery_stats();
+        assert!(stats.timeouts > 0, "10% loss must cause timeouts");
+        assert!(stats.retries > 0, "and retries must absorb them");
+        assert_eq!(stats.gave_up, 0);
+    }
+
+    #[test]
+    fn block_transfer_survives_frame_loss_intact() {
+        let mut dev = quiescent_device();
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        let data: Vec<u8> = (0..600u16).map(|x| (x % 251) as u8).collect();
+        // Hostile link only after connect, so the negotiation stays simple.
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(29, 100));
+        m.write_block(&mut dev, memmap::SRAM_BASE + 0x400, &data)
+            .unwrap();
+        let back = m
+            .read_block(&mut dev, memmap::SRAM_BASE + 0x400, data.len())
+            .unwrap();
+        assert_eq!(back, data, "MTA re-anchoring keeps retried blocks exact");
+        let stats = m.recovery_stats();
+        assert!(
+            stats.chunk_restarts > 0,
+            "10% loss over ~20 chunks must restart at least one (restarts={})",
+            stats.chunk_restarts
+        );
+        assert_eq!(stats.gave_up, 0);
+    }
+
+    #[test]
+    fn synch_is_sent_during_recovery() {
+        let mut dev = quiescent_device();
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(13, 150));
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        for _ in 0..60 {
+            m.transact(&mut dev, Command::GetStatus).unwrap();
+        }
+        let stats = m.recovery_stats();
+        assert!(stats.synchs > 0, "SYNCH precedes re-issues");
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let run = || {
+            let mut dev = quiescent_device();
+            dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(7, 100));
+            let mut m = XcpMaster::new(InterfaceKind::Usb11);
+            m.connect(&mut dev).unwrap();
+            for _ in 0..50 {
+                m.transact(&mut dev, Command::GetStatus).unwrap();
+            }
+            (m.recovery_stats(), dev.soc().cycle(), m.commands_sent())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lossless_link_never_touches_recovery() {
+        let mut dev = quiescent_device();
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        m.write_block(&mut dev, memmap::SRAM_BASE, &[1, 2, 3, 4])
+            .unwrap();
+        assert_eq!(m.recovery_stats(), RecoveryStats::default());
     }
 }

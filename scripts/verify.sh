@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full verification gate: build, test, lint. Run from the repo root.
+# Everything is offline (vendored deps) and deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace -- -D warnings

@@ -814,6 +814,23 @@ fn oversized_program_exceeds_overlay_capacity() {
 }
 
 #[test]
+fn bad_emem_offset_is_a_typed_error() {
+    // An emulation-RAM offset the overlay block rejects (unaligned, or so
+    // high the 32 KB block runs past the end of the emulation RAM) must
+    // surface as a typed error, not a panic.
+    let program = mcds_soc::asm::assemble(".org 0x80000000\nhalt").unwrap();
+    for bad_offset in [2, memmap::EMEM_SIZE - 0x1000] {
+        let dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        let mut dbg = Debugger::attach(dev, InterfaceKind::Jtag);
+        dbg.hold_all_at_reset();
+        let err = load_program_to_emulation_ram(&mut dbg, &program, bad_offset).unwrap_err();
+        assert!(matches!(err, mcds_host::SessionError::Overlay(_)), "{err}");
+    }
+}
+
+#[test]
 fn step_core_over_interface_advances_exactly() {
     let program =
         mcds_soc::asm::assemble(".org 0x80000000\nloop: addi r1, r1, 1\naddi r2, r2, 1\nj loop")

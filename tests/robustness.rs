@@ -18,11 +18,25 @@ proptest! {
     #[test]
     fn trace_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         // Any byte soup either decodes to messages or reports a clean error.
+        // Every decoded message consumes at least one byte, so the decoder
+        // must terminate within `len` messages — and once it errors, the
+        // error is sticky until an explicit resync().
+        let len = bytes.len();
         let mut dec = StreamDecoder::new(bytes);
-        let mut guard = 0;
-        while let Ok(Some(_)) = dec.next_message() {
-            guard += 1;
-            prop_assert!(guard < 4096, "bounded by input size");
+        let mut decoded = 0usize;
+        let outcome = loop {
+            match dec.next_message() {
+                Ok(Some(_)) => {
+                    decoded += 1;
+                    prop_assert!(decoded <= len, "each message consumes ≥1 byte");
+                }
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        if let Err(e) = outcome {
+            // Sticky: the same error again, no further progress.
+            prop_assert_eq!(dec.next_message(), Err(e));
         }
     }
 
