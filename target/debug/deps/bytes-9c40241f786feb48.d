@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-9c40241f786feb48.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9c40241f786feb48.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_trace_ordering-208c0e6e2e5315eb.d: crates/bench/src/bin/fig1_trace_ordering.rs
+
+/root/repo/target/debug/deps/fig1_trace_ordering-208c0e6e2e5315eb: crates/bench/src/bin/fig1_trace_ordering.rs
+
+crates/bench/src/bin/fig1_trace_ordering.rs:

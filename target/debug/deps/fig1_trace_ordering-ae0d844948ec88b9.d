@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_trace_ordering-ae0d844948ec88b9.d: crates/bench/src/bin/fig1_trace_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_trace_ordering-ae0d844948ec88b9.rmeta: crates/bench/src/bin/fig1_trace_ordering.rs Cargo.toml
+
+crates/bench/src/bin/fig1_trace_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

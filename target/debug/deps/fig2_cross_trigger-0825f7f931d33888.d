@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cross_trigger-0825f7f931d33888.d: crates/bench/src/bin/fig2_cross_trigger.rs
+
+/root/repo/target/debug/deps/fig2_cross_trigger-0825f7f931d33888: crates/bench/src/bin/fig2_cross_trigger.rs
+
+crates/bench/src/bin/fig2_cross_trigger.rs:

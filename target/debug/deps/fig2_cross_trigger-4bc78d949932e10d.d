@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_cross_trigger-4bc78d949932e10d.d: crates/bench/src/bin/fig2_cross_trigger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_cross_trigger-4bc78d949932e10d.rmeta: crates/bench/src/bin/fig2_cross_trigger.rs Cargo.toml
+
+crates/bench/src/bin/fig2_cross_trigger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

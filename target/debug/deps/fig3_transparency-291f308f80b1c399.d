@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_transparency-291f308f80b1c399.d: crates/bench/src/bin/fig3_transparency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_transparency-291f308f80b1c399.rmeta: crates/bench/src/bin/fig3_transparency.rs Cargo.toml
+
+crates/bench/src/bin/fig3_transparency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

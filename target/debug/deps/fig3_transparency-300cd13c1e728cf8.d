@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_transparency-300cd13c1e728cf8.d: crates/bench/src/bin/fig3_transparency.rs
+
+/root/repo/target/debug/deps/fig3_transparency-300cd13c1e728cf8: crates/bench/src/bin/fig3_transparency.rs
+
+crates/bench/src/bin/fig3_transparency.rs:

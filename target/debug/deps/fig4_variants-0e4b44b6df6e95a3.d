@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_variants-0e4b44b6df6e95a3.d: crates/bench/src/bin/fig4_variants.rs
+
+/root/repo/target/debug/deps/fig4_variants-0e4b44b6df6e95a3: crates/bench/src/bin/fig4_variants.rs
+
+crates/bench/src/bin/fig4_variants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_variants-1dfc52c8d39b0d73.d: crates/bench/src/bin/fig4_variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_variants-1dfc52c8d39b0d73.rmeta: crates/bench/src/bin/fig4_variants.rs Cargo.toml
+
+crates/bench/src/bin/fig4_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

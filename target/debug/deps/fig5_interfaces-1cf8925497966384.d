@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_interfaces-1cf8925497966384.d: crates/bench/src/bin/fig5_interfaces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_interfaces-1cf8925497966384.rmeta: crates/bench/src/bin/fig5_interfaces.rs Cargo.toml
+
+crates/bench/src/bin/fig5_interfaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

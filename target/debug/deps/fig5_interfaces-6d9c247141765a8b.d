@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_interfaces-6d9c247141765a8b.d: crates/bench/src/bin/fig5_interfaces.rs
+
+/root/repo/target/debug/deps/fig5_interfaces-6d9c247141765a8b: crates/bench/src/bin/fig5_interfaces.rs
+
+crates/bench/src/bin/fig5_interfaces.rs:

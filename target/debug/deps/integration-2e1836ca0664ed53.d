@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-2e1836ca0664ed53.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-2e1836ca0664ed53: tests/integration.rs
+
+tests/integration.rs:

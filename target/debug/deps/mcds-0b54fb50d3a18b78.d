@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mcds-0b54fb50d3a18b78.d: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds-0b54fb50d3a18b78.rmeta: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/fifo.rs:
+crates/core/src/observer.rs:
+crates/core/src/sorter.rs:
+crates/core/src/statemachine.rs:
+crates/core/src/trigger.rs:
+crates/core/src/xtrigger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

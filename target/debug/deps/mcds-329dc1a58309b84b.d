@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcds-329dc1a58309b84b.d: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs
+
+/root/repo/target/debug/deps/libmcds-329dc1a58309b84b.rlib: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs
+
+/root/repo/target/debug/deps/libmcds-329dc1a58309b84b.rmeta: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fifo.rs:
+crates/core/src/observer.rs:
+crates/core/src/sorter.rs:
+crates/core/src/statemachine.rs:
+crates/core/src/trigger.rs:
+crates/core/src/xtrigger.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcds-d16bff31be2d8e59.d: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs
+
+/root/repo/target/debug/deps/mcds-d16bff31be2d8e59: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fifo.rs:
+crates/core/src/observer.rs:
+crates/core/src/sorter.rs:
+crates/core/src/statemachine.rs:
+crates/core/src/trigger.rs:
+crates/core/src/xtrigger.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcds_bench-170cfd6b36612a8d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcds_bench-170cfd6b36612a8d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcds_bench-170cfd6b36612a8d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcds_bench-6abeccc3b78a03de.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mcds_bench-6abeccc3b78a03de: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcds_bench-d38af113c7d3f939.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds_bench-d38af113c7d3f939.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

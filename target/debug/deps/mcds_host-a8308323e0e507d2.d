@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mcds_host-a8308323e0e507d2.d: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs
+
+/root/repo/target/debug/deps/libmcds_host-a8308323e0e507d2.rlib: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs
+
+/root/repo/target/debug/deps/libmcds_host-a8308323e0e507d2.rmeta: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs
+
+crates/host/src/lib.rs:
+crates/host/src/debugger.rs:
+crates/host/src/listing.rs:
+crates/host/src/session.rs:

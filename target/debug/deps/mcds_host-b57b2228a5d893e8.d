@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mcds_host-b57b2228a5d893e8.d: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs
+
+/root/repo/target/debug/deps/mcds_host-b57b2228a5d893e8: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs
+
+crates/host/src/lib.rs:
+crates/host/src/debugger.rs:
+crates/host/src/listing.rs:
+crates/host/src/session.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcds_host-edb6f0ab0400f3af.d: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds_host-edb6f0ab0400f3af.rmeta: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs Cargo.toml
+
+crates/host/src/lib.rs:
+crates/host/src/debugger.rs:
+crates/host/src/listing.rs:
+crates/host/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mcds_psi-04b0986e208e5b2b.d: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds_psi-04b0986e208e5b2b.rmeta: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs Cargo.toml
+
+crates/psi/src/lib.rs:
+crates/psi/src/device.rs:
+crates/psi/src/faults.rs:
+crates/psi/src/interface.rs:
+crates/psi/src/multichip.rs:
+crates/psi/src/service.rs:
+crates/psi/src/trace_sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcds_psi-7f4b6bc9b1366139.d: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs
+
+/root/repo/target/debug/deps/mcds_psi-7f4b6bc9b1366139: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs
+
+crates/psi/src/lib.rs:
+crates/psi/src/device.rs:
+crates/psi/src/faults.rs:
+crates/psi/src/interface.rs:
+crates/psi/src/multichip.rs:
+crates/psi/src/service.rs:
+crates/psi/src/trace_sink.rs:

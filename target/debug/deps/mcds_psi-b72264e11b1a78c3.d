@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcds_psi-b72264e11b1a78c3.d: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs
+
+/root/repo/target/debug/deps/libmcds_psi-b72264e11b1a78c3.rlib: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs
+
+/root/repo/target/debug/deps/libmcds_psi-b72264e11b1a78c3.rmeta: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs
+
+crates/psi/src/lib.rs:
+crates/psi/src/device.rs:
+crates/psi/src/faults.rs:
+crates/psi/src/interface.rs:
+crates/psi/src/multichip.rs:
+crates/psi/src/service.rs:
+crates/psi/src/trace_sink.rs:

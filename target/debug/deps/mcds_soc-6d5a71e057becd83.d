@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mcds_soc-6d5a71e057becd83.d: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs
+
+/root/repo/target/debug/deps/mcds_soc-6d5a71e057becd83: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/asm.rs:
+crates/soc/src/bus.rs:
+crates/soc/src/cpu.rs:
+crates/soc/src/disasm.rs:
+crates/soc/src/event.rs:
+crates/soc/src/isa.rs:
+crates/soc/src/mem.rs:
+crates/soc/src/overlay.rs:
+crates/soc/src/periph.rs:
+crates/soc/src/soc.rs:

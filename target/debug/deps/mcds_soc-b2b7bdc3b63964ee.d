@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mcds_soc-b2b7bdc3b63964ee.d: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds_soc-b2b7bdc3b63964ee.rmeta: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs Cargo.toml
+
+crates/soc/src/lib.rs:
+crates/soc/src/asm.rs:
+crates/soc/src/bus.rs:
+crates/soc/src/cpu.rs:
+crates/soc/src/disasm.rs:
+crates/soc/src/event.rs:
+crates/soc/src/isa.rs:
+crates/soc/src/mem.rs:
+crates/soc/src/overlay.rs:
+crates/soc/src/periph.rs:
+crates/soc/src/soc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mcds_soc-b8dab00e25d21f65.d: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs
+
+/root/repo/target/debug/deps/libmcds_soc-b8dab00e25d21f65.rlib: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs
+
+/root/repo/target/debug/deps/libmcds_soc-b8dab00e25d21f65.rmeta: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/asm.rs:
+crates/soc/src/bus.rs:
+crates/soc/src/cpu.rs:
+crates/soc/src/disasm.rs:
+crates/soc/src/event.rs:
+crates/soc/src/isa.rs:
+crates/soc/src/mem.rs:
+crates/soc/src/overlay.rs:
+crates/soc/src/periph.rs:
+crates/soc/src/soc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcds_suite-025f3e28fd8164a5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds_suite-025f3e28fd8164a5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

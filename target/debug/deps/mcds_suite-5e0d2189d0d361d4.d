@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcds_suite-5e0d2189d0d361d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmcds_suite-5e0d2189d0d361d4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmcds_suite-5e0d2189d0d361d4.rmeta: src/lib.rs
+
+src/lib.rs:

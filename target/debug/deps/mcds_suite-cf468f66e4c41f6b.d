@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcds_suite-cf468f66e4c41f6b.d: src/lib.rs
+
+/root/repo/target/debug/deps/mcds_suite-cf468f66e4c41f6b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcds_trace-3949e7742aaa5071.d: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/mcds_trace-3949e7742aaa5071: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/image.rs:
+crates/trace/src/message.rs:
+crates/trace/src/reconstruct.rs:
+crates/trace/src/wire.rs:

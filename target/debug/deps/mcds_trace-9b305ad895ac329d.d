@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcds_trace-9b305ad895ac329d.d: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds_trace-9b305ad895ac329d.rmeta: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/image.rs:
+crates/trace/src/message.rs:
+crates/trace/src/reconstruct.rs:
+crates/trace/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

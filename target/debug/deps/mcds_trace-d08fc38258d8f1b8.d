@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcds_trace-d08fc38258d8f1b8.d: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/libmcds_trace-d08fc38258d8f1b8.rlib: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/libmcds_trace-d08fc38258d8f1b8.rmeta: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/image.rs:
+crates/trace/src/message.rs:
+crates/trace/src/reconstruct.rs:
+crates/trace/src/wire.rs:

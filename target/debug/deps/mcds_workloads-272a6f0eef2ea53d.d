@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcds_workloads-272a6f0eef2ea53d.d: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs
+
+/root/repo/target/debug/deps/mcds_workloads-272a6f0eef2ea53d: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/engine.rs:
+crates/workloads/src/gearbox.rs:
+crates/workloads/src/race.rs:
+crates/workloads/src/stimulus.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcds_workloads-b6d997794429a676.d: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds_workloads-b6d997794429a676.rmeta: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/engine.rs:
+crates/workloads/src/gearbox.rs:
+crates/workloads/src/race.rs:
+crates/workloads/src/stimulus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcds_workloads-edb3089496887f39.d: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs
+
+/root/repo/target/debug/deps/libmcds_workloads-edb3089496887f39.rlib: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs
+
+/root/repo/target/debug/deps/libmcds_workloads-edb3089496887f39.rmeta: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/engine.rs:
+crates/workloads/src/gearbox.rs:
+crates/workloads/src/race.rs:
+crates/workloads/src/stimulus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcds_xcp-2fb0a484702caee5.d: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs
+
+/root/repo/target/debug/deps/mcds_xcp-2fb0a484702caee5: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs
+
+crates/xcp/src/lib.rs:
+crates/xcp/src/daq.rs:
+crates/xcp/src/master.rs:
+crates/xcp/src/packet.rs:
+crates/xcp/src/slave.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcds_xcp-787f8f02f63279e0.d: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs
+
+/root/repo/target/debug/deps/libmcds_xcp-787f8f02f63279e0.rlib: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs
+
+/root/repo/target/debug/deps/libmcds_xcp-787f8f02f63279e0.rmeta: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs
+
+crates/xcp/src/lib.rs:
+crates/xcp/src/daq.rs:
+crates/xcp/src/master.rs:
+crates/xcp/src/packet.rs:
+crates/xcp/src/slave.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcds_xcp-f8f789847c984a63.d: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcds_xcp-f8f789847c984a63.rmeta: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs Cargo.toml
+
+crates/xcp/src/lib.rs:
+crates/xcp/src/daq.rs:
+crates/xcp/src/master.rs:
+crates/xcp/src/packet.rs:
+crates/xcp/src/slave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6a9db3e9ad054c1b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6a9db3e9ad054c1b: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-67483612e2a56134.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-67483612e2a56134.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-01a6682e23940926.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-01a6682e23940926: tests/robustness.rs
+
+tests/robustness.rs:

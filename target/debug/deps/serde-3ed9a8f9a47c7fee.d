@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-3ed9a8f9a47c7fee.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3ed9a8f9a47c7fee.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3ed9a8f9a47c7fee.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-c0b067cebb44a5fa.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c0b067cebb44a5fa.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

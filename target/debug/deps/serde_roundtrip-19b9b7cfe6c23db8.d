@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-19b9b7cfe6c23db8.d: tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-19b9b7cfe6c23db8: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

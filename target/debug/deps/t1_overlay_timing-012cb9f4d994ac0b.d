@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/t1_overlay_timing-012cb9f4d994ac0b.d: crates/bench/src/bin/t1_overlay_timing.rs
+
+/root/repo/target/debug/deps/t1_overlay_timing-012cb9f4d994ac0b: crates/bench/src/bin/t1_overlay_timing.rs
+
+crates/bench/src/bin/t1_overlay_timing.rs:

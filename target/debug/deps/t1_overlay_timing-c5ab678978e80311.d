@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t1_overlay_timing-c5ab678978e80311.d: crates/bench/src/bin/t1_overlay_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt1_overlay_timing-c5ab678978e80311.rmeta: crates/bench/src/bin/t1_overlay_timing.rs Cargo.toml
+
+crates/bench/src/bin/t1_overlay_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/t2_page_swap-5134d62ecc1a182c.d: crates/bench/src/bin/t2_page_swap.rs
+
+/root/repo/target/debug/deps/t2_page_swap-5134d62ecc1a182c: crates/bench/src/bin/t2_page_swap.rs
+
+crates/bench/src/bin/t2_page_swap.rs:

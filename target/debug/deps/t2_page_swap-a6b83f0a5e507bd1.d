@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t2_page_swap-a6b83f0a5e507bd1.d: crates/bench/src/bin/t2_page_swap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt2_page_swap-a6b83f0a5e507bd1.rmeta: crates/bench/src/bin/t2_page_swap.rs Cargo.toml
+
+crates/bench/src/bin/t2_page_swap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

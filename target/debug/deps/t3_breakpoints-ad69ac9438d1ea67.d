@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t3_breakpoints-ad69ac9438d1ea67.d: crates/bench/src/bin/t3_breakpoints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt3_breakpoints-ad69ac9438d1ea67.rmeta: crates/bench/src/bin/t3_breakpoints.rs Cargo.toml
+
+crates/bench/src/bin/t3_breakpoints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/t3_breakpoints-d26ca292761c04d4.d: crates/bench/src/bin/t3_breakpoints.rs
+
+/root/repo/target/debug/deps/t3_breakpoints-d26ca292761c04d4: crates/bench/src/bin/t3_breakpoints.rs
+
+crates/bench/src/bin/t3_breakpoints.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/t4_trace_volume-42e0ed14be0a52a0.d: crates/bench/src/bin/t4_trace_volume.rs
+
+/root/repo/target/debug/deps/t4_trace_volume-42e0ed14be0a52a0: crates/bench/src/bin/t4_trace_volume.rs
+
+crates/bench/src/bin/t4_trace_volume.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t4_trace_volume-9e202ed63a8c6685.d: crates/bench/src/bin/t4_trace_volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt4_trace_volume-9e202ed63a8c6685.rmeta: crates/bench/src/bin/t4_trace_volume.rs Cargo.toml
+
+crates/bench/src/bin/t4_trace_volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t5_timestamp_resolution-5cf81749f2db6757.d: crates/bench/src/bin/t5_timestamp_resolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt5_timestamp_resolution-5cf81749f2db6757.rmeta: crates/bench/src/bin/t5_timestamp_resolution.rs Cargo.toml
+
+crates/bench/src/bin/t5_timestamp_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/t5_timestamp_resolution-80428df974521ba5.d: crates/bench/src/bin/t5_timestamp_resolution.rs
+
+/root/repo/target/debug/deps/t5_timestamp_resolution-80428df974521ba5: crates/bench/src/bin/t5_timestamp_resolution.rs
+
+crates/bench/src/bin/t5_timestamp_resolution.rs:

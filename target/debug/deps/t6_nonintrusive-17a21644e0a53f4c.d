@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/t6_nonintrusive-17a21644e0a53f4c.d: crates/bench/src/bin/t6_nonintrusive.rs
+
+/root/repo/target/debug/deps/t6_nonintrusive-17a21644e0a53f4c: crates/bench/src/bin/t6_nonintrusive.rs
+
+crates/bench/src/bin/t6_nonintrusive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t6_nonintrusive-b5ad0c6971ea5de1.d: crates/bench/src/bin/t6_nonintrusive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt6_nonintrusive-b5ad0c6971ea5de1.rmeta: crates/bench/src/bin/t6_nonintrusive.rs Cargo.toml
+
+crates/bench/src/bin/t6_nonintrusive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/t7_fault_recovery-4c5655efa34511c1.d: crates/bench/src/bin/t7_fault_recovery.rs
+
+/root/repo/target/debug/deps/t7_fault_recovery-4c5655efa34511c1: crates/bench/src/bin/t7_fault_recovery.rs
+
+crates/bench/src/bin/t7_fault_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t7_fault_recovery-cfc804a6914e3469.d: crates/bench/src/bin/t7_fault_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt7_fault_recovery-cfc804a6914e3469.rmeta: crates/bench/src/bin/t7_fault_recovery.rs Cargo.toml
+
+crates/bench/src/bin/t7_fault_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

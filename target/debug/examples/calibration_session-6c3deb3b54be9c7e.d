@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibration_session-6c3deb3b54be9c7e.d: examples/calibration_session.rs
+
+/root/repo/target/debug/examples/calibration_session-6c3deb3b54be9c7e: examples/calibration_session.rs
+
+examples/calibration_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dual_ecu-169c7847a7381ba1.d: examples/dual_ecu.rs
+
+/root/repo/target/debug/examples/dual_ecu-169c7847a7381ba1: examples/dual_ecu.rs
+
+examples/dual_ecu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_monitor-32190ae070e4d48d.d: examples/performance_monitor.rs
+
+/root/repo/target/debug/examples/performance_monitor-32190ae070e4d48d: examples/performance_monitor.rs
+
+examples/performance_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-53b092ecb1182f73.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-53b092ecb1182f73: examples/quickstart.rs
+
+examples/quickstart.rs:

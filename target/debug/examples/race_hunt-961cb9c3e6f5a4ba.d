@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/race_hunt-961cb9c3e6f5a4ba.d: examples/race_hunt.rs
+
+/root/repo/target/debug/examples/race_hunt-961cb9c3e6f5a4ba: examples/race_hunt.rs
+
+examples/race_hunt.rs:

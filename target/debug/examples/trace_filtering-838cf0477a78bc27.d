@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_filtering-838cf0477a78bc27.d: examples/trace_filtering.rs
+
+/root/repo/target/debug/examples/trace_filtering-838cf0477a78bc27: examples/trace_filtering.rs
+
+examples/trace_filtering.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-a5567e594c1be04e.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-a5567e594c1be04e.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-a5567e594c1be04e.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

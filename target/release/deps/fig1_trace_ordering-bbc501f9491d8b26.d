@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_trace_ordering-bbc501f9491d8b26.d: crates/bench/src/bin/fig1_trace_ordering.rs
+
+/root/repo/target/release/deps/fig1_trace_ordering-bbc501f9491d8b26: crates/bench/src/bin/fig1_trace_ordering.rs
+
+crates/bench/src/bin/fig1_trace_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_cross_trigger-f4e7d923e7260096.d: crates/bench/src/bin/fig2_cross_trigger.rs
+
+/root/repo/target/release/deps/fig2_cross_trigger-f4e7d923e7260096: crates/bench/src/bin/fig2_cross_trigger.rs
+
+crates/bench/src/bin/fig2_cross_trigger.rs:

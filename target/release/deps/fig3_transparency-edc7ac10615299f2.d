@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_transparency-edc7ac10615299f2.d: crates/bench/src/bin/fig3_transparency.rs
+
+/root/repo/target/release/deps/fig3_transparency-edc7ac10615299f2: crates/bench/src/bin/fig3_transparency.rs
+
+crates/bench/src/bin/fig3_transparency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_variants-c778160d74fc8234.d: crates/bench/src/bin/fig4_variants.rs
+
+/root/repo/target/release/deps/fig4_variants-c778160d74fc8234: crates/bench/src/bin/fig4_variants.rs
+
+crates/bench/src/bin/fig4_variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_interfaces-1aadd74d60b2b4bf.d: crates/bench/src/bin/fig5_interfaces.rs
+
+/root/repo/target/release/deps/fig5_interfaces-1aadd74d60b2b4bf: crates/bench/src/bin/fig5_interfaces.rs
+
+crates/bench/src/bin/fig5_interfaces.rs:

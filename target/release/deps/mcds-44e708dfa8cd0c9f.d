@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mcds-44e708dfa8cd0c9f.d: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs
+
+/root/repo/target/release/deps/libmcds-44e708dfa8cd0c9f.rlib: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs
+
+/root/repo/target/release/deps/libmcds-44e708dfa8cd0c9f.rmeta: crates/core/src/lib.rs crates/core/src/fifo.rs crates/core/src/observer.rs crates/core/src/sorter.rs crates/core/src/statemachine.rs crates/core/src/trigger.rs crates/core/src/xtrigger.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fifo.rs:
+crates/core/src/observer.rs:
+crates/core/src/sorter.rs:
+crates/core/src/statemachine.rs:
+crates/core/src/trigger.rs:
+crates/core/src/xtrigger.rs:

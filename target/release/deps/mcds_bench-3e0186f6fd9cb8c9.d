@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcds_bench-3e0186f6fd9cb8c9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmcds_bench-3e0186f6fd9cb8c9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmcds_bench-3e0186f6fd9cb8c9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

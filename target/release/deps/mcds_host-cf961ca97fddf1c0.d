@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mcds_host-cf961ca97fddf1c0.d: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs
+
+/root/repo/target/release/deps/libmcds_host-cf961ca97fddf1c0.rlib: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs
+
+/root/repo/target/release/deps/libmcds_host-cf961ca97fddf1c0.rmeta: crates/host/src/lib.rs crates/host/src/debugger.rs crates/host/src/listing.rs crates/host/src/session.rs
+
+crates/host/src/lib.rs:
+crates/host/src/debugger.rs:
+crates/host/src/listing.rs:
+crates/host/src/session.rs:

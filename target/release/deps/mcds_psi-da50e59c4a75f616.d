@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mcds_psi-da50e59c4a75f616.d: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs
+
+/root/repo/target/release/deps/libmcds_psi-da50e59c4a75f616.rlib: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs
+
+/root/repo/target/release/deps/libmcds_psi-da50e59c4a75f616.rmeta: crates/psi/src/lib.rs crates/psi/src/device.rs crates/psi/src/faults.rs crates/psi/src/interface.rs crates/psi/src/multichip.rs crates/psi/src/service.rs crates/psi/src/trace_sink.rs
+
+crates/psi/src/lib.rs:
+crates/psi/src/device.rs:
+crates/psi/src/faults.rs:
+crates/psi/src/interface.rs:
+crates/psi/src/multichip.rs:
+crates/psi/src/service.rs:
+crates/psi/src/trace_sink.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mcds_soc-164e2af9f3b32668.d: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs
+
+/root/repo/target/release/deps/libmcds_soc-164e2af9f3b32668.rlib: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs
+
+/root/repo/target/release/deps/libmcds_soc-164e2af9f3b32668.rmeta: crates/soc/src/lib.rs crates/soc/src/asm.rs crates/soc/src/bus.rs crates/soc/src/cpu.rs crates/soc/src/disasm.rs crates/soc/src/event.rs crates/soc/src/isa.rs crates/soc/src/mem.rs crates/soc/src/overlay.rs crates/soc/src/periph.rs crates/soc/src/soc.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/asm.rs:
+crates/soc/src/bus.rs:
+crates/soc/src/cpu.rs:
+crates/soc/src/disasm.rs:
+crates/soc/src/event.rs:
+crates/soc/src/isa.rs:
+crates/soc/src/mem.rs:
+crates/soc/src/overlay.rs:
+crates/soc/src/periph.rs:
+crates/soc/src/soc.rs:

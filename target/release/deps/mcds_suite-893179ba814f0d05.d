@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcds_suite-893179ba814f0d05.d: src/lib.rs
+
+/root/repo/target/release/deps/libmcds_suite-893179ba814f0d05.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmcds_suite-893179ba814f0d05.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcds_trace-9e1e95acb35ae12f.d: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs
+
+/root/repo/target/release/deps/libmcds_trace-9e1e95acb35ae12f.rlib: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs
+
+/root/repo/target/release/deps/libmcds_trace-9e1e95acb35ae12f.rmeta: crates/trace/src/lib.rs crates/trace/src/image.rs crates/trace/src/message.rs crates/trace/src/reconstruct.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/image.rs:
+crates/trace/src/message.rs:
+crates/trace/src/reconstruct.rs:
+crates/trace/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcds_workloads-15011e25e2452980.d: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs
+
+/root/repo/target/release/deps/libmcds_workloads-15011e25e2452980.rlib: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs
+
+/root/repo/target/release/deps/libmcds_workloads-15011e25e2452980.rmeta: crates/workloads/src/lib.rs crates/workloads/src/engine.rs crates/workloads/src/gearbox.rs crates/workloads/src/race.rs crates/workloads/src/stimulus.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/engine.rs:
+crates/workloads/src/gearbox.rs:
+crates/workloads/src/race.rs:
+crates/workloads/src/stimulus.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcds_xcp-17e927c24c00996c.d: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs
+
+/root/repo/target/release/deps/libmcds_xcp-17e927c24c00996c.rlib: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs
+
+/root/repo/target/release/deps/libmcds_xcp-17e927c24c00996c.rmeta: crates/xcp/src/lib.rs crates/xcp/src/daq.rs crates/xcp/src/master.rs crates/xcp/src/packet.rs crates/xcp/src/slave.rs
+
+crates/xcp/src/lib.rs:
+crates/xcp/src/daq.rs:
+crates/xcp/src/master.rs:
+crates/xcp/src/packet.rs:
+crates/xcp/src/slave.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-cabe9741f163111e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cabe9741f163111e.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cabe9741f163111e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-0f47f00d75da2669.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-0f47f00d75da2669.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-0f47f00d75da2669.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

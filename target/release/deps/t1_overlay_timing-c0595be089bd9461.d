@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/t1_overlay_timing-c0595be089bd9461.d: crates/bench/src/bin/t1_overlay_timing.rs
+
+/root/repo/target/release/deps/t1_overlay_timing-c0595be089bd9461: crates/bench/src/bin/t1_overlay_timing.rs
+
+crates/bench/src/bin/t1_overlay_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/t2_page_swap-fb256ac9535c64c9.d: crates/bench/src/bin/t2_page_swap.rs
+
+/root/repo/target/release/deps/t2_page_swap-fb256ac9535c64c9: crates/bench/src/bin/t2_page_swap.rs
+
+crates/bench/src/bin/t2_page_swap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/t3_breakpoints-65d1ffcf3dd74d58.d: crates/bench/src/bin/t3_breakpoints.rs
+
+/root/repo/target/release/deps/t3_breakpoints-65d1ffcf3dd74d58: crates/bench/src/bin/t3_breakpoints.rs
+
+crates/bench/src/bin/t3_breakpoints.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/t4_trace_volume-07439a156b1591dd.d: crates/bench/src/bin/t4_trace_volume.rs
+
+/root/repo/target/release/deps/t4_trace_volume-07439a156b1591dd: crates/bench/src/bin/t4_trace_volume.rs
+
+crates/bench/src/bin/t4_trace_volume.rs:

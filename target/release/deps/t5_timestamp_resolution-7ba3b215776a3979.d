@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/t5_timestamp_resolution-7ba3b215776a3979.d: crates/bench/src/bin/t5_timestamp_resolution.rs
+
+/root/repo/target/release/deps/t5_timestamp_resolution-7ba3b215776a3979: crates/bench/src/bin/t5_timestamp_resolution.rs
+
+crates/bench/src/bin/t5_timestamp_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/t6_nonintrusive-20e86c4d8ac91fa3.d: crates/bench/src/bin/t6_nonintrusive.rs
+
+/root/repo/target/release/deps/t6_nonintrusive-20e86c4d8ac91fa3: crates/bench/src/bin/t6_nonintrusive.rs
+
+crates/bench/src/bin/t6_nonintrusive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/t7_fault_recovery-3485fb5d27ea55b6.d: crates/bench/src/bin/t7_fault_recovery.rs
+
+/root/repo/target/release/deps/t7_fault_recovery-3485fb5d27ea55b6: crates/bench/src/bin/t7_fault_recovery.rs
+
+crates/bench/src/bin/t7_fault_recovery.rs:

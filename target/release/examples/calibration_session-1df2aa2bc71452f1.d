@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calibration_session-1df2aa2bc71452f1.d: examples/calibration_session.rs
+
+/root/repo/target/release/examples/calibration_session-1df2aa2bc71452f1: examples/calibration_session.rs
+
+examples/calibration_session.rs:

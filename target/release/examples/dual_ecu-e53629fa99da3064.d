@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dual_ecu-e53629fa99da3064.d: examples/dual_ecu.rs
+
+/root/repo/target/release/examples/dual_ecu-e53629fa99da3064: examples/dual_ecu.rs
+
+examples/dual_ecu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/performance_monitor-bb6510952cb9aec9.d: examples/performance_monitor.rs
+
+/root/repo/target/release/examples/performance_monitor-bb6510952cb9aec9: examples/performance_monitor.rs
+
+examples/performance_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b33bbcc863286213.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b33bbcc863286213: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/race_hunt-67b8c52578e51f28.d: examples/race_hunt.rs
+
+/root/repo/target/release/examples/race_hunt-67b8c52578e51f28: examples/race_hunt.rs
+
+examples/race_hunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_filtering-8604e96903fb1795.d: examples/trace_filtering.rs
+
+/root/repo/target/release/examples/trace_filtering-8604e96903fb1795: examples/trace_filtering.rs
+
+examples/trace_filtering.rs:

@@ -1,0 +1,350 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset — no `syn`/`quote` available offline, so the item
+//! is parsed directly from the `proc_macro::TokenStream` and the impl is
+//! emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives): non-generic named
+//! structs, tuple structs, unit structs, and enums with unit / tuple /
+//! struct variants. `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skip `#[...]` attributes (including doc comments) and `pub` /
+/// `pub(...)` visibility, returning the next index.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advance past a type, stopping after the top-level `,` (if any).
+/// Tracks `<`/`>` depth so commas inside generic arguments don't split.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i64;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde derive stub: expected field name, found `{}`", toks[i]);
+        };
+        fields.push(name.to_string());
+        i += 2; // name ':'
+        i = skip_type(&toks, i);
+    }
+    fields
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut count = 0;
+    let mut depth = 0i64;
+    let mut in_segment = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+                continue;
+            }
+            _ => {}
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde derive stub: expected variant name, found `{}`", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(body))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(body))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = toks[i].to_string();
+    i += 1;
+    let name = toks[i].to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic types are not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Body::NamedStruct(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Body::TupleStruct(count_tuple_fields(g)))
+            }
+            _ => (name, Body::UnitStruct),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = toks.get(i) else {
+                panic!("serde derive stub: malformed enum body");
+            };
+            (name, Body::Enum(parse_variants(g)))
+        }
+        other => panic!("serde derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+fn ser_fields_map(fields: &[String], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&{access}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let expr = match body {
+        Body::NamedStruct(fields) => ser_fields_map(fields, "self."),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let payload = ser_fields_map(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{expr}\n}}\n}}"
+    )
+}
+
+fn de_fields_map(fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 ::serde::map_get({source}, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn de_seq_construct(path: &str, n: usize, source: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "{{ let items = ::serde::seq_items({source})?;\n\
+         if items.len() != {n} {{\n\
+         return ::std::result::Result::Err(::serde::Error::msg(\
+         ::std::format!(\"expected {n} elements, found {{}}\", items.len())));\n\
+         }}\n\
+         ::std::result::Result::Ok({path}({}))\n}}",
+        items.join(", ")
+    )
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let expr = match body {
+        Body::NamedStruct(fields) => format!(
+            "::std::result::Result::Ok({name} {{ {} }})",
+            de_fields_map(fields, "v")
+        ),
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Body::TupleStruct(n) => de_seq_construct(name, *n, "v"),
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm_body = match &v.kind {
+                    VariantKind::Unit => {
+                        format!("::std::result::Result::Ok({name}::{vn})")
+                    }
+                    VariantKind::Tuple(n) => {
+                        let construct = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(payload)?))"
+                            )
+                        } else {
+                            de_seq_construct(&format!("{name}::{vn}"), *n, "payload")
+                        };
+                        format!(
+                            "{{ let payload = payload.ok_or_else(|| ::serde::Error::msg(\
+                             \"variant `{vn}` expects a payload\"))?;\n{construct} }}"
+                        )
+                    }
+                    VariantKind::Named(fields) => format!(
+                        "{{ let payload = payload.ok_or_else(|| ::serde::Error::msg(\
+                         \"variant `{vn}` expects a payload\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                        de_fields_map(fields, "payload")
+                    ),
+                };
+                arms.push_str(&format!("\"{vn}\" => {arm_body},\n"));
+            }
+            format!(
+                "{{ let (variant, payload) = ::serde::enum_variant(v)?;\n\
+                 match variant {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n}} }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{expr}\n}}\n}}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_serialize(&name, &body)
+        .parse()
+        .expect("serde derive stub: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_deserialize(&name, &body)
+        .parse()
+        .expect("serde derive stub: generated Deserialize impl failed to parse")
+}
