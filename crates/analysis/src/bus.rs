@@ -1,0 +1,352 @@
+//! Bus-contention analysis: per-master utilization, grant/wait-state and
+//! contention statistics.
+//!
+//! Two complementary inputs feed this module:
+//!
+//! * the SoC's observable event stream ([`CycleRecord`] /
+//!   [`SocEvent::Bus`]) — the same system-centric tap the MCDS bus
+//!   adaptation logic watches — which attributes every completed
+//!   transaction to its master, and
+//! * the downloaded trace-message stream, whose bus-sourced data messages
+//!   ([`TraceMessage::DataWrite`] / [`TraceMessage::DataRead`]) survive the
+//!   full FIFO → sink → link path. The modelled wire format (like our
+//!   Nexus-class subset) does not carry a master id per data message, so
+//!   message-derived statistics are aggregate; per-master numbers come
+//!   from the event tap and are cross-checked against the bus's own
+//!   [`BusCounters`].
+//!
+//! [`SocEvent::Bus`]: mcds_soc::event::SocEvent::Bus
+
+use std::collections::BTreeMap;
+
+use mcds_soc::bus::BusCounters;
+use mcds_soc::event::{CycleRecord, SocEvent};
+use mcds_trace::{TimedMessage, TraceMessage, TraceSource};
+
+/// Per-master transaction and arbitration statistics.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusMasterStats {
+    /// Master slot index.
+    pub master: u8,
+    /// Completed (fault-free) transactions observed on the event tap.
+    pub xacts: u64,
+    /// Read/fetch transactions.
+    pub reads: u64,
+    /// Write/atomic transactions.
+    pub writes: u64,
+    /// Data bytes moved.
+    pub bytes: u64,
+    /// Transactions granted by the arbiter (from [`BusCounters`]).
+    pub grants: u64,
+    /// Cycles this master held the bus (from [`BusCounters`]).
+    pub occupancy_cycles: u64,
+    /// Cycles this master waited for a grant (from [`BusCounters`]).
+    pub wait_cycles: u64,
+}
+
+/// The finished bus-contention report.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusContentionReport {
+    /// Total bus cycles covered.
+    pub cycles: u64,
+    /// Cycles with a transaction in flight.
+    pub busy_cycles: u64,
+    /// Cycles where at least one master waited while another held the bus.
+    pub contended_cycles: u64,
+    /// Per-master statistics, sorted by master index.
+    pub masters: Vec<BusMasterStats>,
+}
+
+impl BusContentionReport {
+    /// Bus utilization (busy fraction, 0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// `master`'s share of bus occupancy (0.0–1.0 of total cycles).
+    pub fn master_utilization(&self, master: u8) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.masters
+            .iter()
+            .find(|m| m.master == master)
+            .map_or(0.0, |m| m.occupancy_cycles as f64 / self.cycles as f64)
+    }
+
+    /// Verifies the event-tap-derived transaction counts against the bus's
+    /// internal counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn cross_check(&self, counters: &BusCounters) -> Result<(), String> {
+        if self.cycles != counters.cycles {
+            return Err(format!(
+                "cycle total mismatch: report {} vs bus {}",
+                self.cycles, counters.cycles
+            ));
+        }
+        if self.busy_cycles != counters.busy_cycles {
+            return Err(format!(
+                "busy-cycle mismatch: report {} vs bus {}",
+                self.busy_cycles, counters.busy_cycles
+            ));
+        }
+        for (i, c) in counters.per_master.iter().enumerate() {
+            let observed = self
+                .masters
+                .iter()
+                .find(|m| m.master == i as u8)
+                .map_or(0, |m| m.xacts);
+            if observed != c.xacts {
+                return Err(format!(
+                    "master {i} transaction mismatch: observed {observed} vs bus {}",
+                    c.xacts
+                ));
+            }
+        }
+        let occupancy: u64 = counters.per_master.iter().map(|m| m.occupancy_cycles).sum();
+        if occupancy != counters.busy_cycles {
+            return Err(format!(
+                "occupancy sum {occupancy} disagrees with busy cycles {}",
+                counters.busy_cycles
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate statistics over the downloaded trace-message stream.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusTraceStats {
+    /// Bus-sourced data-write messages.
+    pub bus_writes: u64,
+    /// Bus-sourced data-read messages.
+    pub bus_reads: u64,
+    /// Bytes moved by bus-sourced data messages.
+    pub bus_bytes: u64,
+    /// Core-sourced data messages (CPU-local data trace).
+    pub core_data: u64,
+    /// Watchpoint messages.
+    pub watchpoints: u64,
+    /// Overflow messages.
+    pub overflows: u64,
+    /// Messages the FIFO reported dropped.
+    pub lost: u64,
+    /// Timestamp of the first bus-sourced message.
+    pub first_ts: u64,
+    /// Timestamp of the last bus-sourced message.
+    pub last_ts: u64,
+}
+
+impl BusTraceStats {
+    /// Computes aggregate stats from a decoded message stream.
+    pub fn from_messages(messages: &[TimedMessage]) -> BusTraceStats {
+        let mut s = BusTraceStats::default();
+        let mut first = None;
+        for m in messages {
+            match m.message {
+                TraceMessage::DataWrite { width, .. } => {
+                    if m.source == TraceSource::Bus {
+                        s.bus_writes += 1;
+                        s.bus_bytes += u64::from(width.bytes());
+                        first.get_or_insert(m.timestamp);
+                        s.last_ts = m.timestamp;
+                    } else {
+                        s.core_data += 1;
+                    }
+                }
+                TraceMessage::DataRead { width, .. } => {
+                    if m.source == TraceSource::Bus {
+                        s.bus_reads += 1;
+                        s.bus_bytes += u64::from(width.bytes());
+                        first.get_or_insert(m.timestamp);
+                        s.last_ts = m.timestamp;
+                    } else {
+                        s.core_data += 1;
+                    }
+                }
+                TraceMessage::Watchpoint { .. } => s.watchpoints += 1,
+                TraceMessage::Overflow { lost } => {
+                    s.overflows += 1;
+                    s.lost += u64::from(lost);
+                }
+                _ => {}
+            }
+        }
+        s.first_ts = first.unwrap_or(0);
+        s
+    }
+
+    /// Total bus-sourced data messages.
+    pub fn bus_messages(&self) -> u64 {
+        self.bus_reads + self.bus_writes
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct MasterAccum {
+    xacts: u64,
+    reads: u64,
+    writes: u64,
+    bytes: u64,
+}
+
+/// Streaming analyzer over the SoC's observable [`CycleRecord`] stream.
+#[must_use = "an analyzer does nothing until records are observed and `finish*` is called"]
+#[derive(Debug, Default)]
+pub struct BusAnalyzer {
+    masters: BTreeMap<u8, MasterAccum>,
+}
+
+impl BusAnalyzer {
+    /// Creates an empty analyzer.
+    pub fn new() -> BusAnalyzer {
+        BusAnalyzer::default()
+    }
+
+    /// Observes one cycle's events.
+    pub fn observe(&mut self, record: &CycleRecord) {
+        for ev in &record.events {
+            if let SocEvent::Bus(x) = ev {
+                let m = self.masters.entry(x.master.0).or_default();
+                m.xacts += 1;
+                m.bytes += u64::from(x.width.bytes());
+                if x.kind.is_write() {
+                    m.writes += 1;
+                } else {
+                    m.reads += 1;
+                }
+            }
+        }
+    }
+
+    /// Observes a slice of records.
+    pub fn observe_all(&mut self, records: &[CycleRecord]) {
+        records.iter().for_each(|r| self.observe(r));
+    }
+
+    /// Finalises the report, taking cycle-exact occupancy / wait / grant
+    /// numbers from the bus's internal counters. Use
+    /// [`BusContentionReport::cross_check`] afterwards to assert the two
+    /// views agree on what both can see.
+    #[must_use]
+    pub fn finish_with_counters(self, counters: &BusCounters) -> BusContentionReport {
+        let mut masters: Vec<BusMasterStats> = Vec::new();
+        for (i, c) in counters.per_master.iter().enumerate() {
+            let obs = self.masters.get(&(i as u8)).copied().unwrap_or_default();
+            masters.push(BusMasterStats {
+                master: i as u8,
+                xacts: obs.xacts,
+                reads: obs.reads,
+                writes: obs.writes,
+                bytes: obs.bytes,
+                grants: c.grants,
+                occupancy_cycles: c.occupancy_cycles,
+                wait_cycles: c.wait_cycles,
+            });
+        }
+        // Masters the counters don't know (shouldn't happen) still surface.
+        for (&m, obs) in &self.masters {
+            if usize::from(m) >= counters.per_master.len() {
+                masters.push(BusMasterStats {
+                    master: m,
+                    xacts: obs.xacts,
+                    reads: obs.reads,
+                    writes: obs.writes,
+                    bytes: obs.bytes,
+                    ..Default::default()
+                });
+            }
+        }
+        BusContentionReport {
+            cycles: counters.cycles,
+            busy_cycles: counters.busy_cycles,
+            contended_cycles: counters.contended_cycles,
+            masters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::bus::{BusXact, MasterId, XferKind};
+    use mcds_soc::isa::MemWidth;
+
+    #[test]
+    fn analyzer_attributes_xacts_to_masters() {
+        let mut rec = CycleRecord::new(7);
+        rec.events.push(SocEvent::Bus(BusXact {
+            master: MasterId(0),
+            addr: 0x1000,
+            width: MemWidth::Word,
+            kind: XferKind::Read,
+            data: 5,
+        }));
+        let mut rec2 = CycleRecord::new(9);
+        rec2.events.push(SocEvent::Bus(BusXact {
+            master: MasterId(2),
+            addr: 0x2000,
+            width: MemWidth::Half,
+            kind: XferKind::Write,
+            data: 1,
+        }));
+        let mut a = BusAnalyzer::new();
+        a.observe_all(&[rec, rec2]);
+        let counters = BusCounters {
+            cycles: 10,
+            busy_cycles: 6,
+            contended_cycles: 1,
+            per_master: vec![
+                mcds_soc::bus::MasterCounters {
+                    grants: 1,
+                    xacts: 1,
+                    faults: 0,
+                    occupancy_cycles: 4,
+                    wait_cycles: 0,
+                },
+                mcds_soc::bus::MasterCounters::default(),
+                mcds_soc::bus::MasterCounters {
+                    grants: 1,
+                    xacts: 1,
+                    faults: 0,
+                    occupancy_cycles: 2,
+                    wait_cycles: 1,
+                },
+            ],
+        };
+        let report = a.finish_with_counters(&counters);
+        assert_eq!(report.masters.len(), 3);
+        assert_eq!(report.masters[0].reads, 1);
+        assert_eq!(report.masters[2].writes, 1);
+        assert_eq!(report.masters[2].bytes, 2);
+        report.cross_check(&counters).unwrap();
+        assert!((report.utilization() - 0.6).abs() < 1e-12);
+        assert!((report.master_utilization(0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_check_catches_lost_transactions() {
+        let a = BusAnalyzer::new(); // saw nothing
+        let counters = BusCounters {
+            cycles: 4,
+            busy_cycles: 2,
+            contended_cycles: 0,
+            per_master: vec![mcds_soc::bus::MasterCounters {
+                grants: 1,
+                xacts: 1,
+                faults: 0,
+                occupancy_cycles: 2,
+                wait_cycles: 0,
+            }],
+        };
+        let report = a.finish_with_counters(&counters);
+        assert!(report.cross_check(&counters).is_err());
+    }
+}

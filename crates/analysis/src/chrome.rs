@@ -1,0 +1,387 @@
+//! Chrome trace-event JSON timeline export.
+//!
+//! Emits the JSON-array flavour of the Trace Event Format, loadable in
+//! `chrome://tracing` and <https://ui.perfetto.dev>: cores appear as
+//! threads with execution slices, DMA bursts as slices on their own
+//! track, and interrupts, triggers, watchpoints and break events as
+//! instants. Timestamps are microseconds derived from the SoC clock
+//! ([`memmap::CLOCK_HZ`]), so the timeline is wall-clock-true for the
+//! modelled 150 MHz part.
+
+use std::collections::BTreeMap;
+
+use mcds_soc::bus::MasterId;
+use mcds_soc::event::{CycleRecord, SocEvent};
+use mcds_soc::soc::memmap;
+use mcds_trace::{TimedMessage, TraceMessage};
+
+/// Converts an SoC cycle count to trace-event microseconds.
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 * 1e6 / memmap::CLOCK_HZ as f64
+}
+
+/// Process id used for all emitted events.
+pub const PID: u32 = 1;
+/// Thread id of the DMA track (cores use their own index).
+pub const DMA_TID: u32 = 64;
+/// Thread id of the trigger/break track.
+pub const TRIGGER_TID: u32 = 65;
+/// Thread id of the trace-housekeeping track (watchpoints, overflows).
+pub const TRACE_TID: u32 = 66;
+
+/// One Trace Event Format entry.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Category string.
+    pub cat: String,
+    /// Phase: `"X"` complete, `"i"` instant, `"M"` metadata.
+    pub ph: String,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (0 for instants/metadata).
+    pub dur: f64,
+    /// Process id.
+    pub pid: u32,
+    /// Thread id.
+    pub tid: u32,
+    /// Free-form arguments.
+    pub args: serde::Value,
+}
+
+impl ChromeEvent {
+    fn instant(name: String, cat: &str, tid: u32, cycle: u64) -> ChromeEvent {
+        ChromeEvent {
+            name,
+            cat: cat.to_string(),
+            ph: "i".to_string(),
+            ts: cycles_to_us(cycle),
+            dur: 0.0,
+            pid: PID,
+            tid,
+            args: serde::Value::Null,
+        }
+    }
+
+    fn complete(name: String, cat: &str, tid: u32, start: u64, end: u64) -> ChromeEvent {
+        ChromeEvent {
+            name,
+            cat: cat.to_string(),
+            ph: "X".to_string(),
+            ts: cycles_to_us(start),
+            dur: cycles_to_us(end.saturating_sub(start)),
+            pid: PID,
+            tid,
+            args: serde::Value::Null,
+        }
+    }
+
+    fn thread_name(tid: u32, name: &str) -> ChromeEvent {
+        ChromeEvent {
+            name: "thread_name".to_string(),
+            cat: "__metadata".to_string(),
+            ph: "M".to_string(),
+            ts: 0.0,
+            dur: 0.0,
+            pid: PID,
+            tid,
+            args: serde::Value::Map(vec![(
+                "name".to_string(),
+                serde::Value::Str(name.to_string()),
+            )]),
+        }
+    }
+}
+
+/// A finished timeline: a list of [`ChromeEvent`]s serializable as the
+/// JSON-array Trace Event Format.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default, PartialEq)]
+pub struct ChromeTrace {
+    /// The events, in emission order (viewers sort by `ts` themselves).
+    pub events: Vec<ChromeEvent>,
+}
+
+impl ChromeTrace {
+    /// Serializes to Trace Event Format JSON (array form).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: serialization of these value types is infallible.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.events).expect("chrome trace serializes")
+    }
+
+    /// Parses a JSON-array timeline back (used for round-trip checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed JSON.
+    pub fn from_json(json: &str) -> Result<ChromeTrace, serde_json::Error> {
+        Ok(ChromeTrace {
+            events: serde_json::from_str(json)?,
+        })
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Latest `ts + dur` across all events, in microseconds.
+    pub fn end_ts(&self) -> f64 {
+        self.events.iter().map(|e| e.ts + e.dur).fold(0.0, f64::max)
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CoreSpan {
+    first_retire: Option<u64>,
+    last_cycle: u64,
+    stopped_at: Option<(u64, &'static str)>,
+    retires: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DmaSpan {
+    start: u64,
+    end: u64,
+    xacts: u64,
+}
+
+/// Builds a [`ChromeTrace`] from the SoC event stream and the downloaded
+/// trace messages.
+#[must_use = "a timeline builder does nothing until `finish` is called"]
+#[derive(Debug, Default)]
+pub struct TimelineBuilder {
+    events: Vec<ChromeEvent>,
+    cores: BTreeMap<u8, CoreSpan>,
+    dma_spans: Vec<DmaSpan>,
+    dma_master: Option<MasterId>,
+    saw_trigger: bool,
+    saw_trace_event: bool,
+}
+
+/// Cycles of bus silence after which a DMA burst slice is closed.
+const DMA_MERGE_GAP: u64 = 32;
+
+impl TimelineBuilder {
+    /// Creates an empty builder. Pass the SoC's DMA master slot (if any) so
+    /// DMA transactions get their own track.
+    pub fn new(dma_master: Option<MasterId>) -> TimelineBuilder {
+        TimelineBuilder {
+            dma_master,
+            ..TimelineBuilder::default()
+        }
+    }
+
+    /// Ingests the observable per-cycle event records of a run.
+    pub fn add_records(&mut self, records: &[CycleRecord]) {
+        for rec in records {
+            for ev in &rec.events {
+                match ev {
+                    SocEvent::Retire(r) => {
+                        let span = self.cores.entry(r.core.0).or_default();
+                        span.first_retire.get_or_insert(rec.cycle);
+                        span.last_cycle = rec.cycle;
+                        span.retires += 1;
+                    }
+                    SocEvent::CoreStopped { core, cause, .. } => {
+                        let span = self.cores.entry(core.0).or_default();
+                        span.stopped_at = Some((rec.cycle, stop_cause_name(*cause)));
+                        span.last_cycle = rec.cycle;
+                        self.events.push(ChromeEvent::instant(
+                            format!("core{} stop: {}", core.0, stop_cause_name(*cause)),
+                            "break",
+                            u32::from(core.0),
+                            rec.cycle,
+                        ));
+                    }
+                    SocEvent::IrqEntry { core, vector, .. } => {
+                        self.events.push(ChromeEvent::instant(
+                            format!("irq{vector}"),
+                            "interrupt",
+                            u32::from(core.0),
+                            rec.cycle,
+                        ));
+                    }
+                    SocEvent::TriggerIn { line, level } => {
+                        self.saw_trigger = true;
+                        self.events.push(ChromeEvent::instant(
+                            format!("trigger_in{line}={}", u8::from(*level)),
+                            "trigger",
+                            TRIGGER_TID,
+                            rec.cycle,
+                        ));
+                    }
+                    SocEvent::Bus(x) => {
+                        if Some(x.master) == self.dma_master {
+                            match self.dma_spans.last_mut() {
+                                Some(s) if rec.cycle <= s.end + DMA_MERGE_GAP => {
+                                    s.end = rec.cycle;
+                                    s.xacts += 1;
+                                }
+                                _ => self.dma_spans.push(DmaSpan {
+                                    start: rec.cycle,
+                                    end: rec.cycle,
+                                    xacts: 1,
+                                }),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ingests downloaded trace messages (watchpoints and overflow markers
+    /// become instants on the trace-housekeeping track).
+    pub fn add_messages(&mut self, messages: &[TimedMessage]) {
+        for m in messages {
+            match m.message {
+                TraceMessage::Watchpoint { id } => {
+                    self.saw_trace_event = true;
+                    self.events.push(ChromeEvent::instant(
+                        format!("watchpoint{id}"),
+                        "trigger",
+                        TRACE_TID,
+                        m.timestamp,
+                    ));
+                }
+                TraceMessage::Overflow { lost } => {
+                    self.saw_trace_event = true;
+                    self.events.push(ChromeEvent::instant(
+                        format!("fifo overflow (lost {lost})"),
+                        "trace",
+                        TRACE_TID,
+                        m.timestamp,
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Finalises the timeline: emits core execution slices, DMA burst
+    /// slices and track-name metadata.
+    #[must_use]
+    pub fn finish(mut self) -> ChromeTrace {
+        let mut out = Vec::new();
+        for (&core, span) in &self.cores {
+            out.push(ChromeEvent::thread_name(
+                u32::from(core),
+                &format!("core{core}"),
+            ));
+            if let Some(start) = span.first_retire {
+                let (end, label) = match span.stopped_at {
+                    Some((c, cause)) => (c, format!("exec ({} retired, {cause})", span.retires)),
+                    None => (
+                        span.last_cycle + 1,
+                        format!("exec ({} retired)", span.retires),
+                    ),
+                };
+                out.push(ChromeEvent::complete(
+                    label,
+                    "exec",
+                    u32::from(core),
+                    start,
+                    end.max(start),
+                ));
+            }
+        }
+        if !self.dma_spans.is_empty() {
+            out.push(ChromeEvent::thread_name(DMA_TID, "dma"));
+            for s in &self.dma_spans {
+                out.push(ChromeEvent::complete(
+                    format!("dma burst ({} xacts)", s.xacts),
+                    "dma",
+                    DMA_TID,
+                    s.start,
+                    s.end + 1,
+                ));
+            }
+        }
+        if self.saw_trigger {
+            out.push(ChromeEvent::thread_name(TRIGGER_TID, "triggers"));
+        }
+        if self.saw_trace_event {
+            out.push(ChromeEvent::thread_name(TRACE_TID, "trace"));
+        }
+        out.append(&mut self.events);
+        ChromeTrace { events: out }
+    }
+}
+
+fn stop_cause_name(cause: mcds_soc::event::StopCause) -> &'static str {
+    use mcds_soc::event::StopCause;
+    match cause {
+        StopCause::DebugRequest => "debug request",
+        StopCause::Breakpoint => "breakpoint",
+        StopCause::HaltInstr => "halt",
+        StopCause::Step => "step",
+        StopCause::BusFault(_) => "bus fault",
+        StopCause::InvalidInstr { .. } => "invalid instruction",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::event::{CoreId, RetireEvent, StopCause};
+    use mcds_soc::isa::Instr;
+
+    fn retire(core: u8, pc: u32) -> SocEvent {
+        SocEvent::Retire(RetireEvent {
+            core: CoreId(core),
+            pc,
+            instr: Instr::Nop,
+            next_pc: pc + 4,
+            taken: None,
+            mem: None,
+        })
+    }
+
+    #[test]
+    fn timeline_round_trips_and_bounds_hold() {
+        let mut r0 = CycleRecord::new(10);
+        r0.events.push(retire(0, 0x100));
+        let mut r1 = CycleRecord::new(20);
+        r1.events.push(retire(0, 0x104));
+        r1.events.push(SocEvent::IrqEntry {
+            core: CoreId(0),
+            from: 0x104,
+            vector: 2,
+        });
+        let mut r2 = CycleRecord::new(30);
+        r2.events.push(SocEvent::CoreStopped {
+            core: CoreId(0),
+            cause: StopCause::HaltInstr,
+            pc: 0x108,
+        });
+        let mut b = TimelineBuilder::new(None);
+        b.add_records(&[r0, r1, r2]);
+        b.add_messages(&[TimedMessage {
+            timestamp: 25,
+            source: mcds_trace::TraceSource::Bus,
+            message: TraceMessage::Watchpoint { id: 1 },
+        }]);
+        let trace = b.finish();
+        assert!(!trace.is_empty());
+        let json = trace.to_json();
+        let back = ChromeTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        let end = cycles_to_us(31);
+        for e in &trace.events {
+            assert!(e.ts >= 0.0 && e.ts + e.dur <= end + 1e-9, "event {e:?}");
+        }
+        // Core exec slice runs from first retire to the stop.
+        let exec = trace.events.iter().find(|e| e.ph == "X").unwrap();
+        assert!((exec.ts - cycles_to_us(10)).abs() < 1e-12);
+        assert!((exec.dur - cycles_to_us(20)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # mcds-analysis — trace-driven profiling, coverage and bus analysis
+//!
+//! The point of cycle-accurate on-chip time stamping (Mayer et al., DATE
+//! 2005, Section 4) is that the *host* can turn the raw MCDS stream into
+//! performance and behaviour insight without perturbing the target. This
+//! crate is that host-side layer. It consumes decoded [`TimedMessage`]
+//! streams (and, for system-level views, the SoC's observable
+//! [`CycleRecord`] event stream) and produces:
+//!
+//! * [`profile`] — a cycle-accurate flat and per-range profiler. Program
+//!   messages carry the cycle they were generated on, so the span between
+//!   consecutive program messages of a core is attributed to the
+//!   instructions that message proves were executed: a hot-spot table and
+//!   an inter-sample gap histogram fall out directly.
+//! * [`coverage`] — instruction and branch-arc coverage maps with a
+//!   mergeable, serializable report. Merge is associative, commutative and
+//!   idempotent, so multi-chip / multi-run captures compose; lossy captures
+//!   carry an explicit gap count ("coverage is a lower bound, N gaps").
+//! * [`bus`] — bus-contention analysis: per-master utilization, grant /
+//!   wait-state and contention statistics, cross-checked against the bus's
+//!   own [`mcds_soc::bus::BusCounters`] ground truth.
+//! * [`chrome`] — a Chrome trace-event JSON (`chrome://tracing` /
+//!   Perfetto-loadable) timeline exporter covering cores, DMA, interrupts
+//!   and trigger/break events.
+//!
+//! [`TimedMessage`]: mcds_trace::TimedMessage
+//! [`CycleRecord`]: mcds_soc::event::CycleRecord
+
+pub mod bus;
+pub mod chrome;
+pub mod coverage;
+pub mod profile;
+
+pub use bus::{BusAnalyzer, BusContentionReport, BusMasterStats, BusTraceStats};
+pub use chrome::{cycles_to_us, ChromeEvent, ChromeTrace, TimelineBuilder};
+pub use coverage::{program_instruction_count, ArcCount, CoverageBuilder, CoverageReport, PcCount};
+pub use profile::{
+    symbol_ranges, CoreProfile, NamedRange, PcProfile, ProfileReport, Profiler, RangeProfile,
+};

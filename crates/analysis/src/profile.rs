@@ -1,0 +1,446 @@
+//! Cycle-accurate flat and per-range profiling from program-flow trace.
+//!
+//! Every MCDS program message carries the cycle it was generated on
+//! (Section 4: time stamping "allows a time resolution down to cycle
+//! level"). Between two consecutive program messages of a core, exactly the
+//! instructions the later message proves executed were retired, so the
+//! timestamp delta is attributed — cycle-exactly in total — to those
+//! instructions. No instrumentation, no sampling interrupt: the profile is
+//! a pure function of the trace stream and the program image.
+
+use std::collections::BTreeMap;
+
+use mcds_soc::asm::Program;
+use mcds_soc::bus::AddrRange;
+use mcds_trace::{
+    FlowReconstructor, ProgramImage, ReconstructError, TimedMessage, TraceMessage, TraceSource,
+};
+
+/// A named address range (symbol, function, table) for per-range profiles.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct NamedRange {
+    /// Human-readable name (usually an assembler label).
+    pub name: String,
+    /// Half-open byte range the name covers.
+    pub range: AddrRange,
+}
+
+/// Derives [`NamedRange`]s from a program's label symbols: each label
+/// covers from its address up to the next label in the same chunk (or the
+/// chunk end). `.equ` constants outside the image are ignored.
+pub fn symbol_ranges(program: &Program) -> Vec<NamedRange> {
+    let chunk_of = |addr: u32| -> Option<(u32, u32)> {
+        program.chunks.iter().find_map(|(base, bytes)| {
+            let end = base + bytes.len() as u32;
+            (addr >= *base && addr < end).then_some((*base, end))
+        })
+    };
+    let mut syms: Vec<(&String, u32, u32)> = program
+        .symbols
+        .iter()
+        .filter_map(|(name, &addr)| chunk_of(addr).map(|(_, end)| (name, addr, end)))
+        .collect();
+    syms.sort_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+    let mut out = Vec::with_capacity(syms.len());
+    for i in 0..syms.len() {
+        let (name, addr, chunk_end) = syms[i];
+        if i > 0 && syms[i - 1].1 == addr {
+            continue; // aliased label at the same address: keep the first
+        }
+        let end = syms[i + 1..]
+            .iter()
+            .find(|(_, a, _)| *a > addr && *a <= chunk_end)
+            .map_or(chunk_end, |&(_, a, _)| a);
+        out.push(NamedRange {
+            name: name.clone(),
+            range: AddrRange::new(addr, end - addr),
+        });
+    }
+    out
+}
+
+/// Cycles and retirements attributed to one program counter.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcProfile {
+    /// Instruction address.
+    pub pc: u32,
+    /// Cycles attributed to this address.
+    pub cycles: u64,
+    /// Times the instruction retired.
+    pub retires: u64,
+}
+
+/// Per-core totals.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreProfile {
+    /// Core index.
+    pub core: u8,
+    /// Cycles attributed to this core's instructions (equals the timestamp
+    /// span from the core's first anchor to its last program message when
+    /// the capture is lossless).
+    pub cycles: u64,
+    /// Instructions reconstructed for this core.
+    pub instructions: u64,
+    /// Timestamp of the first program message seen (anchor).
+    pub first_ts: u64,
+    /// Timestamp of the last program message seen.
+    pub last_ts: u64,
+}
+
+/// Cycles and retirements aggregated over a [`NamedRange`].
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct RangeProfile {
+    /// The range's name.
+    pub name: String,
+    /// Cycles attributed inside the range.
+    pub cycles: u64,
+    /// Retirements inside the range.
+    pub retires: u64,
+}
+
+/// The finished profile. Obtain via [`Profiler::finish`].
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Flat profile, sorted by address.
+    pub pcs: Vec<PcProfile>,
+    /// Per-core totals, sorted by core index.
+    pub cores: Vec<CoreProfile>,
+    /// Inter-sample gap histogram: bucket 0 counts zero-cycle gaps, bucket
+    /// `i >= 1` counts gaps in `[2^(i-1), 2^i)` cycles.
+    pub gap_histogram: Vec<u64>,
+    /// Flow desyncs recovered from in lossy mode.
+    pub desyncs: u64,
+    /// FIFO overflow messages seen.
+    pub overflows: u64,
+    /// Messages the on-chip FIFO reported dropped.
+    pub overflow_lost: u64,
+    /// Program messages skipped while a core's flow was unsynced.
+    pub skipped_unsynced: u64,
+}
+
+impl ProfileReport {
+    /// Total cycles attributed across all cores.
+    pub fn total_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.cycles).sum()
+    }
+
+    /// Total instructions reconstructed.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Number of accounting gaps (desyncs + overflows). When non-zero the
+    /// profile is a lower bound on the true execution.
+    pub fn gaps(&self) -> u64 {
+        self.desyncs + self.overflows
+    }
+
+    /// True when no trace was lost: the profile is cycle-exact.
+    pub fn is_lossless(&self) -> bool {
+        self.gaps() == 0 && self.skipped_unsynced == 0
+    }
+
+    /// The `n` hottest addresses by attributed cycles (ties by address).
+    #[must_use]
+    pub fn hot_spots(&self, n: usize) -> Vec<PcProfile> {
+        let mut sorted = self.pcs.clone();
+        sorted.sort_by(|a, b| (b.cycles, a.pc).cmp(&(a.cycles, b.pc)));
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Aggregates the flat profile over `ranges` (e.g. [`symbol_ranges`]).
+    #[must_use]
+    pub fn attribute(&self, ranges: &[NamedRange]) -> Vec<RangeProfile> {
+        ranges
+            .iter()
+            .map(|r| {
+                let (cycles, retires) = self
+                    .pcs
+                    .iter()
+                    .filter(|p| r.range.contains(p.pc))
+                    .fold((0, 0), |(c, n), p| (c + p.cycles, n + p.retires));
+                RangeProfile {
+                    name: r.name.clone(),
+                    cycles,
+                    retires,
+                }
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CoreState {
+    anchor_ts: Option<u64>,
+    first_ts: Option<u64>,
+    last_ts: u64,
+    cycles: u64,
+    instructions: u64,
+}
+
+/// Streaming profiler over decoded [`TimedMessage`]s.
+///
+/// Feed messages in stream order (the wire stream is already in temporal
+/// order) and call [`Profiler::finish`]. Feeding is per-message, so a
+/// report is invariant under re-chunking of the same stream.
+#[must_use = "a profiler does nothing until messages are fed and `finish` is called"]
+#[derive(Debug)]
+pub struct Profiler<'a> {
+    recon: FlowReconstructor<'a>,
+    per_pc: BTreeMap<u32, (u64, u64)>,
+    cores: BTreeMap<u8, CoreState>,
+    gap_histogram: Vec<u64>,
+    desyncs: u64,
+    overflows: u64,
+    overflow_lost: u64,
+}
+
+impl<'a> Profiler<'a> {
+    /// Creates a profiler reconstructing against `image`.
+    pub fn new(image: &'a ProgramImage) -> Profiler<'a> {
+        Profiler {
+            recon: FlowReconstructor::new(image),
+            per_pc: BTreeMap::new(),
+            cores: BTreeMap::new(),
+            gap_histogram: Vec::new(),
+            desyncs: 0,
+            overflows: 0,
+            overflow_lost: 0,
+        }
+    }
+
+    fn bucket(gap: u64) -> usize {
+        if gap == 0 {
+            0
+        } else {
+            64 - gap.leading_zeros() as usize
+        }
+    }
+
+    fn record_gap(&mut self, gap: u64) {
+        let b = Self::bucket(gap);
+        if self.gap_histogram.len() <= b {
+            self.gap_histogram.resize(b + 1, 0);
+        }
+        self.gap_histogram[b] += 1;
+    }
+
+    /// Feeds one message (strict): a trace/image contradiction is an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReconstructError`] from flow reconstruction; the
+    /// profiler is left desynced for that core but otherwise usable.
+    pub fn feed(&mut self, m: &TimedMessage) -> Result<(), ReconstructError> {
+        self.feed_inner(m, false).map(|_| ())
+    }
+
+    /// Feeds one message, treating reconstruction errors as trace loss:
+    /// the core is desynced (it re-anchors at its next `ProgSync`) and the
+    /// desync is counted, exactly like
+    /// [`mcds_trace::reconstruct_flow_lossy`].
+    pub fn feed_lossy(&mut self, m: &TimedMessage) {
+        let _ = self.feed_inner(m, true);
+    }
+
+    fn feed_inner(&mut self, m: &TimedMessage, lossy: bool) -> Result<(), ReconstructError> {
+        if let TraceMessage::Overflow { lost } = m.message {
+            self.overflows += 1;
+            self.overflow_lost += u64::from(lost);
+            if let TraceSource::Core(c) = m.source {
+                self.cores.entry(c.0).or_default().anchor_ts = None;
+            }
+            // The reconstructor drops its own anchor on overflow.
+            let _ = self.recon.feed(m);
+            return Ok(());
+        }
+        let TraceSource::Core(core) = m.source else {
+            return Ok(()); // bus data messages carry no program flow
+        };
+        if !m.message.is_program() {
+            return Ok(());
+        }
+        let skipped_before = self.recon.skipped_unsynced();
+        let batch = match self.recon.feed(m) {
+            Ok(batch) => batch,
+            Err(e) => {
+                if lossy {
+                    self.recon.desync(core);
+                    self.desyncs += 1;
+                    self.cores.entry(core.0).or_default().anchor_ts = None;
+                    return Ok(());
+                }
+                return Err(e);
+            }
+        };
+        let state = self.cores.entry(core.0).or_default();
+        state.last_ts = m.timestamp;
+        if matches!(m.message, TraceMessage::ProgSync { .. }) {
+            state.anchor_ts = Some(m.timestamp);
+            state.first_ts.get_or_insert(m.timestamp);
+            return Ok(());
+        }
+        if batch.is_empty() {
+            // Either a zero-length flush or a message skipped unsynced.
+            if self.recon.skipped_unsynced() == skipped_before {
+                state.anchor_ts = Some(m.timestamp);
+            }
+            return Ok(());
+        }
+        let span = state.anchor_ts.map_or(0, |a| m.timestamp.saturating_sub(a));
+        state.anchor_ts = Some(m.timestamp);
+        state.cycles += span;
+        state.instructions += batch.len() as u64;
+        self.record_gap(span);
+        // Distribute the span over the batch so per-pc cycles sum exactly
+        // to the span; the remainder lands on the trailing instructions.
+        let n = batch.len() as u64;
+        let base = span / n;
+        let rem = (span % n) as usize;
+        let first_extra = batch.len() - rem;
+        for (k, instr) in batch.iter().enumerate() {
+            let share = base + u64::from(k >= first_extra);
+            let entry = self.per_pc.entry(instr.pc).or_insert((0, 0));
+            entry.0 += share;
+            entry.1 += 1;
+        }
+        Ok(())
+    }
+
+    /// Feeds a slice of messages (strict).
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first reconstruction error.
+    pub fn feed_all(&mut self, messages: &[TimedMessage]) -> Result<(), ReconstructError> {
+        messages.iter().try_for_each(|m| self.feed(m))
+    }
+
+    /// Feeds a slice of messages, absorbing errors as desyncs.
+    pub fn feed_all_lossy(&mut self, messages: &[TimedMessage]) {
+        messages.iter().for_each(|m| self.feed_lossy(m));
+    }
+
+    /// Finalises the report.
+    #[must_use]
+    pub fn finish(self) -> ProfileReport {
+        ProfileReport {
+            pcs: self
+                .per_pc
+                .into_iter()
+                .map(|(pc, (cycles, retires))| PcProfile {
+                    pc,
+                    cycles,
+                    retires,
+                })
+                .collect(),
+            cores: self
+                .cores
+                .into_iter()
+                .map(|(core, s)| CoreProfile {
+                    core,
+                    cycles: s.cycles,
+                    instructions: s.instructions,
+                    first_ts: s.first_ts.unwrap_or(0),
+                    last_ts: s.last_ts,
+                })
+                .collect(),
+            gap_histogram: self.gap_histogram,
+            desyncs: self.desyncs,
+            overflows: self.overflows,
+            overflow_lost: self.overflow_lost,
+            skipped_unsynced: self.recon.skipped_unsynced(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_soc::asm::assemble;
+    use mcds_soc::event::CoreId;
+    use mcds_trace::BranchBits;
+
+    fn msg(ts: u64, core: u8, message: TraceMessage) -> TimedMessage {
+        TimedMessage {
+            timestamp: ts,
+            source: TraceSource::Core(CoreId(core)),
+            message,
+        }
+    }
+
+    #[test]
+    fn cycles_attributed_between_samples() {
+        // 4 instructions ending in a taken direct branch, 12 cycles apart.
+        let p = assemble(".org 0x100\nstart:\nnop\nnop\nnop\nbeq r0, r0, start").unwrap();
+        let image = ProgramImage::from(&p);
+        let mut prof = Profiler::new(&image);
+        prof.feed(&msg(10, 0, TraceMessage::ProgSync { pc: 0x100 }))
+            .unwrap();
+        prof.feed(&msg(22, 0, TraceMessage::DirectBranch { i_cnt: 4 }))
+            .unwrap();
+        let report = prof.finish();
+        assert_eq!(report.total_cycles(), 12);
+        assert_eq!(report.total_instructions(), 4);
+        assert_eq!(report.pcs.iter().map(|p| p.cycles).sum::<u64>(), 12);
+        assert!(report.is_lossless());
+        // 4 instructions share 12 cycles exactly.
+        assert!(report.pcs.iter().all(|p| p.cycles == 3));
+    }
+
+    #[test]
+    fn overflow_counts_as_gap_and_desyncs() {
+        let p = assemble(".org 0x100\nstart:\nnop\nj start").unwrap();
+        let image = ProgramImage::from(&p);
+        let mut prof = Profiler::new(&image);
+        prof.feed(&msg(0, 0, TraceMessage::ProgSync { pc: 0x100 }))
+            .unwrap();
+        prof.feed(&msg(5, 0, TraceMessage::Overflow { lost: 3 }))
+            .unwrap();
+        // Program message while unsynced is skipped, not attributed.
+        prof.feed(&msg(9, 0, TraceMessage::DirectBranch { i_cnt: 2 }))
+            .unwrap();
+        let report = prof.finish();
+        assert_eq!(report.overflows, 1);
+        assert_eq!(report.overflow_lost, 3);
+        assert_eq!(report.skipped_unsynced, 1);
+        assert_eq!(report.total_instructions(), 0);
+        assert!(!report.is_lossless());
+    }
+
+    #[test]
+    fn symbol_ranges_cover_labels_in_order() {
+        let p = assemble(".equ PORT, 0xF0000000\n.org 0x100\na:\nnop\nnop\nb:\nnop\nhalt").unwrap();
+        let ranges = symbol_ranges(&p);
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0].name, "a");
+        assert_eq!(ranges[0].range, AddrRange::new(0x100, 8));
+        assert_eq!(ranges[1].name, "b");
+        assert_eq!(ranges[1].range, AddrRange::new(0x108, 8));
+    }
+
+    #[test]
+    fn flush_history_spans_attribute_exactly() {
+        // Branch history run: 3 instructions over 7 cycles -> 2+2+3 split.
+        let p = assemble(".org 0x100\nnop\nnop\nnop\nhalt").unwrap();
+        let image = ProgramImage::from(&p);
+        let mut prof = Profiler::new(&image);
+        prof.feed(&msg(100, 1, TraceMessage::ProgSync { pc: 0x100 }))
+            .unwrap();
+        prof.feed(&msg(
+            107,
+            1,
+            TraceMessage::FlowFlush {
+                i_cnt: 3,
+                history: BranchBits::new(),
+            },
+        ))
+        .unwrap();
+        let report = prof.finish();
+        let cycles: Vec<u64> = report.pcs.iter().map(|p| p.cycles).collect();
+        assert_eq!(cycles, vec![2, 2, 3]);
+        assert_eq!(report.cores[0].core, 1);
+        assert_eq!(report.cores[0].cycles, 7);
+    }
+}

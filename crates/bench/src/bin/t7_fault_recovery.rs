@@ -152,7 +152,9 @@ fn capture_trace(sync_records: bool) -> (Device, Vec<TimedMessage>) {
         DebugResponse::TraceBytes(b) => b,
         other => panic!("unexpected response {other:?}"),
     };
-    let truth = StreamDecoder::new(clean).collect_all().expect("clean trace");
+    let truth = StreamDecoder::new(clean)
+        .collect_all()
+        .expect("clean trace");
     (dev, truth)
 }
 
@@ -178,7 +180,10 @@ fn matched_in_order(truth: &[TimedMessage], recovered: &[TimedMessage]) -> usize
 fn trace_upload(per_mille: u16, sync_records: bool) -> TraceOutcome {
     let (mut dev, truth) = capture_trace(sync_records);
     if per_mille > 0 {
-        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(SEED ^ 0x7, per_mille));
+        dev.set_fault_plan(
+            InterfaceKind::Usb11,
+            FaultPlan::lossy(SEED ^ 0x7, per_mille),
+        );
     }
     // The request frame itself can be lost: retry like any debug tool.
     let damaged = loop {

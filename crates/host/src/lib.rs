@@ -47,7 +47,9 @@ pub mod listing;
 pub mod session;
 
 pub use debugger::{Debugger, HostError, StopEvent};
-pub use session::{load_program_to_emulation_ram, SessionError, TraceOutcome, TraceSession};
+pub use session::{
+    load_program_to_emulation_ram, AnalysisOutcome, SessionError, TraceOutcome, TraceSession,
+};
 
 #[cfg(test)]
 mod tests {

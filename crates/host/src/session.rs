@@ -15,13 +15,18 @@
 
 use crate::debugger::{Debugger, HostError};
 use mcds::McdsConfig;
+use mcds_analysis::{
+    BusAnalyzer, BusContentionReport, ChromeTrace, CoverageBuilder, CoverageReport, ProfileReport,
+    Profiler, TimelineBuilder,
+};
 use mcds_psi::device::{DebugOp, DebugResponse, DeviceError};
 use mcds_soc::asm::Program;
 use mcds_soc::overlay::{OverlayRange, OVERLAY_MAX_BLOCK, OVERLAY_RANGE_COUNT};
 use mcds_soc::soc::memmap;
 use mcds_trace::{
-    collect_data_log, decode_wrapped, reconstruct_flow, DataRecord, ExecutedInstr, ProgramImage,
-    StreamDecoder, TimedMessage,
+    collect_data_log, decode_wrapped, reconstruct_flow, DataRecord, ExecutedInstr,
+    FlowReconstructor, ProgramImage, ResyncReport, StreamDecoder, TimedMessage, TraceMessage,
+    TraceSource,
 };
 use std::fmt;
 
@@ -82,6 +87,30 @@ pub struct TraceOutcome {
     pub flow: Vec<ExecutedInstr>,
     /// The reconstructed data log.
     pub data_log: Vec<DataRecord>,
+    /// Encoded trace bytes downloaded.
+    pub trace_bytes: usize,
+}
+
+/// The outcome of a non-intrusive profiling/coverage session
+/// ([`TraceSession::capture_analysis`]).
+#[derive(Debug)]
+pub struct AnalysisOutcome {
+    /// The decoded, temporally ordered messages.
+    pub messages: Vec<TimedMessage>,
+    /// Cycle-accurate flat profile.
+    pub profile: ProfileReport,
+    /// Instruction + branch-arc coverage.
+    pub coverage: CoverageReport,
+    /// Bus utilization/contention, cross-checkable against
+    /// [`mcds_soc::bus::BusCounters`].
+    pub bus: BusContentionReport,
+    /// Chrome trace-event timeline of the run.
+    pub timeline: ChromeTrace,
+    /// Decoder-level resync accounting (all-zero for strict captures).
+    pub resync: ResyncReport,
+    /// Total accounting gaps (decoder skips + overflows + desyncs). When
+    /// non-zero, coverage and profile are explicit lower bounds.
+    pub gaps: u64,
     /// Encoded trace bytes downloaded.
     pub trace_bytes: usize,
 }
@@ -180,6 +209,136 @@ impl TraceSession {
         let trace_bytes = bytes.len();
         let (_skipped, messages) = decode_wrapped(&bytes, 512).map_err(SessionError::Decode)?;
         self.finish(messages, trace_bytes)
+    }
+
+    /// Runs a non-intrusive profiling/coverage session: runs the target for
+    /// up to `max_cycles`, downloads the trace through the PSI sink path
+    /// and derives profile, coverage, bus-contention and timeline reports.
+    ///
+    /// The strict variant: any decode or reconstruction problem is an
+    /// error, and the resulting reports are cycle-exact
+    /// ([`AnalysisOutcome::gaps`] is 0).
+    ///
+    /// # Errors
+    ///
+    /// Host/device, decode, or reconstruction errors.
+    pub fn capture_analysis(
+        &self,
+        dbg: &mut Debugger,
+        max_cycles: u64,
+    ) -> Result<AnalysisOutcome, SessionError> {
+        self.analyse(dbg, max_cycles, false)
+    }
+
+    /// Lossy/resilient variant of [`TraceSession::capture_analysis`]: the
+    /// decoder skips corrupt regions (re-joining at stream sync records)
+    /// and reconstruction treats contradictions as trace loss. Every skip,
+    /// overflow and desync is counted in [`AnalysisOutcome::gaps`]; when
+    /// that is non-zero the coverage and profile are explicit lower bounds.
+    ///
+    /// # Errors
+    ///
+    /// Host/device errors only — decode/reconstruct problems degrade into
+    /// gap accounting instead of failing.
+    pub fn capture_analysis_lossy(
+        &self,
+        dbg: &mut Debugger,
+        max_cycles: u64,
+    ) -> Result<AnalysisOutcome, SessionError> {
+        self.analyse(dbg, max_cycles, true)
+    }
+
+    fn analyse(
+        &self,
+        dbg: &mut Debugger,
+        max_cycles: u64,
+        lossy: bool,
+    ) -> Result<AnalysisOutcome, SessionError> {
+        let counters_before = dbg.device().soc().bus_counters().clone();
+        let records = dbg.device_mut().run_until_halt(max_cycles);
+        let now = dbg.device().soc().cycle();
+        dbg.device_mut().mcds_mut().flush(now);
+        let residual = dbg.device_mut().mcds_mut().take_messages();
+        if !residual.is_empty() {
+            let (soc, sink) = dbg.device_mut().soc_sink_mut();
+            if let Some(emem) = soc.mapper_mut().emem_mut() {
+                sink.store(&residual, emem);
+            }
+        }
+        // Snapshot ground truth before the download itself adds
+        // debug-master bus traffic.
+        let counters = dbg
+            .device()
+            .soc()
+            .bus_counters()
+            .delta_since(&counters_before);
+
+        let bytes = self.fetch_bytes(dbg)?;
+        let trace_bytes = bytes.len();
+        let (messages, resync) = if lossy {
+            StreamDecoder::new(bytes).collect_resilient()
+        } else {
+            let messages = StreamDecoder::new(bytes)
+                .collect_all()
+                .map_err(SessionError::Decode)?;
+            (messages, ResyncReport::default())
+        };
+
+        let mut profiler = Profiler::new(&self.image);
+        if lossy {
+            profiler.feed_all_lossy(&messages);
+        } else {
+            profiler
+                .feed_all(&messages)
+                .map_err(SessionError::Reconstruct)?;
+        }
+        let profile = profiler.finish();
+
+        let mut recon = FlowReconstructor::new(&self.image);
+        let mut coverage = CoverageBuilder::new(&self.image);
+        for m in &messages {
+            if matches!(m.message, TraceMessage::Overflow { .. }) {
+                match m.source {
+                    TraceSource::Core(c) => coverage.note_gap(Some(c)),
+                    TraceSource::Bus => coverage.note_gap(None),
+                }
+            }
+            match recon.feed(m) {
+                Ok(batch) => coverage.extend(&batch),
+                Err(e) => {
+                    if !lossy {
+                        return Err(SessionError::Reconstruct(e));
+                    }
+                    if let TraceSource::Core(c) = m.source {
+                        recon.desync(c);
+                        coverage.note_gap(Some(c));
+                    }
+                }
+            }
+        }
+        coverage.add_gaps(resync.gaps + u64::from(resync.tail_lost));
+        let coverage = coverage.finish();
+
+        let mut bus = BusAnalyzer::new();
+        bus.observe_all(&records);
+        let bus = bus.finish_with_counters(&counters);
+
+        let mut timeline = TimelineBuilder::new(dbg.device().soc().dma_master());
+        timeline.add_records(&records);
+        timeline.add_messages(&messages);
+        let timeline = timeline.finish();
+
+        let gaps = coverage.gaps;
+        Ok(AnalysisOutcome {
+            messages,
+            profile,
+            coverage,
+            bus,
+            timeline,
+            resync,
+            gaps,
+            trace_bytes,
+        })
     }
 
     fn fetch_bytes(&self, dbg: &mut Debugger) -> Result<Vec<u8>, SessionError> {

@@ -1370,8 +1370,12 @@ mod fault_injection_tests {
         let mut plain = halted_ed_device();
         let mut faulty = halted_ed_device();
         faulty.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossless(1));
-        let a = plain.execute(InterfaceKind::Usb11, DebugOp::ReadStats).unwrap();
-        let b = faulty.execute(InterfaceKind::Usb11, DebugOp::ReadStats).unwrap();
+        let a = plain
+            .execute(InterfaceKind::Usb11, DebugOp::ReadStats)
+            .unwrap();
+        let b = faulty
+            .execute(InterfaceKind::Usb11, DebugOp::ReadStats)
+            .unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
         assert_eq!(plain.soc().cycle(), faulty.soc().cycle());
         let stats = faulty.fault_stats(InterfaceKind::Usb11).unwrap();
@@ -1449,7 +1453,10 @@ mod fault_injection_tests {
             dev
         };
         let mut clean = trace_dev();
-        let clean_bytes = match clean.execute(InterfaceKind::Usb11, DebugOp::ReadTrace).unwrap() {
+        let clean_bytes = match clean
+            .execute(InterfaceKind::Usb11, DebugOp::ReadTrace)
+            .unwrap()
+        {
             DebugResponse::TraceBytes(b) => b,
             other => panic!("unexpected response {other:?}"),
         };

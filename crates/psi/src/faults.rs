@@ -308,7 +308,10 @@ mod tests {
     #[test]
     fn drop_rate_is_close_to_requested() {
         let fates = run_fates(7, 50, 20_000); // 5%
-        let dropped = fates.iter().filter(|f| matches!(f, FrameFate::Dropped)).count();
+        let dropped = fates
+            .iter()
+            .filter(|f| matches!(f, FrameFate::Dropped))
+            .count();
         let rate = dropped as f64 / fates.len() as f64;
         assert!((0.035..0.065).contains(&rate), "drop rate {rate}");
     }
@@ -336,14 +339,8 @@ mod tests {
             end_cycle: 200,
         });
         let mut inj = FaultInjector::new(InterfaceKind::Can, plan);
-        assert!(matches!(
-            inj.next_frame(150),
-            FrameFate::Dropped
-        ));
-        assert!(matches!(
-            inj.next_frame(200),
-            FrameFate::Delivered { .. }
-        ));
+        assert!(matches!(inj.next_frame(150), FrameFate::Dropped));
+        assert!(matches!(inj.next_frame(200), FrameFate::Delivered { .. }));
         assert_eq!(inj.stats().down_losses, 1);
     }
 

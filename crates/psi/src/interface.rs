@@ -112,8 +112,15 @@ impl InterfaceModel {
     /// polling interval request + response processing), 64-byte frames
     /// with 13 bytes of protocol overhead.
     pub fn usb11() -> InterfaceModel {
-        InterfaceModel::custom(InterfaceKind::Usb11, 1_500_000, 1_500_000, 12_000_000, 13 * 8, 64)
-            .expect("static USB 1.1 parameters are valid")
+        InterfaceModel::custom(
+            InterfaceKind::Usb11,
+            1_500_000,
+            1_500_000,
+            12_000_000,
+            13 * 8,
+            64,
+        )
+        .expect("static USB 1.1 parameters are valid")
     }
 
     /// The JTAG model: 2 µs fixed transaction latency (1 µs each way, the

@@ -283,8 +283,7 @@ mod tests {
     #[test]
     fn sync_interval_survives_store_and_decode() {
         let mut emem = trace_emem(1);
-        let mut sink =
-            TraceSink::new(&emem, vec![0], FullPolicy::Stop).with_sync_interval(16);
+        let mut sink = TraceSink::new(&emem, vec![0], FullPolicy::Stop).with_sync_interval(16);
         assert_eq!(sink.sync_interval(), Some(16));
         let msgs: Vec<TimedMessage> = (0..100).map(|i| m(i as u64 * 3, i as u8)).collect();
         assert_eq!(sink.store(&msgs, &mut emem), 100);

@@ -193,6 +193,81 @@ pub trait BusTarget {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TargetId(usize);
 
+/// Per-master arbitration counters, maintained by the bus itself.
+///
+/// These are the ground truth the host-side analysis (`mcds-analysis`)
+/// cross-checks its trace-derived numbers against: the trace path can lose
+/// messages, the bus cannot lose cycles.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MasterCounters {
+    /// Transactions granted to this master (including ones that faulted).
+    pub grants: u64,
+    /// Transactions completed without a fault.
+    pub xacts: u64,
+    /// Transactions completed with a fault.
+    pub faults: u64,
+    /// Cycles this master held the bus (occupancy, including wait states).
+    pub occupancy_cycles: u64,
+    /// Cycles this master had a request queued but not granted.
+    pub wait_cycles: u64,
+}
+
+/// Whole-bus cycle accounting plus [`MasterCounters`] per master slot.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusCounters {
+    /// Total cycles the bus has been stepped.
+    pub cycles: u64,
+    /// Cycles with a transaction in flight.
+    pub busy_cycles: u64,
+    /// Cycles where at least one master waited while another held the bus.
+    pub contended_cycles: u64,
+    /// Counters indexed by master slot.
+    pub per_master: Vec<MasterCounters>,
+}
+
+impl BusCounters {
+    /// Cycles with no transaction in flight.
+    pub fn idle_cycles(&self) -> u64 {
+        self.cycles - self.busy_cycles
+    }
+
+    /// Fraction of cycles with a transaction in flight (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// The counter delta since an `earlier` snapshot — the counters for
+    /// just the window between the two observations.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &BusCounters) -> BusCounters {
+        let per_master = self
+            .per_master
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let e = earlier.per_master.get(i).copied().unwrap_or_default();
+                MasterCounters {
+                    grants: m.grants - e.grants,
+                    xacts: m.xacts - e.xacts,
+                    faults: m.faults - e.faults,
+                    occupancy_cycles: m.occupancy_cycles - e.occupancy_cycles,
+                    wait_cycles: m.wait_cycles - e.wait_cycles,
+                }
+            })
+            .collect();
+        BusCounters {
+            cycles: self.cycles - earlier.cycles,
+            busy_cycles: self.busy_cycles - earlier.busy_cycles,
+            contended_cycles: self.contended_cycles - earlier.contended_cycles,
+            per_master,
+        }
+    }
+}
+
 struct ActiveTxn {
     master: MasterId,
     request: BusRequest,
@@ -214,6 +289,7 @@ pub struct Bus<T: BusTarget> {
     last_xact: Option<BusXact>,
     rr_next: usize,
     round_robin: bool,
+    counters: BusCounters,
 }
 
 impl<T: BusTarget> fmt::Debug for Bus<T> {
@@ -239,6 +315,10 @@ impl<T: BusTarget> Bus<T> {
             last_xact: None,
             rr_next: 0,
             round_robin: false,
+            counters: BusCounters {
+                per_master: vec![MasterCounters::default(); masters],
+                ..BusCounters::default()
+            },
         }
     }
 
@@ -317,6 +397,11 @@ impl<T: BusTarget> Bus<T> {
         self.last_xact
     }
 
+    /// Cycle-exact arbitration counters (see [`BusCounters`]).
+    pub fn counters(&self) -> &BusCounters {
+        &self.counters
+    }
+
     fn grant_next(&mut self) {
         if self.active.is_some() {
             return;
@@ -333,6 +418,7 @@ impl<T: BusTarget> Bus<T> {
                     self.rr_next = (i + 1) % n;
                 }
                 let master = MasterId(i as u8);
+                self.counters.per_master[i].grants += 1;
                 let target = self.target_at(request.addr);
                 let cycles = match target {
                     Some(t) => {
@@ -362,6 +448,21 @@ impl<T: BusTarget> Bus<T> {
     pub fn step(&mut self, now: u64) -> Option<BusCompletion> {
         self.last_xact = None;
         self.grant_next();
+        self.counters.cycles += 1;
+        if let Some(txn) = &self.active {
+            self.counters.busy_cycles += 1;
+            self.counters.per_master[txn.master.0 as usize].occupancy_cycles += 1;
+            let mut waiting = false;
+            for (i, slot) in self.pending.iter().enumerate() {
+                if slot.is_some() {
+                    self.counters.per_master[i].wait_cycles += 1;
+                    waiting = true;
+                }
+            }
+            if waiting {
+                self.counters.contended_cycles += 1;
+            }
+        }
         let txn = self.active.as_mut()?;
         txn.cycles_left -= 1;
         if txn.cycles_left > 0 {
@@ -369,6 +470,12 @@ impl<T: BusTarget> Bus<T> {
         }
         let txn = self.active.take().expect("active transaction");
         let completion = self.perform(txn, now);
+        let per_master = &mut self.counters.per_master[completion.master.0 as usize];
+        if completion.fault.is_none() {
+            per_master.xacts += 1;
+        } else {
+            per_master.faults += 1;
+        }
         if completion.fault.is_none() {
             self.last_xact = Some(BusXact {
                 master: completion.master,

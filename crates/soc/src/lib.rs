@@ -61,7 +61,9 @@ pub mod overlay;
 pub mod periph;
 pub mod soc;
 
-pub use bus::{Addr, AddrRange, BusFault, BusRequest, BusTarget, MasterId};
+pub use bus::{
+    Addr, AddrRange, BusCounters, BusFault, BusRequest, BusTarget, MasterCounters, MasterId,
+};
 pub use cpu::{CoreConfig, Cpu, RunState};
 pub use event::{CoreId, CycleRecord, MemAccessInfo, RetireEvent, SocEvent, StopCause};
 pub use isa::{Instr, MemWidth, Reg};

@@ -108,7 +108,11 @@ impl BackdoorRegion {
 /// backdoor-reachable region.
 fn backdoor_region(addr: Addr, len: usize) -> Result<BackdoorRegion, BackdoorError> {
     const REGIONS: [(BackdoorRegion, Addr, u32); 3] = [
-        (BackdoorRegion::Flash, memmap::FLASH_BASE, memmap::FLASH_SIZE),
+        (
+            BackdoorRegion::Flash,
+            memmap::FLASH_BASE,
+            memmap::FLASH_SIZE,
+        ),
         (BackdoorRegion::Sram, memmap::SRAM_BASE, memmap::SRAM_SIZE),
         (BackdoorRegion::Emem, memmap::EMEM_BASE, memmap::EMEM_SIZE),
     ];
@@ -527,6 +531,12 @@ impl Soc {
     /// The debug bus-master slot (service processor / host probe).
     pub fn debug_master(&self) -> MasterId {
         self.debug_master
+    }
+
+    /// Cycle-exact bus arbitration counters — ground truth for trace-derived
+    /// utilization and contention analysis.
+    pub fn bus_counters(&self) -> &crate::bus::BusCounters {
+        self.bus.counters()
     }
 
     /// The DMA engine's bus-master slot, if a DMA controller is fitted.
@@ -1037,7 +1047,8 @@ mod tests {
             })
         );
         let mut dev = SocBuilder::new().cores(1).with_emulation_ram().build();
-        dev.try_backdoor_write(memmap::EMEM_BASE, &[1, 2, 3]).unwrap();
+        dev.try_backdoor_write(memmap::EMEM_BASE, &[1, 2, 3])
+            .unwrap();
         assert_eq!(
             dev.try_backdoor_read(memmap::EMEM_BASE, 3).unwrap(),
             vec![1, 2, 3]

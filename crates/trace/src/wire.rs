@@ -480,10 +480,7 @@ impl StreamDecoder {
     /// leaves the decoder failed — when no sync record remains, i.e. the
     /// rest of the stream is unrecoverable.
     pub fn resync(&mut self) -> Option<usize> {
-        let pos = self
-            .buf
-            .windows(2)
-            .position(|w| w == SYNC_MAGIC)?;
+        let pos = self.buf.windows(2).position(|w| w == SYNC_MAGIC)?;
         self.buf.advance(pos);
         self.failed = None;
         self.state.clear();
@@ -1040,7 +1037,10 @@ mod sync_record_tests {
     fn decode_errors_are_sticky() {
         let mut dec = StreamDecoder::new(vec![0x0F, 0x00]);
         let first = dec.next_message();
-        assert!(matches!(first, Err(DecodeStreamError::BadType { code: 0xF })));
+        assert!(matches!(
+            first,
+            Err(DecodeStreamError::BadType { code: 0xF })
+        ));
         // Every further call repeats the same error — no mis-framed decode.
         for _ in 0..4 {
             assert_eq!(dec.next_message(), first);

@@ -797,7 +797,10 @@ mod recovery_tests {
                 Err(e) => panic!("unexpected error {e}"),
             }
         }
-        assert!(failed, "recovery-off master must hit an unrecovered timeout");
+        assert!(
+            failed,
+            "recovery-off master must hit an unrecovered timeout"
+        );
         assert!(m.recovery_stats().gave_up > 0);
     }
 

@@ -4,6 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
+
+# Analysis pipeline smoke: real workloads through the PSI trace path,
+# emitting timeline + coverage artifacts under target/analysis/.
+cargo run --release -q -p mcds-bench --bin t8_profiling -- --smoke

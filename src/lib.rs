@@ -13,9 +13,13 @@
 //! * [`mcds_psi`] — the Package-Sized ICE device model,
 //! * [`mcds_xcp`] — the calibration/measurement protocol,
 //! * [`mcds_host`] — the host-side debugger,
-//! * [`mcds_workloads`] — powertrain workloads.
+//! * [`mcds_workloads`] — powertrain workloads,
+//! * [`mcds_analysis`] — trace-driven profiling, coverage, bus-contention
+//!   analysis and Chrome trace-event timeline export.
 
 pub use mcds;
+pub use mcds_analysis;
+pub use mcds_analysis::{BusContentionReport, ChromeTrace, CoverageReport, ProfileReport};
 pub use mcds_host;
 pub use mcds_psi;
 pub use mcds_soc;

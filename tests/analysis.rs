@@ -1,0 +1,360 @@
+//! End-to-end tests for the `mcds-analysis` subsystem: trace-derived
+//! profiles, coverage and bus statistics cross-checked against the SoC's
+//! internal ground-truth counters, plus property tests for the report
+//! algebra (merge laws, chunking invariance, timeline round-trips).
+
+use mcds::observer::{CoreTraceConfig, TraceQualifier};
+use mcds::McdsConfig;
+use mcds_analysis::{
+    cycles_to_us, BusAnalyzer, ChromeTrace, CoverageBuilder, CoverageReport, Profiler,
+    TimelineBuilder,
+};
+use mcds_host::{Debugger, TraceSession};
+use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
+use mcds_psi::faults::FaultPlan;
+use mcds_psi::interface::InterfaceKind;
+use mcds_soc::event::CoreId;
+use mcds_trace::{FlowReconstructor, ProgramImage, StreamDecoder, TimedMessage};
+use mcds_workloads::{gearbox, race};
+use proptest::prelude::*;
+
+fn tracing(cores: usize) -> McdsConfig {
+    McdsConfig {
+        cores: (0..cores)
+            .map(|_| CoreTraceConfig {
+                program_trace: TraceQualifier::Always,
+                ..Default::default()
+            })
+            .collect(),
+        fifo_depth: 4096,
+        sink_bandwidth: 8,
+        ..Default::default()
+    }
+}
+
+/// Runs `dev` to halt with the MCDS already configured at build time, so
+/// the trace, the cycle records and the bus counters all cover the exact
+/// same window (cycle 0 to halt, no debug-link traffic inside it).
+fn run_and_drain(dev: &mut Device, max_cycles: u64) -> Vec<mcds_soc::event::CycleRecord> {
+    let records = dev.run_until_halt(max_cycles);
+    let now = dev.soc().cycle();
+    dev.mcds_mut().flush(now);
+    let residual = dev.mcds_mut().take_messages();
+    if !residual.is_empty() {
+        let (soc, sink) = dev.soc_sink_mut();
+        if let Some(emem) = soc.mapper_mut().emem_mut() {
+            sink.store(&residual, emem);
+        }
+    }
+    records
+}
+
+fn sink_messages(dev: &Device) -> Vec<TimedMessage> {
+    let emem = dev.soc().mapper().emem().expect("emulation device");
+    let bytes = dev.sink().read_back(emem);
+    StreamDecoder::new(bytes)
+        .collect_all()
+        .expect("clean decode")
+}
+
+/// Satellite (b): with `TraceQualifier::Always` on every core, totals
+/// derived purely from the downloaded trace and the observed cycle records
+/// must match the SoC-internal ground-truth counters *exactly* — no
+/// sampling error, no estimation.
+#[test]
+fn trace_derived_totals_match_internal_counters_exactly() {
+    let program = race::program_locked();
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .cores(2)
+        .mcds(tracing(2))
+        .build();
+    dev.soc_mut().load_program(&program);
+    let records = run_and_drain(&mut dev, 3_000_000);
+    let counters = dev.soc().bus_counters().clone();
+    let retired: u64 = (0..2).map(|i| dev.soc().core(CoreId(i)).retired()).sum();
+    assert!(retired > 0, "workload ran");
+
+    let messages = sink_messages(&dev);
+    let image = ProgramImage::from(&program);
+
+    // Profile: every retired instruction is proven by the trace, and the
+    // per-pc cycle attribution re-adds to the timestamp spans.
+    let mut profiler = Profiler::new(&image);
+    profiler.feed_all(&messages).expect("strict reconstruction");
+    let profile = profiler.finish();
+    assert!(profile.is_lossless());
+    assert_eq!(profile.total_instructions(), retired);
+    assert_eq!(profile.pcs.iter().map(|p| p.retires).sum::<u64>(), retired);
+
+    // Coverage: execution counts sum to the retirement counter, and both
+    // cores contribute (the race program runs the same image on both).
+    let mut recon = FlowReconstructor::new(&image);
+    let mut cov = CoverageBuilder::new(&image);
+    for m in &messages {
+        for i in recon.feed(m).expect("strict reconstruction") {
+            cov.step(&i);
+        }
+    }
+    let cov = cov.finish();
+    assert_eq!(cov.gaps, 0);
+    assert!(!cov.is_lower_bound());
+    assert_eq!(cov.pcs.iter().map(|p| p.count).sum::<u64>(), retired);
+    assert!(cov.covered_arcs() > 0);
+
+    // Bus: the report assembled from the event tap + counters must agree
+    // with the raw counters on every axis `cross_check` covers.
+    let mut bus = BusAnalyzer::new();
+    bus.observe_all(&records);
+    let report = bus.finish_with_counters(&counters);
+    report
+        .cross_check(&counters)
+        .expect("exact ground-truth match");
+    assert_eq!(report.cycles, counters.cycles);
+    assert_eq!(
+        report.masters.iter().map(|m| m.xacts).sum::<u64>(),
+        counters.per_master.iter().map(|m| m.xacts).sum::<u64>()
+    );
+
+    // Timeline: valid JSON, round-trips, and every event fits in the run.
+    let mut tl = TimelineBuilder::new(None);
+    tl.add_records(&records);
+    tl.add_messages(&messages);
+    let trace = tl.finish();
+    assert!(!trace.is_empty());
+    let parsed = ChromeTrace::from_json(&trace.to_json()).expect("valid JSON");
+    assert_eq!(parsed, trace);
+    let end = cycles_to_us(dev.soc().cycle());
+    for e in &trace.events {
+        assert!(e.ts >= 0.0 && e.ts + e.dur <= end + 1e-6, "event in bounds");
+    }
+}
+
+/// The host-session analysis API over the real PSI link: profile, coverage,
+/// bus report and timeline from one non-intrusive capture.
+#[test]
+fn session_capture_analysis_end_to_end() {
+    let program = gearbox::program(Some(100));
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .core(mcds_soc::cpu::CoreConfig {
+            reset_pc: 0x8001_0000,
+            clock_div: 1,
+            ..Default::default()
+        })
+        .mcds(tracing(1))
+        .build();
+    dev.soc_mut().load_program(&program);
+    dev.soc_mut()
+        .periph_mut()
+        .set_input(gearbox::SPEED_PORT, 70);
+    let mut dbg = Debugger::attach(dev, InterfaceKind::Jtag);
+    let session = TraceSession::new(&program);
+    let out = session
+        .capture_analysis(&mut dbg, 1_000_000)
+        .expect("capture");
+    assert_eq!(out.gaps, 0);
+    assert!(out.profile.is_lossless());
+    assert_eq!(
+        out.profile.total_instructions(),
+        dbg.device().soc().core(CoreId(0)).retired()
+    );
+    assert!(out.coverage.covered_instructions() > 0);
+    assert!(out.bus.utilization() > 0.0);
+    // The bus window excludes the trace download itself.
+    assert!(out.bus.cycles <= dbg.device().soc().cycle());
+    assert!(!out.timeline.is_empty());
+}
+
+/// Satellite: PR 1's lossy path, through the session API. A faulty link
+/// damages the trace download; the analysis degrades into explicit gap
+/// accounting and the coverage is a (correct) lower bound of the lossless
+/// run.
+#[test]
+fn lossy_capture_reports_gaps_and_lower_bound_coverage() {
+    let make = || {
+        let program = gearbox::program(Some(2_000));
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .core(mcds_soc::cpu::CoreConfig {
+                reset_pc: 0x8001_0000,
+                clock_div: 1,
+                ..Default::default()
+            })
+            .mcds(tracing(1))
+            .build();
+        dev.soc_mut().load_program(&program);
+        dev.soc_mut()
+            .periph_mut()
+            .set_input(gearbox::SPEED_PORT, 70);
+        (dev, program)
+    };
+
+    // Lossless reference.
+    let (dev, program) = make();
+    let mut dbg = Debugger::attach(dev, InterfaceKind::Usb11);
+    let session = TraceSession::new(&program);
+    let full = session
+        .capture_analysis(&mut dbg, 1_000_000)
+        .expect("capture");
+    assert_eq!(full.gaps, 0);
+
+    // Same workload, damaged download link.
+    let (mut dev, program) = make();
+    dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(0xC0FFEE, 200));
+    let mut dbg = Debugger::attach(dev, InterfaceKind::Usb11);
+    let session = TraceSession::new(&program);
+    let mut attempts = 0;
+    let lossy = loop {
+        // The request frame itself can be lost: retry like a real tool.
+        match session.capture_analysis_lossy(&mut dbg, 1_000_000) {
+            Ok(o) => break o,
+            Err(_) if attempts < 64 => attempts += 1,
+            Err(e) => panic!("download never succeeded: {e:?}"),
+        }
+    };
+    assert!(lossy.gaps > 0, "the faulty link must cost something");
+    assert!(lossy.coverage.is_lower_bound());
+    assert!(
+        lossy.coverage.covered_instructions() <= full.coverage.covered_instructions(),
+        "lossy coverage is a lower bound"
+    );
+    assert!(lossy.profile.total_instructions() <= full.profile.total_instructions());
+    // Every pc the lossy run claims covered really was executed.
+    for p in &lossy.coverage.pcs {
+        assert!(
+            full.coverage.contains(p.pc),
+            "lossy coverage claims {:#x} which the lossless run never saw",
+            p.pc
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property tests (satellite c).
+// ---------------------------------------------------------------------
+
+fn arb_coverage() -> impl Strategy<Value = CoverageReport> {
+    (
+        proptest::collection::vec((0u32..64, 1u64..50), 0..12),
+        proptest::collection::vec((0u32..64, 0u32..64, 1u64..50), 0..12),
+        0u64..5,
+    )
+        .prop_map(|(pcs, arcs, gaps)| {
+            // Reports keep sorted, deduplicated keys; fold duplicates the
+            // same way the builder would (max wins, matching merge).
+            let mut pc_map = std::collections::BTreeMap::new();
+            for (pc, count) in pcs {
+                let e = pc_map.entry(pc * 4).or_insert(0u64);
+                *e = (*e).max(count);
+            }
+            let mut arc_map = std::collections::BTreeMap::new();
+            for (from, to, count) in arcs {
+                let e = arc_map.entry((from * 4, to * 4)).or_insert(0u64);
+                *e = (*e).max(count);
+            }
+            CoverageReport {
+                pcs: pc_map
+                    .into_iter()
+                    .map(|(pc, count)| mcds_analysis::PcCount { pc, count })
+                    .collect(),
+                arcs: arc_map
+                    .into_iter()
+                    .map(|((from, to), count)| mcds_analysis::ArcCount { from, to, count })
+                    .collect(),
+                gaps,
+            }
+        })
+}
+
+/// Captures one gearbox message stream (used by the chunking/timeline
+/// properties; the stream itself is deterministic per input).
+fn gearbox_messages(iterations: u32, speed: u32) -> (Vec<TimedMessage>, ProgramImage, u64) {
+    let program = gearbox::program(Some(iterations));
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .core(mcds_soc::cpu::CoreConfig {
+            reset_pc: 0x8001_0000,
+            clock_div: 1,
+            ..Default::default()
+        })
+        .mcds(tracing(1))
+        .build();
+    dev.soc_mut().load_program(&program);
+    dev.soc_mut()
+        .periph_mut()
+        .set_input(gearbox::SPEED_PORT, speed);
+    run_and_drain(&mut dev, 1_000_000);
+    let messages = sink_messages(&dev);
+    let end = dev.soc().cycle();
+    (messages, ProgramImage::from(&program), end)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coverage merge is associative, commutative and idempotent — the
+    /// laws that make distributed/incremental report merging safe.
+    #[test]
+    fn coverage_merge_laws(a in arb_coverage(), b in arb_coverage(), c in arb_coverage()) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        prop_assert_eq!(a.merge(&a), a.clone());
+        // The identity element.
+        prop_assert_eq!(a.merge(&CoverageReport::default()), a.clone());
+    }
+}
+
+proptest! {
+    // Each case replays a real captured stream; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Profiler results are a pure function of the message *sequence*:
+    /// feeding the same stream in arbitrary chunk sizes changes nothing.
+    #[test]
+    fn profile_invariant_under_rechunking(
+        iterations in 1u32..12,
+        speed_idx in 0usize..4,
+        chunk in 1usize..7,
+    ) {
+        let speed = [10u32, 45, 70, 100][speed_idx];
+        let (messages, image, _) = gearbox_messages(iterations, speed);
+        let mut whole = Profiler::new(&image);
+        whole.feed_all(&messages).unwrap();
+        let mut pieces = Profiler::new(&image);
+        for part in messages.chunks(chunk) {
+            pieces.feed_all(part).unwrap();
+        }
+        prop_assert_eq!(whole.finish(), pieces.finish());
+    }
+
+    /// Chrome trace output round-trips through JSON and stays inside the
+    /// run's cycle bounds.
+    #[test]
+    fn chrome_trace_roundtrips_within_bounds(
+        iterations in 1u32..12,
+        speed_idx in 0usize..4,
+    ) {
+        let speed = [10u32, 45, 70, 100][speed_idx];
+        let program = gearbox::program(Some(iterations));
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .core(mcds_soc::cpu::CoreConfig {
+                reset_pc: 0x8001_0000,
+                clock_div: 1,
+                ..Default::default()
+            })
+            .mcds(tracing(1))
+            .build();
+        dev.soc_mut().load_program(&program);
+        dev.soc_mut().periph_mut().set_input(gearbox::SPEED_PORT, speed);
+        let records = run_and_drain(&mut dev, 1_000_000);
+        let messages = sink_messages(&dev);
+        let mut tl = TimelineBuilder::new(None);
+        tl.add_records(&records);
+        tl.add_messages(&messages);
+        let trace = tl.finish();
+        let parsed = ChromeTrace::from_json(&trace.to_json()).unwrap();
+        prop_assert_eq!(&parsed, &trace);
+        let end = cycles_to_us(dev.soc().cycle());
+        for e in &trace.events {
+            prop_assert!(e.ts >= 0.0);
+            prop_assert!(e.ts + e.dur <= end + 1e-6);
+        }
+    }
+}
