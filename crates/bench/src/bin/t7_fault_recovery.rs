@@ -17,9 +17,10 @@
 //!   with sync records on vs off.
 //!
 //! Everything is keyed by fixed seeds: the same binary prints byte-identical
-//! numbers on every run.
+//! numbers on every run. Run with `--smoke` for a short CI-friendly pass
+//! (same pipeline and assertions, shorter sessions, two sweep points).
 
-use mcds_bench::{print_table, run_with_stimulus, tracing_config, with_data_trace};
+use mcds_bench::{print_table, run_with_stimulus, tracing_config, with_data_trace, BenchArgs};
 use mcds_psi::device::{DebugOp, DebugResponse, Device, DeviceBuilder, DeviceVariant};
 use mcds_psi::faults::FaultPlan;
 use mcds_psi::interface::InterfaceKind;
@@ -35,8 +36,9 @@ use mcds_xcp::{RetryPolicy, XcpMaster};
 
 const SEED: u64 = 0xD1CE;
 const SWEEP_PER_MILLE: [u16; 6] = [0, 10, 25, 50, 75, 100];
-const XCP_COMMANDS: u64 = 1000;
-const TRACE_RUN_CYCLES: u64 = 150_000;
+/// The smoke sweep keeps the two points the assertions anchor on: the
+/// lossless baseline and the 5% stress point.
+const SMOKE_SWEEP_PER_MILLE: [u16; 2] = [0, 50];
 const SYNC_INTERVAL: u64 = 4;
 
 /// A halted single-core ED device: `wait_cycles` jumps the clock, so the
@@ -63,9 +65,10 @@ struct XcpOutcome {
     sim_ms: f64,
 }
 
-/// Runs a calibration session of `XCP_COMMANDS` commands (status polls plus
-/// block writes/reads of a 64-byte tune region) at `per_mille` frame loss.
-fn xcp_session(per_mille: u16, policy: RetryPolicy) -> XcpOutcome {
+/// Runs a calibration session of at least `commands` commands (status polls
+/// plus block writes/reads of a 64-byte tune region) at `per_mille` frame
+/// loss.
+fn xcp_session(per_mille: u16, policy: RetryPolicy, commands: u64) -> XcpOutcome {
     let mut dev = quiescent_device();
     if per_mille > 0 {
         dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(SEED, per_mille));
@@ -80,7 +83,7 @@ fn xcp_session(per_mille: u16, policy: RetryPolicy) -> XcpOutcome {
     let tune: Vec<u8> = (0..64u32).map(|i| (i * 7 + 3) as u8).collect();
     let mut data_intact = true;
     let mut round = 0u32;
-    while master.commands_sent() < XCP_COMMANDS {
+    while master.commands_sent() < commands {
         let addr = memmap::SRAM_BASE + (round % 8) * 64;
         match master.write_block(&mut dev, addr, &tune) {
             Ok(()) => match master.read_block(&mut dev, addr, tune.len()) {
@@ -121,7 +124,7 @@ struct TraceOutcome {
     instrs_truth: usize,
 }
 
-fn capture_trace(sync_records: bool) -> (Device, Vec<TimedMessage>) {
+fn capture_trace(sync_records: bool, run_cycles: u64) -> (Device, Vec<TimedMessage>) {
     // Dense periodic ProgSync (absolute PC) so flow re-anchors quickly
     // after a gap — the observer-level half of Nexus-style resync.
     let mut mcds_config = with_data_trace(tracing_config(1));
@@ -139,9 +142,9 @@ fn capture_trace(sync_records: bool) -> (Device, Vec<TimedMessage>) {
     let mut player = StimulusPlayer::new(Profile::drive_cycle(
         engine::RPM_PORT,
         engine::LOAD_PORT,
-        TRACE_RUN_CYCLES,
+        run_cycles,
     ));
-    run_with_stimulus(&mut dev, &mut player, TRACE_RUN_CYCLES, true);
+    run_with_stimulus(&mut dev, &mut player, run_cycles, true);
     dev.execute(InterfaceKind::Jtag, DebugOp::HaltCore(CoreId(0)))
         .expect("halt for upload");
     // Ground truth: the stored stream read back over a clean link.
@@ -177,8 +180,8 @@ fn matched_in_order(truth: &[TimedMessage], recovered: &[TimedMessage]) -> usize
     matched
 }
 
-fn trace_upload(per_mille: u16, sync_records: bool) -> TraceOutcome {
-    let (mut dev, truth) = capture_trace(sync_records);
+fn trace_upload(per_mille: u16, sync_records: bool, run_cycles: u64) -> TraceOutcome {
+    let (mut dev, truth) = capture_trace(sync_records, run_cycles);
     if per_mille > 0 {
         dev.set_fault_plan(
             InterfaceKind::Usb11,
@@ -243,11 +246,20 @@ fn live_confirmation() -> (u64, u64) {
 }
 
 fn main() {
+    let args = BenchArgs::parse("target/analysis");
+    let sweep: &[u16] = if args.smoke {
+        &SMOKE_SWEEP_PER_MILLE
+    } else {
+        &SWEEP_PER_MILLE
+    };
+    let xcp_commands: u64 = args.scale(1000, 120);
+    let trace_cycles: u64 = args.scale(150_000, 60_000);
+
     // --- T7a: XCP calibration sweep, recovery on. ---
     let mut rows = Vec::new();
     let mut at_5pct = None;
-    for &pm in &SWEEP_PER_MILLE {
-        let o = xcp_session(pm, RetryPolicy::standard());
+    for &pm in sweep {
+        let o = xcp_session(pm, RetryPolicy::standard(), xcp_commands);
         rows.push(vec![
             format!("{:.1} %", pm as f64 / 10.0),
             o.commands.to_string(),
@@ -263,7 +275,7 @@ fn main() {
         assert_eq!(o.gave_up, 0, "unrecovered command at {pm}‰");
         assert_eq!(o.failed_calls, 0, "failed API call at {pm}‰");
         if pm == 50 {
-            at_5pct = Some((o.commands, o.retries));
+            at_5pct = Some((o.commands, o.retries + o.synchs));
         }
     }
     print_table(
@@ -281,12 +293,15 @@ fn main() {
         ],
         &rows,
     );
-    let (cmds, retries) = at_5pct.expect("5% point swept");
-    assert!(cmds >= XCP_COMMANDS, "session long enough");
-    assert!(retries > 0, "5% loss must actually exercise recovery");
+    let (cmds, recoveries) = at_5pct.expect("5% point swept");
+    assert!(cmds >= xcp_commands, "session long enough");
+    assert!(
+        recoveries > 0,
+        "5% loss must actually exercise recovery (retries or SYNCHs)"
+    );
 
     // --- T7b: ablation, recovery off. ---
-    let off = xcp_session(50, RetryPolicy::none());
+    let off = xcp_session(50, RetryPolicy::none(), xcp_commands);
     print_table(
         "T7b: the same 5%-loss session without recovery (ablation)",
         &["commands", "timeouts", "failed calls", "data intact"],
@@ -304,9 +319,9 @@ fn main() {
 
     // --- T7c: trace upload through a faulty link. ---
     let mut rows = Vec::new();
-    for &pm in &SWEEP_PER_MILLE {
-        let on = trace_upload(pm, true);
-        let off = trace_upload(pm, false);
+    for &pm in sweep {
+        let on = trace_upload(pm, true, trace_cycles);
+        let off = trace_upload(pm, false, trace_cycles);
         rows.push(vec![
             format!("{:.1} %", pm as f64 / 10.0),
             on.truth_messages.to_string(),
@@ -351,8 +366,8 @@ fn main() {
     );
 
     // --- T7d: determinism + live-core confirmation. ---
-    let a = xcp_session(50, RetryPolicy::standard());
-    let b = xcp_session(50, RetryPolicy::standard());
+    let a = xcp_session(50, RetryPolicy::standard(), xcp_commands);
+    let b = xcp_session(50, RetryPolicy::standard(), xcp_commands);
     assert_eq!(
         (a.commands, a.timeouts, a.retries, a.synchs, a.gave_up),
         (b.commands, b.timeouts, b.retries, b.synchs, b.gave_up),

@@ -19,7 +19,7 @@
 //! iterations).
 
 use mcds_analysis::symbol_ranges;
-use mcds_bench::{cycles_to_time, print_table, tracing_config};
+use mcds_bench::{cycles_to_time, print_table, tracing_config, BenchArgs};
 use mcds_host::{AnalysisOutcome, Debugger, TraceSession};
 use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
 use mcds_psi::interface::InterfaceKind;
@@ -56,9 +56,9 @@ fn capture(dev: Device, program: &Program) -> AnalysisOutcome {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let iterations: u32 = if smoke { 40 } else { 2_000 };
-    let out_dir = "target/analysis";
+    let args = BenchArgs::parse("target/analysis");
+    let iterations: u32 = args.scale(2_000, 40);
+    let out_dir = &args.out_dir;
     fs::create_dir_all(out_dir).expect("create output dir");
 
     // --- Gearbox: two runs on different shift paths. -------------------

@@ -15,6 +15,64 @@ use mcds_soc::event::{CycleRecord, SocEvent};
 use mcds_soc::CoreId;
 use mcds_workloads::stimulus::StimulusPlayer;
 
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Run a short CI-friendly pass: the same pipeline and assertions,
+    /// fewer iterations.
+    pub smoke: bool,
+    /// Directory for any output artifacts (JSON timelines, reports).
+    pub out_dir: String,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`: `--smoke` selects the short pass,
+    /// `--out-dir <path>` (or `--out-dir=<path>`) overrides the artifact
+    /// directory, anything else aborts with a usage message.
+    pub fn parse(default_out_dir: &str) -> BenchArgs {
+        Self::parse_from(std::env::args().skip(1), default_out_dir)
+    }
+
+    /// [`BenchArgs::parse`] over an explicit argument list (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown flag or a missing `--out-dir` value.
+    pub fn parse_from<I>(args: I, default_out_dir: &str) -> BenchArgs
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut parsed = BenchArgs {
+            smoke: false,
+            out_dir: default_out_dir.to_string(),
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            if arg == "--smoke" {
+                parsed.smoke = true;
+            } else if arg == "--out-dir" {
+                parsed.out_dir = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--out-dir needs a value"));
+            } else if let Some(dir) = arg.strip_prefix("--out-dir=") {
+                parsed.out_dir = dir.to_string();
+            } else {
+                panic!("unknown argument `{arg}` (expected --smoke or --out-dir <path>)");
+            }
+        }
+        parsed
+    }
+
+    /// Picks the full-run or smoke-run value of an experiment parameter.
+    pub fn scale<T: Copy>(&self, full: T, smoke: T) -> T {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+}
+
 /// Renders a fixed-width table to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -137,6 +195,26 @@ pub fn cycles_to_time(cycles: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_args_parsing() {
+        let a = BenchArgs::parse_from(std::iter::empty(), "target/x");
+        assert!(!a.smoke);
+        assert_eq!(a.out_dir, "target/x");
+        assert_eq!(a.scale(100, 5), 100);
+        let a = BenchArgs::parse_from(
+            ["--smoke".to_string(), "--out-dir=/tmp/o".to_string()],
+            "target/x",
+        );
+        assert!(a.smoke);
+        assert_eq!(a.out_dir, "/tmp/o");
+        assert_eq!(a.scale(100, 5), 5);
+        let a = BenchArgs::parse_from(
+            ["--out-dir".to_string(), "elsewhere".to_string()],
+            "target/x",
+        );
+        assert_eq!(a.out_dir, "elsewhere");
+    }
 
     #[test]
     fn time_formatting_bands() {

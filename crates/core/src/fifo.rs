@@ -11,6 +11,18 @@
 use mcds_trace::{TimedMessage, TraceMessage, TraceSource};
 use std::collections::VecDeque;
 
+/// Serializable runtime state of a [`MessageFifo`]: queued messages and
+/// overflow accounting. The source identity and depth are configuration and
+/// are *not* included.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct FifoState {
+    queue: Vec<TimedMessage>,
+    pending_lost: u32,
+    total_lost: u64,
+    total_pushed: u64,
+    high_water: u64,
+}
+
 /// A bounded trace-message FIFO for one source.
 #[derive(Debug)]
 pub struct MessageFifo {
@@ -107,6 +119,34 @@ impl MessageFifo {
     /// Maximum occupancy observed.
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Captures the FIFO's runtime state (see [`FifoState`]).
+    pub fn save_state(&self) -> FifoState {
+        FifoState {
+            queue: self.queue.iter().cloned().collect(),
+            pending_lost: self.pending_lost,
+            total_lost: self.total_lost,
+            total_pushed: self.total_pushed,
+            high_water: self.high_water as u64,
+        }
+    }
+
+    /// Restores state captured by [`MessageFifo::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the saved queue does not fit this FIFO's depth.
+    pub fn restore_state(&mut self, state: &FifoState) {
+        assert!(
+            state.queue.len() <= self.depth,
+            "saved FIFO occupancy exceeds depth"
+        );
+        self.queue = state.queue.iter().cloned().collect();
+        self.pending_lost = state.pending_lost;
+        self.total_lost = state.total_lost;
+        self.total_pushed = state.total_pushed;
+        self.high_water = state.high_water as usize;
     }
 }
 

@@ -58,7 +58,7 @@ pub mod statemachine;
 pub mod trigger;
 pub mod xtrigger;
 
-pub use observer::{CoreObserver, CoreTraceConfig, DataTraceConfig, TraceQualifier};
+pub use observer::{CoreObserver, CoreTraceConfig, DataTraceConfig, ObserverState, TraceQualifier};
 pub use sorter::MergePolicy;
 pub use statemachine::{
     CounterConfig, CounterMode, StateMachineConfig, Transition, TriggerCounter, TriggerStateMachine,
@@ -187,6 +187,23 @@ pub struct McdsStats {
     pub lost: u64,
     /// Messages still queued in FIFOs.
     pub backlog: usize,
+}
+
+/// Serializable runtime state of an [`Mcds`] block: observer windows and
+/// pending runs, counter/state-machine positions, cross-trigger enables and
+/// occurrence counts, FIFO contents and the drained-but-untaken sink. The
+/// configuration is *not* included — [`Mcds::restore_state`] requires an
+/// identically configured block. The per-cycle scratch buffer is always
+/// empty at cycle boundaries and is restored empty.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct McdsState {
+    observers: Vec<ObserverState>,
+    counters: Vec<statemachine::CounterState>,
+    machines: Vec<u8>,
+    xunit: xtrigger::XtriggerState,
+    sorter: sorter::SorterState,
+    sink: Vec<TimedMessage>,
+    generated: u64,
 }
 
 /// The MCDS block.
@@ -463,6 +480,71 @@ impl Mcds {
     /// Takes the sorted messages drained so far.
     pub fn take_messages(&mut self) -> Vec<TimedMessage> {
         std::mem::take(&mut self.sink)
+    }
+
+    /// Captures the block's complete runtime state (see [`McdsState`]).
+    /// Must be called at a cycle boundary (outside [`Mcds::on_cycle`]).
+    pub fn save_state(&self) -> McdsState {
+        debug_assert!(self.scratch.is_empty(), "scratch drained every cycle");
+        McdsState {
+            observers: self
+                .observers
+                .iter()
+                .map(CoreObserver::save_state)
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(TriggerCounter::save_state)
+                .collect(),
+            machines: self
+                .machines
+                .iter()
+                .map(TriggerStateMachine::save_state)
+                .collect(),
+            xunit: self.xunit.save_state(),
+            sorter: self.sorter.save_state(),
+            sink: self.sink.clone(),
+            generated: self.generated,
+        }
+    }
+
+    /// Restores state captured by [`Mcds::save_state`] onto an identically
+    /// configured block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observer/counter/state-machine counts differ.
+    pub fn restore_state(&mut self, state: &McdsState) {
+        assert_eq!(
+            self.observers.len(),
+            state.observers.len(),
+            "observer count mismatch on restore"
+        );
+        assert_eq!(
+            self.counters.len(),
+            state.counters.len(),
+            "counter count mismatch on restore"
+        );
+        assert_eq!(
+            self.machines.len(),
+            state.machines.len(),
+            "state-machine count mismatch on restore"
+        );
+        for (o, s) in self.observers.iter_mut().zip(&state.observers) {
+            o.restore_state(s);
+        }
+        for (c, s) in self.counters.iter_mut().zip(&state.counters) {
+            c.restore_state(s);
+        }
+        for (m, &s) in self.machines.iter_mut().zip(&state.machines) {
+            m.restore_state(s);
+        }
+        self.xunit.restore_state(&state.xunit);
+        self.sorter.restore_state(&state.sorter);
+        self.sink = state.sink.clone();
+        self.scratch.clear();
+        self.generated = state.generated;
     }
 }
 

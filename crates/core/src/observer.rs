@@ -62,6 +62,22 @@ pub struct CoreTraceConfig {
 /// Longest instruction run in one program message before a forced flush.
 const MAX_I_CNT: u32 = 4096;
 
+/// Serializable runtime state of a [`CoreObserver`]: qualification windows,
+/// sync tracking and the pending instruction run. Configuration (core id,
+/// comparators, history mode, sync period) is *not* included, and the
+/// per-cycle output buffer is always drained at cycle boundaries so it is
+/// restored empty.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct ObserverState {
+    prog_window: bool,
+    data_window: bool,
+    synced: bool,
+    i_cnt: u32,
+    history: BranchBits,
+    msgs_since_sync: u32,
+    generated: u64,
+}
+
 /// The per-core adaptation logic.
 #[derive(Debug)]
 pub struct CoreObserver {
@@ -334,6 +350,40 @@ impl CoreObserver {
     /// True if data trace is currently active.
     pub fn data_trace_active(&self) -> bool {
         Self::qualifier_active(&self.config.data_trace.qualifier, self.data_window)
+    }
+
+    /// Captures the observer's runtime state (see [`ObserverState`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-cycle with undrained output; snapshots are taken
+    /// at cycle boundaries where [`CoreObserver::take_output`] has run.
+    pub fn save_state(&self) -> ObserverState {
+        assert!(
+            self.out.is_empty(),
+            "observer output not drained at snapshot point"
+        );
+        ObserverState {
+            prog_window: self.prog_window,
+            data_window: self.data_window,
+            synced: self.synced,
+            i_cnt: self.i_cnt,
+            history: self.history,
+            msgs_since_sync: self.msgs_since_sync,
+            generated: self.generated,
+        }
+    }
+
+    /// Restores state captured by [`CoreObserver::save_state`].
+    pub fn restore_state(&mut self, state: &ObserverState) {
+        self.prog_window = state.prog_window;
+        self.data_window = state.data_window;
+        self.synced = state.synced;
+        self.i_cnt = state.i_cnt;
+        self.history = state.history;
+        self.msgs_since_sync = state.msgs_since_sync;
+        self.generated = state.generated;
+        self.out.clear();
     }
 }
 

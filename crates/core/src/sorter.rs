@@ -11,7 +11,7 @@
 //! when the sorter pops at cycle *T*, every message with a timestamp ≤ *T*
 //! is already enqueued, so the global minimum is the true next message.
 
-use crate::fifo::MessageFifo;
+use crate::fifo::{FifoState, MessageFifo};
 use mcds_trace::{TimedMessage, TraceSource};
 
 /// How the sorter picks the next message when several FIFOs hold one.
@@ -25,6 +25,15 @@ pub enum MergePolicy {
     /// a design without on-chip time stamping would use (ablation 1 of
     /// DESIGN.md). Cross-source order is whatever the mux happens to see.
     SourcePriority,
+}
+
+/// Serializable runtime state of a [`MessageSorter`]: every per-source FIFO
+/// (in registration order) plus the emitted counter. Sources, depth,
+/// bandwidth and merge policy are configuration and are *not* included.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct SorterState {
+    fifos: Vec<FifoState>,
+    emitted: u64,
 }
 
 /// The message sorter and its per-source FIFOs.
@@ -169,6 +178,32 @@ impl MessageSorter {
     /// Messages currently waiting across all FIFOs.
     pub fn backlog(&self) -> usize {
         self.fifos.iter().map(|f| f.len()).sum()
+    }
+
+    /// Captures the sorter's runtime state (see [`SorterState`]).
+    pub fn save_state(&self) -> SorterState {
+        SorterState {
+            fifos: self.fifos.iter().map(MessageFifo::save_state).collect(),
+            emitted: self.emitted,
+        }
+    }
+
+    /// Restores state captured by [`MessageSorter::save_state`] onto a
+    /// sorter with the same source set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO count differs.
+    pub fn restore_state(&mut self, state: &SorterState) {
+        assert_eq!(
+            self.fifos.len(),
+            state.fifos.len(),
+            "sorter source count mismatch on restore"
+        );
+        for (fifo, s) in self.fifos.iter_mut().zip(&state.fifos) {
+            fifo.restore_state(s);
+        }
+        self.emitted = state.emitted;
     }
 }
 

@@ -37,6 +37,14 @@ pub struct CounterConfig {
     pub mode: CounterMode,
 }
 
+/// Serializable runtime state of a [`TriggerCounter`] (count + fired latch;
+/// the configuration is not included).
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterState {
+    count: u64,
+    fired: bool,
+}
+
 /// A running trigger counter.
 #[derive(Debug, Clone)]
 pub struct TriggerCounter {
@@ -94,6 +102,20 @@ impl TriggerCounter {
     pub fn reset(&mut self) {
         self.count = 0;
         self.fired = false;
+    }
+
+    /// Captures the counter's runtime state.
+    pub fn save_state(&self) -> CounterState {
+        CounterState {
+            count: self.count,
+            fired: self.fired,
+        }
+    }
+
+    /// Restores state captured by [`TriggerCounter::save_state`].
+    pub fn restore_state(&mut self, state: &CounterState) {
+        self.count = state.count;
+        self.fired = state.fired;
     }
 }
 
@@ -162,6 +184,22 @@ impl TriggerStateMachine {
     /// Returns to state 0 (debugger reset).
     pub fn reset(&mut self) {
         self.state = 0;
+    }
+
+    /// Captures the machine's current state index.
+    pub fn save_state(&self) -> u8 {
+        self.state
+    }
+
+    /// Restores a state index captured by
+    /// [`TriggerStateMachine::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is ≥ [`STATE_COUNT`].
+    pub fn restore_state(&mut self, state: u8) {
+        assert!((state as usize) < STATE_COUNT);
+        self.state = state;
     }
 }
 

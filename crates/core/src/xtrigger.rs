@@ -110,6 +110,15 @@ impl TriggerOutputs {
     }
 }
 
+/// Serializable runtime state of a [`CrossTriggerUnit`]: per-line enables
+/// (mutable at runtime via [`CrossTriggerUnit::set_enabled`]) and occurrence
+/// counters. The line configurations themselves are *not* included.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct XtriggerState {
+    enables: Vec<bool>,
+    occurrence_counts: Vec<u64>,
+}
+
 /// The cross-trigger matrix: evaluates every line against the cycle's
 /// signal set.
 #[derive(Debug, Clone, Default)]
@@ -187,6 +196,32 @@ impl CrossTriggerUnit {
         for c in &mut self.occurrence_counts {
             *c = 0;
         }
+    }
+
+    /// Captures the unit's runtime state (see [`XtriggerState`]).
+    pub fn save_state(&self) -> XtriggerState {
+        XtriggerState {
+            enables: self.lines.iter().map(|l| l.enabled).collect(),
+            occurrence_counts: self.occurrence_counts.clone(),
+        }
+    }
+
+    /// Restores state captured by [`CrossTriggerUnit::save_state`] onto a
+    /// unit with the same line configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line count differs.
+    pub fn restore_state(&mut self, state: &XtriggerState) {
+        assert_eq!(
+            self.lines.len(),
+            state.enables.len(),
+            "cross-trigger line count mismatch on restore"
+        );
+        for (line, &en) in self.lines.iter_mut().zip(&state.enables) {
+            line.enabled = en;
+        }
+        self.occurrence_counts = state.occurrence_counts.clone();
     }
 }
 

@@ -105,6 +105,24 @@ pub struct StopEvent {
     pub pc: u32,
 }
 
+/// Serializable host-side debugger book-keeping: the breakpoint and
+/// watchpoint tables plus the base MCDS configuration hardware triggers are
+/// merged into.
+///
+/// This is what [`Debugger::detach_with_state`] carries across a
+/// detach → snapshot → attach round-trip. Without it, a re-attached
+/// debugger would have no record of which words are patched with `BRK` —
+/// the breakpoints would still fire on the device, but the host could
+/// neither resume past them (no original word to restore) nor remove them.
+/// Tables are kept sorted so serialization is deterministic.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone)]
+pub struct DebuggerState {
+    sw_breakpoints: Vec<(u32, u32)>,
+    hw_breakpoints: Vec<(CoreId, u32)>,
+    watchpoints: Vec<(CoreId, AddrRange, AccessKind)>,
+    base_mcds: McdsConfig,
+}
+
 /// The debugger session.
 pub struct Debugger {
     dev: Device,
@@ -151,9 +169,82 @@ impl Debugger {
         &mut self.dev
     }
 
-    /// Detaches, returning the device.
-    pub fn detach(self) -> Device {
-        self.dev
+    /// Detaches cleanly, returning the device: every software breakpoint
+    /// is un-patched first (original words restored over the link, paying
+    /// the usual transfer time), so no orphaned `BRK` sites are left
+    /// behind. Use [`Debugger::detach_with_state`] to instead keep the
+    /// patches in place and carry the book-keeping to a later re-attach.
+    ///
+    /// # Errors
+    ///
+    /// Device errors from the restore writes; the device is returned
+    /// alongside (boxed — it is a large value) so the session is never
+    /// lost.
+    pub fn detach(mut self) -> Result<Device, Box<(Device, HostError)>> {
+        let mut addrs: Vec<u32> = self.sw_breakpoints.keys().copied().collect();
+        addrs.sort_unstable();
+        for addr in &addrs {
+            if let Err(e) = self.clear_sw_breakpoint(*addr) {
+                return Err(Box::new((self.dev, e)));
+            }
+        }
+        // A core sitting in a halt at one of the just-cleared sites hit our
+        // breakpoint — possibly during the un-patch traffic itself. Leaving
+        // it halted with no debugger attached would orphan it, so resume;
+        // it re-executes the restored original instruction.
+        for i in 0..self.dev.soc().core_count() {
+            let core = CoreId(i as u8);
+            let c = self.dev.soc().core(core);
+            if c.is_halted() && addrs.binary_search(&c.pc()).is_ok() {
+                if let Err(e) = self.resume(core) {
+                    return Err(Box::new((self.dev, e)));
+                }
+            }
+        }
+        Ok(self.dev)
+    }
+
+    /// Detaches while keeping all breakpoints live on the device, returning
+    /// the device together with the serializable book-keeping needed to
+    /// re-attach later (or on a snapshot-restored copy of the device) with
+    /// [`Debugger::attach_with_state`].
+    pub fn detach_with_state(self) -> (Device, DebuggerState) {
+        let state = self.save_state();
+        (self.dev, state)
+    }
+
+    /// The debugger's current book-keeping in serializable form (see
+    /// [`DebuggerState`]).
+    pub fn save_state(&self) -> DebuggerState {
+        let mut sw: Vec<(u32, u32)> = self.sw_breakpoints.iter().map(|(&a, &w)| (a, w)).collect();
+        sw.sort_unstable_by_key(|&(a, _)| a);
+        let mut hw = self.hw_breakpoints.clone();
+        hw.sort_unstable_by_key(|&(c, a)| (c.0, a));
+        let mut wp = self.watchpoints.clone();
+        wp.sort_unstable_by_key(|&(c, r, _)| (c.0, r.start));
+        DebuggerState {
+            sw_breakpoints: sw,
+            hw_breakpoints: hw,
+            watchpoints: wp,
+            base_mcds: self.base_mcds.clone(),
+        }
+    }
+
+    /// Re-attaches to `dev` over `iface` with book-keeping captured by
+    /// [`Debugger::detach_with_state`] (typically after the device was
+    /// snapshotted and restored). The software-breakpoint table, hardware
+    /// trigger lists and base MCDS configuration all survive, so patched
+    /// `BRK` sites can be resumed past and cleared exactly as before the
+    /// detach.
+    pub fn attach_with_state(dev: Device, iface: InterfaceKind, state: &DebuggerState) -> Debugger {
+        Debugger {
+            dev,
+            iface,
+            sw_breakpoints: state.sw_breakpoints.iter().copied().collect(),
+            hw_breakpoints: state.hw_breakpoints.clone(),
+            watchpoints: state.watchpoints.clone(),
+            base_mcds: state.base_mcds.clone(),
+        }
     }
 
     /// The link in use.

@@ -45,11 +45,13 @@
 pub mod debugger;
 pub mod listing;
 pub mod session;
+pub mod timetravel;
 
-pub use debugger::{Debugger, HostError, StopEvent};
+pub use debugger::{Debugger, DebuggerState, HostError, StopEvent};
 pub use session::{
     load_program_to_emulation_ram, AnalysisOutcome, SessionError, TraceOutcome, TraceSession,
 };
+pub use timetravel::{TimeTravel, TimeTravelError};
 
 #[cfg(test)]
 mod tests {
@@ -321,5 +323,100 @@ mod context_tests {
         assert!(ctx.contains("r2 =0x000000cd"), "{ctx}");
         assert!(ctx.contains("> 0x80000008"), "pc marker present: {ctx}");
         assert!(ctx.contains("brk"), "{ctx}");
+    }
+}
+
+#[cfg(test)]
+mod detach_attach_tests {
+    use super::*;
+    use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
+    use mcds_psi::interface::InterfaceKind;
+    use mcds_replay::SocSnapshot;
+    use mcds_soc::asm::{assemble, Program};
+    use mcds_soc::event::{CoreId, StopCause};
+
+    fn loop_program() -> Program {
+        assemble(
+            "
+            .org 0x80000000
+            start:
+                li r1, 0
+            loop:
+                addi r1, r1, 1
+                j loop
+            ",
+        )
+        .unwrap()
+    }
+
+    fn bare_device() -> Device {
+        DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build()
+    }
+
+    /// A debugger over the loop program held in emulation RAM (software
+    /// breakpoints need RAM-resident code), with one breakpoint armed on
+    /// the live loop and the cores running.
+    fn armed_debugger() -> Debugger {
+        let mut dbg = Debugger::attach(bare_device(), InterfaceKind::Jtag);
+        dbg.hold_all_at_reset();
+        load_program_to_emulation_ram(&mut dbg, &loop_program(), 0).unwrap();
+        dbg.set_sw_breakpoint(0x8000_0004).unwrap();
+        dbg.resume_all().unwrap();
+        dbg
+    }
+
+    #[test]
+    fn plain_detach_unpatches_brk_sites() {
+        let dbg = armed_debugger();
+        let mut dev = dbg.detach().expect("detach succeeds");
+        // The BRK patch is gone: the loop runs on without ever stopping.
+        dev.run_cycles(20_000);
+        assert!(
+            !dev.soc().core(CoreId(0)).is_halted(),
+            "orphaned BRK patch survived detach"
+        );
+    }
+
+    #[test]
+    fn breakpoints_survive_detach_snapshot_attach() {
+        let (dev, state) = armed_debugger().detach_with_state();
+        let snap = SocSnapshot::capture(&dev);
+
+        // Rehydrate on a fresh device: the BRK patch travels inside the
+        // memory image, the book-keeping inside DebuggerState.
+        let mut twin = bare_device();
+        snap.restore_into(&mut twin);
+        let mut dbg = Debugger::attach_with_state(twin, InterfaceKind::Jtag, &state);
+        assert_eq!(dbg.sw_breakpoint_count(), 1);
+
+        let stop = dbg.wait_for_stop(50_000).expect("breakpoint fires");
+        assert_eq!(stop.cause, StopCause::Breakpoint);
+        assert_eq!(stop.pc, 0x8000_0004);
+
+        // The carried original instruction is intact: stepping over the
+        // breakpoint works and it fires again next iteration.
+        dbg.resume_from_breakpoint(CoreId(0)).unwrap();
+        let stop = dbg.wait_for_stop(50_000).expect("fires again");
+        assert_eq!(stop.pc, 0x8000_0004);
+
+        // Clearing restores the genuine instruction, not a stale copy.
+        dbg.clear_sw_breakpoint(0x8000_0004).unwrap();
+        dbg.resume(CoreId(0)).unwrap();
+        assert!(dbg.wait_for_stop(10_000).is_err(), "no stop after clear");
+    }
+
+    #[test]
+    fn debugger_state_serializes_and_round_trips() {
+        let dbg = armed_debugger();
+        let state = dbg.save_state();
+        let json = serde_json::to_string(&state).expect("state serializes");
+        let back: DebuggerState = serde_json::from_str(&json).expect("state parses");
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            json,
+            "serialization round-trip is stable"
+        );
     }
 }

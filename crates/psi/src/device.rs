@@ -19,17 +19,17 @@
 //! idle, identical behaviour — the transparency property experiments F3/F4
 //! verify.
 
-use crate::faults::{FaultInjector, FaultPlan, FaultStats, FrameFate};
-use crate::interface::{InterfaceKind, InterfaceModel};
-use crate::service::ServiceProcessor;
-use crate::trace_sink::{FullPolicy, TraceSink};
-use mcds::{Mcds, McdsConfig, McdsStats};
+use crate::faults::{FaultInjector, FaultInjectorState, FaultPlan, FaultStats, FrameFate};
+use crate::interface::{InterfaceKind, InterfaceModel, LinkStats};
+use crate::service::{ServiceProcessor, ServiceState};
+use crate::trace_sink::{FullPolicy, SinkState, TraceSink};
+use mcds::{Mcds, McdsConfig, McdsState, McdsStats};
 use mcds_soc::bus::{BusFault, BusRequest, XferKind};
 use mcds_soc::cpu::CoreConfig;
 use mcds_soc::event::{CoreId, CycleRecord};
 use mcds_soc::isa::{MemWidth, Reg};
 use mcds_soc::mem::SegmentRole;
-use mcds_soc::soc::{memmap, Soc, SocBuilder};
+use mcds_soc::soc::{memmap, Soc, SocBuilder, SocState};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -145,7 +145,7 @@ impl fmt::Display for DeviceVariant {
 }
 
 /// A debug command executed over a device interface.
-#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone)]
 pub enum DebugOp {
     /// Read `count` words starting at `addr` over the debug bus master.
     ReadWords {
@@ -472,6 +472,47 @@ impl DeviceBuilder {
     }
 }
 
+/// A stable per-link code used to key serialized fault-injector state
+/// deterministically (`Jtag = 0`, `Usb11 = 1`, `Can = 2`).
+fn kind_code(kind: InterfaceKind) -> u8 {
+    match kind {
+        InterfaceKind::Jtag => 0,
+        InterfaceKind::Usb11 => 1,
+        InterfaceKind::Can => 2,
+    }
+}
+
+fn kind_from_code(code: u8) -> InterfaceKind {
+    match code {
+        0 => InterfaceKind::Jtag,
+        1 => InterfaceKind::Usb11,
+        2 => InterfaceKind::Can,
+        _ => panic!("unknown interface code {code} in saved device state"),
+    }
+}
+
+/// Serializable runtime state of a whole [`Device`] — everything except the
+/// memory contents (flash, SRAM, emulation RAM), which are exposed as raw
+/// images by [`mcds_soc::soc::Soc::memory_image`] and snapshotted
+/// separately so large memories can be delta-compressed.
+///
+/// Restoring requires a device built with the identical configuration
+/// (variant, cores, MCDS config, trace segments); the restore methods
+/// assert structural compatibility.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone)]
+pub struct DeviceState {
+    soc: SocState,
+    mcds: McdsState,
+    sink: SinkState,
+    jtag: LinkStats,
+    usb: Option<LinkStats>,
+    can: LinkStats,
+    service: Option<ServiceState>,
+    trigger_out_log: Vec<(u64, u8)>,
+    sink_dropped: u64,
+    faults: Vec<(u8, FaultInjectorState)>,
+}
+
 /// The assembled device.
 pub struct Device {
     variant: DeviceVariant,
@@ -585,6 +626,65 @@ impl Device {
     /// MCDS trigger-out pin pulses as `(cycle, pin)`.
     pub fn trigger_out_log(&self) -> &[(u64, u8)] {
         &self.trigger_out_log
+    }
+
+    /// Captures the device's full runtime state except memory contents
+    /// (see [`DeviceState`]).
+    pub fn save_state(&self) -> DeviceState {
+        let mut faults: Vec<(u8, FaultInjectorState)> = self
+            .faults
+            .iter()
+            .map(|(&kind, inj)| (kind_code(kind), inj.save_state()))
+            .collect();
+        faults.sort_unstable_by_key(|&(code, _)| code);
+        DeviceState {
+            soc: self.soc.save_state(),
+            mcds: self.mcds.save_state(),
+            sink: self.sink.save_state(),
+            jtag: self.jtag.save_state(),
+            usb: self.usb.as_ref().map(InterfaceModel::save_state),
+            can: self.can.save_state(),
+            service: self.service.as_ref().map(ServiceProcessor::save_state),
+            trigger_out_log: self.trigger_out_log.clone(),
+            sink_dropped: self.sink_dropped,
+            faults,
+        }
+    }
+
+    /// Restores state captured by [`Device::save_state`] onto a device
+    /// built with the identical configuration. Memory contents are restored
+    /// separately via [`mcds_soc::soc::Soc::restore_memory_image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on structural mismatch (core count, fitted USB/service core,
+    /// sink capacity, MCDS shape).
+    pub fn restore_state(&mut self, state: &DeviceState) {
+        self.soc.restore_state(&state.soc);
+        self.mcds.restore_state(&state.mcds);
+        self.sink.restore_state(&state.sink);
+        self.jtag.restore_state(&state.jtag);
+        match (self.usb.as_mut(), state.usb.as_ref()) {
+            (Some(model), Some(s)) => model.restore_state(s),
+            (None, None) => {}
+            _ => panic!("USB fitment mismatch on restore"),
+        }
+        self.can.restore_state(&state.can);
+        match (self.service.as_mut(), state.service.as_ref()) {
+            (Some(proc), Some(s)) => proc.restore_state(s),
+            (None, None) => {}
+            _ => panic!("service-core fitment mismatch on restore"),
+        }
+        self.trigger_out_log = state.trigger_out_log.clone();
+        self.sink_dropped = state.sink_dropped;
+        self.faults = state
+            .faults
+            .iter()
+            .map(|(code, s)| {
+                let kind = kind_from_code(*code);
+                (kind, FaultInjector::from_state(kind, s))
+            })
+            .collect();
     }
 
     /// Advances the device one SoC cycle: steps the SoC, runs the MCDS,

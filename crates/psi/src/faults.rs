@@ -137,6 +137,16 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Serializable runtime state of a [`FaultInjector`]: the plan (part of the
+/// state because plans are installed at runtime), the frame counter the
+/// deterministic draws are keyed on, and the cumulative statistics.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct FaultInjectorState {
+    plan: FaultPlan,
+    frame_index: u64,
+    stats: FaultStats,
+}
+
 /// Per-link fault state: a frame counter plus the plan.
 ///
 /// Draws are keyed on `(seed, link, frame_index, purpose)` — *not* on a
@@ -166,6 +176,25 @@ impl FaultInjector {
             link_salt,
             frame_index: 0,
             stats: FaultStats::default(),
+        }
+    }
+
+    /// Rebuilds an injector from saved state (see [`FaultInjectorState`]).
+    /// The `kind` must match the link the state was captured on so the PRNG
+    /// salt — and therefore the remaining fault pattern — is identical.
+    pub fn from_state(kind: InterfaceKind, state: &FaultInjectorState) -> FaultInjector {
+        let mut inj = FaultInjector::new(kind, state.plan.clone());
+        inj.frame_index = state.frame_index;
+        inj.stats = state.stats;
+        inj
+    }
+
+    /// Captures the injector's runtime state.
+    pub fn save_state(&self) -> FaultInjectorState {
+        FaultInjectorState {
+            plan: self.plan.clone(),
+            frame_index: self.frame_index,
+            stats: self.stats,
         }
     }
 

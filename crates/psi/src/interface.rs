@@ -58,6 +58,18 @@ impl fmt::Display for InterfaceModelError {
 
 impl std::error::Error for InterfaceModelError {}
 
+/// Serializable cumulative statistics of an [`InterfaceModel`]. The timing
+/// parameters are configuration and are *not* included.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Transactions completed.
+    pub transactions: u64,
+    /// Total payload bytes moved.
+    pub payload_bytes: u64,
+    /// Total cycles the link was busy.
+    pub busy_cycles: u64,
+}
+
 /// A latency/bandwidth model of one debug link.
 #[derive(Debug, Clone)]
 pub struct InterfaceModel {
@@ -212,6 +224,22 @@ impl InterfaceModel {
     /// Total cycles the link was busy.
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
+    }
+
+    /// Captures the link's cumulative statistics (see [`LinkStats`]).
+    pub fn save_state(&self) -> LinkStats {
+        LinkStats {
+            transactions: self.transactions,
+            payload_bytes: self.payload_bytes,
+            busy_cycles: self.busy_cycles,
+        }
+    }
+
+    /// Restores statistics captured by [`InterfaceModel::save_state`].
+    pub fn restore_state(&mut self, state: &LinkStats) {
+        self.transactions = state.transactions;
+        self.payload_bytes = state.payload_bytes;
+        self.busy_cycles = state.busy_cycles;
     }
 }
 

@@ -46,10 +46,13 @@ pub mod service;
 pub mod trace_sink;
 
 pub use device::{
-    DebugOp, DebugResponse, Device, DeviceBuilder, DeviceError, DeviceVariant, VariantInfo,
+    DebugOp, DebugResponse, Device, DeviceBuilder, DeviceError, DeviceState, DeviceVariant,
+    VariantInfo,
 };
-pub use faults::{DownWindow, FaultInjector, FaultPlan, FaultStats, FrameFate};
-pub use interface::{InterfaceKind, InterfaceModel, InterfaceModelError};
+pub use faults::{DownWindow, FaultInjector, FaultInjectorState, FaultPlan, FaultStats, FrameFate};
+pub use interface::{InterfaceKind, InterfaceModel, InterfaceModelError, LinkStats};
 pub use multichip::{MultiChipBench, TriggerWire};
-pub use service::{ConsistencyChecker, ConsistencyRule, PerfMonitor, ServiceProcessor};
-pub use trace_sink::{FullPolicy, TraceSink};
+pub use service::{
+    ConsistencyChecker, ConsistencyRule, PerfMonitor, ServiceProcessor, ServiceState,
+};
+pub use trace_sink::{FullPolicy, SinkState, TraceSink};

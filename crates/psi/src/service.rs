@@ -123,7 +123,7 @@ pub struct Violation {
 
 /// A consistency-checker rule: bus writes inside `range` must carry values
 /// in `[min, max]`.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
 pub struct ConsistencyRule {
     /// Watched address range.
     pub range: AddrRange,
@@ -184,6 +184,21 @@ impl ConsistencyChecker {
     pub fn clear(&mut self) {
         self.violations.clear();
     }
+}
+
+/// Serializable runtime state of a [`ServiceProcessor`]: both monitor
+/// programs (including checker rules, which are installed at runtime) and
+/// the command-overhead accounting.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct ServiceState {
+    perf_enabled: bool,
+    perf_cycles: u64,
+    perf_retired: Vec<u64>,
+    perf_bus_xacts: u64,
+    checker_rules: Vec<ConsistencyRule>,
+    checker_violations: Vec<Violation>,
+    commands_processed: u64,
+    overhead_cycles: u64,
 }
 
 /// The PCP2 service processor: command overhead plus monitor programs.
@@ -249,6 +264,43 @@ impl ServiceProcessor {
     /// Total driver overhead absorbed by the service core.
     pub fn overhead_cycles(&self) -> u64 {
         self.overhead_cycles
+    }
+
+    /// Captures the service processor's runtime state (see
+    /// [`ServiceState`]).
+    pub fn save_state(&self) -> ServiceState {
+        ServiceState {
+            perf_enabled: self.perf.enabled,
+            perf_cycles: self.perf.cycles,
+            perf_retired: self.perf.retired.clone(),
+            perf_bus_xacts: self.perf.bus_xacts,
+            checker_rules: self.checker.rules.clone(),
+            checker_violations: self.checker.violations.clone(),
+            commands_processed: self.commands_processed,
+            overhead_cycles: self.overhead_cycles,
+        }
+    }
+
+    /// Restores state captured by [`ServiceProcessor::save_state`] onto a
+    /// service processor built for the same core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-core retire-counter count differs.
+    pub fn restore_state(&mut self, state: &ServiceState) {
+        assert_eq!(
+            self.perf.retired.len(),
+            state.perf_retired.len(),
+            "service-core count mismatch on restore"
+        );
+        self.perf.enabled = state.perf_enabled;
+        self.perf.cycles = state.perf_cycles;
+        self.perf.retired = state.perf_retired.clone();
+        self.perf.bus_xacts = state.perf_bus_xacts;
+        self.checker.rules = state.checker_rules.clone();
+        self.checker.violations = state.checker_violations.clone();
+        self.commands_processed = state.commands_processed;
+        self.overhead_cycles = state.overhead_cycles;
     }
 }
 

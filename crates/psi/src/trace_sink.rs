@@ -12,7 +12,7 @@
 //! [`SegmentRole::Trace`]: mcds_soc::mem::SegmentRole::Trace
 
 use mcds_soc::mem::{EmulationRam, SegmentRole, EMEM_SEGMENT_SIZE};
-use mcds_trace::{StreamEncoder, TimedMessage};
+use mcds_trace::{EncoderState, StreamEncoder, TimedMessage};
 
 /// What happens when the trace region fills.
 #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,6 +22,19 @@ pub enum FullPolicy {
     Stop,
     /// Wrap around (keep the newest data, flight-recorder style).
     Wrap,
+}
+
+/// Serializable runtime state of a [`TraceSink`]: encoder context, write
+/// cursor and fill-status flags. The segment assignment, full policy and
+/// capacity are configuration and are *not* included (the stored bytes
+/// themselves live in the emulation RAM, snapshotted separately).
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct SinkState {
+    encoder: EncoderState,
+    write_offset: u64,
+    stopped: bool,
+    bytes_written: u64,
+    wrapped: bool,
 }
 
 /// Encodes trace messages into the emulation RAM's trace segments.
@@ -184,6 +197,35 @@ impl TraceSink {
             out.push(emem.bytes()[self.emem_offset(linear)]);
         }
         out
+    }
+
+    /// Captures the sink's runtime state (see [`SinkState`]).
+    pub fn save_state(&self) -> SinkState {
+        SinkState {
+            encoder: self.encoder.save_state(),
+            write_offset: self.write_offset as u64,
+            stopped: self.stopped,
+            bytes_written: self.bytes_written,
+            wrapped: self.wrapped,
+        }
+    }
+
+    /// Restores state captured by [`TraceSink::save_state`] onto a sink
+    /// with the same segment assignment and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the saved write cursor does not fit this sink's capacity.
+    pub fn restore_state(&mut self, state: &SinkState) {
+        assert!(
+            state.write_offset as usize <= self.capacity,
+            "saved sink write offset exceeds capacity"
+        );
+        self.encoder.restore_state(&state.encoder);
+        self.write_offset = state.write_offset as usize;
+        self.stopped = state.stopped;
+        self.bytes_written = state.bytes_written;
+        self.wrapped = state.wrapped;
     }
 }
 

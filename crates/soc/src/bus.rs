@@ -88,7 +88,7 @@ impl XferKind {
 }
 
 /// A bus request as issued by a master.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusRequest {
     /// Target byte address.
     pub addr: Addr,
@@ -103,7 +103,7 @@ pub struct BusRequest {
 
 /// A completed transaction, delivered back to the issuing master and to bus
 /// observers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusCompletion {
     /// The master the response belongs to.
     pub master: MasterId,
@@ -116,7 +116,7 @@ pub struct BusCompletion {
 }
 
 /// A completed bus transaction as seen by a trace observer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusXact {
     /// Initiating master.
     pub master: MasterId,
@@ -190,7 +190,7 @@ pub trait BusTarget {
 }
 
 /// Opaque handle to a target registered on a [`Bus`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TargetId(usize);
 
 /// Per-master arbitration counters, maintained by the bus itself.
@@ -273,6 +273,32 @@ struct ActiveTxn {
     request: BusRequest,
     target: Option<TargetId>,
     cycles_left: u32,
+}
+
+/// Serializable snapshot of an in-flight bus transaction (see [`BusState`]).
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveTxnState {
+    /// Master that owns the transaction.
+    pub master: MasterId,
+    /// The request being serviced.
+    pub request: BusRequest,
+    /// Resolved target, `None` for an unmapped (faulting) address.
+    pub target: Option<TargetId>,
+    /// Remaining wait-state cycles.
+    pub cycles_left: u32,
+}
+
+/// Serializable runtime state of a [`Bus`]: queued and in-flight requests
+/// plus arbitration bookkeeping. The address map, registered targets and
+/// arbitration policy are build-time configuration and are *not* included —
+/// [`Bus::restore_state`] requires an identically configured bus.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct BusState {
+    pending: Vec<Option<BusRequest>>,
+    active: Option<ActiveTxnState>,
+    last_xact: Option<BusXact>,
+    rr_next: usize,
+    counters: BusCounters,
 }
 
 /// The system bus: targets, address map and a single-transaction arbiter.
@@ -400,6 +426,48 @@ impl<T: BusTarget> Bus<T> {
     /// Cycle-exact arbitration counters (see [`BusCounters`]).
     pub fn counters(&self) -> &BusCounters {
         &self.counters
+    }
+
+    /// Captures the arbiter's runtime state (queued/in-flight requests,
+    /// round-robin pointer, counters). Target-internal state is captured by
+    /// the owner of the targets, not here.
+    pub fn save_state(&self) -> BusState {
+        BusState {
+            pending: self.pending.clone(),
+            active: self.active.as_ref().map(|a| ActiveTxnState {
+                master: a.master,
+                request: a.request,
+                target: a.target,
+                cycles_left: a.cycles_left,
+            }),
+            last_xact: self.last_xact,
+            rr_next: self.rr_next,
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Bus::save_state`] onto an identically
+    /// configured bus (same master count, targets and address map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master count differs.
+    pub fn restore_state(&mut self, state: &BusState) {
+        assert_eq!(
+            self.pending.len(),
+            state.pending.len(),
+            "bus master count mismatch on restore"
+        );
+        self.pending = state.pending.clone();
+        self.active = state.active.as_ref().map(|a| ActiveTxn {
+            master: a.master,
+            request: a.request,
+            target: a.target,
+            cycles_left: a.cycles_left,
+        });
+        self.last_xact = state.last_xact;
+        self.rr_next = state.rr_next;
+        self.counters = state.counters.clone();
     }
 
     fn grant_next(&mut self) {

@@ -20,7 +20,7 @@ use crate::event::{CoreId, MemAccessInfo, RetireEvent, SocEvent, StopCause};
 use crate::isa::{Instr, MemWidth, Reg, SpecialReg};
 
 /// Run state of a core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunState {
     /// Executing instructions (unless suspended).
     Running,
@@ -28,7 +28,7 @@ pub enum RunState {
     Halted(StopCause),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     FetchIssue,
     FetchWait,
@@ -60,6 +60,26 @@ impl Default for CoreConfig {
             irq_vector: DEFAULT_IRQ_VECTOR,
         }
     }
+}
+
+/// Serializable runtime state of a [`Cpu`]: registers, pc, pipeline phase
+/// and debug/interrupt latches. Identity and configuration (`id`, `master`,
+/// [`CoreConfig`]) are *not* included — [`Cpu::restore_state`] requires an
+/// identically configured core.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct CpuState {
+    regs: [u32; 16],
+    pc: u32,
+    state: RunState,
+    phase: Phase,
+    break_pending: bool,
+    suspended: bool,
+    step_budget: Option<u64>,
+    completion: Option<BusCompletion>,
+    retired: u64,
+    epc: u32,
+    irq_enable: bool,
+    irq_line: bool,
 }
 
 /// A TC-RISC processor core.
@@ -212,6 +232,41 @@ impl Cpu {
     pub fn reset(&mut self) {
         let (id, master, config) = (self.id, self.master, self.config);
         *self = Cpu::new(id, master, config);
+    }
+
+    /// Captures the core's complete runtime state (see [`CpuState`]).
+    pub fn save_state(&self) -> CpuState {
+        CpuState {
+            regs: self.regs,
+            pc: self.pc,
+            state: self.state,
+            phase: self.phase,
+            break_pending: self.break_pending,
+            suspended: self.suspended,
+            step_budget: self.step_budget,
+            completion: self.completion,
+            retired: self.retired,
+            epc: self.epc,
+            irq_enable: self.irq_enable,
+            irq_line: self.irq_line,
+        }
+    }
+
+    /// Restores state captured by [`Cpu::save_state`]. The core's identity
+    /// and configuration are untouched.
+    pub fn restore_state(&mut self, state: &CpuState) {
+        self.regs = state.regs;
+        self.pc = state.pc;
+        self.state = state.state;
+        self.phase = state.phase;
+        self.break_pending = state.break_pending;
+        self.suspended = state.suspended;
+        self.step_budget = state.step_budget;
+        self.completion = state.completion;
+        self.retired = state.retired;
+        self.epc = state.epc;
+        self.irq_enable = state.irq_enable;
+        self.irq_line = state.irq_line;
     }
 
     /// Delivers a bus completion addressed to this core's master slot.

@@ -137,6 +137,20 @@ impl std::fmt::Display for ConfigOverlayError {
 
 impl std::error::Error for ConfigOverlayError {}
 
+/// Serializable runtime state of an [`OverlayMapper`]: range configuration,
+/// enables, active calibration page and instrumentation counters. The bus
+/// windows and the fronted memories (flash / emulation-RAM contents) are
+/// *not* included — memories are snapshotted separately as raw byte images.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct OverlayState {
+    ranges: Vec<OverlayRange>,
+    valid: u16,
+    enabled: u16,
+    page: CalPage,
+    timing_match: bool,
+    swap_count: u64,
+}
+
 /// The address-mapping block plus the memories it fronts.
 ///
 /// Bus-visible windows (all routed to this one target):
@@ -257,6 +271,41 @@ impl OverlayMapper {
     /// (the T1 ablation knob).
     pub fn set_timing_match(&mut self, on: bool) {
         self.timing_match = on;
+    }
+
+    /// Captures the mapper's runtime state (see [`OverlayState`]). Memory
+    /// contents are captured separately via [`OverlayMapper::flash`] /
+    /// [`OverlayMapper::emem`].
+    pub fn save_state(&self) -> OverlayState {
+        OverlayState {
+            ranges: self.ranges.to_vec(),
+            valid: self.valid,
+            enabled: self.enabled,
+            page: self.page,
+            timing_match: self.timing_match,
+            swap_count: self.swap_count,
+        }
+    }
+
+    /// Restores state captured by [`OverlayMapper::save_state`]. Fields are
+    /// assigned directly (no swap-count bump, no validation re-run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the saved range table length differs from
+    /// [`OVERLAY_RANGE_COUNT`].
+    pub fn restore_state(&mut self, state: &OverlayState) {
+        assert_eq!(
+            state.ranges.len(),
+            OVERLAY_RANGE_COUNT,
+            "overlay range table length mismatch on restore"
+        );
+        self.ranges.copy_from_slice(&state.ranges);
+        self.valid = state.valid;
+        self.enabled = state.enabled;
+        self.page = state.page;
+        self.timing_match = state.timing_match;
+        self.swap_count = state.swap_count;
     }
 
     /// Selects the active calibration page for *all* ranges at once. This is

@@ -34,12 +34,33 @@ pub const OUT_PORT_COUNT: usize = 4;
 pub const IN_PORT_COUNT: usize = 8;
 
 /// A timestamped actuator write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortWrite {
     /// SoC cycle of the write.
     pub cycle: u64,
     /// Value written.
     pub value: u32,
+}
+
+/// Serializable runtime state of a [`PeriphBlock`]: latches, histories,
+/// trigger lines, timer and DMA registers. The bus base address and history
+/// capacity are configuration and are *not* included.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct PeriphState {
+    out_latch: [u32; OUT_PORT_COUNT],
+    out_history: Vec<Vec<PortWrite>>,
+    in_ports: [u32; IN_PORT_COUNT],
+    trig_out_pulses: Vec<(u64, u32)>,
+    trig_in_level: u32,
+    timer_period: u32,
+    timer_next_fire: u64,
+    irq_pending: bool,
+    dma_src: u32,
+    dma_dst: u32,
+    dma_len: u32,
+    dma_start_pending: bool,
+    dma_busy: bool,
+    dma_error: bool,
 }
 
 /// The peripheral block.
@@ -179,6 +200,45 @@ impl PeriphBlock {
     /// Current external trigger-in level bitmask.
     pub fn trigger_in(&self) -> u32 {
         self.trig_in_level
+    }
+
+    /// Captures the block's complete runtime state (see [`PeriphState`]).
+    pub fn save_state(&self) -> PeriphState {
+        PeriphState {
+            out_latch: self.out_latch,
+            out_history: self.out_history.clone(),
+            in_ports: self.in_ports,
+            trig_out_pulses: self.trig_out_pulses.clone(),
+            trig_in_level: self.trig_in_level,
+            timer_period: self.timer_period,
+            timer_next_fire: self.timer_next_fire,
+            irq_pending: self.irq_pending,
+            dma_src: self.dma_src,
+            dma_dst: self.dma_dst,
+            dma_len: self.dma_len,
+            dma_start_pending: self.dma_start_pending,
+            dma_busy: self.dma_busy,
+            dma_error: self.dma_error,
+        }
+    }
+
+    /// Restores state captured by [`PeriphBlock::save_state`]. Base address
+    /// and history capacity are untouched.
+    pub fn restore_state(&mut self, state: &PeriphState) {
+        self.out_latch = state.out_latch;
+        self.out_history = state.out_history.clone();
+        self.in_ports = state.in_ports;
+        self.trig_out_pulses = state.trig_out_pulses.clone();
+        self.trig_in_level = state.trig_in_level;
+        self.timer_period = state.timer_period;
+        self.timer_next_fire = state.timer_next_fire;
+        self.irq_pending = state.irq_pending;
+        self.dma_src = state.dma_src;
+        self.dma_dst = state.dma_dst;
+        self.dma_len = state.dma_len;
+        self.dma_start_pending = state.dma_start_pending;
+        self.dma_busy = state.dma_busy;
+        self.dma_error = state.dma_error;
     }
 
     fn off(&self, addr: Addr) -> u32 {

@@ -8,15 +8,15 @@
 
 use crate::asm::Program;
 use crate::bus::{
-    Addr, AddrRange, Bus, BusCompletion, BusFault, BusRequest, BusTarget, MasterId, TargetId,
-    XferKind,
+    Addr, AddrRange, Bus, BusCompletion, BusFault, BusRequest, BusState, BusTarget, MasterId,
+    TargetId, XferKind,
 };
-use crate::cpu::{CoreConfig, Cpu};
+use crate::cpu::{CoreConfig, Cpu, CpuState};
 use crate::event::{CoreId, CycleRecord, SocEvent};
 use crate::isa::MemWidth;
-use crate::mem::{EmulationRam, Flash, Sram};
-use crate::overlay::OverlayMapper;
-use crate::periph::PeriphBlock;
+use crate::mem::{EmulationRam, Flash, SegmentRole, Sram};
+use crate::overlay::{OverlayMapper, OverlayState};
+use crate::periph::{PeriphBlock, PeriphState};
 
 /// Memory-map constants of the modelled TC1796-class device.
 pub mod memmap {
@@ -184,12 +184,22 @@ impl BusTarget for SocTarget {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
 enum DmaState {
     Idle,
     IssueRead,
     AwaitRead,
     AwaitWrite { data: u32 },
+}
+
+/// Serializable runtime state of the DMA engine (see [`SocState`]).
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaEngineState {
+    state: DmaState,
+    src: u32,
+    dst: u32,
+    remaining: u32,
+    completion: Option<BusCompletion>,
 }
 
 /// The DMA engine: a word-at-a-time memcpy bus master, commanded through
@@ -471,6 +481,45 @@ impl SocBuilder {
     }
 }
 
+/// Serializable runtime state of a [`Soc`], *excluding* memory contents.
+///
+/// Covers the cycle counter, every core's register/pipeline state, the bus
+/// arbiter (including in-flight transactions), the peripheral block, the
+/// overlay mapper's mapping state, the DMA engine and the debug-master
+/// completion latch. Memory images (flash, SRAM, emulation RAM) are large
+/// and are captured separately via [`Soc::memory_image`] /
+/// [`Soc::restore_memory_image`], so snapshot layers can hash and
+/// delta-compress them as raw byte components.
+///
+/// Build-time configuration (core count/configs, memory sizes, bus map,
+/// extension targets) is *not* included: [`Soc::restore_state`] requires an
+/// identically built SoC. Extension targets ([`SocTarget::Ext`]) carry
+/// opaque state and are not snapshotted.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct SocState {
+    cycle: u64,
+    bus: BusState,
+    cores: Vec<CpuState>,
+    periph: PeriphState,
+    overlay: OverlayState,
+    emem_roles: Vec<SegmentRole>,
+    emem_powered: bool,
+    dma: Option<DmaEngineState>,
+    debug_completion: Option<BusCompletion>,
+    prev_trig_in: u32,
+}
+
+/// Which memory a raw byte image belongs to (see [`Soc::memory_image`]).
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryId {
+    /// Program flash.
+    Flash,
+    /// On-chip SRAM.
+    Sram,
+    /// Emulation RAM (development devices only).
+    Emem,
+}
+
 /// The simulated SoC.
 pub struct Soc {
     cycle: u64,
@@ -703,6 +752,131 @@ impl Soc {
     /// True if the debug master has a request queued or in flight.
     pub fn debug_busy(&self) -> bool {
         self.bus.master_busy(self.debug_master) || self.debug_completion.is_some()
+    }
+
+    /// Captures the SoC's complete runtime state except memory contents
+    /// (see [`SocState`] for what is and is not covered).
+    pub fn save_state(&self) -> SocState {
+        let emem = self.mapper().emem();
+        SocState {
+            cycle: self.cycle,
+            bus: self.bus.save_state(),
+            cores: self.cores.iter().map(Cpu::save_state).collect(),
+            periph: self.periph().save_state(),
+            overlay: self.mapper().save_state(),
+            emem_roles: emem
+                .map(|e| (0..e.segment_count()).map(|s| e.segment_role(s)).collect())
+                .unwrap_or_default(),
+            emem_powered: emem.map(|e| e.is_powered()).unwrap_or(false),
+            dma: self.dma.as_ref().map(|d| DmaEngineState {
+                state: d.state,
+                src: d.src,
+                dst: d.dst,
+                remaining: d.remaining,
+                completion: d.completion,
+            }),
+            debug_completion: self.debug_completion,
+            prev_trig_in: self.prev_trig_in,
+        }
+    }
+
+    /// Restores state captured by [`Soc::save_state`] onto an identically
+    /// built SoC. Memory contents are untouched; restore them separately
+    /// with [`Soc::restore_memory_image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core count, DMA fitment or emulation-RAM segment count
+    /// differ from the SoC the state was saved from.
+    pub fn restore_state(&mut self, state: &SocState) {
+        assert_eq!(
+            self.cores.len(),
+            state.cores.len(),
+            "core count mismatch on restore"
+        );
+        assert_eq!(
+            self.dma.is_some(),
+            state.dma.is_some(),
+            "DMA fitment mismatch on restore"
+        );
+        self.cycle = state.cycle;
+        self.bus.restore_state(&state.bus);
+        for (core, s) in self.cores.iter_mut().zip(&state.cores) {
+            core.restore_state(s);
+        }
+        self.periph_mut().restore_state(&state.periph);
+        self.mapper_mut().restore_state(&state.overlay);
+        let emem_roles = state.emem_roles.clone();
+        let emem_powered = state.emem_powered;
+        if let Some(emem) = self.mapper_mut().emem_mut() {
+            assert_eq!(
+                emem.segment_count(),
+                emem_roles.len(),
+                "emulation-RAM segment count mismatch on restore"
+            );
+            for (s, role) in emem_roles.iter().enumerate() {
+                emem.set_segment_role(s, *role);
+            }
+            emem.set_powered(emem_powered);
+        } else {
+            assert!(
+                emem_roles.is_empty(),
+                "emulation-RAM fitment mismatch on restore"
+            );
+        }
+        if let (Some(dma), Some(s)) = (self.dma.as_mut(), state.dma.as_ref()) {
+            dma.state = s.state;
+            dma.src = s.src;
+            dma.dst = s.dst;
+            dma.remaining = s.remaining;
+            dma.completion = s.completion;
+        }
+        self.debug_completion = state.debug_completion;
+        self.prev_trig_in = state.prev_trig_in;
+    }
+
+    /// Returns a raw byte image of one memory, or `None` when the device
+    /// variant does not have it fitted (emulation RAM on production parts).
+    pub fn memory_image(&self, id: MemoryId) -> Option<Vec<u8>> {
+        match id {
+            MemoryId::Flash => Some(self.mapper().flash().bytes().to_vec()),
+            MemoryId::Sram => Some(self.sram().bytes().to_vec()),
+            MemoryId::Emem => self.mapper().emem().map(|e| e.bytes().to_vec()),
+        }
+    }
+
+    /// Restores a raw byte image captured by [`Soc::memory_image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image length does not match the memory's size or the
+    /// memory is not fitted.
+    pub fn restore_memory_image(&mut self, id: MemoryId, image: &[u8]) {
+        match id {
+            MemoryId::Flash => {
+                let flash = self.mapper_mut().flash_mut();
+                assert_eq!(
+                    flash.size() as usize,
+                    image.len(),
+                    "flash image size mismatch"
+                );
+                flash.program(0, image);
+            }
+            MemoryId::Sram => {
+                let dst = self.sram_mut().bytes_mut();
+                assert_eq!(dst.len(), image.len(), "SRAM image size mismatch");
+                dst.copy_from_slice(image);
+            }
+            MemoryId::Emem => {
+                let dst = self
+                    .mapper_mut()
+                    .emem_mut()
+                    .expect("emulation RAM not fitted")
+                    .bytes_mut();
+                assert_eq!(dst.len(), image.len(), "emulation-RAM image size mismatch");
+                dst.copy_from_slice(image);
+            }
+        }
     }
 
     /// Lets `cycles` of wall time pass without simulating them: the cycle

@@ -53,6 +53,6 @@ pub use reconstruct::{
     FlowReconstructor, LossyFlowReport, ReconstructError,
 };
 pub use wire::{
-    decode_wrapped, encode_all, DecodeStreamError, ResyncReport, StreamDecoder, StreamEncoder,
-    SYNC_MAGIC,
+    decode_wrapped, encode_all, DecodeStreamError, EncoderState, ResyncReport, StreamDecoder,
+    StreamEncoder, SYNC_MAGIC,
 };

@@ -150,6 +150,19 @@ struct SourceState {
     last_data_addr: u32,
 }
 
+/// Serializable runtime state of a [`StreamEncoder`]: the bytes produced so
+/// far, the timestamp context and the per-source compression state (stored
+/// as a vector sorted by source code so serialization is deterministic).
+/// The sync-record interval is configuration and is *not* included.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct EncoderState {
+    bytes: Vec<u8>,
+    last_timestamp: u64,
+    source_state: Vec<(u8, u32, u32)>,
+    messages: u64,
+    sync_records: u64,
+}
+
 /// Encodes [`TimedMessage`]s into the byte stream stored in trace memory.
 ///
 /// Messages must be fed in non-decreasing timestamp order (the message
@@ -291,6 +304,46 @@ impl StreamEncoder {
     /// Borrows the bytes produced so far without consuming the encoder.
     pub fn as_bytes(&self) -> &[u8] {
         &self.buf
+    }
+
+    /// Captures the encoder's runtime state (see [`EncoderState`]).
+    pub fn save_state(&self) -> EncoderState {
+        let mut source_state: Vec<(u8, u32, u32)> = self
+            .state
+            .iter()
+            .map(|(&src, s)| (src, s.last_indirect_target, s.last_data_addr))
+            .collect();
+        source_state.sort_unstable_by_key(|&(src, _, _)| src);
+        EncoderState {
+            bytes: self.buf.to_vec(),
+            last_timestamp: self.last_timestamp,
+            source_state,
+            messages: self.messages,
+            sync_records: self.sync_records,
+        }
+    }
+
+    /// Restores state captured by [`StreamEncoder::save_state`]. The
+    /// configured sync-record interval is kept as-is.
+    pub fn restore_state(&mut self, state: &EncoderState) {
+        self.buf = BytesMut::new();
+        self.buf.put_slice(&state.bytes);
+        self.last_timestamp = state.last_timestamp;
+        self.state = state
+            .source_state
+            .iter()
+            .map(|&(src, target, addr)| {
+                (
+                    src,
+                    SourceState {
+                        last_indirect_target: target,
+                        last_data_addr: addr,
+                    },
+                )
+            })
+            .collect();
+        self.messages = state.messages;
+        self.sync_records = state.sync_records;
     }
 }
 

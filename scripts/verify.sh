@@ -12,3 +12,11 @@ cargo clippy --workspace -- -D warnings
 # Analysis pipeline smoke: real workloads through the PSI trace path,
 # emitting timeline + coverage artifacts under target/analysis/.
 cargo run --release -q -p mcds-bench --bin t8_profiling -- --smoke
+
+# Fault-recovery smoke: XCP retry/SYNCH and trace resync under seeded
+# link faults (short sweep, same assertions as the full run).
+cargo run --release -q -p mcds-bench --bin t7_fault_recovery -- --smoke
+
+# Replay smoke: snapshot determinism, bit-identical resume, checkpointed
+# seek >=5x over re-execution, exact reverse_step.
+cargo run --release -q -p mcds-bench --bin t9_replay -- --smoke
