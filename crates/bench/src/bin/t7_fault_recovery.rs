@@ -20,19 +20,23 @@
 //! numbers on every run. Run with `--smoke` for a short CI-friendly pass
 //! (same pipeline and assertions, shorter sessions, two sweep points).
 
-use mcds_bench::{print_table, run_with_stimulus, tracing_config, with_data_trace, BenchArgs};
+use mcds_bench::{
+    print_table, run_with_stimulus, tracing_config, with_data_trace, write_telemetry_artifacts,
+    BenchArgs,
+};
 use mcds_psi::device::{DebugOp, DebugResponse, Device, DeviceBuilder, DeviceVariant};
 use mcds_psi::faults::FaultPlan;
 use mcds_psi::interface::InterfaceKind;
 use mcds_soc::asm::assemble;
 use mcds_soc::event::CoreId;
 use mcds_soc::soc::memmap;
+use mcds_telemetry::Telemetry;
 use mcds_trace::{
     reconstruct_flow, reconstruct_flow_lossy, ProgramImage, StreamDecoder, TimedMessage,
 };
 use mcds_workloads::stimulus::{Profile, StimulusPlayer};
 use mcds_workloads::{engine, FuelMap};
-use mcds_xcp::{RetryPolicy, XcpMaster};
+use mcds_xcp::{LinkHealth, RetryPolicy, XcpMaster};
 
 const SEED: u64 = 0xD1CE;
 const SWEEP_PER_MILLE: [u16; 6] = [0, 10, 25, 50, 75, 100];
@@ -63,15 +67,28 @@ struct XcpOutcome {
     failed_calls: u64,
     data_intact: bool,
     sim_ms: f64,
+    /// The master's own one-shot summary — every number above is now
+    /// derivable from it, so any session (not just this bench) can report
+    /// link health.
+    health: LinkHealth,
 }
 
 /// Runs a calibration session of at least `commands` commands (status polls
 /// plus block writes/reads of a 64-byte tune region) at `per_mille` frame
-/// loss.
-fn xcp_session(per_mille: u16, policy: RetryPolicy, commands: u64) -> XcpOutcome {
+/// loss. When `telemetry` is given, it is attached to the device for the
+/// session and the device + master counters are published into it.
+fn xcp_session(
+    per_mille: u16,
+    policy: RetryPolicy,
+    commands: u64,
+    telemetry: Option<&Telemetry>,
+) -> XcpOutcome {
     let mut dev = quiescent_device();
     if per_mille > 0 {
         dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(SEED, per_mille));
+    }
+    if let Some(tel) = telemetry {
+        dev.attach_telemetry(tel.clone());
     }
     let mut master = XcpMaster::new(InterfaceKind::Usb11);
     master.set_retry_policy(policy);
@@ -97,6 +114,10 @@ fn xcp_session(per_mille: u16, policy: RetryPolicy, commands: u64) -> XcpOutcome
         }
         round += 1;
     }
+    if let Some(tel) = telemetry {
+        dev.publish_telemetry();
+        master.publish_telemetry(tel);
+    }
     let stats = master.recovery_stats();
     XcpOutcome {
         commands: master.commands_sent(),
@@ -108,6 +129,7 @@ fn xcp_session(per_mille: u16, policy: RetryPolicy, commands: u64) -> XcpOutcome
         failed_calls,
         data_intact,
         sim_ms: (dev.soc().cycle() - start) as f64 / 150_000.0,
+        health: master.link_health(),
     }
 }
 
@@ -256,10 +278,18 @@ fn main() {
     let trace_cycles: u64 = args.scale(150_000, 60_000);
 
     // --- T7a: XCP calibration sweep, recovery on. ---
+    // The 5% point runs with telemetry attached: its registry snapshot is
+    // written next to the other artifacts at the end.
+    let tel = Telemetry::new();
     let mut rows = Vec::new();
     let mut at_5pct = None;
     for &pm in sweep {
-        let o = xcp_session(pm, RetryPolicy::standard(), xcp_commands);
+        let o = xcp_session(
+            pm,
+            RetryPolicy::standard(),
+            xcp_commands,
+            (pm == 50).then_some(&tel),
+        );
         rows.push(vec![
             format!("{:.1} %", pm as f64 / 10.0),
             o.commands.to_string(),
@@ -275,7 +305,14 @@ fn main() {
         assert_eq!(o.gave_up, 0, "unrecovered command at {pm}‰");
         assert_eq!(o.failed_calls, 0, "failed API call at {pm}‰");
         if pm == 50 {
-            at_5pct = Some((o.commands, o.retries + o.synchs));
+            // The master's own LinkHealth must agree with the tallies this
+            // bench used to keep privately.
+            assert_eq!(o.health.commands_sent, o.commands);
+            assert_eq!(o.health.stats.timeouts, o.timeouts);
+            assert_eq!(o.health.stats.retries, o.retries);
+            assert!(o.health.error_rate > 0.0, "5% loss shows in error rate");
+            assert!(o.health.retry_budget_used > 0.0);
+            at_5pct = Some((o.commands, o.retries + o.synchs, o.health));
         }
     }
     print_table(
@@ -293,15 +330,35 @@ fn main() {
         ],
         &rows,
     );
-    let (cmds, recoveries) = at_5pct.expect("5% point swept");
+    let (cmds, recoveries, health) = at_5pct.expect("5% point swept");
     assert!(cmds >= xcp_commands, "session long enough");
     assert!(
         recoveries > 0,
         "5% loss must actually exercise recovery (retries or SYNCHs)"
     );
+    println!(
+        "link health at 5% loss: error rate {:.2}%, retry budget used {:.0}% \
+         (worst op took {} of {} attempts)",
+        100.0 * health.error_rate,
+        100.0 * health.retry_budget_used,
+        health.stats.worst_attempts,
+        RetryPolicy::standard().max_attempts,
+    );
+    // The published registry mirrors the same counters.
+    let snap = tel.snapshot();
+    let xcp_timeouts = snap
+        .metrics
+        .iter()
+        .find(|m| m.name == "xcp_timeouts_total")
+        .expect("xcp counters published");
+    assert_eq!(
+        xcp_timeouts.value,
+        mcds_telemetry::MetricValue::Counter(health.stats.timeouts),
+        "registry and master counters agree"
+    );
 
     // --- T7b: ablation, recovery off. ---
-    let off = xcp_session(50, RetryPolicy::none(), xcp_commands);
+    let off = xcp_session(50, RetryPolicy::none(), xcp_commands, None);
     print_table(
         "T7b: the same 5%-loss session without recovery (ablation)",
         &["commands", "timeouts", "failed calls", "data intact"],
@@ -366,15 +423,22 @@ fn main() {
     );
 
     // --- T7d: determinism + live-core confirmation. ---
-    let a = xcp_session(50, RetryPolicy::standard(), xcp_commands);
-    let b = xcp_session(50, RetryPolicy::standard(), xcp_commands);
+    // One run carries telemetry, one doesn't: attachment must not change a
+    // single simulated cycle.
+    let a = xcp_session(50, RetryPolicy::standard(), xcp_commands, Some(&tel));
+    let b = xcp_session(50, RetryPolicy::standard(), xcp_commands, None);
     assert_eq!(
         (a.commands, a.timeouts, a.retries, a.synchs, a.gave_up),
         (b.commands, b.timeouts, b.retries, b.synchs, b.gave_up),
         "same seed, same plan — identical run"
     );
+    assert_eq!(
+        a.sim_ms, b.sim_ms,
+        "telemetry attachment must not change simulated time"
+    );
     let (live_cmds, live_gave_up) = live_confirmation();
     assert_eq!(live_gave_up, 0);
+    write_telemetry_artifacts(&args, "t7", &tel);
     println!(
         "\nT7d: determinism check passed (two 5%-loss sessions identical);\n\
          live-core confirmation: {live_cmds} commands through 5% loss, 0 unrecovered.\n\

@@ -19,12 +19,15 @@
 //! iterations).
 
 use mcds_analysis::symbol_ranges;
-use mcds_bench::{cycles_to_time, print_table, tracing_config, BenchArgs};
+use mcds_bench::{
+    cycles_to_time, print_table, tracing_config, write_telemetry_artifacts, BenchArgs,
+};
 use mcds_host::{AnalysisOutcome, Debugger, TraceSession};
 use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
 use mcds_psi::interface::InterfaceKind;
 use mcds_soc::asm::Program;
 use mcds_soc::cpu::CoreConfig;
+use mcds_telemetry::{Subsystem, Telemetry};
 use mcds_workloads::{gearbox, race};
 use std::fs;
 
@@ -147,15 +150,26 @@ fn main() {
     assert_eq!(merged.merge(&merged), merged, "merge must be idempotent");
 
     // --- Race workload: two masters contending on the shared bus. ------
+    // This leg runs with telemetry attached: the session publishes the
+    // registry, the health report renders it, and the snapshot lands next
+    // to the other artifacts.
     let race_prog = race::program_locked();
     let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
         .cores(2)
         .mcds(tracing_config(2))
         .build();
     dev.soc_mut().load_program(&race_prog);
-    let race_out = capture(dev, &race_prog);
+    let tel = Telemetry::new();
+    dev.attach_telemetry(tel.clone());
+    let mut dbg = Debugger::attach(dev, InterfaceKind::Jtag);
+    let session = TraceSession::new(&race_prog);
+    let race_out = session
+        .capture_analysis(&mut dbg, MAX_CYCLES)
+        .expect("analysis capture");
 
     println!("== T8: two-core race workload, bus contention ==\n");
+    print!("{}", session.health_report(&dbg));
+    println!();
     let bus = &race_out.bus;
     let rows: Vec<Vec<String>> = bus
         .masters
@@ -203,5 +217,15 @@ fn main() {
         hi.timeline.len(),
         coverage_path,
     );
+    // The session's analysis pass recorded cycle-stamped spans for the
+    // FIFO drain and the stream decode; both must be in the snapshot.
+    let snap = tel.snapshot();
+    for sub in [Subsystem::FifoDrain, Subsystem::TraceDecode] {
+        assert!(
+            snap.subsystems.iter().any(|s| s.subsystem == sub.name()),
+            "missing {sub} span in telemetry"
+        );
+    }
+    write_telemetry_artifacts(&args, "t8", &tel);
     println!("open the timelines at https://ui.perfetto.dev (Open trace file).");
 }

@@ -22,12 +22,13 @@
 //! Run with `--smoke` for a short CI-friendly pass (same pipeline and
 //! assertions, shorter run).
 
-use mcds_bench::{print_table, tracing_config, BenchArgs};
+use mcds_bench::{print_table, tracing_config, write_telemetry_artifacts, BenchArgs};
 use mcds_host::TimeTravel;
 use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
 use mcds_replay::{device_state_hash, trace_bytes, InputLog, Payload, Replayer, SocSnapshot};
 use mcds_soc::cpu::CoreConfig;
 use mcds_soc::event::{CoreId, SocEvent};
+use mcds_telemetry::{MetricValue, Subsystem, Telemetry, ThroughputMeter};
 use mcds_trace::StreamDecoder;
 use mcds_workloads::gearbox;
 use mcds_workloads::stimulus::Profile;
@@ -112,17 +113,25 @@ fn main() {
     let log = InputLog::from_profile(&speed_profile(run_cycles));
 
     // --- T9a: recording overhead. --------------------------------------
+    // The baseline runs without telemetry, the time-travel run with it
+    // attached — the matching final state hash below doubles as the
+    // attachment-changes-nothing determinism check.
     let base = baseline_run(&log, run_cycles);
-    let mut tt = TimeTravel::new(gearbox_device(), log.clone(), every, capacity);
+    let tel = Telemetry::new();
+    let mut tt_dev = gearbox_device();
+    tt_dev.attach_telemetry(tel.clone());
+    let mut tt = TimeTravel::new(tt_dev, log.clone(), every, capacity);
+    let meter = ThroughputMeter::start(tel.registry(), 0, 0);
     let start = Instant::now();
     tt.run_to_cycle(run_cycles);
     let tt_wall = start.elapsed().as_secs_f64();
+    let cycles_per_sec = meter.sample(tt.device().soc().cycle(), 0);
     let checkpoints = tt.checkpoint_count();
     assert!(checkpoints >= 2, "run long enough to checkpoint");
     assert_eq!(
         device_state_hash(tt.device()),
         base.final_hash,
-        "checkpointing must not perturb the run"
+        "checkpointing (and attached telemetry) must not perturb the run"
     );
     let overhead = (tt_wall - base.wall).max(0.0);
     print_table(
@@ -142,6 +151,10 @@ fn main() {
                 format!("{:.2} ms", overhead * 1e3 / checkpoints as f64),
             ],
         ],
+    );
+    println!(
+        "emulator throughput: {:.1} Mcycles/s wall",
+        cycles_per_sec / 1e6
     );
 
     // --- T9b: snapshot size, raw vs delta. ------------------------------
@@ -290,4 +303,39 @@ fn main() {
         r0,
         r0 - 1
     );
+
+    // --- Telemetry artifacts. -------------------------------------------
+    // The attached registry saw every checkpoint the ring captured, and
+    // each capture/restore recorded a cycle-stamped span.
+    tt.device().publish_telemetry();
+    let snap = tel.snapshot();
+    let cps = snap
+        .metrics
+        .iter()
+        .find(|m| m.name == "replay_checkpoints_total")
+        .expect("checkpoint counter published");
+    let MetricValue::Counter(cp_count) = cps.value else {
+        panic!("counter expected");
+    };
+    assert!(
+        cp_count >= checkpoints as u64,
+        "every ring checkpoint counted ({cp_count} < {checkpoints})"
+    );
+    assert!(snap
+        .metrics
+        .iter()
+        .any(|m| m.name == "replay_checkpoint_bytes_total"));
+    let snapshots = snap
+        .subsystems
+        .iter()
+        .find(|s| s.subsystem == Subsystem::Snapshot.name())
+        .expect("snapshot spans recorded");
+    assert!(snapshots.count >= cp_count);
+    assert!(
+        snap.subsystems
+            .iter()
+            .any(|s| s.subsystem == Subsystem::Restore.name()),
+        "seek restored through a checkpoint"
+    );
+    write_telemetry_artifacts(&args, "t9", &tel);
 }

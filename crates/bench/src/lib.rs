@@ -13,6 +13,7 @@ use mcds::McdsConfig;
 use mcds_psi::device::Device;
 use mcds_soc::event::{CycleRecord, SocEvent};
 use mcds_soc::CoreId;
+use mcds_telemetry::{validate_prometheus, Telemetry, TelemetrySnapshot};
 use mcds_workloads::stimulus::StimulusPlayer;
 
 /// Command-line options shared by every experiment binary.
@@ -71,6 +72,34 @@ impl BenchArgs {
             full
         }
     }
+}
+
+/// Writes a telemetry snapshot next to the experiment's other `--out-dir`
+/// artifacts as `{bin}_telemetry.json` and `{bin}_telemetry.prom`, and
+/// self-checks that both exports parse back. Returns the JSON path.
+///
+/// # Panics
+///
+/// Panics if the output directory cannot be created, a file cannot be
+/// written, or an export fails its parse-back check.
+pub fn write_telemetry_artifacts(args: &BenchArgs, bin: &str, tel: &Telemetry) -> String {
+    std::fs::create_dir_all(&args.out_dir).expect("create output dir");
+    let json = tel.to_json();
+    let parsed: TelemetrySnapshot =
+        serde_json::from_str(&json).expect("telemetry JSON parses back");
+    assert!(!parsed.metrics.is_empty(), "telemetry snapshot is empty");
+    let json_path = format!("{}/{bin}_telemetry.json", args.out_dir);
+    std::fs::write(&json_path, &json).expect("write telemetry JSON");
+    let prom = tel.to_prometheus();
+    let samples = validate_prometheus(&prom).expect("telemetry Prometheus text validates");
+    assert!(samples > 0, "Prometheus export has no samples");
+    let prom_path = format!("{}/{bin}_telemetry.prom", args.out_dir);
+    std::fs::write(&prom_path, &prom).expect("write telemetry Prometheus text");
+    println!(
+        "wrote {json_path} ({} metrics) and {prom_path} ({samples} samples)",
+        parsed.metrics.len()
+    );
+    json_path
 }
 
 /// Renders a fixed-width table to stdout.
@@ -250,6 +279,26 @@ halt",
         assert_eq!(writes[0].2, 0xD000_0000);
         assert_eq!(writes[0].3, 7);
         assert_eq!(dev.soc().periph().input(0), 42, "stimulus applied");
+    }
+
+    #[test]
+    fn telemetry_artifacts_roundtrip() {
+        let tel = Telemetry::new();
+        tel.registry()
+            .counter("mcds_sim_cycles_total", "cycles")
+            .store(42);
+        let args = BenchArgs {
+            smoke: true,
+            out_dir: "target/test-telemetry-artifacts".to_string(),
+        };
+        let json_path = write_telemetry_artifacts(&args, "libtest", &tel);
+        let back: TelemetrySnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(back, tel.snapshot());
+        let prom =
+            std::fs::read_to_string("target/test-telemetry-artifacts/libtest_telemetry.prom")
+                .unwrap();
+        assert!(prom.contains("mcds_sim_cycles_total 42"), "{prom}");
     }
 
     #[test]

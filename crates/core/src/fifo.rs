@@ -20,6 +20,7 @@ pub struct FifoState {
     pending_lost: u32,
     total_lost: u64,
     total_pushed: u64,
+    markers_inserted: u64,
     high_water: u64,
 }
 
@@ -32,6 +33,7 @@ pub struct MessageFifo {
     pending_lost: u32,
     total_lost: u64,
     total_pushed: u64,
+    markers_inserted: u64,
     high_water: usize,
 }
 
@@ -50,6 +52,7 @@ impl MessageFifo {
             pending_lost: 0,
             total_lost: 0,
             total_pushed: 0,
+            markers_inserted: 0,
             high_water: 0,
         }
     }
@@ -74,6 +77,8 @@ impl MessageFifo {
                 },
             });
             self.pending_lost = 0;
+            self.markers_inserted += 1;
+            self.high_water = self.high_water.max(self.queue.len());
         }
         if self.queue.len() >= self.depth {
             self.pending_lost = self.pending_lost.saturating_add(1);
@@ -116,9 +121,25 @@ impl MessageFifo {
         self.total_pushed
     }
 
-    /// Maximum occupancy observed.
+    /// Maximum occupancy observed (payloads and overflow markers alike).
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Overflow markers inserted into the stream since creation.
+    pub fn markers_inserted(&self) -> u64 {
+        self.markers_inserted
+    }
+
+    /// Drops recorded since the last overflow marker was inserted — losses
+    /// the stream does not yet announce.
+    pub fn pending_lost(&self) -> u32 {
+        self.pending_lost
+    }
+
+    /// Configured capacity in entries.
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 
     /// Captures the FIFO's runtime state (see [`FifoState`]).
@@ -128,6 +149,7 @@ impl MessageFifo {
             pending_lost: self.pending_lost,
             total_lost: self.total_lost,
             total_pushed: self.total_pushed,
+            markers_inserted: self.markers_inserted,
             high_water: self.high_water as u64,
         }
     }
@@ -146,6 +168,7 @@ impl MessageFifo {
         self.pending_lost = state.pending_lost;
         self.total_lost = state.total_lost;
         self.total_pushed = state.total_pushed;
+        self.markers_inserted = state.markers_inserted;
         self.high_water = state.high_water as usize;
     }
 }

@@ -59,7 +59,7 @@ pub mod trigger;
 pub mod xtrigger;
 
 pub use observer::{CoreObserver, CoreTraceConfig, DataTraceConfig, ObserverState, TraceQualifier};
-pub use sorter::MergePolicy;
+pub use sorter::{FifoMetrics, MergePolicy};
 pub use statemachine::{
     CounterConfig, CounterMode, StateMachineConfig, Transition, TriggerCounter, TriggerStateMachine,
 };
@@ -329,6 +329,12 @@ impl Mcds {
     /// Per-source FIFO statistics as `(source, pushed, lost, high_water)`.
     pub fn fifo_stats(&self) -> Vec<(TraceSource, u64, u64, usize)> {
         self.sorter.fifo_stats()
+    }
+
+    /// Per-source FIFO metrics (occupancy, high-water, overflow-marker
+    /// accounting) — the richer form telemetry publishes.
+    pub fn fifo_metrics(&self) -> Vec<sorter::FifoMetrics> {
+        self.sorter.fifo_metrics()
     }
 
     fn quantize(&self, cycle: u64) -> u64 {

@@ -27,6 +27,29 @@ pub enum MergePolicy {
     SourcePriority,
 }
 
+/// Point-in-time metrics for one per-source FIFO, the unit telemetry
+/// publishes per trace source. Purely observational — reading these never
+/// changes FIFO state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoMetrics {
+    /// The trace source this FIFO serves.
+    pub source: TraceSource,
+    /// Configured capacity in entries.
+    pub depth: usize,
+    /// Current occupancy.
+    pub len: usize,
+    /// Maximum occupancy observed.
+    pub high_water: usize,
+    /// Messages accepted since creation.
+    pub total_pushed: u64,
+    /// Messages dropped to overflow since creation.
+    pub total_lost: u64,
+    /// Overflow markers inserted into the stream since creation.
+    pub markers_inserted: u64,
+    /// Drops not yet announced by a marker.
+    pub pending_lost: u32,
+}
+
 /// Serializable runtime state of a [`MessageSorter`]: every per-source FIFO
 /// (in registration order) plus the emitted counter. Sources, depth,
 /// bandwidth and merge policy are configuration and are *not* included.
@@ -105,6 +128,25 @@ impl MessageSorter {
         self.fifos
             .iter()
             .map(|f| (f.source(), f.total_pushed(), f.total_lost(), f.high_water()))
+            .collect()
+    }
+
+    /// Per-source FIFO metrics, one [`FifoMetrics`] per registered source —
+    /// the richer form telemetry publishes (includes marker and fill data
+    /// that the tuple-based [`MessageSorter::fifo_stats`] predates).
+    pub fn fifo_metrics(&self) -> Vec<FifoMetrics> {
+        self.fifos
+            .iter()
+            .map(|f| FifoMetrics {
+                source: f.source(),
+                depth: f.depth(),
+                len: f.len(),
+                high_water: f.high_water(),
+                total_pushed: f.total_pushed(),
+                total_lost: f.total_lost(),
+                markers_inserted: f.markers_inserted(),
+                pending_lost: f.pending_lost(),
+            })
             .collect()
     }
 

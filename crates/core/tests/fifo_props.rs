@@ -1,0 +1,111 @@
+//! Property tests for `MessageFifo` overflow-marker accounting.
+//!
+//! The FIFO's counters feed the telemetry layer, so their mutual
+//! consistency is a contract: under *any* interleaving of pushes and pops,
+//! `total_pushed`, `total_lost`, `markers_inserted`, `pending_lost` and
+//! `high_water` must agree with what an external observer counting the
+//! same operations sees, and every loss must eventually be announced by
+//! exactly one overflow marker carrying the right count.
+
+use mcds::fifo::MessageFifo;
+use mcds_soc::event::CoreId;
+use mcds_trace::{TimedMessage, TraceMessage, TraceSource};
+use proptest::prelude::*;
+
+fn payload(ts: u64) -> TimedMessage {
+    TimedMessage {
+        timestamp: ts,
+        source: TraceSource::Core(CoreId(0)),
+        message: TraceMessage::DirectBranch { i_cnt: 1 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn overflow_accounting_is_mutually_consistent(
+        depth in 1usize..6,
+        ops in proptest::collection::vec((any::<bool>(), 0u8..4), 0..120),
+    ) {
+        let mut fifo = MessageFifo::new(TraceSource::Core(CoreId(0)), depth);
+
+        // Shadow accounting maintained purely from the outside.
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut max_len = 0usize;
+        let mut popped_marker_lost = 0u64;
+        let mut popped_markers = 0u64;
+        let mut ts = 0u64;
+
+        for (is_push, weight) in ops {
+            // Bias towards pushes (any pop weight 0..4 == 0 still pops) so
+            // overflow actually happens at small depths.
+            if is_push || weight > 0 {
+                let ok = fifo.push(payload(ts));
+                ts += 1;
+                if ok {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+            } else if let Some(m) = fifo.pop() {
+                if let TraceMessage::Overflow { lost } = m.message {
+                    popped_markers += 1;
+                    popped_marker_lost += u64::from(lost);
+                }
+            }
+            max_len = max_len.max(fifo.len());
+            prop_assert!(fifo.len() <= depth, "occupancy may never exceed depth");
+        }
+
+        // Counters match the externally observed outcomes.
+        prop_assert_eq!(fifo.total_pushed(), accepted);
+        prop_assert_eq!(fifo.total_lost(), rejected);
+        prop_assert_eq!(fifo.high_water(), max_len);
+        prop_assert!(fifo.high_water() <= depth);
+
+        // Drain what's left and finish the marker census.
+        let mut queued_marker_lost = 0u64;
+        let mut queued_markers = 0u64;
+        while let Some(m) = fifo.pop() {
+            if let TraceMessage::Overflow { lost } = m.message {
+                queued_markers += 1;
+                queued_marker_lost += u64::from(lost);
+            }
+        }
+        // Every inserted marker is seen exactly once on the way out, and
+        // announced + still-pending losses account for every drop.
+        prop_assert_eq!(fifo.markers_inserted(), popped_markers + queued_markers);
+        prop_assert_eq!(
+            popped_marker_lost + queued_marker_lost + u64::from(fifo.pending_lost()),
+            fifo.total_lost()
+        );
+    }
+
+    #[test]
+    fn drained_fifo_announces_all_losses(
+        depth in 1usize..5,
+        extra in 1usize..20,
+    ) {
+        // Fill past capacity, then fully drain with one refill push: the
+        // marker stream must announce every dropped message.
+        let mut fifo = MessageFifo::new(TraceSource::Core(CoreId(0)), depth);
+        for ts in 0..(depth + extra) as u64 {
+            fifo.push(payload(ts));
+        }
+        prop_assert_eq!(fifo.total_lost(), extra as u64);
+        while fifo.pop().is_some() {}
+        // Space is free: the next push must first emit the marker. At
+        // depth 1 the marker consumes the only slot and the payload is
+        // itself dropped — a fresh, not-yet-announced loss.
+        let accepted = fifo.push(payload(1_000));
+        let marker = fifo.pop().unwrap();
+        prop_assert_eq!(
+            marker.message,
+            TraceMessage::Overflow { lost: extra as u32 }
+        );
+        prop_assert_eq!(fifo.pending_lost(), if accepted { 0 } else { 1 });
+        prop_assert_eq!(fifo.markers_inserted(), 1);
+    }
+}

@@ -43,11 +43,13 @@
 //! ```
 
 pub mod debugger;
+pub mod health;
 pub mod listing;
 pub mod session;
 pub mod timetravel;
 
 pub use debugger::{Debugger, DebuggerState, HostError, StopEvent};
+pub use health::{CoreHealth, FifoHealth, HealthReport, LinkHealthRow, MasterHealth};
 pub use session::{
     load_program_to_emulation_ram, AnalysisOutcome, SessionError, TraceOutcome, TraceSession,
 };

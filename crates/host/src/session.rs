@@ -14,6 +14,7 @@
 //! the debug link instead of being burned into flash.
 
 use crate::debugger::{Debugger, HostError};
+use crate::health::HealthReport;
 use mcds::McdsConfig;
 use mcds_analysis::{
     BusAnalyzer, BusContentionReport, ChromeTrace, CoverageBuilder, CoverageReport, ProfileReport,
@@ -23,12 +24,14 @@ use mcds_psi::device::{DebugOp, DebugResponse, DeviceError};
 use mcds_soc::asm::Program;
 use mcds_soc::overlay::{OverlayRange, OVERLAY_MAX_BLOCK, OVERLAY_RANGE_COUNT};
 use mcds_soc::soc::memmap;
+use mcds_telemetry::Subsystem;
 use mcds_trace::{
     collect_data_log, decode_wrapped, reconstruct_flow, DataRecord, ExecutedInstr,
     FlowReconstructor, ProgramImage, ResyncReport, StreamDecoder, TimedMessage, TraceMessage,
     TraceSource,
 };
 use std::fmt;
+use std::time::Instant;
 
 /// An error from a trace session.
 #[derive(Debug)]
@@ -257,6 +260,7 @@ impl TraceSession {
         let counters_before = dbg.device().soc().bus_counters().clone();
         let records = dbg.device_mut().run_until_halt(max_cycles);
         let now = dbg.device().soc().cycle();
+        let drain_t0 = dbg.device().telemetry().map(|_| Instant::now());
         dbg.device_mut().mcds_mut().flush(now);
         let residual = dbg.device_mut().mcds_mut().take_messages();
         if !residual.is_empty() {
@@ -264,6 +268,14 @@ impl TraceSession {
             if let Some(emem) = soc.mapper_mut().emem_mut() {
                 sink.store(&residual, emem);
             }
+        }
+        if let (Some(t0), Some(tel)) = (drain_t0, dbg.device().telemetry()) {
+            tel.spans().record(
+                Subsystem::FifoDrain,
+                now,
+                now,
+                t0.elapsed().as_nanos() as u64,
+            );
         }
         // Snapshot ground truth before the download itself adds
         // debug-master bus traffic.
@@ -275,6 +287,10 @@ impl TraceSession {
 
         let bytes = self.fetch_bytes(dbg)?;
         let trace_bytes = bytes.len();
+        // The decode is pure host work: the span pins the simulated
+        // instant (download already complete) and measures wall time.
+        let decode_cycle = dbg.device().soc().cycle();
+        let decode_t0 = dbg.device().telemetry().map(|_| Instant::now());
         let (messages, resync) = if lossy {
             StreamDecoder::new(bytes).collect_resilient()
         } else {
@@ -283,6 +299,14 @@ impl TraceSession {
                 .map_err(SessionError::Decode)?;
             (messages, ResyncReport::default())
         };
+        if let (Some(t0), Some(tel)) = (decode_t0, dbg.device().telemetry()) {
+            tel.spans().record(
+                Subsystem::TraceDecode,
+                decode_cycle,
+                decode_cycle,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
 
         let mut profiler = Profiler::new(&self.image);
         if lossy {
@@ -329,6 +353,9 @@ impl TraceSession {
         let timeline = timeline.finish();
 
         let gaps = coverage.gaps;
+        // Refresh the attached registry (no-op when detached) so exporters
+        // see the post-run counters without another publish call.
+        dbg.device().publish_telemetry();
         Ok(AnalysisOutcome {
             messages,
             profile,
@@ -339,6 +366,14 @@ impl TraceSession {
             gaps,
             trace_bytes,
         })
+    }
+
+    /// One-shot "mcds-top" health summary of the attached device —
+    /// per-core progress, FIFO fill, bus utilization, sink fill and link
+    /// health. Read-only; fold in an XCP master with
+    /// [`HealthReport::with_xcp`].
+    pub fn health_report(&self, dbg: &Debugger) -> HealthReport {
+        HealthReport::gather(dbg.device())
     }
 
     fn fetch_bytes(&self, dbg: &mut Debugger) -> Result<Vec<u8>, SessionError> {

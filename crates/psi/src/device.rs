@@ -24,14 +24,16 @@ use crate::interface::{InterfaceKind, InterfaceModel, LinkStats};
 use crate::service::{ServiceProcessor, ServiceState};
 use crate::trace_sink::{FullPolicy, SinkState, TraceSink};
 use mcds::{Mcds, McdsConfig, McdsState, McdsStats};
-use mcds_soc::bus::{BusFault, BusRequest, XferKind};
+use mcds_soc::bus::{BusCounters, BusFault, BusRequest, XferKind};
 use mcds_soc::cpu::CoreConfig;
 use mcds_soc::event::{CoreId, CycleRecord};
 use mcds_soc::isa::{MemWidth, Reg};
 use mcds_soc::mem::SegmentRole;
 use mcds_soc::soc::{memmap, Soc, SocBuilder, SocState};
+use mcds_telemetry::{Subsystem, Telemetry};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// How the development device is constructed.
 #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -468,6 +470,7 @@ impl DeviceBuilder {
             trigger_out_log: Vec::new(),
             sink_dropped: 0,
             faults: HashMap::new(),
+            telemetry: None,
         }
     }
 }
@@ -513,6 +516,16 @@ pub struct DeviceState {
     faults: Vec<(u8, FaultInjectorState)>,
 }
 
+/// An attached telemetry handle plus the bus-counter baseline captured at
+/// attach time (the reference point for the `mcds_bus_window_*` gauges).
+///
+/// Deliberately NOT part of [`DeviceState`]: telemetry lives outside the
+/// determinism boundary — it is never serialized, hashed, or replayed.
+pub(crate) struct DeviceTelemetry {
+    pub(crate) handle: Telemetry,
+    pub(crate) bus_baseline: BusCounters,
+}
+
 /// The assembled device.
 pub struct Device {
     variant: DeviceVariant,
@@ -526,6 +539,7 @@ pub struct Device {
     trigger_out_log: Vec<(u64, u8)>,
     sink_dropped: u64,
     faults: HashMap<InterfaceKind, FaultInjector>,
+    pub(crate) telemetry: Option<DeviceTelemetry>,
 }
 
 impl fmt::Debug for Device {
@@ -615,6 +629,28 @@ impl Device {
     /// Cumulative fault statistics for a link (None if no plan installed).
     pub fn fault_stats(&self, kind: InterfaceKind) -> Option<FaultStats> {
         self.faults.get(&kind).map(|i| i.stats())
+    }
+
+    /// Attaches a telemetry bundle. Sampling is strictly observational:
+    /// an attached device simulates bit-identically to a detached one (the
+    /// suite's determinism test proves it). The bus counters at attach
+    /// time become the baseline for the `mcds_bus_window_*` gauges.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(DeviceTelemetry {
+            handle: telemetry,
+            bus_baseline: self.soc.bus_counters().clone(),
+        });
+    }
+
+    /// Detaches telemetry; subsequent sampling is skipped entirely.
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
+    }
+
+    /// The attached telemetry bundle, if any (layers above the device —
+    /// the XCP master, host sessions, replay — publish through this).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref().map(|t| &t.handle)
     }
 
     /// Messages the sink had to drop (production devices without trace
@@ -707,6 +743,7 @@ impl Device {
         }
         let messages = self.mcds.take_messages();
         if !messages.is_empty() {
+            let span_t0 = self.telemetry.as_ref().map(|_| Instant::now());
             match self.soc.mapper_mut().emem_mut() {
                 Some(_) => {
                     // Split borrow: sink and emem are disjoint fields.
@@ -716,6 +753,14 @@ impl Device {
                     self.sink_dropped += (messages.len() - stored) as u64;
                 }
                 None => self.sink_dropped += messages.len() as u64,
+            }
+            if let (Some(t0), Some(tel)) = (span_t0, self.telemetry.as_ref()) {
+                tel.handle.spans().record(
+                    Subsystem::TraceEncode,
+                    record.cycle,
+                    record.cycle,
+                    t0.elapsed().as_nanos() as u64,
+                );
             }
         }
         if let Some(s) = self.service.as_mut() {
@@ -761,10 +806,20 @@ impl Device {
     ///
     /// Returns the bus fault if the access failed.
     pub fn bus_access(&mut self, request: BusRequest) -> Result<u32, DeviceError> {
+        let start_cycle = self.soc.cycle();
+        let span_t0 = self.telemetry.as_ref().map(|_| Instant::now());
         self.soc.debug_request(request);
         loop {
             self.step();
             if let Some(c) = self.soc.take_debug_completion() {
+                if let (Some(t0), Some(tel)) = (span_t0, self.telemetry.as_ref()) {
+                    tel.handle.spans().record(
+                        Subsystem::BusArbitration,
+                        start_cycle,
+                        self.soc.cycle(),
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
                 return match c.fault {
                     Some(f) => Err(DeviceError::Bus(f)),
                     None => Ok(c.rdata),
@@ -930,6 +985,7 @@ impl Device {
         if self.interface(kind).is_none() {
             return Err(DeviceError::InterfaceUnavailable(kind));
         }
+        let span_t0 = self.telemetry.as_ref().map(|_| Instant::now());
         let start = self.soc.cycle();
         let request_bytes = op.request_bytes();
         let overhead = match self.service.as_mut() {
@@ -987,6 +1043,15 @@ impl Device {
                 }
             }
             InterfaceKind::Can => self.can.record_transaction(payload, busy),
+        }
+        if let (Some(t0), Some(tel)) = (span_t0, self.telemetry.as_ref()) {
+            tel.handle.spans().record(
+                Subsystem::DebugLink,
+                start,
+                self.soc.cycle(),
+                t0.elapsed().as_nanos() as u64,
+            );
+            crate::telemetry::debug_xact_histogram(&tel.handle, kind).observe(busy);
         }
         Ok(response)
     }

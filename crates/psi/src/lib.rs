@@ -43,6 +43,7 @@ pub mod faults;
 pub mod interface;
 pub mod multichip;
 pub mod service;
+pub mod telemetry;
 pub mod trace_sink;
 
 pub use device::{
@@ -55,4 +56,5 @@ pub use multichip::{MultiChipBench, TriggerWire};
 pub use service::{
     ConsistencyChecker, ConsistencyRule, PerfMonitor, ServiceProcessor, ServiceState,
 };
+pub use telemetry::link_label;
 pub use trace_sink::{FullPolicy, SinkState, TraceSink};

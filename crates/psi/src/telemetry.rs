@@ -1,0 +1,370 @@
+//! Publishing the device's siloed counters into an attached telemetry
+//! registry.
+//!
+//! The device model keeps its ground-truth accounting where it always
+//! did — `BusCounters` on the bus, FIFO counters in the sorter, link and
+//! fault statistics on the interfaces. [`Device::publish_telemetry`]
+//! mirrors all of it into the attached [`Telemetry`] registry in one
+//! read-only pass, so exporters and the health report see a coherent
+//! point-in-time view. Publishing is pull-based and cheap; benches call
+//! it once at the end of a run, long-lived sessions can call it on every
+//! scrape.
+
+use crate::device::Device;
+use crate::interface::InterfaceKind;
+use mcds_telemetry::{Histogram, Telemetry};
+
+/// Stable label value for a debug link (Prometheus label charset).
+pub fn link_label(kind: InterfaceKind) -> &'static str {
+    match kind {
+        InterfaceKind::Jtag => "jtag",
+        InterfaceKind::Usb11 => "usb11",
+        InterfaceKind::Can => "can",
+    }
+}
+
+/// Bucket bounds for the per-link debug-transaction cost histogram:
+/// spans JTAG's microseconds (hundreds of cycles) through USB's
+/// milliseconds (hundreds of thousands) up to flash programming.
+const DEBUG_XACT_BOUNDS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+pub(crate) fn debug_xact_histogram(tel: &Telemetry, kind: InterfaceKind) -> Histogram {
+    tel.registry().histogram_with(
+        "mcds_debug_xact_cycles",
+        "simulated cycles per completed debug-link transaction",
+        &[("link", link_label(kind))],
+        &DEBUG_XACT_BOUNDS,
+    )
+}
+
+impl Device {
+    /// Mirrors every device-level counter into the attached telemetry
+    /// registry (no-op when detached). Strictly read-only on the
+    /// deterministic state.
+    pub fn publish_telemetry(&self) {
+        let Some(dt) = self.telemetry.as_ref() else {
+            return;
+        };
+        let reg = dt.handle.registry();
+        let now = self.soc().cycle();
+        reg.counter("mcds_sim_cycles_total", "simulated SoC cycles elapsed")
+            .store(now);
+
+        // Bus arbitration ground truth: lifetime totals plus the window
+        // since telemetry was attached (BusCounters::delta_since).
+        let bus = self.soc().bus_counters();
+        reg.counter("mcds_bus_cycles_total", "bus cycles stepped")
+            .store(bus.cycles);
+        reg.counter(
+            "mcds_bus_busy_cycles_total",
+            "bus cycles with a transaction in flight",
+        )
+        .store(bus.busy_cycles);
+        reg.counter(
+            "mcds_bus_contended_cycles_total",
+            "bus cycles where some master waited",
+        )
+        .store(bus.contended_cycles);
+        reg.gauge("mcds_bus_utilization", "fraction of bus cycles busy (0-1)")
+            .set(bus.utilization());
+        for (i, m) in bus.per_master.iter().enumerate() {
+            let master = format!("m{i}");
+            let labels: [(&str, &str); 1] = [("master", &master)];
+            reg.counter_with("mcds_bus_grants_total", "transactions granted", &labels)
+                .store(m.grants);
+            reg.counter_with(
+                "mcds_bus_xacts_total",
+                "transactions completed cleanly",
+                &labels,
+            )
+            .store(m.xacts);
+            reg.counter_with(
+                "mcds_bus_faults_total",
+                "transactions that faulted",
+                &labels,
+            )
+            .store(m.faults);
+            reg.counter_with(
+                "mcds_bus_occupancy_cycles_total",
+                "cycles holding the bus",
+                &labels,
+            )
+            .store(m.occupancy_cycles);
+            reg.counter_with(
+                "mcds_bus_wait_cycles_total",
+                "cycles queued waiting for a grant",
+                &labels,
+            )
+            .store(m.wait_cycles);
+        }
+        let window = bus.delta_since(&dt.bus_baseline);
+        reg.gauge(
+            "mcds_bus_window_cycles",
+            "bus cycles since telemetry attach",
+        )
+        .set(window.cycles as f64);
+        reg.gauge(
+            "mcds_bus_window_busy_cycles",
+            "busy bus cycles since telemetry attach",
+        )
+        .set(window.busy_cycles as f64);
+        reg.gauge(
+            "mcds_bus_window_contended_cycles",
+            "contended bus cycles since telemetry attach",
+        )
+        .set(window.contended_cycles as f64);
+        reg.gauge(
+            "mcds_bus_window_utilization",
+            "bus utilization over the window since telemetry attach (0-1)",
+        )
+        .set(window.utilization());
+        for (i, m) in window.per_master.iter().enumerate() {
+            let master = format!("m{i}");
+            let labels: [(&str, &str); 1] = [("master", &master)];
+            reg.gauge_with(
+                "mcds_bus_window_grants",
+                "grants in the window since telemetry attach",
+                &labels,
+            )
+            .set(m.grants as f64);
+            reg.gauge_with(
+                "mcds_bus_window_wait_cycles",
+                "wait cycles in the window since telemetry attach",
+                &labels,
+            )
+            .set(m.wait_cycles as f64);
+        }
+
+        // Trace path: MCDS totals, per-source FIFO accounting, sink fill.
+        let stats = self.mcds().stats();
+        reg.counter("mcds_trace_generated_total", "trace messages generated")
+            .store(stats.generated);
+        reg.counter(
+            "mcds_trace_emitted_total",
+            "trace messages emitted by the sorter",
+        )
+        .store(stats.emitted);
+        reg.counter(
+            "mcds_trace_lost_total",
+            "trace messages lost to FIFO overflow",
+        )
+        .store(stats.lost);
+        reg.gauge("mcds_trace_backlog", "messages queued in the sorter FIFOs")
+            .set(stats.backlog as f64);
+        for f in self.mcds().fifo_metrics() {
+            let source = f.source.to_string();
+            let labels: [(&str, &str); 1] = [("source", &source)];
+            reg.counter_with(
+                "mcds_fifo_pushed_total",
+                "messages accepted by this FIFO",
+                &labels,
+            )
+            .store(f.total_pushed);
+            reg.counter_with(
+                "mcds_fifo_lost_total",
+                "messages dropped by this FIFO",
+                &labels,
+            )
+            .store(f.total_lost);
+            reg.counter_with(
+                "mcds_fifo_overflow_markers_total",
+                "overflow markers inserted by this FIFO",
+                &labels,
+            )
+            .store(f.markers_inserted);
+            reg.gauge_with("mcds_fifo_len", "current FIFO occupancy", &labels)
+                .set(f.len as f64);
+            reg.gauge_with("mcds_fifo_high_water", "peak FIFO occupancy", &labels)
+                .set(f.high_water as f64);
+            reg.gauge_with("mcds_fifo_depth", "configured FIFO capacity", &labels)
+                .set(f.depth as f64);
+        }
+        let sink = self.sink();
+        reg.counter(
+            "mcds_sink_messages_total",
+            "trace messages encoded into the sink",
+        )
+        .store(sink.message_count());
+        reg.counter(
+            "mcds_sink_bytes_written_total",
+            "encoded trace bytes written",
+        )
+        .store(sink.bytes_written());
+        reg.counter(
+            "mcds_sink_dropped_total",
+            "messages dropped for lack of trace memory",
+        )
+        .store(self.sink_dropped());
+        reg.gauge("mcds_sink_used_bytes", "trace memory bytes in use")
+            .set(sink.used() as f64);
+        reg.gauge("mcds_sink_capacity_bytes", "trace memory capacity")
+            .set(sink.capacity() as f64);
+
+        // Debug links: transaction accounting plus fault-injector truth.
+        for kind in [
+            InterfaceKind::Jtag,
+            InterfaceKind::Usb11,
+            InterfaceKind::Can,
+        ] {
+            let Some(iface) = self.interface(kind) else {
+                continue;
+            };
+            let labels: [(&str, &str); 1] = [("link", link_label(kind))];
+            reg.counter_with(
+                "mcds_link_transactions_total",
+                "debug transactions completed on this link",
+                &labels,
+            )
+            .store(iface.transactions());
+            reg.counter_with(
+                "mcds_link_payload_bytes_total",
+                "payload bytes carried by this link",
+                &labels,
+            )
+            .store(iface.payload_bytes());
+            reg.counter_with(
+                "mcds_link_busy_cycles_total",
+                "simulated cycles this link was busy",
+                &labels,
+            )
+            .store(iface.busy_cycles());
+            if let Some(fs) = self.fault_stats(kind) {
+                reg.counter_with(
+                    "mcds_link_frames_total",
+                    "frames offered to this link's fault injector",
+                    &labels,
+                )
+                .store(fs.frames);
+                reg.counter_with(
+                    "mcds_link_frames_dropped_total",
+                    "frames silently lost",
+                    &labels,
+                )
+                .store(fs.dropped);
+                reg.counter_with(
+                    "mcds_link_frames_corrupted_total",
+                    "frames delivered with a flipped bit",
+                    &labels,
+                )
+                .store(fs.corrupted);
+                reg.counter_with(
+                    "mcds_link_frames_duplicated_total",
+                    "frames delivered twice",
+                    &labels,
+                )
+                .store(fs.duplicated);
+                reg.counter_with(
+                    "mcds_link_down_losses_total",
+                    "frames lost to outage windows",
+                    &labels,
+                )
+                .store(fs.down_losses);
+                reg.counter_with(
+                    "mcds_link_jitter_cycles_total",
+                    "jitter delay added, in simulated cycles",
+                    &labels,
+                )
+                .store(fs.jitter_cycles);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DebugOp, DeviceBuilder, DeviceVariant};
+    use mcds_soc::asm::assemble;
+    use mcds_telemetry::MetricValue;
+
+    #[test]
+    fn publish_mirrors_device_counters() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nhalt").unwrap());
+        dev.attach_telemetry(Telemetry::new());
+        dev.run_until_halt(100);
+        dev.execute(InterfaceKind::Jtag, DebugOp::ReadStats)
+            .unwrap();
+        dev.publish_telemetry();
+        let snap = dev.telemetry().unwrap().snapshot();
+        let get = |name: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} published"))
+                .value
+                .clone()
+        };
+        assert_eq!(
+            get("mcds_sim_cycles_total"),
+            MetricValue::Counter(dev.soc().cycle())
+        );
+        let MetricValue::Counter(bus_cycles) = get("mcds_bus_cycles_total") else {
+            panic!("counter expected");
+        };
+        assert!(bus_cycles > 0);
+        let MetricValue::Counter(link_xacts) = get("mcds_link_transactions_total") else {
+            panic!("counter expected");
+        };
+        assert_eq!(link_xacts, 1);
+        // The debug transaction also landed in the per-link histogram.
+        let MetricValue::Histogram { count, .. } = get("mcds_debug_xact_cycles") else {
+            panic!("histogram expected");
+        };
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn detached_device_publishes_nothing_and_spans_nothing() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nhalt").unwrap());
+        dev.run_until_halt(100);
+        dev.publish_telemetry();
+        assert!(dev.telemetry().is_none());
+    }
+
+    #[test]
+    fn window_gauges_start_from_attach_point() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.soc_mut().load_program(
+            &assemble(".org 0x80000000\nli r1, 20\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt")
+                .unwrap(),
+        );
+        dev.run_cycles(50);
+        let before_attach = dev.soc().bus_counters().cycles;
+        assert!(before_attach > 0);
+        dev.attach_telemetry(Telemetry::new());
+        dev.run_until_halt(10_000);
+        dev.publish_telemetry();
+        let snap = dev.telemetry().unwrap().snapshot();
+        let window = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "mcds_bus_window_cycles")
+            .unwrap();
+        let total = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "mcds_bus_cycles_total")
+            .unwrap();
+        let MetricValue::Gauge(window) = window.value else {
+            panic!("gauge expected");
+        };
+        let MetricValue::Counter(total) = total.value else {
+            panic!("counter expected");
+        };
+        assert!(window > 0.0);
+        assert!(
+            (window as u64) < total,
+            "window ({window}) excludes the {before_attach} pre-attach cycles of {total}"
+        );
+    }
+}

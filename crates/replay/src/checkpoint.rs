@@ -99,7 +99,27 @@ impl CheckpointRing {
         if !self.due(dev.soc().cycle()) {
             return false;
         }
-        self.push(Checkpoint::capture(dev));
+        let cp = Checkpoint::capture(dev);
+        if let Some(tel) = dev.telemetry() {
+            let bytes = cp.snapshot().stored_bytes() as u64;
+            let reg = tel.registry();
+            reg.counter(
+                "replay_checkpoints_total",
+                "time-travel checkpoints captured",
+            )
+            .inc();
+            reg.counter(
+                "replay_checkpoint_bytes_total",
+                "cumulative stored bytes across captured checkpoints",
+            )
+            .add(bytes);
+            reg.gauge(
+                "replay_checkpoint_bytes",
+                "stored size of the most recent checkpoint",
+            )
+            .set(bytes as f64);
+        }
+        self.push(cp);
         true
     }
 
@@ -157,5 +177,74 @@ impl CheckpointRing {
         while self.entries.back().is_some_and(|cp| cp.cycle() > cycle) {
             self.entries.pop_back();
         }
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use mcds_psi::device::{DeviceBuilder, DeviceVariant};
+    use mcds_telemetry::{MetricValue, Subsystem, Telemetry};
+
+    #[test]
+    fn observe_publishes_checkpoint_metrics_and_spans() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.attach_telemetry(Telemetry::new());
+        let mut ring = CheckpointRing::new(100, 4);
+        assert!(ring.observe(&dev));
+        dev.run_cycles(150);
+        assert!(ring.observe(&dev));
+        let cp_bytes = ring.iter().last().unwrap().snapshot().stored_bytes() as u64;
+
+        let snap = dev.telemetry().unwrap().snapshot();
+        let metric = |name: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} published"))
+                .value
+                .clone()
+        };
+        assert_eq!(metric("replay_checkpoints_total"), MetricValue::Counter(2));
+        let MetricValue::Counter(total) = metric("replay_checkpoint_bytes_total") else {
+            panic!("counter expected");
+        };
+        assert!(total >= cp_bytes);
+        assert_eq!(
+            metric("replay_checkpoint_bytes"),
+            MetricValue::Gauge(cp_bytes as f64)
+        );
+        // Each capture recorded a Snapshot span.
+        let snap_spans = snap
+            .subsystems
+            .iter()
+            .find(|s| s.subsystem == Subsystem::Snapshot.name())
+            .expect("snapshot span summary present");
+        assert_eq!(snap_spans.count, 2);
+    }
+
+    #[test]
+    fn restore_records_a_restore_span() {
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .build();
+        dev.run_cycles(50);
+        let cp = Checkpoint::capture(&dev);
+        dev.run_cycles(50);
+        dev.attach_telemetry(Telemetry::new());
+        cp.restore_into(&mut dev);
+        // The attachment survived the restore and saw the span.
+        let snap = dev
+            .telemetry()
+            .expect("telemetry survives restore")
+            .snapshot();
+        let restore = snap
+            .subsystems
+            .iter()
+            .find(|s| s.subsystem == Subsystem::Restore.name())
+            .expect("restore span summary present");
+        assert_eq!(restore.count, 1);
     }
 }

@@ -105,6 +105,7 @@ pub struct SocSnapshot {
 impl SocSnapshot {
     /// Captures a full (all-raw) snapshot of the device.
     pub fn capture(dev: &Device) -> SocSnapshot {
+        let span_t0 = dev.telemetry().map(|_| std::time::Instant::now());
         let mut components = Vec::with_capacity(4);
         let state =
             serde_json::to_string(&dev.save_state()).expect("device state serializes infallibly");
@@ -118,9 +119,18 @@ impl SocSnapshot {
                 components.push(raw_component(name, image));
             }
         }
+        let cycle = dev.soc().cycle();
+        if let (Some(t0), Some(tel)) = (span_t0, dev.telemetry()) {
+            tel.spans().record(
+                mcds_telemetry::Subsystem::Snapshot,
+                cycle,
+                cycle,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         SocSnapshot {
             version: SNAPSHOT_VERSION,
-            cycle: dev.soc().cycle(),
+            cycle,
             components,
         }
     }
@@ -260,6 +270,9 @@ impl SocSnapshot {
             self.version, SNAPSHOT_VERSION,
             "unsupported snapshot version"
         );
+        // Telemetry lives outside DeviceState, so the attachment (and this
+        // span) survives the restore itself.
+        let span_t0 = dev.telemetry().map(|_| std::time::Instant::now());
         for (name, id) in [
             ("soc/flash", MemoryId::Flash),
             ("soc/sram", MemoryId::Sram),
@@ -281,6 +294,14 @@ impl SocSnapshot {
         let json = std::str::from_utf8(bytes).expect("device state is UTF-8 JSON");
         let state: DeviceState = serde_json::from_str(json).expect("device state deserializes");
         dev.restore_state(&state);
+        if let (Some(t0), Some(tel)) = (span_t0, dev.telemetry()) {
+            tel.spans().record(
+                mcds_telemetry::Subsystem::Restore,
+                self.cycle,
+                self.cycle,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     /// A single hash summarizing the whole snapshot: the capture cycle plus

@@ -242,6 +242,13 @@ impl BusCounters {
 
     /// The counter delta since an `earlier` snapshot — the counters for
     /// just the window between the two observations.
+    ///
+    /// All fields subtract saturating: an `earlier` snapshot taken from a
+    /// different (or reset) bus can be ahead of `self` on some counter,
+    /// and on very long runs a window must degrade to zero rather than
+    /// wrap to an absurd near-`u64::MAX` value. Telemetry publishes these
+    /// window deltas continuously, so "never panics, never wraps" is part
+    /// of the contract.
     #[must_use]
     pub fn delta_since(&self, earlier: &BusCounters) -> BusCounters {
         let per_master = self
@@ -251,18 +258,20 @@ impl BusCounters {
             .map(|(i, m)| {
                 let e = earlier.per_master.get(i).copied().unwrap_or_default();
                 MasterCounters {
-                    grants: m.grants - e.grants,
-                    xacts: m.xacts - e.xacts,
-                    faults: m.faults - e.faults,
-                    occupancy_cycles: m.occupancy_cycles - e.occupancy_cycles,
-                    wait_cycles: m.wait_cycles - e.wait_cycles,
+                    grants: m.grants.saturating_sub(e.grants),
+                    xacts: m.xacts.saturating_sub(e.xacts),
+                    faults: m.faults.saturating_sub(e.faults),
+                    occupancy_cycles: m.occupancy_cycles.saturating_sub(e.occupancy_cycles),
+                    wait_cycles: m.wait_cycles.saturating_sub(e.wait_cycles),
                 }
             })
             .collect();
         BusCounters {
-            cycles: self.cycles - earlier.cycles,
-            busy_cycles: self.busy_cycles - earlier.busy_cycles,
-            contended_cycles: self.contended_cycles - earlier.contended_cycles,
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            busy_cycles: self.busy_cycles.saturating_sub(earlier.busy_cycles),
+            contended_cycles: self
+                .contended_cycles
+                .saturating_sub(earlier.contended_cycles),
             per_master,
         }
     }
@@ -754,6 +763,78 @@ mod tests {
         assert_eq!(x.data, 0xAB);
         assert_eq!(x.kind, XferKind::Write);
         assert_eq!(x.addr, 0x1000_0020);
+    }
+
+    #[test]
+    fn delta_since_saturates_instead_of_wrapping() {
+        // A window where `earlier` is ahead (snapshot from a reset or
+        // different bus) must clamp to zero, not wrap near u64::MAX.
+        let later = BusCounters {
+            cycles: 100,
+            busy_cycles: 10,
+            contended_cycles: 0,
+            per_master: vec![MasterCounters {
+                grants: 5,
+                xacts: 5,
+                faults: 0,
+                occupancy_cycles: 10,
+                wait_cycles: 2,
+            }],
+        };
+        let ahead = BusCounters {
+            cycles: 500,
+            busy_cycles: 400,
+            contended_cycles: 300,
+            per_master: vec![MasterCounters {
+                grants: 50,
+                xacts: 40,
+                faults: 30,
+                occupancy_cycles: 400,
+                wait_cycles: 200,
+            }],
+        };
+        let d = later.delta_since(&ahead);
+        assert_eq!(d.cycles, 0);
+        assert_eq!(d.busy_cycles, 0);
+        assert_eq!(d.contended_cycles, 0);
+        assert_eq!(d.per_master[0], MasterCounters::default());
+
+        // Long-run end of the range: counters near u64::MAX still produce
+        // an exact small window without overflow.
+        let huge_earlier = BusCounters {
+            cycles: u64::MAX - 10,
+            busy_cycles: u64::MAX - 20,
+            contended_cycles: u64::MAX - 30,
+            per_master: vec![MasterCounters {
+                grants: u64::MAX - 1,
+                xacts: u64::MAX - 2,
+                faults: u64::MAX - 3,
+                occupancy_cycles: u64::MAX - 4,
+                wait_cycles: u64::MAX - 5,
+            }],
+        };
+        let mut huge_later = huge_earlier.clone();
+        huge_later.cycles += 7;
+        huge_later.busy_cycles += 6;
+        huge_later.contended_cycles += 5;
+        huge_later.per_master[0].grants += 1;
+        huge_later.per_master[0].wait_cycles += 4;
+        let d = huge_later.delta_since(&huge_earlier);
+        assert_eq!(d.cycles, 7);
+        assert_eq!(d.busy_cycles, 6);
+        assert_eq!(d.contended_cycles, 5);
+        assert_eq!(d.per_master[0].grants, 1);
+        assert_eq!(d.per_master[0].xacts, 0);
+        assert_eq!(d.per_master[0].wait_cycles, 4);
+
+        // A master slot missing from `earlier` counts from zero.
+        let mut wider = later.clone();
+        wider.per_master.push(MasterCounters {
+            grants: 3,
+            ..MasterCounters::default()
+        });
+        let d = wider.delta_since(&later);
+        assert_eq!(d.per_master[1].grants, 3);
     }
 
     #[test]

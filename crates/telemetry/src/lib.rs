@@ -1,0 +1,132 @@
+#![warn(missing_docs)]
+
+//! # mcds-telemetry — workspace self-observability
+//!
+//! The emulator stack observes the paper's SoC; this crate observes the
+//! emulator stack itself. It provides:
+//!
+//! * a metrics [`Registry`] of monotonic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s — registration takes a lock once, but
+//!   every *sample* is a handful of atomic operations with no allocation,
+//!   so hot paths (the per-cycle device step, per-transaction link
+//!   accounting) can stay instrumented permanently;
+//! * a [`SpanRecorder`] of cycle-stamped subsystem spans (bus arbitration,
+//!   FIFO drain, trace encode/decode, XCP transactions,
+//!   snapshot/restore) that aggregates simulated-cycle and host
+//!   wall-clock cost per [`Subsystem`] and keeps a bounded ring of recent
+//!   span events;
+//! * two exporters over one [`TelemetrySnapshot`]: Prometheus text
+//!   exposition ([`to_prometheus`]) and a JSON document
+//!   ([`to_json`]) written next to the bench `--out-dir` artifacts.
+//!
+//! ## The determinism boundary
+//!
+//! Telemetry is strictly *outside* the deterministic device model: it is
+//! never serialized into `DeviceState`/`SocSnapshot`, never hashed, and
+//! never recorded in the replay input log. Wall-clock readings
+//! (`Instant`-based span durations, throughput gauges) live only here.
+//! Attaching or detaching telemetry must therefore never change a single
+//! simulated cycle — the suite's determinism test replays a recorded run
+//! with telemetry on and off and asserts bit-identical state hashes.
+
+use std::sync::Arc;
+
+mod export;
+mod metrics;
+mod spans;
+mod throughput;
+
+pub use export::{to_json, to_prometheus, validate_prometheus};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry, TelemetrySnapshot,
+};
+pub use spans::{SpanEvent, SpanRecorder, SpanTimer, Subsystem, SubsystemSummary};
+pub use throughput::ThroughputMeter;
+
+/// The shared telemetry bundle: one registry plus one span recorder.
+///
+/// Cheap to clone (an `Arc` internally); every subsystem that wants to
+/// publish holds a clone and samples through it. A detached subsystem
+/// simply holds no handle — sampling is skipped entirely, so disabled
+/// telemetry costs one branch.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+#[derive(Debug, Default)]
+struct TelemetryInner {
+    registry: Registry,
+    spans: SpanRecorder,
+}
+
+impl Telemetry {
+    /// Creates an empty telemetry bundle.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// The span recorder.
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.inner.spans
+    }
+
+    /// Captures a point-in-time snapshot of every metric and span
+    /// aggregate (the input to both exporters).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.inner.registry.snapshot();
+        snap.subsystems = self.inner.spans.summaries();
+        snap.recent_spans = self.inner.spans.recent();
+        snap.dropped_spans = self.inner.spans.dropped();
+        snap
+    }
+
+    /// Renders the current state in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        to_prometheus(&self.snapshot())
+    }
+
+    /// Renders the current state as a JSON document.
+    pub fn to_json(&self) -> String {
+        to_json(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_roundtrips_through_both_exporters() {
+        let tel = Telemetry::new();
+        tel.registry().counter("demo_events_total", "events").add(3);
+        tel.registry().gauge("demo_fill", "fill level").set(0.5);
+        tel.spans().record(Subsystem::TraceEncode, 10, 20, 1_000);
+        let snap = tel.snapshot();
+        let json = to_json(&snap);
+        let back: TelemetrySnapshot = serde_json::from_str(&json).expect("JSON export parses");
+        assert_eq!(back.metrics.len(), snap.metrics.len());
+        let prom = to_prometheus(&snap);
+        let samples = validate_prometheus(&prom).expect("prometheus export parses");
+        assert!(samples >= 2);
+        assert!(prom.contains("demo_events_total 3"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tel = Telemetry::new();
+        let other = tel.clone();
+        other.registry().counter("shared_total", "shared").inc();
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.metrics[0].value,
+            MetricValue::Counter(1),
+            "clone writes are visible through the original"
+        );
+    }
+}

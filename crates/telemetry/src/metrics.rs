@@ -1,0 +1,386 @@
+//! The metrics registry: monotonic counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Registration (name lookup, allocation) happens once behind a mutex;
+//! the returned handles are `Arc`-shared atomics, so the *sampling* path
+//! — `Counter::add`, `Gauge::set`, `Histogram::observe` — is lock-free
+//! and allocation-free. Mirroring an upstream cumulative counter (the
+//! device model's own `u64` tallies) uses `Counter::store`, which keeps
+//! the exported value monotonic as long as the source is.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::spans::{SpanEvent, SubsystemSummary};
+
+/// A monotonic counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the counter with an upstream cumulative total (for
+    /// mirroring a source that already counts monotonically).
+    pub fn store(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: an instantaneous `f64` value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bucket bounds (inclusive), strictly increasing; an implicit
+    /// `+Inf` bucket follows the last bound.
+    bounds: Vec<u64>,
+    /// One count per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle. Bucket bounds are set at registration
+/// so observation never allocates.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Histogram {
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum MetricHandle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl MetricHandle {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricHandle::Counter(_) => "counter",
+            MetricHandle::Gauge(_) => "gauge",
+            MetricHandle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MetricEntry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: MetricHandle,
+}
+
+/// A point-in-time value of one registered metric.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric family name (Prometheus conventions, e.g.
+    /// `mcds_bus_grants_total`).
+    pub name: String,
+    /// One-line meaning.
+    pub help: String,
+    /// Static label pairs attached at registration (e.g. `master="m0"`).
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+/// A sampled metric value, by kind.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Instantaneous gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram {
+        /// Inclusive upper bounds, one per finite bucket.
+        bounds: Vec<u64>,
+        /// Cumulative-free per-bucket counts; one extra overflow bucket.
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+    },
+}
+
+/// A full telemetry snapshot: every metric plus per-subsystem span
+/// aggregates — the document both exporters render.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// All registered metrics in registration order.
+    pub metrics: Vec<MetricSnapshot>,
+    /// Per-subsystem span aggregates.
+    pub subsystems: Vec<SubsystemSummary>,
+    /// The most recent span events (bounded ring; oldest first).
+    pub recent_spans: Vec<SpanEvent>,
+    /// Span events discarded because the ring was full.
+    pub dropped_spans: u64,
+}
+
+/// The metric registry. See the module docs for the locking contract.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<MetricEntry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricHandle,
+    ) -> MetricHandle {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|(have, want)| have.0 == want.0 && have.1 == want.1)
+        }) {
+            return e.handle.clone();
+        }
+        let handle = make();
+        entries.push(MetricEntry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a counter with static labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as a different kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, help, labels, || {
+            MetricHandle::Counter(Counter::default())
+        }) {
+            MetricHandle::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a gauge with static labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as a different kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, help, labels, || MetricHandle::Gauge(Gauge::default())) {
+            MetricHandle::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram with fixed bucket `bounds`
+    /// (inclusive upper bounds, strictly increasing; a `+Inf` overflow
+    /// bucket is implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels was registered as a different kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        match self.get_or_insert(name, help, labels, || {
+            MetricHandle::Histogram(Histogram::with_bounds(bounds))
+        }) {
+            MetricHandle::Histogram(h) => h,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Samples every registered metric. Span fields of the returned
+    /// snapshot are left empty — [`crate::Telemetry::snapshot`] fills
+    /// them in.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let metrics = entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.handle {
+                    MetricHandle::Counter(c) => MetricValue::Counter(c.get()),
+                    MetricHandle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    MetricHandle::Histogram(h) => MetricValue::Histogram {
+                        bounds: h.0.bounds.clone(),
+                        buckets: h
+                            .0
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                },
+            })
+            .collect();
+        TelemetrySnapshot {
+            metrics,
+            subsystems: Vec::new(),
+            recent_spans: Vec::new(),
+            dropped_spans: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_mirror() {
+        let reg = Registry::new();
+        let c = reg.counter("x_total", "x");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same handle.
+        let again = reg.counter("x_total", "x");
+        again.store(100);
+        assert_eq!(c.get(), 100);
+        assert_eq!(reg.snapshot().metrics.len(), 1);
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let reg = Registry::new();
+        let a = reg.counter_with("grants_total", "grants", &[("master", "m0")]);
+        let b = reg.counter_with("grants_total", "grants", &[("master", "m1")]);
+        a.add(2);
+        b.add(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.metrics.len(), 2);
+        assert_eq!(snap.metrics[0].value, MetricValue::Counter(2));
+        assert_eq!(snap.metrics[1].value, MetricValue::Counter(7));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("lat", "latency", &[], &[10, 100, 1000]);
+        for v in [1, 5, 50, 500, 5000, 50_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 5 + 50 + 500 + 5000 + 50_000);
+        let MetricValue::Histogram { buckets, .. } = &reg.snapshot().metrics[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(buckets, &vec![2, 1, 1, 2], "two land past the last bound");
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("fill", "fill");
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25);
+    }
+
+    #[test]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("mixed", "x");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.gauge("mixed", "x");
+        }));
+        assert!(result.is_err());
+    }
+}

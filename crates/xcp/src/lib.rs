@@ -40,6 +40,6 @@ pub mod packet;
 pub mod slave;
 
 pub use daq::{DaqList, DaqPool, Odt, OdtEntry};
-pub use master::{ConnectInfo, RecoveryStats, RetryPolicy, XcpError, XcpMaster};
+pub use master::{ConnectInfo, LinkHealth, RecoveryStats, RetryPolicy, XcpError, XcpMaster};
 pub use packet::{Command, DtoPacket, ErrCode, Response};
 pub use slave::XcpSlave;

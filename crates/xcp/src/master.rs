@@ -145,6 +145,28 @@ pub struct RecoveryStats {
     pub chunk_restarts: u64,
     /// Operations abandoned after exhausting every attempt.
     pub gave_up: u64,
+    /// Peak attempts any single operation needed (1 = first try worked;
+    /// 0 = no operation completed yet). Against
+    /// [`RetryPolicy::max_attempts`] this is the retry-budget high-water.
+    pub worst_attempts: u32,
+}
+
+/// A one-shot link-health summary derived from the master's own counters
+/// — available to *any* session, not just benches keeping private tallies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkHealth {
+    /// The transport this master speaks over.
+    pub transport: InterfaceKind,
+    /// Commands placed on the wire (including retries and `SYNCH`s).
+    pub commands_sent: u64,
+    /// The cumulative recovery counters.
+    pub stats: RecoveryStats,
+    /// Timed-out exchanges per command sent (0.0–1.0); the observed link
+    /// error rate.
+    pub error_rate: f64,
+    /// Fraction of the per-operation retry budget the worst operation
+    /// consumed (`worst_attempts / max_attempts`, 0.0–1.0).
+    pub retry_budget_used: f64,
 }
 
 /// The host-side calibration/measurement master.
@@ -189,6 +211,74 @@ impl XcpMaster {
     /// Cumulative recovery statistics.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery
+    }
+
+    /// Summarizes link health from the master's own counters.
+    pub fn link_health(&self) -> LinkHealth {
+        let error_rate = if self.commands_sent == 0 {
+            0.0
+        } else {
+            self.recovery.timeouts as f64 / self.commands_sent as f64
+        };
+        LinkHealth {
+            transport: self.transport,
+            commands_sent: self.commands_sent,
+            stats: self.recovery,
+            error_rate,
+            retry_budget_used: f64::from(self.recovery.worst_attempts)
+                / f64::from(self.retry.max_attempts.max(1)),
+        }
+    }
+
+    /// Mirrors the master's command/recovery counters into a telemetry
+    /// registry under `xcp_*` metric names, labelled by transport.
+    pub fn publish_telemetry(&self, tel: &mcds_telemetry::Telemetry) {
+        let reg = tel.registry();
+        let link = mcds_psi::link_label(self.transport);
+        let labels: [(&str, &str); 1] = [("link", link)];
+        reg.counter_with(
+            "xcp_commands_total",
+            "XCP commands placed on the wire",
+            &labels,
+        )
+        .store(self.commands_sent);
+        reg.counter_with(
+            "xcp_timeouts_total",
+            "XCP exchanges that timed out",
+            &labels,
+        )
+        .store(self.recovery.timeouts);
+        reg.counter_with("xcp_retries_total", "XCP command re-issues", &labels)
+            .store(self.recovery.retries);
+        reg.counter_with("xcp_synchs_total", "XCP SYNCH resynchronizations", &labels)
+            .store(self.recovery.synchs);
+        reg.counter_with(
+            "xcp_chunk_restarts_total",
+            "XCP block chunks restarted",
+            &labels,
+        )
+        .store(self.recovery.chunk_restarts);
+        reg.counter_with("xcp_gave_up_total", "XCP operations abandoned", &labels)
+            .store(self.recovery.gave_up);
+        let health = self.link_health();
+        reg.gauge_with(
+            "xcp_worst_attempts",
+            "peak attempts any single XCP operation needed",
+            &labels,
+        )
+        .set(f64::from(self.recovery.worst_attempts));
+        reg.gauge_with(
+            "xcp_error_rate",
+            "timed-out XCP exchanges per command (0-1)",
+            &labels,
+        )
+        .set(health.error_rate);
+        reg.gauge_with(
+            "xcp_retry_budget_used",
+            "fraction of the retry budget the worst operation used (0-1)",
+            &labels,
+        )
+        .set(health.retry_budget_used);
     }
 
     /// The wrapped slave (event periods, DAQ statistics).
@@ -271,11 +361,15 @@ impl XcpMaster {
     /// Transport absence, slave protocol errors, or a timeout that
     /// survived every retry.
     pub fn transact(&mut self, dev: &mut Device, cmd: Command) -> Result<Response, XcpError> {
+        let start_cycle = dev.soc().cycle();
+        let span_t0 = dev.telemetry().map(|_| std::time::Instant::now());
         for attempt in 1u32.. {
             match self.transact_once(dev, &cmd) {
                 Err(XcpError::Timeout(k)) => {
                     if attempt >= self.retry.max_attempts.max(1) {
                         self.recovery.gave_up += 1;
+                        self.note_attempts(attempt);
+                        self.record_span(dev, start_cycle, span_t0);
                         return Err(XcpError::Timeout(k));
                     }
                     self.recovery.retries += 1;
@@ -284,10 +378,33 @@ impl XcpMaster {
                         self.resynchronize(dev)?;
                     }
                 }
-                other => return other,
+                other => {
+                    self.note_attempts(attempt);
+                    self.record_span(dev, start_cycle, span_t0);
+                    return other;
+                }
             }
         }
         unreachable!("bounded retry loop always returns")
+    }
+
+    /// Folds one operation's attempt count into the retry-budget
+    /// high-water.
+    fn note_attempts(&mut self, attempts: u32) {
+        self.recovery.worst_attempts = self.recovery.worst_attempts.max(attempts);
+    }
+
+    /// Records an `XcpTransaction` span on the device's telemetry (if
+    /// attached) covering a whole transact-with-retries episode.
+    fn record_span(&self, dev: &Device, start_cycle: u64, t0: Option<std::time::Instant>) {
+        if let (Some(t0), Some(tel)) = (t0, dev.telemetry()) {
+            tel.spans().record(
+                mcds_telemetry::Subsystem::XcpTransaction,
+                start_cycle,
+                dev.soc().cycle(),
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     /// Sends `SYNCH` until one exchange completes (bounded by the policy's
@@ -327,6 +444,7 @@ impl XcpMaster {
                 Err(XcpError::Timeout(k)) => {
                     if attempt >= self.retry.max_attempts.max(1) {
                         self.recovery.gave_up += 1;
+                        self.note_attempts(attempt);
                         return Err(XcpError::Timeout(k));
                     }
                     self.recovery.chunk_restarts += 1;
@@ -335,7 +453,10 @@ impl XcpMaster {
                         self.resynchronize(dev)?;
                     }
                 }
-                other => return other,
+                other => {
+                    self.note_attempts(attempt);
+                    return other;
+                }
             }
         }
         unreachable!("bounded retry loop always returns")
@@ -877,6 +998,37 @@ mod recovery_tests {
         m.connect(&mut dev).unwrap();
         m.write_block(&mut dev, memmap::SRAM_BASE, &[1, 2, 3, 4])
             .unwrap();
-        assert_eq!(m.recovery_stats(), RecoveryStats::default());
+        // Every error-path counter stays zero; worst_attempts records that
+        // each operation completed on its first try.
+        assert_eq!(
+            m.recovery_stats(),
+            RecoveryStats {
+                worst_attempts: 1,
+                ..RecoveryStats::default()
+            }
+        );
+        let health = m.link_health();
+        assert_eq!(health.error_rate, 0.0);
+        assert!(health.retry_budget_used <= 1.0 / 16.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn link_health_reports_lossy_link_error_rate() {
+        let mut dev = quiescent_device();
+        dev.set_fault_plan(InterfaceKind::Usb11, FaultPlan::lossy(13, 100));
+        let mut m = XcpMaster::new(InterfaceKind::Usb11);
+        m.connect(&mut dev).unwrap();
+        for _ in 0..100 {
+            m.transact(&mut dev, Command::GetStatus).unwrap();
+        }
+        let health = m.link_health();
+        assert_eq!(health.transport, InterfaceKind::Usb11);
+        assert!(health.error_rate > 0.0, "10% loss shows up as errors");
+        assert!(health.error_rate < 0.5);
+        assert!(
+            health.stats.worst_attempts > 1,
+            "some operation needed a retry"
+        );
+        assert!(health.retry_budget_used > 0.0 && health.retry_budget_used <= 1.0);
     }
 }

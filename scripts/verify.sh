@@ -20,3 +20,20 @@ cargo run --release -q -p mcds-bench --bin t7_fault_recovery -- --smoke
 # Replay smoke: snapshot determinism, bit-identical resume, checkpointed
 # seek >=5x over re-execution, exact reverse_step.
 cargo run --release -q -p mcds-bench --bin t9_replay -- --smoke
+
+# Telemetry smoke: hot-path overhead bound, health report on a faulted
+# session, exporter round-trip — then check the artifacts actually carry
+# the core metric set in both formats.
+cargo run --release -q -p mcds-bench --bin t10_telemetry -- --smoke
+for metric in mcds_sim_cycles_total mcds_bus_busy_cycles_total \
+              mcds_fifo_pushed_total mcds_trace_emitted_total \
+              mcds_sink_used_bytes; do
+  grep -q "$metric" target/analysis/t10_telemetry.prom \
+    || { echo "missing $metric in t10_telemetry.prom"; exit 1; }
+  grep -q "\"$metric\"" target/analysis/t10_telemetry.json \
+    || { echo "missing $metric in t10_telemetry.json"; exit 1; }
+done
+for t in t7 t8 t9; do
+  test -s "target/analysis/${t}_telemetry.json" \
+    || { echo "missing ${t}_telemetry.json"; exit 1; }
+done
