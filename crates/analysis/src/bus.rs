@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 
 use mcds_soc::bus::BusCounters;
 use mcds_soc::event::{CycleRecord, SocEvent};
+use mcds_soc::sink::CycleSink;
 use mcds_trace::{TimedMessage, TraceMessage, TraceSource};
 
 /// Per-master transaction and arbitration statistics.
@@ -197,7 +198,9 @@ struct MasterAccum {
     bytes: u64,
 }
 
-/// Streaming analyzer over the SoC's observable [`CycleRecord`] stream.
+/// Streaming analyzer over the SoC's observable event stream. It is a
+/// [`CycleSink`], so it can sit directly on the device's streaming hot
+/// path (`run_until_halt_into`) — no record buffering needed.
 #[must_use = "an analyzer does nothing until records are observed and `finish*` is called"]
 #[derive(Debug, Default)]
 pub struct BusAnalyzer {
@@ -210,9 +213,9 @@ impl BusAnalyzer {
         BusAnalyzer::default()
     }
 
-    /// Observes one cycle's events.
-    pub fn observe(&mut self, record: &CycleRecord) {
-        for ev in &record.events {
+    /// Observes one cycle's events (borrowed; nothing retained).
+    pub fn observe(&mut self, _cycle: u64, events: &[SocEvent]) {
+        for ev in events {
             if let SocEvent::Bus(x) = ev {
                 let m = self.masters.entry(x.master.0).or_default();
                 m.xacts += 1;
@@ -226,9 +229,9 @@ impl BusAnalyzer {
         }
     }
 
-    /// Observes a slice of records.
+    /// Observes a slice of materialised records (batch convenience).
     pub fn observe_all(&mut self, records: &[CycleRecord]) {
-        records.iter().for_each(|r| self.observe(r));
+        records.iter().for_each(|r| self.observe_record(r));
     }
 
     /// Finalises the report, taking cycle-exact occupancy / wait / grant
@@ -270,6 +273,12 @@ impl BusAnalyzer {
             contended_cycles: counters.contended_cycles,
             masters,
         }
+    }
+}
+
+impl CycleSink for BusAnalyzer {
+    fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
+        BusAnalyzer::observe(self, cycle, events);
     }
 }
 

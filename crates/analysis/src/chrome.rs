@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 
 use mcds_soc::bus::MasterId;
 use mcds_soc::event::{CycleRecord, SocEvent};
+use mcds_soc::sink::CycleSink;
 use mcds_soc::soc::memmap;
 use mcds_trace::{TimedMessage, TraceMessage};
 
@@ -180,62 +181,69 @@ impl TimelineBuilder {
         }
     }
 
-    /// Ingests the observable per-cycle event records of a run.
-    pub fn add_records(&mut self, records: &[CycleRecord]) {
-        for rec in records {
-            for ev in &rec.events {
-                match ev {
-                    SocEvent::Retire(r) => {
-                        let span = self.cores.entry(r.core.0).or_default();
-                        span.first_retire.get_or_insert(rec.cycle);
-                        span.last_cycle = rec.cycle;
-                        span.retires += 1;
-                    }
-                    SocEvent::CoreStopped { core, cause, .. } => {
-                        let span = self.cores.entry(core.0).or_default();
-                        span.stopped_at = Some((rec.cycle, stop_cause_name(*cause)));
-                        span.last_cycle = rec.cycle;
-                        self.events.push(ChromeEvent::instant(
-                            format!("core{} stop: {}", core.0, stop_cause_name(*cause)),
-                            "break",
-                            u32::from(core.0),
-                            rec.cycle,
-                        ));
-                    }
-                    SocEvent::IrqEntry { core, vector, .. } => {
-                        self.events.push(ChromeEvent::instant(
-                            format!("irq{vector}"),
-                            "interrupt",
-                            u32::from(core.0),
-                            rec.cycle,
-                        ));
-                    }
-                    SocEvent::TriggerIn { line, level } => {
-                        self.saw_trigger = true;
-                        self.events.push(ChromeEvent::instant(
-                            format!("trigger_in{line}={}", u8::from(*level)),
-                            "trigger",
-                            TRIGGER_TID,
-                            rec.cycle,
-                        ));
-                    }
-                    SocEvent::Bus(x) => {
-                        if Some(x.master) == self.dma_master {
-                            match self.dma_spans.last_mut() {
-                                Some(s) if rec.cycle <= s.end + DMA_MERGE_GAP => {
-                                    s.end = rec.cycle;
-                                    s.xacts += 1;
-                                }
-                                _ => self.dma_spans.push(DmaSpan {
-                                    start: rec.cycle,
-                                    end: rec.cycle,
-                                    xacts: 1,
-                                }),
+    /// Observes one cycle's events (borrowed; nothing retained) — the
+    /// streaming entry point [`CycleSink`] delegates to.
+    pub fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
+        for ev in events {
+            match ev {
+                SocEvent::Retire(r) => {
+                    let span = self.cores.entry(r.core.0).or_default();
+                    span.first_retire.get_or_insert(cycle);
+                    span.last_cycle = cycle;
+                    span.retires += 1;
+                }
+                SocEvent::CoreStopped { core, cause, .. } => {
+                    let span = self.cores.entry(core.0).or_default();
+                    span.stopped_at = Some((cycle, stop_cause_name(*cause)));
+                    span.last_cycle = cycle;
+                    self.events.push(ChromeEvent::instant(
+                        format!("core{} stop: {}", core.0, stop_cause_name(*cause)),
+                        "break",
+                        u32::from(core.0),
+                        cycle,
+                    ));
+                }
+                SocEvent::IrqEntry { core, vector, .. } => {
+                    self.events.push(ChromeEvent::instant(
+                        format!("irq{vector}"),
+                        "interrupt",
+                        u32::from(core.0),
+                        cycle,
+                    ));
+                }
+                SocEvent::TriggerIn { line, level } => {
+                    self.saw_trigger = true;
+                    self.events.push(ChromeEvent::instant(
+                        format!("trigger_in{line}={}", u8::from(*level)),
+                        "trigger",
+                        TRIGGER_TID,
+                        cycle,
+                    ));
+                }
+                SocEvent::Bus(x) => {
+                    if Some(x.master) == self.dma_master {
+                        match self.dma_spans.last_mut() {
+                            Some(s) if cycle <= s.end + DMA_MERGE_GAP => {
+                                s.end = cycle;
+                                s.xacts += 1;
                             }
+                            _ => self.dma_spans.push(DmaSpan {
+                                start: cycle,
+                                end: cycle,
+                                xacts: 1,
+                            }),
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// Ingests the observable per-cycle event records of a run (batch
+    /// convenience over [`TimelineBuilder::observe`]).
+    pub fn add_records(&mut self, records: &[CycleRecord]) {
+        for rec in records {
+            self.observe(rec.cycle, &rec.events);
         }
     }
 
@@ -314,6 +322,12 @@ impl TimelineBuilder {
         }
         out.append(&mut self.events);
         ChromeTrace { events: out }
+    }
+}
+
+impl CycleSink for TimelineBuilder {
+    fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
+        TimelineBuilder::observe(self, cycle, events);
     }
 }
 

@@ -174,7 +174,7 @@ fn bench_mcds_on_cycle(c: &mut Criterion) {
             || Mcds::new(config.clone()),
             |mut m| {
                 for r in &records {
-                    m.on_cycle(r);
+                    m.on_cycle(r.cycle, &r.events);
                 }
                 m.take_messages()
             },
@@ -215,8 +215,8 @@ fn bench_assembler_and_reconstruct(c: &mut Criterion) {
     soc.periph_mut().set_input(engine::RPM_PORT, 3000);
     let mut mcds = Mcds::new(config);
     for _ in 0..200_000 {
-        let r = soc.step();
-        mcds.on_cycle(&r);
+        let (cycle, events) = soc.step_events();
+        mcds.on_cycle(cycle, events);
         if soc.core(CoreId(0)).is_halted() {
             break;
         }

@@ -1,0 +1,210 @@
+//! Experiment T11 — the streaming observation pipeline: throughput and
+//! memory of push-based stepping vs the legacy allocate-and-collect path.
+//!
+//! The MCDS observes the SoC as a flowing hardware stream; the software
+//! model now does the same. [`mcds_soc::sink::CycleSink`] plus
+//! `step_into`/`run_cycles` step from one reused scratch buffer with zero
+//! per-cycle heap allocation. This experiment proves the two claims the
+//! refactor was made for:
+//!
+//! * **T11a** — throughput: a non-tracing `run_cycles` fast-forward
+//!   (streams into `NullSink`) vs the legacy per-cycle-allocation path
+//!   (a `step() -> CycleRecord` loop), best-of-N wall time, identical
+//!   final state hashes, asserting the streamed path is >= 2x cycles/s;
+//! * **T11b** — flat memory: a 50M-cycle streamed run (smoke: 5M) whose
+//!   resident-set growth stays bounded (the legacy collect path at that
+//!   length would hold tens of millions of records);
+//! * **T11c** — live observation for free: the same run streamed into a
+//!   counting fan-out, cross-checked against the device's own counters,
+//!   with the cumulative [`ThroughputMeter`] published to the telemetry
+//!   registry and exported as `t11_telemetry.{json,prom}`.
+//!
+//! Run with `--smoke` for a short CI-friendly pass.
+
+use mcds_bench::{print_table, write_telemetry_artifacts, BenchArgs};
+use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
+use mcds_replay::device_state_hash;
+use mcds_soc::cpu::CoreConfig;
+use mcds_soc::sink::{CountSink, FanOut};
+use mcds_telemetry::{Telemetry, ThroughputMeter};
+use mcds_workloads::gearbox;
+use std::time::Instant;
+
+/// A non-tracing gearbox device: the MCDS is present but idle (default
+/// config, no qualifiers), so the measurement isolates the stepping path
+/// itself.
+fn quiet_device() -> Device {
+    let mut dev = DeviceBuilder::new(DeviceVariant::Production)
+        .core(CoreConfig {
+            reset_pc: 0x8001_0000,
+            clock_div: 1,
+            ..Default::default()
+        })
+        .build();
+    dev.soc_mut().load_program(&gearbox::program(None));
+    dev.soc_mut()
+        .periph_mut()
+        .set_input(gearbox::SPEED_PORT, 70);
+    dev
+}
+
+/// The legacy path: one owned `CycleRecord` allocated (and dropped) per
+/// cycle — exactly what `run_cycles` compiled to before the streaming
+/// refactor.
+fn timed_legacy(cycles: u64) -> (f64, u64) {
+    let mut dev = quiet_device();
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let record = dev.step();
+        std::hint::black_box(&record);
+    }
+    (start.elapsed().as_secs_f64(), device_state_hash(&dev))
+}
+
+/// The legacy observation path: the whole run materialised as
+/// `Vec<CycleRecord>` — what `run_until_halt` / `Session::analyse`
+/// compiled to before the refactor made observers streaming.
+fn timed_collect(cycles: u64) -> (f64, u64) {
+    let mut dev = quiet_device();
+    let start = Instant::now();
+    let mut records = Vec::new();
+    for _ in 0..cycles {
+        records.push(dev.step());
+    }
+    std::hint::black_box(&records);
+    (start.elapsed().as_secs_f64(), device_state_hash(&dev))
+}
+
+/// The streaming path: `run_cycles` fast-forwards through `NullSink` with
+/// zero per-cycle heap allocation.
+fn timed_streamed(cycles: u64) -> (f64, u64) {
+    let mut dev = quiet_device();
+    let start = Instant::now();
+    dev.run_cycles(cycles);
+    (start.elapsed().as_secs_f64(), device_state_hash(&dev))
+}
+
+/// Resident-set size in bytes, from `/proc/self/statm` (Linux). `None`
+/// where that interface does not exist — the flat-memory assertion is
+/// skipped there, the throughput assertions still run.
+fn resident_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096)
+}
+
+fn main() {
+    let args = BenchArgs::parse("target/analysis");
+    let cycles: u64 = args.scale(2_000_000, 400_000);
+    let repeats: usize = args.scale(7, 5);
+
+    // --- T11a: streamed vs legacy throughput. ---------------------------
+    let mut wall_legacy = f64::MAX;
+    let mut wall_collect = f64::MAX;
+    let mut wall_streamed = f64::MAX;
+    let mut hash_legacy = 0;
+    let mut hash_streamed = 0;
+    for _ in 0..repeats {
+        let (w, h) = timed_legacy(cycles);
+        wall_legacy = wall_legacy.min(w);
+        hash_legacy = h;
+        let (w, _) = timed_collect(cycles);
+        wall_collect = wall_collect.min(w);
+        let (w, h) = timed_streamed(cycles);
+        wall_streamed = wall_streamed.min(w);
+        hash_streamed = h;
+    }
+    assert_eq!(
+        hash_legacy, hash_streamed,
+        "streamed and legacy stepping must land on identical device state"
+    );
+    let speedup = wall_collect / wall_streamed;
+    print_table(
+        &format!("T11a: non-tracing fast-forward over {cycles} cycles (best of {repeats})"),
+        &["path", "wall", "Mcycles/s"],
+        &[
+            vec![
+                "legacy collect (Vec<CycleRecord>)".into(),
+                format!("{:.2} ms", wall_collect * 1e3),
+                format!("{:.2}", cycles as f64 / wall_collect / 1e6),
+            ],
+            vec![
+                "legacy step() loop (alloc/cycle)".into(),
+                format!("{:.2} ms", wall_legacy * 1e3),
+                format!("{:.2}", cycles as f64 / wall_legacy / 1e6),
+            ],
+            vec![
+                "streamed run_cycles (NullSink)".into(),
+                format!("{:.2} ms", wall_streamed * 1e3),
+                format!("{:.2}", cycles as f64 / wall_streamed / 1e6),
+            ],
+        ],
+    );
+    println!(
+        "speedup {speedup:.2}x vs collect ({:.2}x vs alloc-and-drop); final state hashes identical",
+        wall_legacy / wall_streamed
+    );
+    assert!(
+        speedup >= 2.0,
+        "streaming must be >= 2x the legacy allocate-and-collect path (got {speedup:.2}x)"
+    );
+
+    // --- T11b + T11c: flat memory on a long streamed, observed run. -----
+    // The stream also feeds live observers (a counting fan-out) to show
+    // observation no longer costs allocation; the resident set must not
+    // grow with run length. 50M cycles collected the legacy way would be
+    // tens of millions of heap records.
+    let long_cycles: u64 = args.scale(50_000_000, 5_000_000);
+    let tel = Telemetry::new();
+    let mut dev = quiet_device();
+    dev.attach_telemetry(tel.clone());
+    // Warm up allocator arenas and lazy device paths before baselining.
+    dev.run_cycles(100_000);
+    let meter = ThroughputMeter::start(tel.registry(), dev.soc().cycle(), 0);
+    let rss_before = resident_bytes();
+    let mut counters = FanOut::new(CountSink::default(), CountSink::default());
+    let start = Instant::now();
+    for _ in 0..long_cycles {
+        dev.step_into(&mut counters);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let rss_after = resident_bytes();
+    let cps = meter.sample(dev.soc().cycle(), 0);
+    assert_eq!(counters.first.cycles, long_cycles);
+    assert_eq!(counters.first.events, counters.second.events);
+    assert!(
+        counters.first.events > long_cycles / 4,
+        "a running gearbox emits a healthy event stream"
+    );
+    match (rss_before, rss_after) {
+        (Some(before), Some(after)) => {
+            let grown = after.saturating_sub(before);
+            println!(
+                "T11b: {long_cycles} cycles streamed in {:.2} s ({:.1} Mcycles/s, meter {:.1}); \
+                 rss {:.1} MiB -> {:.1} MiB (+{:.2} MiB)",
+                wall,
+                long_cycles as f64 / wall / 1e6,
+                cps / 1e6,
+                before as f64 / (1 << 20) as f64,
+                after as f64 / (1 << 20) as f64,
+                grown as f64 / (1 << 20) as f64,
+            );
+            assert!(
+                grown < 16 << 20,
+                "a streamed run must not grow memory with run length (grew {grown} bytes)"
+            );
+        }
+        _ => println!(
+            "T11b: {long_cycles} cycles streamed in {wall:.2} s (meter {:.1} Mcycles/s); \
+             no /proc/self/statm on this platform, rss check skipped",
+            cps / 1e6
+        ),
+    }
+
+    dev.publish_telemetry();
+    let json_path = write_telemetry_artifacts(&args, "t11", &tel);
+    println!(
+        "\nT11: observation is push-based end to end — {speedup:.2}x fast-forward, \
+         flat-memory long runs, live sinks for free ({json_path})."
+    );
+}

@@ -41,8 +41,8 @@
 //!     ..Default::default()
 //! });
 //! for _ in 0..100 {
-//!     let record = soc.step();
-//!     let outputs = mcds.on_cycle(&record);
+//!     let (cycle, events) = soc.step_events();
+//!     let outputs = mcds.on_cycle(cycle, events);
 //!     assert!(outputs.break_cores.is_empty());
 //! }
 //! mcds.flush(soc.cycle());
@@ -70,7 +70,7 @@ pub use trigger::{
 pub use xtrigger::{CrossTrigger, CrossTriggerUnit, TriggerAction, TriggerOutputs};
 
 use mcds_soc::bus::{AddrRange, MasterId, XferKind};
-use mcds_soc::event::{CoreId, CycleRecord, SocEvent};
+use mcds_soc::event::{CoreId, SocEvent};
 use mcds_trace::{TimedMessage, TraceMessage, TraceSource};
 use sorter::MessageSorter;
 
@@ -208,7 +208,8 @@ pub struct McdsState {
 
 /// The MCDS block.
 ///
-/// Drive it with one [`CycleRecord`] per SoC cycle; apply the returned
+/// Drive it with one cycle's events per SoC cycle ([`Mcds::on_cycle`],
+/// fed straight from `Soc::step_events`); apply the returned
 /// [`TriggerOutputs`] to the cores (the PSI device model does this); read
 /// the sorted message stream with [`Mcds::take_messages`].
 #[derive(Debug)]
@@ -222,6 +223,13 @@ pub struct Mcds {
     sink: Vec<TimedMessage>,
     scratch: Vec<TimedMessage>,
     generated: u64,
+    /// True when the configuration makes every cycle a provable no-op:
+    /// no comparators, qualifiers, counters, state machines, cross-trigger
+    /// lines or bus trace. Fixed until [`Mcds::reconfigure`] (runtime
+    /// mutation only toggles enables on already-configured lines, which
+    /// an empty matrix does not have); the sorter backlog is still checked
+    /// dynamically before the fast path is taken.
+    idle_config: bool,
 }
 
 impl Mcds {
@@ -287,6 +295,16 @@ impl Mcds {
             config.sink_bandwidth,
             config.merge_policy,
         );
+        let idle_config = config.bus_trace.is_none()
+            && config.counters.is_empty()
+            && config.state_machines.is_empty()
+            && config.cross_triggers.is_empty()
+            && config.cores.iter().all(|c| {
+                c.program_trace == TraceQualifier::Off
+                    && c.data_trace.qualifier == TraceQualifier::Off
+                    && c.program_comparators.is_empty()
+                    && c.data_comparators.is_empty()
+            });
         Mcds {
             config,
             observers,
@@ -297,6 +315,7 @@ impl Mcds {
             sink: Vec::new(),
             scratch: Vec::new(),
             generated: 0,
+            idle_config,
         }
     }
 
@@ -341,15 +360,45 @@ impl Mcds {
         cycle / self.config.timestamp_resolution * self.config.timestamp_resolution
     }
 
+    /// True when every cycle is provably a no-op for this block: nothing
+    /// is configured to trigger or trace (no comparators, qualifiers,
+    /// counters, state machines, cross-trigger lines or bus trace) and no
+    /// messages are queued or awaiting collection. While this holds,
+    /// [`Mcds::on_cycle`] returns empty outputs without touching any
+    /// state — callers fast-forwarding a device may skip the call
+    /// entirely. The flag can only change via [`Mcds::reconfigure`] or
+    /// [`Mcds::restore_state`], never inside a stepping loop.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.idle_config && self.sink.is_empty() && self.sorter.backlog() == 0
+    }
+
     /// Processes one SoC cycle: trigger extraction, complex triggers, the
     /// cross-trigger matrix, message generation, FIFO/sorter movement.
     /// Returns the trigger outputs for the device to apply.
-    pub fn on_cycle(&mut self, record: &CycleRecord) -> TriggerOutputs {
-        let ts = self.quantize(record.cycle);
+    ///
+    /// `events` is borrowed (typically from the SoC stepper's scratch
+    /// buffer); nothing is retained past the call, so the streaming hot
+    /// path feeds this with zero per-cycle allocation.
+    #[inline]
+    pub fn on_cycle(&mut self, cycle: u64, events: &[SocEvent]) -> TriggerOutputs {
+        // Fast path: an idle MCDS (nothing configured to trigger or trace)
+        // observes the stream for free — the common case when a device is
+        // fast-forwarded without tracing. A restored sorter backlog still
+        // takes the full path so it keeps draining. Kept small and
+        // `#[inline]` so callers in other crates pay only the check.
+        if self.is_idle() {
+            return TriggerOutputs::default();
+        }
+        self.on_cycle_full(cycle, events)
+    }
+
+    fn on_cycle_full(&mut self, cycle: u64, events: &[SocEvent]) -> TriggerOutputs {
+        let ts = self.quantize(cycle);
 
         // 1. Trigger extraction into the cycle's signal set.
         let mut signals = SignalSet::new();
-        for event in &record.events {
+        for event in events {
             match event {
                 SocEvent::Retire(r) => {
                     if let Some(o) = self.observers.get(r.core.0 as usize) {
@@ -392,7 +441,7 @@ impl Mcds {
         for o in &mut self.observers {
             o.begin_cycle(&signals, ts);
         }
-        for event in &record.events {
+        for event in events {
             match event {
                 SocEvent::Retire(r) => {
                     if let Some(o) = self.observers.get_mut(r.core.0 as usize) {
@@ -461,8 +510,10 @@ impl Mcds {
             self.sorter.push(m);
         }
 
-        // 6. Drain the sink at its bandwidth.
-        if record.cycle.is_multiple_of(self.config.sink_drain_period) {
+        // 6. Drain the sink at its bandwidth. (Period 1 — every cycle —
+        // short-circuits the u64 division out of the hot path.)
+        if self.config.sink_drain_period == 1 || cycle.is_multiple_of(self.config.sink_drain_period)
+        {
             self.sorter.drain_cycle(&mut self.sink);
         }
         outputs
@@ -484,6 +535,7 @@ impl Mcds {
     }
 
     /// Takes the sorted messages drained so far.
+    #[inline]
     pub fn take_messages(&mut self) -> Vec<TimedMessage> {
         std::mem::take(&mut self.sink)
     }
@@ -563,8 +615,8 @@ mod tests {
 
     fn run_with_mcds(soc: &mut Soc, mcds: &mut Mcds, max_cycles: u64) {
         for _ in 0..max_cycles {
-            let record = soc.step();
-            let out = mcds.on_cycle(&record);
+            let (cycle, events) = soc.step_events();
+            let out = mcds.on_cycle(cycle, events);
             for c in out.break_cores {
                 soc.core_mut(c).request_break();
             }
@@ -874,8 +926,7 @@ mod tests {
     #[test]
     fn reconfigure_resets_state() {
         let mut mcds = Mcds::new(always_cfg(1));
-        let record = CycleRecord::new(0);
-        mcds.on_cycle(&record);
+        mcds.on_cycle(0, &[]);
         mcds.reconfigure(always_cfg(2));
         assert_eq!(mcds.stats(), McdsStats::default());
         assert_eq!(mcds.config().cores.len(), 2);
@@ -955,15 +1006,15 @@ mod irq_trace_tests {
         let mut truth = Vec::new();
         let mut irqs = 0;
         for _ in 0..60_000u64 {
-            let rec = soc.step();
-            for e in &rec.events {
+            let (cycle, events) = soc.step_events();
+            for e in events {
                 match e {
                     SocEvent::Retire(r) => truth.push(r.pc),
                     SocEvent::IrqEntry { .. } => irqs += 1,
                     _ => {}
                 }
             }
-            mcds.on_cycle(&rec);
+            mcds.on_cycle(cycle, events);
         }
         assert!(irqs > 20, "{irqs} interrupts");
         mcds.flush(soc.cycle());

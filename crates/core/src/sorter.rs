@@ -218,6 +218,7 @@ impl MessageSorter {
     }
 
     /// Messages currently waiting across all FIFOs.
+    #[inline]
     pub fn backlog(&self) -> usize {
         self.fifos.iter().map(|f| f.len()).sum()
     }

@@ -23,6 +23,7 @@ use mcds_analysis::{
 use mcds_psi::device::{DebugOp, DebugResponse, DeviceError};
 use mcds_soc::asm::Program;
 use mcds_soc::overlay::{OverlayRange, OVERLAY_MAX_BLOCK, OVERLAY_RANGE_COUNT};
+use mcds_soc::sink::FanOut;
 use mcds_soc::soc::memmap;
 use mcds_telemetry::Subsystem;
 use mcds_trace::{
@@ -258,7 +259,13 @@ impl TraceSession {
         lossy: bool,
     ) -> Result<AnalysisOutcome, SessionError> {
         let counters_before = dbg.device().soc().bus_counters().clone();
-        let records = dbg.device_mut().run_until_halt(max_cycles);
+        // The run streams straight into the bus and timeline analyzers —
+        // no Vec<CycleRecord> of the whole run is ever materialised, so
+        // memory stays flat however long the capture window is.
+        let mut bus = BusAnalyzer::new();
+        let mut timeline = TimelineBuilder::new(dbg.device().soc().dma_master());
+        dbg.device_mut()
+            .run_until_halt_into(max_cycles, &mut FanOut::new(&mut bus, &mut timeline));
         let now = dbg.device().soc().cycle();
         let drain_t0 = dbg.device().telemetry().map(|_| Instant::now());
         dbg.device_mut().mcds_mut().flush(now);
@@ -343,12 +350,8 @@ impl TraceSession {
         coverage.add_gaps(resync.gaps + u64::from(resync.tail_lost));
         let coverage = coverage.finish();
 
-        let mut bus = BusAnalyzer::new();
-        bus.observe_all(&records);
         let bus = bus.finish_with_counters(&counters);
 
-        let mut timeline = TimelineBuilder::new(dbg.device().soc().dma_master());
-        timeline.add_records(&records);
         timeline.add_messages(&messages);
         let timeline = timeline.finish();
 

@@ -13,6 +13,7 @@ use crate::debugger::HostError;
 use mcds_psi::Device;
 use mcds_replay::{Checkpoint, CheckpointRing, InputLog};
 use mcds_soc::event::CoreId;
+use mcds_soc::sink::{CycleSink, NullSink};
 use std::fmt;
 
 /// An error from a time-travel operation.
@@ -148,6 +149,13 @@ impl TimeTravel {
     /// events before each step and capturing periodic checkpoints. Does
     /// nothing if `target` is in the past (use [`TimeTravel::seek`]).
     pub fn run_to_cycle(&mut self, target: u64) {
+        self.run_to_cycle_into(target, &mut NullSink);
+    }
+
+    /// Like [`TimeTravel::run_to_cycle`], but streams each stepped cycle's
+    /// events into `sink` — live observation of a checkpointed run without
+    /// materialising records.
+    pub fn run_to_cycle_into<S: CycleSink + ?Sized>(&mut self, target: u64, sink: &mut S) {
         let TimeTravel {
             dev,
             log,
@@ -161,7 +169,7 @@ impl TimeTravel {
             if dev.soc().cycle() >= target {
                 break;
             }
-            dev.step();
+            dev.step_into(sink);
         }
     }
 
@@ -232,7 +240,7 @@ impl TimeTravel {
         } = self;
         while dev.soc().core(core).retired() < target {
             apply_due(dev, log, next_event);
-            dev.step();
+            dev.step_into(&mut NullSink);
         }
         dev.soc_mut().core_mut(core).request_break();
         let mut budget = HALT_BUDGET_CYCLES;
@@ -242,7 +250,7 @@ impl TimeTravel {
             }
             budget -= 1;
             apply_due(dev, log, next_event);
-            dev.step();
+            dev.step_into(&mut NullSink);
             dev.soc_mut().core_mut(core).request_break();
         }
         assert_eq!(
@@ -276,7 +284,7 @@ impl TimeTravel {
             if dev.soc().cycle() >= target {
                 break;
             }
-            dev.step();
+            dev.step_into(&mut NullSink);
         }
     }
 }

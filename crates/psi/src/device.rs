@@ -29,6 +29,7 @@ use mcds_soc::cpu::CoreConfig;
 use mcds_soc::event::{CoreId, CycleRecord};
 use mcds_soc::isa::{MemWidth, Reg};
 use mcds_soc::mem::SegmentRole;
+use mcds_soc::sink::{Collect, CycleSink, NullSink};
 use mcds_soc::soc::{memmap, Soc, SocBuilder, SocState};
 use mcds_telemetry::{Subsystem, Telemetry};
 use std::collections::HashMap;
@@ -723,12 +724,28 @@ impl Device {
             .collect();
     }
 
-    /// Advances the device one SoC cycle: steps the SoC, runs the MCDS,
-    /// applies break/suspend outputs, stores trace, feeds the service-core
-    /// monitors. Returns the cycle's observable events.
-    pub fn step(&mut self) -> CycleRecord {
-        let record = self.soc.step();
-        let outputs = self.mcds.on_cycle(&record);
+    /// Advances the device one SoC cycle on the streaming hot path: steps
+    /// the SoC, runs the MCDS and service-core monitors on the borrowed
+    /// event slice, pushes the same slice into `sink`, applies
+    /// break/suspend outputs and stores trace — all without materialising
+    /// a [`CycleRecord`].
+    ///
+    /// Delivery order within the cycle: MCDS, then service-core monitors,
+    /// then `sink` (so a sink observes a cycle only after the device's own
+    /// observers have).
+    pub fn step_into<S: CycleSink + ?Sized>(&mut self, sink: &mut S) {
+        // Split borrow: soc (scratch events), mcds and service are
+        // disjoint fields, so the borrowed event slice can feed all
+        // observers without a copy.
+        let Device {
+            soc, mcds, service, ..
+        } = self;
+        let (cycle, events) = soc.step_events();
+        let outputs = mcds.on_cycle(cycle, events);
+        if let Some(s) = service.as_mut() {
+            s.observe(cycle, events);
+        }
+        sink.observe(cycle, events);
         for c in outputs.break_cores {
             self.soc.core_mut(c).request_break();
         }
@@ -739,7 +756,7 @@ impl Device {
             self.soc.core_mut(c).set_suspended(false);
         }
         for pin in outputs.trigger_out_pins {
-            self.trigger_out_log.push((record.cycle, pin));
+            self.trigger_out_log.push((cycle, pin));
         }
         let messages = self.mcds.take_messages();
         if !messages.is_empty() {
@@ -757,35 +774,68 @@ impl Device {
             if let (Some(t0), Some(tel)) = (span_t0, self.telemetry.as_ref()) {
                 tel.handle.spans().record(
                     Subsystem::TraceEncode,
-                    record.cycle,
-                    record.cycle,
+                    cycle,
+                    cycle,
                     t0.elapsed().as_nanos() as u64,
                 );
             }
         }
-        if let Some(s) = self.service.as_mut() {
-            s.observe(&record);
-        }
-        record
     }
 
-    /// Steps `n` cycles, discarding records.
+    /// Advances the device one SoC cycle and returns the cycle's observable
+    /// events as an owned record (legacy batch wrapper over
+    /// [`Device::step_into`]; allocates per cycle).
+    pub fn step(&mut self) -> CycleRecord {
+        let mut collect = Collect::new();
+        self.step_into(&mut collect);
+        collect
+            .records
+            .pop()
+            .expect("step_into observes exactly one cycle")
+    }
+
+    /// Steps `n` cycles, discarding events (streams into [`NullSink`]; no
+    /// per-cycle records are allocated).
     pub fn run_cycles(&mut self, n: u64) {
+        // With an idle MCDS and no service processor, every per-cycle
+        // device-layer action is provably a no-op for the whole run (the
+        // idle flag cannot change inside a stepping loop), so the
+        // fast-forward runs at bare-SoC speed.
+        if self.mcds.is_idle() && self.service.is_none() {
+            self.soc.run_cycles(n);
+            return;
+        }
+        let mut sink = NullSink;
         for _ in 0..n {
-            self.step();
+            self.step_into(&mut sink);
         }
     }
 
-    /// Steps until all cores halt or `max_cycles` pass; returns the records.
-    pub fn run_until_halt(&mut self, max_cycles: u64) -> Vec<CycleRecord> {
-        let mut out = Vec::new();
-        for _ in 0..max_cycles {
-            out.push(self.step());
+    /// Steps until all cores halt or `max_cycles` pass, streaming each
+    /// cycle's events into `sink`; returns the number of cycles stepped.
+    /// Memory use is the sink's choice — long supervised runs should pass
+    /// [`NullSink`] or a bounded observer rather than collecting.
+    pub fn run_until_halt_into<S: CycleSink + ?Sized>(
+        &mut self,
+        max_cycles: u64,
+        sink: &mut S,
+    ) -> u64 {
+        for stepped in 0..max_cycles {
+            self.step_into(sink);
             if self.soc.cores().all(|c| c.is_halted()) {
-                break;
+                return stepped + 1;
             }
         }
-        out
+        max_cycles
+    }
+
+    /// Steps until all cores halt or `max_cycles` pass; returns the records
+    /// (legacy batch wrapper over [`Device::run_until_halt_into`] +
+    /// [`Collect`]; memory grows with run length).
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> Vec<CycleRecord> {
+        let mut collect = Collect::new();
+        self.run_until_halt_into(max_cycles, &mut collect);
+        collect.into_records()
     }
 
     /// Lets `cycles` of simulated time pass. If the whole system is
@@ -810,7 +860,7 @@ impl Device {
         let span_t0 = self.telemetry.as_ref().map(|_| Instant::now());
         self.soc.debug_request(request);
         loop {
-            self.step();
+            self.step_into(&mut NullSink);
             if let Some(c) = self.soc.take_debug_completion() {
                 if let (Some(t0), Some(tel)) = (span_t0, self.telemetry.as_ref()) {
                     tel.handle.spans().record(
@@ -881,7 +931,7 @@ impl Device {
                     if self.soc.core(core).is_halted() {
                         return Ok(DebugResponse::Ack);
                     }
-                    self.step();
+                    self.step_into(&mut NullSink);
                 }
                 Err(DeviceError::CoreUnresponsive(core))
             }
@@ -900,7 +950,7 @@ impl Device {
                     if self.soc.core(core).is_halted() {
                         return Ok(DebugResponse::Ack);
                     }
-                    self.step();
+                    self.step_into(&mut NullSink);
                 }
                 Err(DeviceError::CoreUnresponsive(core))
             }

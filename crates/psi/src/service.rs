@@ -13,7 +13,8 @@
 
 use crate::interface::InterfaceKind;
 use mcds_soc::bus::AddrRange;
-use mcds_soc::event::{CycleRecord, SocEvent};
+use mcds_soc::event::SocEvent;
+use mcds_soc::sink::CycleSink;
 
 /// Driver overhead in service-processor cycles per command, by link.
 pub fn command_overhead_cycles(kind: InterfaceKind) -> u64 {
@@ -70,13 +71,13 @@ impl PerfMonitor {
         self.enabled
     }
 
-    /// Observes one cycle.
-    pub fn observe(&mut self, record: &CycleRecord) {
+    /// Observes one cycle's events (borrowed; nothing retained).
+    pub fn observe(&mut self, _cycle: u64, events: &[SocEvent]) {
         if !self.enabled {
             return;
         }
         self.cycles += 1;
-        for e in &record.events {
+        for e in events {
             match e {
                 SocEvent::Retire(r) => {
                     if let Some(n) = self.retired.get_mut(r.core.0 as usize) {
@@ -107,6 +108,12 @@ impl PerfMonitor {
         let enabled = self.enabled;
         *self = PerfMonitor::new(cores);
         self.enabled = enabled;
+    }
+}
+
+impl CycleSink for PerfMonitor {
+    fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
+        PerfMonitor::observe(self, cycle, events);
     }
 }
 
@@ -153,11 +160,11 @@ impl ConsistencyChecker {
     }
 
     /// Observes one cycle's bus traffic.
-    pub fn observe(&mut self, record: &CycleRecord) {
+    pub fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
         if self.rules.is_empty() {
             return;
         }
-        for e in &record.events {
+        for e in events {
             if let SocEvent::Bus(x) = e {
                 if !x.kind.is_write() {
                     continue;
@@ -165,7 +172,7 @@ impl ConsistencyChecker {
                 for r in &self.rules {
                     if r.range.contains(x.addr) && !(r.min..=r.max).contains(&x.data) {
                         self.violations.push(Violation {
-                            cycle: record.cycle,
+                            cycle,
                             addr: x.addr,
                             value: x.data,
                         });
@@ -183,6 +190,12 @@ impl ConsistencyChecker {
     /// Clears recorded violations (rules kept).
     pub fn clear(&mut self) {
         self.violations.clear();
+    }
+}
+
+impl CycleSink for ConsistencyChecker {
+    fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
+        ConsistencyChecker::observe(self, cycle, events);
     }
 }
 
@@ -242,9 +255,9 @@ impl ServiceProcessor {
     }
 
     /// Observes one cycle (monitor programs).
-    pub fn observe(&mut self, record: &CycleRecord) {
-        self.perf.observe(record);
-        self.checker.observe(record);
+    pub fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
+        self.perf.observe(cycle, events);
+        self.checker.observe(cycle, events);
     }
 
     /// Accounts one processed command over `kind`; returns its overhead in
@@ -304,16 +317,18 @@ impl ServiceProcessor {
     }
 }
 
+impl CycleSink for ServiceProcessor {
+    fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
+        ServiceProcessor::observe(self, cycle, events);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mcds_soc::bus::{BusXact, MasterId, XferKind};
     use mcds_soc::event::{CoreId, RetireEvent};
     use mcds_soc::isa::{Instr, MemWidth};
-
-    fn record_with(cycle: u64, events: Vec<SocEvent>) -> CycleRecord {
-        CycleRecord { cycle, events }
-    }
 
     fn retire(core: u8) -> SocEvent {
         SocEvent::Retire(RetireEvent {
@@ -339,11 +354,11 @@ mod tests {
     #[test]
     fn perf_monitor_counts_when_enabled() {
         let mut p = PerfMonitor::new(2);
-        p.observe(&record_with(0, vec![retire(0)]));
+        p.observe(0, &[retire(0)]);
         assert_eq!(p.snapshot().retired, vec![0, 0], "disabled: ignores events");
         p.set_enabled(true);
-        p.observe(&record_with(1, vec![retire(0), retire(1), write(0x10, 1)]));
-        p.observe(&record_with(2, vec![retire(0)]));
+        p.observe(1, &[retire(0), retire(1), write(0x10, 1)]);
+        p.observe(2, &[retire(0)]);
         let s = p.snapshot();
         assert_eq!(s.cycles, 2);
         assert_eq!(s.retired, vec![2, 1]);
@@ -362,9 +377,9 @@ mod tests {
             min: 10,
             max: 100,
         });
-        c.observe(&record_with(5, vec![write(0x1004, 50)]));
-        c.observe(&record_with(6, vec![write(0x1004, 101)]));
-        c.observe(&record_with(7, vec![write(0x2000, 999)])); // outside range
+        c.observe(5, &[write(0x1004, 50)]);
+        c.observe(6, &[write(0x1004, 101)]);
+        c.observe(7, &[write(0x2000, 999)]); // outside range
         assert_eq!(
             c.violations(),
             &[Violation {

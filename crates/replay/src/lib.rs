@@ -60,5 +60,5 @@ pub mod snapshot;
 
 pub use checkpoint::{Checkpoint, CheckpointRing};
 pub use hash::{device_state_hash, extend_fnv1a64, fnv1a64, trace_bytes};
-pub use log::{run_with_events, InputEvent, InputLog, Replayer};
+pub use log::{run_with_events, run_with_events_into, InputEvent, InputLog, Replayer};
 pub use snapshot::{Component, DeltaOp, Payload, SocSnapshot, SNAPSHOT_VERSION};

@@ -16,6 +16,7 @@
 //! `cycle >= C` and skips the rest.
 
 use mcds_psi::{DebugOp, Device, FaultPlan, InterfaceKind};
+use mcds_soc::sink::{CycleSink, NullSink};
 use mcds_workloads::stimulus::Profile;
 
 /// One recorded nondeterministic input.
@@ -217,13 +218,29 @@ impl<'a> Replayer<'a> {
 
 /// Steps `dev` forward to `until` cycles, applying due log events before
 /// each step (the canonical record/replay driver loop). Stops early if a
-/// replayed debug command overshoots `until`.
+/// replayed debug command overshoots `until`. Streams nothing — a
+/// replayed run is fully determined by the log, so observation is
+/// optional; use [`run_with_events_into`] to watch it live.
 pub fn run_with_events(dev: &mut Device, replayer: &mut Replayer<'_>, until: u64) {
+    run_with_events_into(dev, replayer, until, &mut NullSink);
+}
+
+/// Like [`run_with_events`], but pushes each stepped cycle's events into
+/// `sink`, so a replayed run can be observed live (analyzers, timelines)
+/// without materialising records. Cycles advanced inside replayed debug
+/// commands are internal to the device and are not streamed — the sink
+/// sees exactly the cycles this driver loop steps.
+pub fn run_with_events_into<S: CycleSink + ?Sized>(
+    dev: &mut Device,
+    replayer: &mut Replayer<'_>,
+    until: u64,
+    sink: &mut S,
+) {
     while dev.soc().cycle() < until {
         replayer.apply_due(dev);
         if dev.soc().cycle() >= until {
             break;
         }
-        dev.step();
+        dev.step_into(sink);
     }
 }

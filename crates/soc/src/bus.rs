@@ -484,12 +484,14 @@ impl<T: BusTarget> Bus<T> {
             return;
         }
         let n = self.pending.len();
-        let order: Vec<usize> = if self.round_robin {
-            (0..n).map(|i| (self.rr_next + i) % n).collect()
-        } else {
-            (0..n).collect()
-        };
-        for i in order {
+        // Walk the masters in arbitration order without materialising it:
+        // round-robin starts at rr_next and wraps; fixed priority is 0..n.
+        for k in 0..n {
+            let i = if self.round_robin {
+                (self.rr_next + k) % n
+            } else {
+                k
+            };
             if let Some(request) = self.pending[i].take() {
                 if self.round_robin {
                     self.rr_next = (i + 1) % n;

@@ -278,7 +278,9 @@ impl Cpu {
     /// True if the core should be ticked on SoC cycle `cycle` (clock divider
     /// gating only — run state and suspend are checked inside `tick`).
     pub fn clock_enabled(&self, cycle: u64) -> bool {
-        cycle.is_multiple_of(self.config.clock_div as u64)
+        // Divider 1 (the overwhelmingly common case) short-circuits the
+        // u64 division out of the per-cycle hot path.
+        self.config.clock_div <= 1 || cycle.is_multiple_of(self.config.clock_div as u64)
     }
 
     /// Advances the core by one of its clock cycles, pushing any observable

@@ -22,7 +22,9 @@
 //! * [`overlay`] — the 16-range address-mapping block with dual atomic
 //!   calibration pages and flash-matched overlay timing;
 //! * [`periph`] — system timer, sensor/actuator ports and trigger pins;
-//! * [`soc`] — the assembled device and its per-cycle event stream.
+//! * [`soc`] — the assembled device and its per-cycle event stream;
+//! * [`sink`] — the push-based streaming observation pipeline
+//!   ([`CycleSink`] and its combinators) that `Soc::step_into` feeds.
 //!
 //! ## Example
 //!
@@ -59,6 +61,7 @@ pub mod isa;
 pub mod mem;
 pub mod overlay;
 pub mod periph;
+pub mod sink;
 pub mod soc;
 
 pub use bus::{
@@ -67,4 +70,5 @@ pub use bus::{
 pub use cpu::{CoreConfig, Cpu, RunState};
 pub use event::{CoreId, CycleRecord, MemAccessInfo, RetireEvent, SocEvent, StopCause};
 pub use isa::{Instr, MemWidth, Reg};
+pub use sink::{Collect, CountSink, CycleSink, FanOut, NullSink};
 pub use soc::{memmap, BackdoorError, Soc, SocBuilder};

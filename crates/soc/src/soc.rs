@@ -17,6 +17,7 @@ use crate::isa::MemWidth;
 use crate::mem::{EmulationRam, Flash, SegmentRole, Sram};
 use crate::overlay::{OverlayMapper, OverlayState};
 use crate::periph::{PeriphBlock, PeriphState};
+use crate::sink::{Collect, CycleSink, NullSink};
 
 /// Memory-map constants of the modelled TC1796-class device.
 pub mod memmap {
@@ -477,6 +478,7 @@ impl SocBuilder {
             debug_completion: None,
             prev_trig_in: 0,
             dma,
+            scratch: Vec::with_capacity(16),
         }
     }
 }
@@ -532,6 +534,9 @@ pub struct Soc {
     debug_completion: Option<BusCompletion>,
     prev_trig_in: u32,
     dma: Option<DmaEngine>,
+    /// Reused per-cycle event buffer for the streaming hot path. Always
+    /// empty between steps; never serialized (it is pure scratch).
+    scratch: Vec<SocEvent>,
 }
 
 impl std::fmt::Debug for Soc {
@@ -888,10 +893,18 @@ impl Soc {
         self.cycle += cycles;
     }
 
-    /// Advances the SoC by one cycle and returns its observable events.
-    pub fn step(&mut self) -> CycleRecord {
+    /// Advances the SoC by one cycle, filling the internal scratch buffer
+    /// with the cycle's observable events, and returns the stepped cycle
+    /// number plus a view of those events.
+    ///
+    /// This is the allocation-free heart of the observation pipeline:
+    /// the scratch buffer is cleared and refilled in place, so steady-state
+    /// stepping performs no per-cycle heap allocation. The returned slice
+    /// is invalidated by the next step — copy what must be kept.
+    pub fn step_events(&mut self) -> (u64, &[SocEvent]) {
+        let mut events = std::mem::take(&mut self.scratch);
+        events.clear();
         let now = self.cycle;
-        let mut record = CycleRecord::new(now);
         if let Some(c) = self.bus.step(now) {
             if c.master == self.debug_master {
                 self.debug_completion = Some(c);
@@ -902,34 +915,44 @@ impl Soc {
             }
         }
         if let Some(x) = self.bus.last_xact() {
-            record.events.push(SocEvent::Bus(x));
+            events.push(SocEvent::Bus(x));
         }
-        // Surface external trigger-in edges.
-        let level = self.periph().trigger_in();
+        // One peripheral-block lookup per cycle: read the trigger pins,
+        // advance the timer, sample the IRQ level and pick up any DMA
+        // command together.
+        let has_dma = self.dma.is_some();
+        let (level, irq, dma_start) = {
+            let periph = self.periph_mut();
+            let level = periph.trigger_in();
+            periph.timer_tick(now);
+            let dma_start = if has_dma {
+                periph.take_dma_start()
+            } else {
+                None
+            };
+            (level, periph.irq_pending(), dma_start)
+        };
+        // Surface external trigger-in edges: walk only the changed lines
+        // (set bits of the XOR mask), lowest line first.
         if level != self.prev_trig_in {
-            for line in 0..32 {
-                let bit = 1u32 << line;
-                if (level ^ self.prev_trig_in) & bit != 0 {
-                    record.events.push(SocEvent::TriggerIn {
-                        line: line as u8,
-                        level: level & bit != 0,
-                    });
-                }
+            let mut changed = level ^ self.prev_trig_in;
+            while changed != 0 {
+                let line = changed.trailing_zeros();
+                changed &= changed - 1;
+                events.push(SocEvent::TriggerIn {
+                    line: line as u8,
+                    level: level & (1 << line) != 0,
+                });
             }
             self.prev_trig_in = level;
         }
-        // Advance the peripheral timer and drive the cores' IRQ lines.
-        {
-            let periph = self.periph_mut();
-            periph.timer_tick(now);
-            let irq = periph.irq_pending();
-            for i in 0..self.cores.len() {
-                self.cores[i].set_irq_line(irq);
-            }
+        // Drive the cores' IRQ lines.
+        for core in self.cores.iter_mut() {
+            core.set_irq_line(irq);
         }
-        // Pick up DMA commands and advance the engine.
-        if self.dma.is_some() {
-            if let Some((src, dst, len)) = self.periph_mut().take_dma_start() {
+        // Apply any DMA command and advance the engine.
+        if has_dma {
+            if let Some((src, dst, len)) = dma_start {
                 self.dma.as_mut().expect("checked").start(src, dst, len);
             }
             let Soc { dma, bus, .. } = self;
@@ -940,32 +963,70 @@ impl Soc {
         let Soc { cores, bus, .. } = self;
         for core in cores.iter_mut() {
             if core.clock_enabled(now) {
-                core.tick(bus, now, &mut record.events);
+                core.tick(bus, now, &mut events);
             }
         }
         self.cycle += 1;
-        record
+        self.scratch = events;
+        (now, &self.scratch)
+    }
+
+    /// Advances the SoC by one cycle, pushing the cycle's observable
+    /// events into `sink` (the streaming hot path — zero heap allocations
+    /// per cycle at steady state).
+    #[inline]
+    pub fn step_into<S: CycleSink + ?Sized>(&mut self, sink: &mut S) {
+        let (cycle, events) = self.step_events();
+        sink.observe(cycle, events);
+    }
+
+    /// Advances the SoC by one cycle and returns its observable events as
+    /// an owned [`CycleRecord`] (legacy batch API; allocates per cycle —
+    /// prefer [`Soc::step_into`] on hot paths).
+    pub fn step(&mut self) -> CycleRecord {
+        let (cycle, events) = self.step_events();
+        CycleRecord {
+            cycle,
+            events: events.to_vec(),
+        }
     }
 
     /// Steps `n` cycles, discarding events (fast-forward for tests and
-    /// benches that do not trace).
+    /// benches that do not trace). Routed through [`NullSink`], so no
+    /// per-cycle records are allocated.
     pub fn run_cycles(&mut self, n: u64) {
+        let mut sink = NullSink;
         for _ in 0..n {
-            self.step();
+            self.step_into(&mut sink);
         }
     }
 
-    /// Steps until every core is halted or `max_cycles` elapse; returns the
-    /// collected records.
-    pub fn run_until_halt(&mut self, max_cycles: u64) -> Vec<CycleRecord> {
-        let mut out = Vec::new();
-        for _ in 0..max_cycles {
-            out.push(self.step());
+    /// Steps until every core is halted or `max_cycles` elapse, streaming
+    /// each cycle's events into `sink`. Returns the number of cycles
+    /// stepped. Memory use is the sink's choice — [`NullSink`] keeps a
+    /// multi-billion-cycle run flat.
+    pub fn run_until_halt_into<S: CycleSink + ?Sized>(
+        &mut self,
+        max_cycles: u64,
+        sink: &mut S,
+    ) -> u64 {
+        for stepped in 0..max_cycles {
+            self.step_into(sink);
             if self.cores.iter().all(|c| c.is_halted()) {
-                break;
+                return stepped + 1;
             }
         }
-        out
+        max_cycles
+    }
+
+    /// Steps until every core is halted or `max_cycles` elapse; returns the
+    /// collected records (legacy batch wrapper over
+    /// [`Soc::run_until_halt_into`] + [`Collect`]; memory grows with run
+    /// length).
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> Vec<CycleRecord> {
+        let mut collect = Collect::new();
+        self.run_until_halt_into(max_cycles, &mut collect);
+        collect.into_records()
     }
 
     /// Performs a debug-master read, stepping the SoC until it completes.

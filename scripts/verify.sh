@@ -33,7 +33,12 @@ for metric in mcds_sim_cycles_total mcds_bus_busy_cycles_total \
   grep -q "\"$metric\"" target/analysis/t10_telemetry.json \
     || { echo "missing $metric in t10_telemetry.json"; exit 1; }
 done
-for t in t7 t8 t9; do
+# Streaming-pipeline smoke: the push-based observation path must beat the
+# legacy allocate-and-collect path by >=2x cycles/s (asserted in-bench),
+# with flat memory on the long streamed run.
+cargo run --release -q -p mcds-bench --bin t11_streaming -- --smoke
+
+for t in t7 t8 t9 t11; do
   test -s "target/analysis/${t}_telemetry.json" \
     || { echo "missing ${t}_telemetry.json"; exit 1; }
 done

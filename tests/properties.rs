@@ -463,7 +463,7 @@ proptest! {
             for r in record.retires() {
                 truth.push(r.pc);
             }
-            mcds.on_cycle(&record);
+            mcds.on_cycle(record.cycle, &record.events);
             if soc.core(CoreId(0)).is_halted() {
                 break;
             }

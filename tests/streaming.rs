@@ -1,0 +1,199 @@
+//! Stream/batch equivalence properties for the push-based observation
+//! pipeline: stepping a device through `step_into(Collect)` must be
+//! bit-identical to the legacy `step()` loop — same event stream, same
+//! encoded and decoded trace stream, same device state hash and same
+//! snapshot hash — and the `run_cycles` fast-forward must land on exactly
+//! the state the per-cycle path lands on.
+
+use mcds::observer::{CoreTraceConfig, TraceQualifier};
+use mcds::McdsConfig;
+use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
+use mcds_replay::{device_state_hash, SocSnapshot};
+use mcds_soc::asm::assemble;
+use mcds_soc::cpu::CoreConfig;
+use mcds_soc::event::{CoreId, CycleRecord};
+use mcds_soc::sink::{Collect, NullSink};
+use mcds_soc::soc::SocBuilder;
+use mcds_trace::StreamDecoder;
+use proptest::prelude::*;
+
+/// A loop with a data-dependent inner conditional — the branch pattern
+/// varies with `iterations` and `stride`, exercising retires, taken and
+/// not-taken branches, and bus traffic.
+fn loop_source(iterations: u32, stride: u32) -> String {
+    format!(
+        "
+        .org 0x80000000
+        start:
+            li r1, {iterations}
+            li r3, 0
+        loop:
+            addi r3, r3, {stride}
+            andi r4, r3, 4
+            beq r4, r0, even
+            addi r5, r5, 1
+        even:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        "
+    )
+}
+
+/// A tracing development device running the loop program.
+fn traced_device(src: &str, history_mode: bool, sync_period: u32) -> Device {
+    let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+        .core(CoreConfig {
+            reset_pc: 0x8000_0000,
+            clock_div: 1,
+            ..Default::default()
+        })
+        .mcds(McdsConfig {
+            cores: vec![CoreTraceConfig {
+                program_trace: TraceQualifier::Always,
+                ..Default::default()
+            }],
+            history_mode,
+            sync_period,
+            fifo_depth: 1 << 12,
+            sink_bandwidth: 16,
+            ..Default::default()
+        })
+        .build();
+    dev.soc_mut()
+        .load_program(&assemble(src).expect("assembles"));
+    dev
+}
+
+/// Encoded trace bytes currently stored in the device's trace memory.
+fn sink_bytes(dev: &Device) -> Vec<u8> {
+    let emem = dev
+        .soc()
+        .mapper()
+        .emem()
+        .expect("development device has emulation RAM");
+    dev.sink().read_back(emem)
+}
+
+proptest! {
+    // Each case runs two full device simulations.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole equivalence: a traced run stepped through
+    /// `step_into(Collect)` produces a bit-identical event stream, the
+    /// same encoded (and therefore decoded) trace stream, the same
+    /// device state hash and the same snapshot hash as the legacy
+    /// `step()` loop.
+    #[test]
+    fn streamed_device_run_is_bit_identical_to_batch(
+        iterations in 1u32..120,
+        stride in 1u32..5,
+        history_mode in any::<bool>(),
+        sync_period in 1u32..64,
+    ) {
+        let src = loop_source(iterations, stride);
+        let mut batch = traced_device(&src, history_mode, sync_period);
+        let mut streamed = traced_device(&src, history_mode, sync_period);
+
+        // Legacy path: one owned record per cycle, until halt.
+        let mut batch_records: Vec<CycleRecord> = Vec::new();
+        for _ in 0..2_000_000u64 {
+            batch_records.push(batch.step());
+            if batch.soc().core(CoreId(0)).is_halted() {
+                break;
+            }
+        }
+        prop_assert!(batch.soc().core(CoreId(0)).is_halted());
+
+        // Streamed path: the same number of cycles into a Collect sink.
+        let mut collect = Collect::new();
+        for _ in 0..batch_records.len() {
+            streamed.step_into(&mut collect);
+        }
+
+        // Bit-identical event stream.
+        prop_assert_eq!(&batch_records, &collect.records);
+        // Identical encoded trace stream, and it decodes identically.
+        let batch_bytes = sink_bytes(&batch);
+        let streamed_bytes = sink_bytes(&streamed);
+        prop_assert_eq!(&batch_bytes, &streamed_bytes);
+        let batch_msgs = StreamDecoder::new(batch_bytes).collect_all().expect("decodes");
+        let streamed_msgs = StreamDecoder::new(streamed_bytes).collect_all().expect("decodes");
+        prop_assert_eq!(batch_msgs, streamed_msgs);
+        // Identical device state and snapshot hashes.
+        prop_assert_eq!(device_state_hash(&batch), device_state_hash(&streamed));
+        prop_assert_eq!(
+            SocSnapshot::capture(&batch).state_hash(),
+            SocSnapshot::capture(&streamed).state_hash()
+        );
+    }
+
+    /// The same equivalence at the bare-SoC layer, independent of any
+    /// MCDS or device wrapping.
+    #[test]
+    fn streamed_soc_run_is_bit_identical_to_batch(
+        iterations in 1u32..120,
+        stride in 1u32..5,
+    ) {
+        let program = assemble(&loop_source(iterations, stride)).expect("assembles");
+        let mut batch = SocBuilder::new().cores(1).build();
+        let mut streamed = SocBuilder::new().cores(1).build();
+        batch.load_program(&program);
+        streamed.load_program(&program);
+
+        let mut batch_records: Vec<CycleRecord> = Vec::new();
+        for _ in 0..2_000_000u64 {
+            batch_records.push(batch.step());
+            if batch.core(CoreId(0)).is_halted() {
+                break;
+            }
+        }
+        prop_assert!(batch.core(CoreId(0)).is_halted());
+
+        let mut collect = Collect::new();
+        for _ in 0..batch_records.len() {
+            streamed.step_into(&mut collect);
+        }
+
+        prop_assert_eq!(&batch_records, &collect.records);
+        prop_assert_eq!(batch.cycle(), streamed.cycle());
+        for r in 0..16 {
+            prop_assert_eq!(
+                batch.core(CoreId(0)).reg(mcds_soc::isa::Reg::new(r)),
+                streamed.core(CoreId(0)).reg(mcds_soc::isa::Reg::new(r))
+            );
+        }
+    }
+
+    /// The `run_cycles` fast-forward (which may skip the per-cycle
+    /// device-layer ceremony when the MCDS is provably idle) lands on
+    /// exactly the state of the per-cycle streamed path.
+    #[test]
+    fn run_cycles_fast_path_matches_per_cycle_stepping(
+        iterations in 1u32..120,
+        stride in 1u32..5,
+        cycles in 1u64..4000,
+    ) {
+        let src = loop_source(iterations, stride);
+        let build = || {
+            let mut dev = DeviceBuilder::new(DeviceVariant::Production)
+                .core(CoreConfig {
+                    reset_pc: 0x8000_0000,
+                    clock_div: 1,
+                    ..Default::default()
+                })
+                .build();
+            dev.soc_mut()
+                .load_program(&assemble(&src).expect("assembles"));
+            dev
+        };
+        let mut fast = build();
+        let mut slow = build();
+        fast.run_cycles(cycles);
+        for _ in 0..cycles {
+            slow.step_into(&mut NullSink);
+        }
+        prop_assert_eq!(fast.soc().cycle(), slow.soc().cycle());
+        prop_assert_eq!(device_state_hash(&fast), device_state_hash(&slow));
+    }
+}
