@@ -1,0 +1,154 @@
+//! Experiment T12 — the coverage-guided fault campaign engine, end to end.
+//!
+//! The paper's debug infrastructure exists so that rare concurrency and
+//! link-robustness failures become observable and *reproducible*. T12
+//! exercises the whole loop on top of the real stack:
+//!
+//! * **T12a** — a seeded campaign (randomized workloads, link fault
+//!   schedules, trigger perturbations, debug bursts) runs on a worker
+//!   pool; the max-merged coverage frontier must grow and the corpus
+//!   must accumulate frontier-expanding scenarios;
+//! * **T12b** — robustness under injected faults: at least one scenario
+//!   that suffered link faults must still complete and converge on
+//!   replay (a *recovered* fault scenario);
+//! * **T12c** — a planted invariant breaker (the unlocked read-modify-
+//!   write race workload) must be caught, auto-shrunk, serialized to a
+//!   [`mcds_replay::ReproArtifact`] on disk, and replay bit-identically
+//!   from that artifact — twice.
+//!
+//! Run with `--smoke` for a short CI-friendly pass.
+
+use mcds_bench::{print_table, write_telemetry_artifacts, BenchArgs};
+use mcds_campaign::{replay_repro, Campaign, CampaignConfig, Scenario, Workload};
+use mcds_replay::ReproArtifact;
+use mcds_telemetry::Telemetry;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse("target/analysis");
+    let config = CampaignConfig {
+        seed: 0xCAFE_D00D,
+        rounds: args.scale(6, 3),
+        batch: args.scale(24, 8),
+        ..CampaignConfig::default()
+    };
+
+    let tel = Telemetry::new();
+    let mut campaign = Campaign::new(config.clone());
+    campaign.attach_telemetry(tel.clone());
+
+    // T12c: plant a known invariant breaker among the random scenarios.
+    let mut planted = Scenario::generate(0x10AD);
+    planted.workload = Workload::RaceBuggy;
+    planted.cycles = 60_000;
+    campaign.plant(planted);
+
+    let start = Instant::now();
+    let report = campaign.run();
+    let wall = start.elapsed().as_secs_f64();
+
+    // --- T12a: frontier growth. -----------------------------------------
+    print_table(
+        &format!(
+            "T12a: campaign seed {:#x}, {} rounds x {} scenarios, {} workers ({:.2} s)",
+            config.seed, config.rounds, config.batch, config.workers, wall
+        ),
+        &[
+            "round",
+            "execs",
+            "corpus",
+            "frontier instr",
+            "frontier arcs",
+            "failures",
+        ],
+        &report
+            .rounds
+            .iter()
+            .map(|r| {
+                vec![
+                    r.round.to_string(),
+                    r.execs.to_string(),
+                    r.corpus.to_string(),
+                    r.frontier_instructions.to_string(),
+                    r.frontier_arcs.to_string(),
+                    r.failures.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        report.worker_errors.is_empty(),
+        "{:?}",
+        report.worker_errors
+    );
+    assert_eq!(
+        report.execs,
+        (config.rounds * config.batch) as u64,
+        "every scheduled scenario must execute"
+    );
+    let first = report.rounds.first().expect("at least one round");
+    let last = report.rounds.last().expect("at least one round");
+    assert!(
+        report
+            .rounds
+            .windows(2)
+            .all(|w| w[1].frontier_instructions >= w[0].frontier_instructions
+                && w[1].frontier_arcs >= w[0].frontier_arcs),
+        "the coverage frontier is monotone under max-merge"
+    );
+    assert!(
+        last.frontier_instructions > 0 && last.frontier_instructions >= first.frontier_instructions,
+        "the frontier must grow from nothing to real coverage"
+    );
+    assert!(
+        !report.corpus_fingerprints.is_empty(),
+        "frontier growth must admit scenarios into the corpus"
+    );
+
+    // --- T12b: fault recovery. ------------------------------------------
+    println!(
+        "T12b: {} scenario(s) completed and converged despite injected link faults",
+        report.recovered_fault_scenarios
+    );
+    assert!(
+        report.recovered_fault_scenarios >= 1,
+        "at least one faulted scenario must recover"
+    );
+
+    // --- T12c: planted breaker -> shrunk on-disk repro. ------------------
+    let race = report
+        .failures
+        .iter()
+        .find(|f| f.kind == "invariant")
+        .expect("the planted race must be distilled into a failure");
+    println!(
+        "T12c: \"{}\" shrunk {} -> {} cycles, {} -> {} events in {} attempts",
+        race.detail,
+        race.stats.from_cycles,
+        race.stats.to_cycles,
+        race.stats.from_events,
+        race.stats.to_events,
+        race.stats.attempts
+    );
+    let repro_path = Path::new(&args.out_dir).join("t12_repro_race.json");
+    race.artifact.save(&repro_path).expect("repro serializes");
+    let loaded = ReproArtifact::load(&repro_path).expect("repro loads");
+    let h1 = replay_repro(&loaded).expect("first replay");
+    let h2 = replay_repro(&loaded).expect("second replay");
+    assert_eq!(h1, h2, "repro replay must be deterministic");
+    assert_eq!(
+        h1, loaded.expected_state_hash,
+        "replayed state must be bit-identical to the state recorded at shrink time"
+    );
+
+    let json_path = write_telemetry_artifacts(&args, "t12", &tel);
+    println!(
+        "\nT12: {} execs, {} distilled failure(s), {} recovered fault scenario(s); \
+         repro at {} replays bit-identically ({json_path}).",
+        report.execs,
+        report.failures.len(),
+        report.recovered_fault_scenarios,
+        repro_path.display()
+    );
+}

@@ -235,23 +235,35 @@ fn main() {
     );
 
     // --- T9d: seek via checkpoints vs re-execution from reset. ----------
+    // Best-of-3 on both paths: single-sample wall times are noisy on
+    // loaded CI hosts and this is a ratio of two of them.
     let target = run_cycles * 3 / 4 + 1017;
-    let start = Instant::now();
-    tt.seek(target).expect("target within recorded history");
-    let seek_wall = start.elapsed().as_secs_f64();
-    assert_eq!(tt.cycle(), target);
-    let seek_hash = device_state_hash(tt.device());
+    let mut seek_wall = f64::MAX;
+    let mut seek_hash = 0;
+    for _ in 0..3 {
+        // Reposition past the target so the backward seek always takes
+        // the checkpoint-restore path (forward seeks run incrementally).
+        tt.run_to_cycle(run_cycles);
+        let start = Instant::now();
+        tt.seek(target).expect("target within recorded history");
+        seek_wall = seek_wall.min(start.elapsed().as_secs_f64());
+        assert_eq!(tt.cycle(), target);
+        seek_hash = device_state_hash(tt.device());
+    }
 
-    let mut from_reset = gearbox_device();
-    let mut rep = Replayer::new(&log);
-    let start = Instant::now();
-    mcds_replay::run_with_events(&mut from_reset, &mut rep, target);
-    let reset_wall = start.elapsed().as_secs_f64();
-    assert_eq!(
-        device_state_hash(&from_reset),
-        seek_hash,
-        "seek and from-reset replay must agree"
-    );
+    let mut reset_wall = f64::MAX;
+    for _ in 0..3 {
+        let mut from_reset = gearbox_device();
+        let mut rep = Replayer::new(&log);
+        let start = Instant::now();
+        mcds_replay::run_with_events(&mut from_reset, &mut rep, target);
+        reset_wall = reset_wall.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            device_state_hash(&from_reset),
+            seek_hash,
+            "seek and from-reset replay must agree"
+        );
+    }
     let speedup = reset_wall / seek_wall.max(1e-9);
     print_table(
         &format!("T9d: seek to cycle {target}"),

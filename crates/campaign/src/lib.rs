@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # mcds-campaign — coverage-guided fault campaigns with replay-based
+//! repro shrinking
+//!
+//! The debug infrastructure this workspace reproduces (Mayer et al., DATE
+//! 2005) exists to make rare concurrency and link-robustness failures
+//! observable. This crate turns the whole stack into a *campaign engine*
+//! that hunts for such failures automatically:
+//!
+//! * [`scenario`] — seeded randomized scenarios: a powertrain workload, a
+//!   cycle budget, sensor stimulus, link fault schedules
+//!   ([`mcds_psi::FaultPlan`]), trigger perturbations and XCP-style debug
+//!   bursts, compiled into a replayable [`mcds_replay::InputLog`];
+//! * [`runner`] — deterministic execution + triage: run, harvest coverage
+//!   through the real (lossy) trace path, check workload invariants,
+//!   verify record/replay convergence, catch panics;
+//! * [`driver`] — the feedback loop: parallel batches on a worker pool,
+//!   max-merged [`mcds_analysis::CoverageReport`] frontier as the
+//!   guidance signal, corpus mutation toward frontier growth;
+//! * [`shrink`] — failing scenarios are automatically reduced (cycle
+//!   bisection, event-family and element dropping, stimulus trimming) into
+//!   a minimal deterministic [`mcds_replay::ReproArtifact`] that
+//!   `cargo test` replays bit-identically.
+//!
+//! Despite the thread pool, a campaign is a pure function of its seed:
+//! scenario generation and mutation use counter-keyed draws, and worker
+//! results are re-ordered by batch index before any corpus decision.
+//!
+//! ```
+//! use mcds_campaign::{Campaign, CampaignConfig};
+//!
+//! let mut campaign = Campaign::new(CampaignConfig {
+//!     seed: 42,
+//!     rounds: 1,
+//!     batch: 2,
+//!     workers: 2,
+//!     max_corpus: 8,
+//! });
+//! let report = campaign.run();
+//! assert_eq!(report.execs, 2);
+//! ```
+
+pub mod driver;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+
+pub use driver::{Campaign, CampaignConfig, CampaignError, CampaignReport, Failure, RoundStats};
+pub use runner::{final_snapshot, replay_repro, run_scenario, RunOutcome, Verdict};
+pub use scenario::{
+    DebugBurst, FaultBurst, Prng, Scenario, TriggerPulse, Workload, SCRATCH_BASE, SCRATCH_SIZE,
+};
+pub use shrink::{shrink, ShrinkStats};

@@ -1,0 +1,296 @@
+//! Scenario execution and triage: run a compiled scenario on a fresh
+//! device, harvest coverage through the real (lossy) trace path, check
+//! workload invariants, verify record/replay convergence and classify the
+//! outcome into a [`Verdict`].
+
+use crate::driver::CampaignError;
+use crate::scenario::{Scenario, Workload};
+use mcds_analysis::CoverageReport;
+use mcds_host::{coverage_from_messages_lossy, drain_residual_trace};
+use mcds_psi::device::Device;
+use mcds_replay::{
+    device_state_hash, run_with_events, trace_bytes, Replayer, ReproArtifact, SocSnapshot,
+};
+use mcds_trace::StreamDecoder;
+use mcds_workloads::{gearbox, race};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The classified outcome of one scenario execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Ran to the end with every invariant intact and a convergent replay.
+    Pass,
+    /// A workload invariant failed (e.g. gear out of range, lost counter
+    /// updates).
+    InvariantViolation {
+        /// What was violated.
+        detail: String,
+    },
+    /// The recorded run and its replay ended on different state hashes.
+    Divergence {
+        /// Final state hash of the recorded run.
+        recorded: u64,
+        /// Final state hash of the replay.
+        replayed: u64,
+    },
+    /// The execution panicked.
+    Panic {
+        /// The panic payload, if printable.
+        detail: String,
+    },
+}
+
+impl Verdict {
+    /// True for anything that should enter the shrinking pipeline.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Verdict::Pass)
+    }
+
+    /// Stable failure-class name (used for repro artifacts and dedup).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::InvariantViolation { .. } => "invariant",
+            Verdict::Divergence { .. } => "divergence",
+            Verdict::Panic { .. } => "panic",
+        }
+    }
+
+    /// Human-readable detail for reports.
+    pub fn detail(&self) -> String {
+        match self {
+            Verdict::Pass => String::new(),
+            Verdict::InvariantViolation { detail } => detail.clone(),
+            Verdict::Divergence { recorded, replayed } => {
+                format!("recorded {recorded:#018x} != replayed {replayed:#018x}")
+            }
+            Verdict::Panic { detail } => detail.clone(),
+        }
+    }
+}
+
+/// Everything one scenario execution produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The classified verdict.
+    pub verdict: Verdict,
+    /// Coverage harvested through the lossy trace path (a lower bound
+    /// whenever link faults cost trace).
+    pub coverage: CoverageReport,
+    /// Final device state hash of the recorded run.
+    pub state_hash: u64,
+    /// Cycle the run ended on.
+    pub end_cycle: u64,
+    /// True when the scenario injected link faults.
+    pub faulted: bool,
+    /// True when the scenario injected link faults *and* still passed —
+    /// the robustness signal campaigns exist to accumulate.
+    pub recovered: bool,
+}
+
+/// One raw execution: fresh device, replay the compiled log for the cycle
+/// budget, drain residual trace, hash the end state and harvest coverage.
+fn execute(sc: &Scenario) -> (Device, u64, CoverageReport) {
+    let mut dev = sc.build_device();
+    let log = sc.compile();
+    let mut rep = Replayer::new(&log);
+    run_with_events(&mut dev, &mut rep, sc.cycles);
+    drain_residual_trace(&mut dev);
+    let hash = device_state_hash(&dev);
+    let coverage = harvest_coverage(sc, &dev);
+    (dev, hash, coverage)
+}
+
+/// Decodes whatever trace survived the run's link faults into a coverage
+/// report. Decode problems degrade into gap accounting, never errors: a
+/// campaign's coverage signal must survive hostile fault schedules.
+fn harvest_coverage(sc: &Scenario, dev: &Device) -> CoverageReport {
+    let image = sc.image();
+    match trace_bytes(dev) {
+        Some(bytes) => {
+            let (messages, resync) = StreamDecoder::new(bytes).collect_resilient();
+            let extra = resync.gaps + u64::from(resync.tail_lost);
+            coverage_from_messages_lossy(&image, &messages, extra)
+        }
+        None => coverage_from_messages_lossy(&image, &[], 1),
+    }
+}
+
+/// Checks the workload's invariants on the final device state.
+fn check_invariants(sc: &Scenario, dev: &Device) -> Option<String> {
+    match sc.workload {
+        Workload::Gearbox | Workload::EngineGearbox => {
+            let gear = dev.soc().backdoor_read_word(gearbox::GEAR_ADDR);
+            (gear > gearbox::GEARS)
+                .then(|| format!("gear {gear} out of range 0..={}", gearbox::GEARS))
+        }
+        Workload::RaceLocked | Workload::RaceBuggy => {
+            let all_halted = dev.soc().cores().all(|c| c.is_halted());
+            if !all_halted {
+                return None; // Still running: the counter is not final yet.
+            }
+            let total = dev.soc().backdoor_read_word(race::COUNTER_ADDR);
+            let expected = race::expected_total();
+            (total != expected)
+                .then(|| format!("shared counter {total} != expected {expected} (lost updates)"))
+        }
+        Workload::Engine => None,
+    }
+}
+
+fn run_scenario_inner(sc: &Scenario) -> RunOutcome {
+    let (dev, recorded_hash, coverage) = execute(sc);
+    let faulted = !sc.faults.is_empty();
+
+    let verdict = if let Some(detail) = check_invariants(sc, &dev) {
+        Verdict::InvariantViolation { detail }
+    } else {
+        // Replay the identical log on a second fresh device: the model is
+        // deterministic, so any hash mismatch is a genuine divergence bug.
+        let (_, replayed_hash, _) = execute(sc);
+        if replayed_hash != recorded_hash {
+            Verdict::Divergence {
+                recorded: recorded_hash,
+                replayed: replayed_hash,
+            }
+        } else {
+            Verdict::Pass
+        }
+    };
+
+    let recovered = faulted && !verdict.is_failure();
+    RunOutcome {
+        verdict,
+        coverage,
+        state_hash: recorded_hash,
+        end_cycle: dev.soc().cycle(),
+        faulted,
+        recovered,
+    }
+}
+
+/// Runs one scenario end to end, converting panics anywhere in the
+/// execution path into a [`Verdict::Panic`] so a single bad scenario can
+/// never take down the campaign.
+pub fn run_scenario(sc: &Scenario) -> RunOutcome {
+    match catch_unwind(AssertUnwindSafe(|| run_scenario_inner(sc))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "panic payload not printable".to_string());
+            RunOutcome {
+                verdict: Verdict::Panic { detail },
+                coverage: CoverageReport::default(),
+                state_hash: 0,
+                end_cycle: 0,
+                faulted: !sc.faults.is_empty(),
+                recovered: false,
+            }
+        }
+    }
+}
+
+/// Re-runs `sc` and captures the final device snapshot (for embedding in
+/// a repro artifact alongside the expected hash).
+pub fn final_snapshot(sc: &Scenario) -> (u64, SocSnapshot) {
+    let (dev, hash, _) = execute(sc);
+    (hash, SocSnapshot::capture(&dev))
+}
+
+/// Replays a repro artifact: rebuilds the device from the embedded
+/// scenario, re-applies the embedded input log for the embedded cycle
+/// budget and returns the final state hash.
+///
+/// # Errors
+///
+/// [`CampaignError::ScenarioDecode`] when the embedded scenario JSON does
+/// not parse.
+pub fn replay_repro(artifact: &ReproArtifact) -> Result<u64, CampaignError> {
+    let sc: Scenario =
+        serde_json::from_str(&artifact.scenario_json).map_err(CampaignError::ScenarioDecode)?;
+    let mut dev = sc.build_device();
+    let mut rep = Replayer::new(&artifact.log);
+    run_with_events(&mut dev, &mut rep, artifact.cycles);
+    drain_residual_trace(&mut dev);
+    Ok(device_state_hash(&dev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_scenario_passes_with_coverage() {
+        let sc = Scenario {
+            seed: 3,
+            workload: Workload::Gearbox,
+            cycles: 20_000,
+            stimulus: mcds_workloads::stimulus::Profile::ramp(
+                gearbox::SPEED_PORT,
+                5,
+                110,
+                0,
+                15_000,
+                20,
+            )
+            .samples()
+            .to_vec(),
+            faults: Vec::new(),
+            triggers: Vec::new(),
+            bursts: Vec::new(),
+        };
+        let out = run_scenario(&sc);
+        assert_eq!(out.verdict, Verdict::Pass, "{}", out.verdict.detail());
+        assert!(out.coverage.covered_instructions() > 0, "trace decoded");
+        assert!(!out.faulted && !out.recovered);
+    }
+
+    #[test]
+    fn race_buggy_violates_the_counter_invariant() {
+        let sc = Scenario {
+            seed: 4,
+            workload: Workload::RaceBuggy,
+            cycles: 40_000,
+            stimulus: Vec::new(),
+            faults: Vec::new(),
+            triggers: Vec::new(),
+            bursts: Vec::new(),
+        };
+        let out = run_scenario(&sc);
+        assert_eq!(out.verdict.kind(), "invariant", "{:?}", out.verdict);
+        assert!(out.verdict.detail().contains("lost updates"));
+    }
+
+    #[test]
+    fn race_locked_passes() {
+        let sc = Scenario {
+            seed: 5,
+            workload: Workload::RaceLocked,
+            cycles: 60_000,
+            stimulus: Vec::new(),
+            faults: Vec::new(),
+            triggers: Vec::new(),
+            bursts: Vec::new(),
+        };
+        let out = run_scenario(&sc);
+        assert_eq!(out.verdict, Verdict::Pass, "{}", out.verdict.detail());
+    }
+
+    #[test]
+    fn faulted_pass_counts_as_recovered() {
+        let mut sc = Scenario::generate(11);
+        sc.workload = Workload::Gearbox;
+        sc.cycles = 20_000;
+        let out = run_scenario(&sc);
+        if !sc.faults.is_empty() && out.verdict == Verdict::Pass {
+            assert!(out.recovered);
+        }
+        // Determinism of the whole outcome.
+        let again = run_scenario(&sc);
+        assert_eq!(out.state_hash, again.state_hash);
+        assert_eq!(out.verdict, again.verdict);
+    }
+}

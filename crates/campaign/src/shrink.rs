@@ -1,0 +1,231 @@
+//! Automatic repro shrinking: reduce a failing scenario to a minimal one
+//! that still fails the *same way*.
+//!
+//! The predicate is exact failure-class preservation: a candidate is
+//! accepted only if re-running it yields the same [`Verdict::kind`] as the
+//! original failure. Passes run to a fixpoint (bounded): binary-search the
+//! cycle budget down, drop whole fault/trigger/debug-burst lists, then
+//! individual elements, then stimulus chunks, finally truncate stimulus
+//! past the (possibly reduced) end of the run. Every candidate execution
+//! is a full deterministic re-run, so the shrunk scenario's failure is
+//! reproducible by construction.
+
+use crate::runner::run_scenario;
+use crate::scenario::Scenario;
+use mcds_workloads::stimulus::Profile;
+
+/// Accounting for one shrink session.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Default)]
+pub struct ShrinkStats {
+    /// Candidate executions tried.
+    pub attempts: u64,
+    /// Candidates accepted (strictly smaller, same failure).
+    pub accepted: u64,
+    /// Cycle budget before shrinking.
+    pub from_cycles: u64,
+    /// Cycle budget after shrinking.
+    pub to_cycles: u64,
+    /// Input events before shrinking.
+    pub from_events: usize,
+    /// Input events after shrinking.
+    pub to_events: usize,
+}
+
+/// Bounded fixpoint iterations: each pass re-runs all strategies.
+const MAX_ROUNDS: usize = 4;
+
+/// Shrinks `sc` while preserving its failure class. Returns `None` if the
+/// scenario does not fail at all (nothing to shrink).
+pub fn shrink(sc: &Scenario) -> Option<(Scenario, ShrinkStats)> {
+    let baseline = run_scenario(sc);
+    if !baseline.verdict.is_failure() {
+        return None;
+    }
+    let kind = baseline.verdict.kind();
+    let mut stats = ShrinkStats {
+        from_cycles: sc.cycles,
+        from_events: sc.compile().len(),
+        ..ShrinkStats::default()
+    };
+    let mut current = sc.clone();
+
+    let fails = |candidate: &Scenario, stats: &mut ShrinkStats| -> bool {
+        stats.attempts += 1;
+        run_scenario(candidate).verdict.kind() == kind
+    };
+
+    for _ in 0..MAX_ROUNDS {
+        let before = fingerprint_size(&current);
+
+        // 1. Binary-search the minimal failing cycle budget.
+        let mut lo = 1u64;
+        let mut hi = current.cycles;
+        let granularity = (current.cycles / 64).max(512);
+        while hi.saturating_sub(lo) > granularity {
+            let mid = lo + (hi - lo) / 2;
+            let mut candidate = current.clone();
+            candidate.cycles = mid;
+            if fails(&candidate, &mut stats) {
+                hi = mid;
+                stats.accepted += 1;
+                current = candidate;
+            } else {
+                lo = mid;
+            }
+        }
+
+        // 2. Drop whole event families.
+        if !current.faults.is_empty() {
+            let mut candidate = current.clone();
+            candidate.faults.clear();
+            if fails(&candidate, &mut stats) {
+                stats.accepted += 1;
+                current = candidate;
+            }
+        }
+        if !current.triggers.is_empty() {
+            let mut candidate = current.clone();
+            candidate.triggers.clear();
+            if fails(&candidate, &mut stats) {
+                stats.accepted += 1;
+                current = candidate;
+            }
+        }
+        if !current.bursts.is_empty() {
+            let mut candidate = current.clone();
+            candidate.bursts.clear();
+            if fails(&candidate, &mut stats) {
+                stats.accepted += 1;
+                current = candidate;
+            }
+        }
+
+        // 3. Drop individual surviving elements (back to front, so removal
+        //    indices stay valid).
+        for i in (0..current.faults.len()).rev() {
+            let mut candidate = current.clone();
+            candidate.faults.remove(i);
+            if fails(&candidate, &mut stats) {
+                stats.accepted += 1;
+                current = candidate;
+            }
+        }
+        for i in (0..current.triggers.len()).rev() {
+            let mut candidate = current.clone();
+            candidate.triggers.remove(i);
+            if fails(&candidate, &mut stats) {
+                stats.accepted += 1;
+                current = candidate;
+            }
+        }
+        for i in (0..current.bursts.len()).rev() {
+            let mut candidate = current.clone();
+            candidate.bursts.remove(i);
+            if fails(&candidate, &mut stats) {
+                stats.accepted += 1;
+                current = candidate;
+            }
+        }
+
+        // 4. Drop stimulus in chunks, then truncate past the end of the
+        //    (possibly shortened) run.
+        let chunk = (current.stimulus.len() / 8).max(1);
+        let mut start = 0;
+        while start < current.stimulus.len() {
+            let end = (start + chunk).min(current.stimulus.len());
+            let mut candidate = current.clone();
+            candidate.stimulus.drain(start..end);
+            if fails(&candidate, &mut stats) {
+                stats.accepted += 1;
+                current = candidate;
+                // Same index now holds the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        let truncated = Profile::from_samples(current.stimulus.clone())
+            .truncated(current.cycles)
+            .samples()
+            .to_vec();
+        if truncated.len() < current.stimulus.len() {
+            let mut candidate = current.clone();
+            candidate.stimulus = truncated;
+            if fails(&candidate, &mut stats) {
+                stats.accepted += 1;
+                current = candidate;
+            }
+        }
+
+        if fingerprint_size(&current) == before {
+            break; // Fixpoint: a full pass removed nothing.
+        }
+    }
+
+    stats.to_cycles = current.cycles;
+    stats.to_events = current.compile().len();
+    Some((current, stats))
+}
+
+/// A cheap size measure driving fixpoint detection.
+fn fingerprint_size(sc: &Scenario) -> (u64, usize, usize, usize, usize) {
+    (
+        sc.cycles,
+        sc.stimulus.len(),
+        sc.faults.len(),
+        sc.triggers.len(),
+        sc.bursts.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Workload;
+    use mcds_psi::FaultPlan;
+
+    fn planted_race(seed: u64) -> Scenario {
+        let mut sc = Scenario::generate(seed);
+        sc.workload = Workload::RaceBuggy;
+        sc.cycles = 60_000;
+        sc
+    }
+
+    #[test]
+    fn passing_scenario_does_not_shrink() {
+        let sc = Scenario {
+            seed: 9,
+            workload: Workload::RaceLocked,
+            cycles: 60_000,
+            stimulus: Vec::new(),
+            faults: Vec::new(),
+            triggers: Vec::new(),
+            bursts: Vec::new(),
+        };
+        assert!(shrink(&sc).is_none());
+    }
+
+    #[test]
+    fn race_repro_shrinks_and_still_fails_the_same_way() {
+        let sc = planted_race(21);
+        // Give it some removable baggage.
+        let mut sc = sc;
+        sc.faults.push(crate::scenario::FaultBurst {
+            iface: mcds_psi::InterfaceKind::Jtag,
+            start_cycle: 1_000,
+            duration: 5_000,
+            plan: FaultPlan::lossy(3, 100),
+        });
+        let (small, stats) = shrink(&sc).expect("planted breaker fails");
+        assert!(small.cycles <= sc.cycles);
+        assert!(stats.attempts > 0);
+        assert!(
+            small.faults.is_empty(),
+            "irrelevant fault burst shrunk away"
+        );
+        let out = run_scenario(&small);
+        assert_eq!(out.verdict.kind(), "invariant");
+        // Shrinking is deterministic.
+        let (small2, _) = shrink(&sc).expect("still fails");
+        assert_eq!(small.fingerprint(), small2.fingerprint());
+    }
+}

@@ -51,6 +51,7 @@ pub mod timetravel;
 pub use debugger::{Debugger, DebuggerState, HostError, StopEvent};
 pub use health::{CoreHealth, FifoHealth, HealthReport, LinkHealthRow, MasterHealth};
 pub use session::{
+    coverage_from_messages, coverage_from_messages_lossy, drain_residual_trace,
     load_program_to_emulation_ram, AnalysisOutcome, SessionError, TraceOutcome, TraceSession,
 };
 pub use timetravel::{TimeTravel, TimeTravelError};

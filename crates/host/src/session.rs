@@ -20,7 +20,7 @@ use mcds_analysis::{
     BusAnalyzer, BusContentionReport, ChromeTrace, CoverageBuilder, CoverageReport, ProfileReport,
     Profiler, TimelineBuilder,
 };
-use mcds_psi::device::{DebugOp, DebugResponse, DeviceError};
+use mcds_psi::device::{DebugOp, DebugResponse, Device, DeviceError};
 use mcds_soc::asm::Program;
 use mcds_soc::overlay::{OverlayRange, OVERLAY_MAX_BLOCK, OVERLAY_RANGE_COUNT};
 use mcds_soc::sink::FanOut;
@@ -170,16 +170,7 @@ impl TraceSession {
     ) -> Result<TraceOutcome, SessionError> {
         dbg.device_mut().run_until_halt(max_cycles);
         // Flush residual observer state into the sink before download.
-        let now = dbg.device().soc().cycle();
-        dbg.device_mut().mcds_mut().flush(now);
-        let residual = dbg.device_mut().mcds_mut().take_messages();
-        if !residual.is_empty() {
-            // Store through the same sink path the hardware uses.
-            let (soc, sink) = dbg.device_mut().soc_sink_mut();
-            if let Some(emem) = soc.mapper_mut().emem_mut() {
-                sink.store(&residual, emem);
-            }
-        }
+        drain_residual_trace(dbg.device_mut());
         self.download(dbg)
     }
 
@@ -268,14 +259,7 @@ impl TraceSession {
             .run_until_halt_into(max_cycles, &mut FanOut::new(&mut bus, &mut timeline));
         let now = dbg.device().soc().cycle();
         let drain_t0 = dbg.device().telemetry().map(|_| Instant::now());
-        dbg.device_mut().mcds_mut().flush(now);
-        let residual = dbg.device_mut().mcds_mut().take_messages();
-        if !residual.is_empty() {
-            let (soc, sink) = dbg.device_mut().soc_sink_mut();
-            if let Some(emem) = soc.mapper_mut().emem_mut() {
-                sink.store(&residual, emem);
-            }
-        }
+        drain_residual_trace(dbg.device_mut());
         if let (Some(t0), Some(tel)) = (drain_t0, dbg.device().telemetry()) {
             tel.spans().record(
                 Subsystem::FifoDrain,
@@ -325,30 +309,12 @@ impl TraceSession {
         }
         let profile = profiler.finish();
 
-        let mut recon = FlowReconstructor::new(&self.image);
-        let mut coverage = CoverageBuilder::new(&self.image);
-        for m in &messages {
-            if matches!(m.message, TraceMessage::Overflow { .. }) {
-                match m.source {
-                    TraceSource::Core(c) => coverage.note_gap(Some(c)),
-                    TraceSource::Bus => coverage.note_gap(None),
-                }
-            }
-            match recon.feed(m) {
-                Ok(batch) => coverage.extend(&batch),
-                Err(e) => {
-                    if !lossy {
-                        return Err(SessionError::Reconstruct(e));
-                    }
-                    if let TraceSource::Core(c) = m.source {
-                        recon.desync(c);
-                        coverage.note_gap(Some(c));
-                    }
-                }
-            }
-        }
-        coverage.add_gaps(resync.gaps + u64::from(resync.tail_lost));
-        let coverage = coverage.finish();
+        let extra_gaps = resync.gaps + u64::from(resync.tail_lost);
+        let coverage = if lossy {
+            coverage_from_messages_lossy(&self.image, &messages, extra_gaps)
+        } else {
+            coverage_from_messages(&self.image, &messages).map_err(SessionError::Reconstruct)?
+        };
 
         let bus = bus.finish_with_counters(&counters);
 
@@ -402,6 +368,84 @@ impl TraceSession {
             trace_bytes,
         })
     }
+}
+
+/// Flushes residual MCDS observer state into the trace sink through the
+/// same path the hardware uses, so a subsequent trace download (or a
+/// direct [`mcds_replay::trace_bytes`]-style read of emulation RAM) sees
+/// the complete stream. Safe to call on a device without emulation RAM —
+/// the residual messages are dropped, exactly as on real silicon without
+/// a sink.
+pub fn drain_residual_trace(dev: &mut Device) {
+    let now = dev.soc().cycle();
+    dev.mcds_mut().flush(now);
+    let residual = dev.mcds_mut().take_messages();
+    if !residual.is_empty() {
+        let (soc, sink) = dev.soc_sink_mut();
+        if let Some(emem) = soc.mapper_mut().emem_mut() {
+            sink.store(&residual, emem);
+        }
+    }
+}
+
+/// Reconstructs instruction + branch-arc coverage from decoded trace
+/// messages against `image`. The strict variant: any reconstruction
+/// contradiction is an error; FIFO overflows still degrade into gap
+/// accounting (they are a bandwidth property, not corruption).
+///
+/// # Errors
+///
+/// The first reconstruction error encountered.
+pub fn coverage_from_messages(
+    image: &ProgramImage,
+    messages: &[TimedMessage],
+) -> Result<CoverageReport, mcds_trace::ReconstructError> {
+    let mut recon = FlowReconstructor::new(image);
+    let mut coverage = CoverageBuilder::new(image);
+    for m in messages {
+        if matches!(m.message, TraceMessage::Overflow { .. }) {
+            match m.source {
+                TraceSource::Core(c) => coverage.note_gap(Some(c)),
+                TraceSource::Bus => coverage.note_gap(None),
+            }
+        }
+        let batch = recon.feed(m)?;
+        coverage.extend(&batch);
+    }
+    Ok(coverage.finish())
+}
+
+/// Lossy variant of [`coverage_from_messages`]: reconstruction
+/// contradictions desync the affected core and count as gaps instead of
+/// failing, and `extra_gaps` (decoder resyncs, lost tail bytes) are folded
+/// into the report. The result is an explicit lower bound whenever any
+/// gap was recorded ([`CoverageReport::is_lower_bound`]).
+pub fn coverage_from_messages_lossy(
+    image: &ProgramImage,
+    messages: &[TimedMessage],
+    extra_gaps: u64,
+) -> CoverageReport {
+    let mut recon = FlowReconstructor::new(image);
+    let mut coverage = CoverageBuilder::new(image);
+    for m in messages {
+        if matches!(m.message, TraceMessage::Overflow { .. }) {
+            match m.source {
+                TraceSource::Core(c) => coverage.note_gap(Some(c)),
+                TraceSource::Bus => coverage.note_gap(None),
+            }
+        }
+        match recon.feed(m) {
+            Ok(batch) => coverage.extend(&batch),
+            Err(_) => {
+                if let TraceSource::Core(c) = m.source {
+                    recon.desync(c);
+                    coverage.note_gap(Some(c));
+                }
+            }
+        }
+    }
+    coverage.add_gaps(extra_gaps);
+    coverage.finish()
 }
 
 /// Loads `program` into emulation RAM via overlay ranges instead of

@@ -272,6 +272,14 @@ pub enum DeviceError {
     /// have executed on the device — exactly the ambiguity real debug
     /// tools must resolve with retry and resynchronization.
     LinkTimeout(InterfaceKind),
+    /// The debug bus master was never granted the bus. With fixed-priority
+    /// arbitration the debug master ranks below every core, so cores that
+    /// saturate the bus can starve it indefinitely; rather than livelock,
+    /// the access gives up after a bounded number of cycles.
+    BusStarved {
+        /// Cycles the access waited before giving up.
+        waited: u64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -291,11 +299,24 @@ impl fmt::Display for DeviceError {
             DeviceError::LinkTimeout(k) => {
                 write!(f, "{k} link timed out (frame lost or corrupted)")
             }
+            DeviceError::BusStarved { waited } => {
+                write!(
+                    f,
+                    "debug bus master starved: no grant within {waited} cycles"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for DeviceError {}
+
+/// How many cycles a debug-master bus access waits for a grant before
+/// failing with [`DeviceError::BusStarved`]. Uncontended grants take a few
+/// cycles; even heavy multi-master contention resolves within tens. The
+/// bound exists because fixed-priority arbitration can starve the debug
+/// master forever while every core keeps the bus saturated.
+pub const BUS_STARVATION_LIMIT: u64 = 2_000;
 
 impl From<BusFault> for DeviceError {
     fn from(e: BusFault) -> DeviceError {
@@ -854,10 +875,18 @@ impl Device {
     ///
     /// # Errors
     ///
-    /// Returns the bus fault if the access failed.
+    /// Returns the bus fault if the access failed, or
+    /// [`DeviceError::BusStarved`] if fixed-priority arbitration never
+    /// granted the (lowest-priority) debug master within
+    /// [`BUS_STARVATION_LIMIT`] cycles — e.g. while several cores saturate
+    /// the bus.
     pub fn bus_access(&mut self, request: BusRequest) -> Result<u32, DeviceError> {
         let start_cycle = self.soc.cycle();
         let span_t0 = self.telemetry.as_ref().map(|_| Instant::now());
+        // A previously starved access may leave a completion behind if its
+        // transaction was already in flight when we gave up; it belongs to
+        // that abandoned request, not this one.
+        let _ = self.soc.take_debug_completion();
         self.soc.debug_request(request);
         loop {
             self.step_into(&mut NullSink);
@@ -874,6 +903,11 @@ impl Device {
                     Some(f) => Err(DeviceError::Bus(f)),
                     None => Ok(c.rdata),
                 };
+            }
+            let waited = self.soc.cycle().saturating_sub(start_cycle);
+            if waited >= BUS_STARVATION_LIMIT {
+                self.soc.cancel_debug_request();
+                return Err(DeviceError::BusStarved { waited });
             }
         }
     }
@@ -1700,6 +1734,52 @@ mod fault_injection_tests {
             perturbed,
             "30% frame faults must perturb some bulk trace upload"
         );
+    }
+
+    #[test]
+    fn saturated_dual_core_bus_starves_debug_access_with_typed_error() {
+        // Two cores in tight load loops keep the fixed-priority bus granted
+        // to cores forever; the debug master must fail bounded, not hang.
+        let busy = assemble(
+            "
+            .org 0x80000000
+            loop0:
+                lw r1, 0(r2)
+                j loop0
+            .org 0x80010000
+            loop1:
+                lw r1, 0(r2)
+                j loop1
+            ",
+        )
+        .unwrap();
+        let mut dev = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(2)
+            .build();
+        dev.soc_mut().load_program(&busy);
+        for c in 0..2 {
+            dev.soc_mut()
+                .core_mut(mcds_soc::CoreId(c))
+                .set_reg(mcds_soc::isa::Reg::new(2), mcds_soc::memmap::SRAM_BASE);
+        }
+        dev.soc_mut()
+            .core_mut(mcds_soc::CoreId(1))
+            .set_pc(0x8001_0000);
+        dev.run_cycles(100);
+        let err = dev
+            .bus_read_word(mcds_soc::memmap::SRAM_BASE)
+            .expect_err("debug master must starve under dual-core saturation");
+        match err {
+            DeviceError::BusStarved { waited } => {
+                assert!(waited >= BUS_STARVATION_LIMIT);
+            }
+            other => panic!("expected BusStarved, got {other}"),
+        }
+        // The device stays usable: halt a core, and the access completes.
+        dev.execute(InterfaceKind::Jtag, DebugOp::HaltCore(CoreId(0)))
+            .unwrap();
+        dev.bus_read_word(mcds_soc::memmap::SRAM_BASE)
+            .expect("access completes once a core yields the bus");
     }
 
     #[test]

@@ -17,6 +17,48 @@
 //! as cycle windows during which every frame is lost.
 
 use crate::interface::InterfaceKind;
+use std::fmt;
+
+/// An invalid fault-plan parameter, rejected at construction instead of
+/// silently misbehaving at injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A [`DownWindow`] whose end does not lie after its start — it could
+    /// never match a cycle, so an outage the caller asked for would be
+    /// silently dropped.
+    InvertedWindow {
+        /// The rejected window's first cycle.
+        start_cycle: u64,
+        /// The rejected window's (exclusive) end cycle.
+        end_cycle: u64,
+    },
+    /// A per-mille rate above 1000 (i.e. a probability above 100%).
+    RateOutOfRange {
+        /// Which rate field was out of range.
+        field: &'static str,
+        /// The rejected value.
+        per_mille: u16,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::InvertedWindow {
+                start_cycle,
+                end_cycle,
+            } => write!(
+                f,
+                "down window [{start_cycle}, {end_cycle}) is empty or inverted"
+            ),
+            FaultPlanError::RateOutOfRange { field, per_mille } => {
+                write!(f, "{field} = {per_mille}\u{2030} exceeds 1000\u{2030}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// An interval of simulated time during which a link is dead.
 #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +70,26 @@ pub struct DownWindow {
 }
 
 impl DownWindow {
+    /// A validated outage window covering `start_cycle..end_cycle`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::InvertedWindow`] when `end_cycle <= start_cycle`:
+    /// such a window can never contain a cycle, so accepting it would
+    /// silently drop the outage the caller asked for.
+    pub fn new(start_cycle: u64, end_cycle: u64) -> Result<DownWindow, FaultPlanError> {
+        if end_cycle <= start_cycle {
+            return Err(FaultPlanError::InvertedWindow {
+                start_cycle,
+                end_cycle,
+            });
+        }
+        Ok(DownWindow {
+            start_cycle,
+            end_cycle,
+        })
+    }
+
     /// True if `cycle` falls inside the outage.
     pub fn contains(&self, cycle: u64) -> bool {
         (self.start_cycle..self.end_cycle).contains(&cycle)
@@ -71,7 +133,12 @@ impl FaultPlan {
 
     /// A plan that drops `per_mille` ‰ of frames and corrupts the same
     /// fraction — the canonical "hostile link" used by the T7 sweep.
+    ///
+    /// Rates above 1000‰ are clamped to 1000‰ (certain loss): a campaign
+    /// mutating plans must never be able to construct a draw threshold the
+    /// injector cannot reach.
     pub fn lossy(seed: u64, per_mille: u16) -> FaultPlan {
+        let per_mille = per_mille.min(1000);
         FaultPlan {
             seed,
             drop_per_mille: per_mille,
@@ -80,6 +147,38 @@ impl FaultPlan {
             max_jitter_cycles: 0,
             down_windows: Vec::new(),
         }
+    }
+
+    /// Checks a plan built by hand (struct literal or deserialization):
+    /// every rate must be at most 1000‰ and every down window non-empty.
+    /// Constructor-built plans ([`FaultPlan::lossless`],
+    /// [`FaultPlan::lossy`], windows via [`DownWindow::new`]) always pass.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FaultPlanError`] found.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (field, rate) in [
+            ("drop_per_mille", self.drop_per_mille),
+            ("corrupt_per_mille", self.corrupt_per_mille),
+            ("duplicate_per_mille", self.duplicate_per_mille),
+        ] {
+            if rate > 1000 {
+                return Err(FaultPlanError::RateOutOfRange {
+                    field,
+                    per_mille: rate,
+                });
+            }
+        }
+        for w in &self.down_windows {
+            if w.end_cycle <= w.start_cycle {
+                return Err(FaultPlanError::InvertedWindow {
+                    start_cycle: w.start_cycle,
+                    end_cycle: w.end_cycle,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// True if the plan can never perturb a frame.
@@ -395,6 +494,59 @@ mod tests {
         // Duplications can only add whole frames; drops remove them.
         assert!(out_a.len() <= payload.len() * 2);
         assert_ne!(out_a, payload, "10% corruption should perturb 4 KiB");
+    }
+
+    #[test]
+    fn lossy_clamps_rates_to_certain_loss() {
+        let plan = FaultPlan::lossy(1, 5000);
+        assert_eq!(plan.drop_per_mille, 1000);
+        assert_eq!(plan.corrupt_per_mille, 1000);
+        assert_eq!(plan.duplicate_per_mille, 250);
+        assert!(plan.validate().is_ok());
+        // Everything is dropped, nothing silently mis-draws.
+        let mut inj = FaultInjector::new(InterfaceKind::Usb11, plan);
+        for _ in 0..100 {
+            assert_eq!(inj.next_frame(0), FrameFate::Dropped);
+        }
+    }
+
+    #[test]
+    fn down_window_construction_rejects_inverted_ranges() {
+        assert!(DownWindow::new(100, 200).is_ok());
+        assert_eq!(
+            DownWindow::new(200, 200),
+            Err(FaultPlanError::InvertedWindow {
+                start_cycle: 200,
+                end_cycle: 200
+            })
+        );
+        assert!(matches!(
+            DownWindow::new(300, 100),
+            Err(FaultPlanError::InvertedWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_hand_built_bad_plans() {
+        let mut plan = FaultPlan::lossless(3);
+        plan.corrupt_per_mille = 1001;
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::RateOutOfRange {
+                field: "corrupt_per_mille",
+                per_mille: 1001
+            })
+        );
+        let mut plan = FaultPlan::lossless(3);
+        plan.down_windows.push(DownWindow {
+            start_cycle: 50,
+            end_cycle: 10,
+        });
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::InvertedWindow { .. })
+        ));
+        assert!(FaultPlan::lossy(9, 100).validate().is_ok());
     }
 
     #[test]

@@ -48,9 +48,11 @@ pub mod trace_sink;
 
 pub use device::{
     DebugOp, DebugResponse, Device, DeviceBuilder, DeviceError, DeviceState, DeviceVariant,
-    VariantInfo,
+    VariantInfo, BUS_STARVATION_LIMIT,
 };
-pub use faults::{DownWindow, FaultInjector, FaultInjectorState, FaultPlan, FaultStats, FrameFate};
+pub use faults::{
+    DownWindow, FaultInjector, FaultInjectorState, FaultPlan, FaultPlanError, FaultStats, FrameFate,
+};
 pub use interface::{InterfaceKind, InterfaceModel, InterfaceModelError, LinkStats};
 pub use multichip::{MultiChipBench, TriggerWire};
 pub use service::{

@@ -21,7 +21,11 @@
 //!   re-executing forward;
 //! * [`hash`] — FNV-1a content hashing and the canonical
 //!   [`device_state_hash`] used to verify that a replayed run converged
-//!   on the original, bit for bit.
+//!   on the original, bit for bit;
+//! * [`repro`] — self-contained failure repro artifacts
+//!   ([`ReproArtifact`]): a shrunk scenario, its input log and expected
+//!   final state hash serialized to one JSON file that `cargo test` can
+//!   replay bit-identically.
 //!
 //! ```
 //! use mcds_psi::device::{DeviceBuilder, DeviceVariant};
@@ -56,9 +60,11 @@
 pub mod checkpoint;
 pub mod hash;
 pub mod log;
+pub mod repro;
 pub mod snapshot;
 
 pub use checkpoint::{Checkpoint, CheckpointRing};
 pub use hash::{device_state_hash, extend_fnv1a64, fnv1a64, trace_bytes};
 pub use log::{run_with_events, run_with_events_into, InputEvent, InputLog, Replayer};
+pub use repro::{ReproArtifact, ReproError, REPRO_VERSION};
 pub use snapshot::{Component, DeltaOp, Payload, SocSnapshot, SNAPSHOT_VERSION};

@@ -421,6 +421,17 @@ impl<T: BusTarget> Bus<T> {
         self.pending[master.0 as usize] = Some(request);
     }
 
+    /// Removes a queued request for `master` that has not yet been granted.
+    /// Returns `true` if a queued request was removed. An already-active
+    /// transaction cannot be withdrawn and is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `master` is out of range.
+    pub fn cancel_request(&mut self, master: MasterId) -> bool {
+        self.pending[master.0 as usize].take().is_some()
+    }
+
     /// True if `master` has a request queued or in flight.
     pub fn master_busy(&self, master: MasterId) -> bool {
         self.pending[master.0 as usize].is_some()

@@ -754,6 +754,14 @@ impl Soc {
         self.debug_completion.take()
     }
 
+    /// Withdraws a queued debug-master request that was never granted.
+    /// Returns `true` if a queued request was removed; an already-active
+    /// transaction still completes (discard it with
+    /// [`Soc::take_debug_completion`]).
+    pub fn cancel_debug_request(&mut self) -> bool {
+        self.bus.cancel_request(self.debug_master)
+    }
+
     /// True if the debug master has a request queued or in flight.
     pub fn debug_busy(&self) -> bool {
         self.bus.master_busy(self.debug_master) || self.debug_completion.is_some()

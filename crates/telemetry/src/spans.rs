@@ -34,11 +34,13 @@ pub enum Subsystem {
     Restore,
     /// One debug-link operation (JTAG/USB/CAN transaction).
     DebugLink,
+    /// One fault-campaign scenario execution (record + replay + triage).
+    Campaign,
 }
 
 impl Subsystem {
     /// Every subsystem, in a stable order.
-    pub const ALL: [Subsystem; 8] = [
+    pub const ALL: [Subsystem; 9] = [
         Subsystem::BusArbitration,
         Subsystem::FifoDrain,
         Subsystem::TraceEncode,
@@ -47,6 +49,7 @@ impl Subsystem {
         Subsystem::Snapshot,
         Subsystem::Restore,
         Subsystem::DebugLink,
+        Subsystem::Campaign,
     ];
 
     /// Stable snake_case name used as the exported label value.
@@ -60,6 +63,7 @@ impl Subsystem {
             Subsystem::Snapshot => "snapshot",
             Subsystem::Restore => "restore",
             Subsystem::DebugLink => "debug_link",
+            Subsystem::Campaign => "campaign",
         }
     }
 
@@ -113,7 +117,7 @@ struct SubsystemAgg {
 /// Records spans and aggregates them per subsystem.
 #[derive(Debug)]
 pub struct SpanRecorder {
-    aggs: [SubsystemAgg; 8],
+    aggs: [SubsystemAgg; 9],
     ring: Mutex<Vec<SpanEvent>>,
     dropped: AtomicU64,
 }

@@ -30,9 +30,31 @@ impl Profile {
         Profile::default()
     }
 
+    /// A profile over explicit samples. The samples are sorted by cycle
+    /// (stably, so same-cycle samples keep their relative order) — the
+    /// campaign mutator hands in perturbed sample lists and the replay
+    /// input log requires cycle order.
+    pub fn from_samples(mut samples: Vec<Sample>) -> Profile {
+        samples.sort_by_key(|s| s.cycle);
+        Profile { samples }
+    }
+
     /// The scheduled samples (cycle-ordered).
     pub fn samples(&self) -> &[Sample] {
         &self.samples
+    }
+
+    /// The prefix of this profile scheduled strictly before `max_cycle` —
+    /// what remains relevant after a shrinking pass cuts a run short.
+    pub fn truncated(&self, max_cycle: u64) -> Profile {
+        Profile {
+            samples: self
+                .samples
+                .iter()
+                .copied()
+                .take_while(|s| s.cycle < max_cycle)
+                .collect(),
+        }
     }
 
     /// Merges another profile into this one, keeping cycle order.
@@ -174,6 +196,33 @@ mod tests {
         for s in a.samples() {
             assert!((50..=150).contains(&s.value));
         }
+    }
+
+    #[test]
+    fn from_samples_sorts_and_truncated_cuts() {
+        let p = Profile::from_samples(vec![
+            Sample {
+                cycle: 900,
+                port: 0,
+                value: 3,
+            },
+            Sample {
+                cycle: 100,
+                port: 1,
+                value: 1,
+            },
+            Sample {
+                cycle: 500,
+                port: 0,
+                value: 2,
+            },
+        ]);
+        let cycles: Vec<u64> = p.samples().iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![100, 500, 900]);
+        let cut = p.truncated(500);
+        assert_eq!(cut.samples().len(), 1);
+        assert_eq!(cut.samples()[0].cycle, 100);
+        assert_eq!(p.samples().len(), 3, "truncated does not mutate");
     }
 
     #[test]

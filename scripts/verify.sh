@@ -38,7 +38,15 @@ done
 # with flat memory on the long streamed run.
 cargo run --release -q -p mcds-bench --bin t11_streaming -- --smoke
 
-for t in t7 t8 t9 t11; do
+# Campaign smoke: a seeded coverage-guided fault campaign (asserted
+# in-bench: >=1 fault scenario recovers, the frontier grows and stays
+# monotone, the planted race shrinks to an on-disk repro that replays
+# bit-identically).
+cargo run --release -q -p mcds-bench --bin t12_campaign -- --smoke
+test -s target/analysis/t12_repro_race.json \
+  || { echo "missing t12_repro_race.json"; exit 1; }
+
+for t in t7 t8 t9 t11 t12; do
   test -s "target/analysis/${t}_telemetry.json" \
     || { echo "missing ${t}_telemetry.json"; exit 1; }
 done

@@ -299,6 +299,55 @@ proptest! {
         // The identity element.
         prop_assert_eq!(a.merge(&CoverageReport::default()), a.clone());
     }
+
+    /// Folding any mix of exact and lossy captures: the merged report is a
+    /// lower bound iff at least one input was, its gap count is the worst
+    /// single capture (not the sum — gaps from different runs may overlap),
+    /// and it covers at least what every input covered. This is the
+    /// contract the campaign frontier relies on.
+    #[test]
+    fn lower_bound_propagates_through_multiway_merges(
+        reports in proptest::collection::vec(arb_coverage(), 1..6),
+    ) {
+        let merged = reports
+            .iter()
+            .fold(CoverageReport::default(), |acc, r| acc.merge(r));
+        let any_lossy = reports.iter().any(CoverageReport::is_lower_bound);
+        prop_assert_eq!(merged.is_lower_bound(), any_lossy);
+        prop_assert_eq!(
+            merged.gaps,
+            reports.iter().map(|r| r.gaps).max().unwrap_or(0)
+        );
+        for r in &reports {
+            prop_assert!(covers(&merged, r), "merge must not lose coverage");
+        }
+    }
+
+    /// Lossiness is sticky under merge in both directions, and an
+    /// exact-only merge stays exact.
+    #[test]
+    fn exact_and_lossy_mixes(a in arb_coverage(), b in arb_coverage()) {
+        let mut exact = a.clone();
+        exact.gaps = 0;
+        let mut lossy = b.clone();
+        lossy.gaps = lossy.gaps.max(1);
+        prop_assert!(exact.merge(&lossy).is_lower_bound());
+        prop_assert!(lossy.merge(&exact).is_lower_bound());
+        prop_assert!(!exact.merge(&exact).is_lower_bound());
+    }
+}
+
+/// True if `sup` covers everything `sub` does, with counts at least as
+/// large.
+fn covers(sup: &CoverageReport, sub: &CoverageReport) -> bool {
+    sub.pcs
+        .iter()
+        .all(|p| sup.pcs.iter().any(|q| q.pc == p.pc && q.count >= p.count))
+        && sub.arcs.iter().all(|a| {
+            sup.arcs
+                .iter()
+                .any(|b| b.from == a.from && b.to == a.to && b.count >= a.count)
+        })
 }
 
 proptest! {

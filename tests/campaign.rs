@@ -1,0 +1,120 @@
+//! End-to-end determinism tests for the `mcds-campaign` engine: the same
+//! seed must produce the same campaign (corpus, frontier, executions) and
+//! the same shrunk repro artifact, and a serialized artifact must replay
+//! bit-identically from disk — twice.
+
+use mcds_campaign::{replay_repro, Campaign, CampaignConfig, Scenario, Workload};
+use mcds_replay::{ReproArtifact, ReproError, REPRO_VERSION};
+
+fn small_config() -> CampaignConfig {
+    CampaignConfig {
+        seed: 0xDEC0_DE,
+        rounds: 2,
+        batch: 3,
+        workers: 2,
+        max_corpus: 8,
+    }
+}
+
+/// A scenario known to violate the race-counter invariant (lost updates in
+/// the unlocked read-modify-write workload).
+fn planted_breaker() -> Scenario {
+    let mut sc = Scenario::generate(0x10AD);
+    sc.workload = Workload::RaceBuggy;
+    sc.cycles = 60_000;
+    sc
+}
+
+#[test]
+fn same_seed_produces_identical_campaigns() {
+    let run = || Campaign::new(small_config()).run();
+    let a = run();
+    let b = run();
+    assert_eq!(a.execs, b.execs);
+    assert!(a.execs >= 6, "2 rounds x batch 3");
+    assert_eq!(a.corpus_fingerprints, b.corpus_fingerprints);
+    assert_eq!(a.frontier, b.frontier);
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    assert!(a.worker_errors.is_empty(), "{:?}", a.worker_errors);
+    assert!(
+        a.frontier.covered_instructions() > 0,
+        "campaign must observe real coverage"
+    );
+}
+
+#[test]
+fn planted_breaker_shrinks_to_identical_repro_across_campaigns() {
+    let run = || {
+        let mut c = Campaign::new(small_config());
+        c.plant(planted_breaker());
+        c.run()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.failures.is_empty(), "planted breaker must be caught");
+    assert_eq!(a.failures.len(), b.failures.len());
+    for (fa, fb) in a.failures.iter().zip(&b.failures) {
+        assert_eq!(fa.kind, "invariant");
+        assert_eq!(fa.shrunk.fingerprint(), fb.shrunk.fingerprint());
+        assert_eq!(
+            fa.artifact.expected_state_hash,
+            fb.artifact.expected_state_hash
+        );
+        assert_eq!(
+            fa.artifact.to_json().unwrap(),
+            fb.artifact.to_json().unwrap()
+        );
+    }
+}
+
+#[test]
+fn saved_artifact_replays_bit_identically_from_disk() {
+    let mut campaign = Campaign::new(CampaignConfig {
+        rounds: 1,
+        ..small_config()
+    });
+    campaign.plant(planted_breaker());
+    let report = campaign.run();
+    let failure = report.failures.first().expect("planted breaker caught");
+
+    let dir = std::env::temp_dir().join("mcds-campaign-test");
+    let path = dir.join("repro_race.json");
+    failure.artifact.save(&path).expect("artifact saves");
+
+    let loaded = ReproArtifact::load(&path).expect("artifact loads");
+    assert_eq!(loaded.version, REPRO_VERSION);
+    let h1 = replay_repro(&loaded).expect("first replay");
+    let h2 = replay_repro(&loaded).expect("second replay");
+    assert_eq!(h1, h2, "replay must be deterministic");
+    assert_eq!(
+        h1, loaded.expected_state_hash,
+        "replayed state must match the hash recorded at shrink time"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_mismatch_is_a_typed_error() {
+    let mut campaign = Campaign::new(CampaignConfig {
+        rounds: 1,
+        ..small_config()
+    });
+    campaign.plant(planted_breaker());
+    let report = campaign.run();
+    let artifact = &report.failures.first().expect("failure").artifact;
+
+    let json = artifact.to_json().unwrap();
+    let bumped = json.replacen(
+        &format!("\"version\":{REPRO_VERSION}"),
+        &format!("\"version\":{}", REPRO_VERSION + 1),
+        1,
+    );
+    assert_ne!(json, bumped, "version field must be present to patch");
+    match ReproArtifact::from_json(&bumped) {
+        Err(ReproError::Version { found, expected }) => {
+            assert_eq!(found, REPRO_VERSION + 1);
+            assert_eq!(expected, REPRO_VERSION);
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+}
