@@ -14,12 +14,11 @@ use mcds_psi::device::{DebugOp, Device, DeviceBuilder, DeviceVariant};
 use mcds_psi::interface::InterfaceKind;
 use mcds_psi::{DownWindow, FaultPlan};
 use mcds_replay::{fnv1a64, InputEvent, InputLog};
-use mcds_soc::asm::Program;
-use mcds_soc::cpu::CoreConfig;
 use mcds_soc::soc::memmap;
 use mcds_trace::ProgramImage;
 use mcds_workloads::stimulus::{Profile, Sample};
-use mcds_workloads::{engine, gearbox, race};
+
+pub use mcds_workloads::Workload;
 
 /// Base of the scratch SRAM window debug-burst *writes* are confined to,
 /// well clear of every workload's shared variables (which live in the
@@ -70,89 +69,6 @@ impl Prng {
     /// True with probability `per_mille`/1000.
     pub fn chance(&mut self, per_mille: u16) -> bool {
         self.below(1000) < u64::from(per_mille)
-    }
-}
-
-/// The application workload a scenario runs.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Workload {
-    /// Single-core fuel-injection controller.
-    Engine,
-    /// Single-core gearbox shift controller.
-    Gearbox,
-    /// Engine on core 0, gearbox on core 1 (shared torque variable).
-    EngineGearbox,
-    /// Two cores incrementing a shared counter under a SWAP spinlock —
-    /// correct, so it exercises multi-core paths without failing.
-    RaceLocked,
-    /// The unsynchronised shared-counter bug: lost updates make the final
-    /// count fall short. Never generated randomly — planted explicitly as
-    /// a known invariant breaker (see `Campaign::plant`).
-    RaceBuggy,
-}
-
-impl Workload {
-    /// Workloads eligible for random generation (excludes the planted
-    /// invariant breaker).
-    pub const GENERATED: [Workload; 4] = [
-        Workload::Engine,
-        Workload::Gearbox,
-        Workload::EngineGearbox,
-        Workload::RaceLocked,
-    ];
-
-    /// Stable display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Workload::Engine => "engine",
-            Workload::Gearbox => "gearbox",
-            Workload::EngineGearbox => "engine+gearbox",
-            Workload::RaceLocked => "race-locked",
-            Workload::RaceBuggy => "race-buggy",
-        }
-    }
-
-    /// Number of cores the workload needs.
-    pub fn cores(self) -> usize {
-        match self {
-            Workload::Engine | Workload::Gearbox => 1,
-            Workload::EngineGearbox | Workload::RaceLocked | Workload::RaceBuggy => 2,
-        }
-    }
-
-    /// The program image(s) the workload loads.
-    pub fn program(self) -> Program {
-        match self {
-            Workload::Engine => engine::program(None),
-            Workload::Gearbox => gearbox::program(None),
-            Workload::EngineGearbox => {
-                let mut p = engine::program(None);
-                let g = gearbox::program(None);
-                p.chunks.extend(g.chunks);
-                p.symbols.extend(g.symbols);
-                p
-            }
-            Workload::RaceLocked => race::program_locked(),
-            Workload::RaceBuggy => race::program_buggy(),
-        }
-    }
-
-    /// The stimulus ports this workload reads, as `(port, min, max)`.
-    fn stimulated_ports(self) -> &'static [(usize, u32, u32)] {
-        const ENGINE: [(usize, u32, u32); 2] =
-            [(engine::RPM_PORT, 800, 5000), (engine::LOAD_PORT, 10, 200)];
-        const GEARBOX: [(usize, u32, u32); 1] = [(gearbox::SPEED_PORT, 0, 120)];
-        const BOTH: [(usize, u32, u32); 3] = [
-            (engine::RPM_PORT, 800, 5000),
-            (engine::LOAD_PORT, 10, 200),
-            (gearbox::SPEED_PORT, 0, 120),
-        ];
-        match self {
-            Workload::Engine => &ENGINE,
-            Workload::Gearbox => &GEARBOX,
-            Workload::EngineGearbox => &BOTH,
-            Workload::RaceLocked | Workload::RaceBuggy => &[],
-        }
     }
 }
 
@@ -455,19 +371,9 @@ impl Scenario {
     /// loaded and ready at reset.
     pub fn build_device(&self) -> Device {
         let mut builder = DeviceBuilder::new(DeviceVariant::EdSideBooster);
-        builder = match self.workload {
-            Workload::Engine | Workload::RaceLocked | Workload::RaceBuggy => {
-                builder.cores(self.workload.cores())
-            }
-            Workload::Gearbox => builder.core(CoreConfig {
-                reset_pc: 0x8001_0000,
-                ..Default::default()
-            }),
-            Workload::EngineGearbox => builder.core(CoreConfig::default()).core(CoreConfig {
-                reset_pc: 0x8001_0000,
-                ..Default::default()
-            }),
-        };
+        for cc in self.workload.core_configs() {
+            builder = builder.core(cc);
+        }
         let mut dev = builder
             .mcds(Self::tracing_config(self.workload.cores()))
             .build();

@@ -1,0 +1,437 @@
+//! The TCP front door: one listener, one thread per connection, requests
+//! dispatched against the shared registry and scheduler.
+//!
+//! Every request is counted (`farm_requests_total{method=...}`) and timed
+//! (`farm_request_latency_ns`), errors are counted separately
+//! (`farm_request_errors_total`), and `farm_cycles_per_sec` tracks the
+//! aggregate simulated throughput since the server started — all through
+//! the same [`mcds_telemetry`] registry the rest of the workspace uses,
+//! exported over the wire by `farm.metrics`.
+
+use crate::proto::{
+    self, obj, parse_request, render_err, render_ok, vbool, vint, vstr, RpcError, ERR_DEVICE,
+    ERR_METHOD_NOT_FOUND,
+};
+use crate::registry::{Farm, FarmConfig};
+use crate::scheduler::Scheduler;
+use mcds_host::Session;
+use mcds_soc::event::CoreId;
+use mcds_soc::isa::Reg;
+use mcds_telemetry::{Histogram, Telemetry};
+use mcds_workloads::Workload;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Request-latency histogram bounds: 1 us to 10 s in decades (ns).
+const LATENCY_BOUNDS_NS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// A running farm server. Dropping it stops the listener, the connection
+/// handlers' sockets keep their own lifetime (they exit when clients
+/// disconnect).
+pub struct FarmServer {
+    farm: Arc<Farm>,
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+struct Shared {
+    farm: Arc<Farm>,
+    sched: Scheduler,
+    latency: Histogram,
+    started: Instant,
+}
+
+impl FarmServer {
+    /// Binds `127.0.0.1:port` (0 for ephemeral), spawns the scheduler
+    /// worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn(config: FarmConfig, tel: Telemetry, port: u16) -> std::io::Result<FarmServer> {
+        let farm = Arc::new(Farm::new(config, tel));
+        FarmServer::spawn_on(farm, port)
+    }
+
+    /// Like [`FarmServer::spawn`] but over an existing registry.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn spawn_on(farm: Arc<Farm>, port: u16) -> std::io::Result<FarmServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let latency = farm.telemetry().registry().histogram(
+            "farm_request_latency_ns",
+            "Wire-request handling latency",
+            LATENCY_BOUNDS_NS,
+        );
+        let shared = Arc::new(Shared {
+            sched: Scheduler::spawn(Arc::clone(&farm)),
+            farm: Arc::clone(&farm),
+            latency,
+            started: Instant::now(),
+        });
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("farm-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name("farm-conn".to_string())
+                        .spawn(move || serve_connection(stream, &shared));
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(FarmServer {
+            farm,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The registry behind the server.
+    pub fn farm(&self) -> &Arc<Farm> {
+        &self.farm
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FarmServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&line, shared);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+}
+
+fn handle_line(line: &str, shared: &Shared) -> String {
+    let start = Instant::now();
+    let (id, method, result) = match parse_request(line) {
+        Ok(req) => {
+            let result = dispatch(&req.method, &req.params, shared);
+            (req.id, req.method, result)
+        }
+        Err(e) => (None, "invalid".to_string(), Err(e)),
+    };
+    let registry = shared.farm.telemetry().registry();
+    registry
+        .counter_with(
+            "farm_requests_total",
+            "Wire requests handled",
+            &[("method", &method)],
+        )
+        .inc();
+    shared.latency.observe(start.elapsed().as_nanos() as u64);
+    // Aggregate simulated throughput since server start — telemetry only,
+    // strictly outside the determinism boundary.
+    let wall_s = shared.started.elapsed().as_secs_f64();
+    if wall_s > 0.0 {
+        registry
+            .gauge(
+                "farm_cycles_per_sec",
+                "Aggregate simulated cycles per wall second",
+            )
+            .set(shared.farm.stats().cycles_total as f64 / wall_s);
+    }
+    match result {
+        Ok(value) => render_ok(id, value),
+        Err(e) => {
+            registry
+                .counter(
+                    "farm_request_errors_total",
+                    "Wire requests answered with an error",
+                )
+                .inc();
+            render_err(id, &e)
+        }
+    }
+}
+
+/// Checks the session out, applies `f`, checks it back in (crediting zero
+/// cycles — the scheduler owns cycle accounting).
+fn with_session<T>(
+    farm: &Farm,
+    id: u64,
+    f: impl FnOnce(&mut Session) -> Result<T, RpcError>,
+) -> Result<T, RpcError> {
+    let mut session = farm.checkout(id)?;
+    let result = f(&mut session);
+    farm.checkin(id, session, 0);
+    result
+}
+
+fn device_err(e: impl std::fmt::Display) -> RpcError {
+    RpcError::new(ERR_DEVICE, e.to_string())
+}
+
+fn stop_value(stop: Option<mcds_host::StopEvent>) -> Value {
+    match stop {
+        None => Value::Null,
+        Some(s) => obj(vec![
+            ("core", vint(s.core.0 as u64)),
+            ("cause", vstr(format!("{:?}", s.cause))),
+            ("pc", vint(s.pc as u64)),
+        ]),
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn dispatch(method: &str, params: &Value, shared: &Shared) -> Result<Value, RpcError> {
+    let farm = shared.farm.as_ref();
+    match method {
+        "farm.ping" => Ok(obj(vec![("pong", vbool(true))])),
+        "farm.stats" => {
+            let s = farm.stats();
+            Ok(obj(vec![
+                ("sessions_live", vint(s.sessions_live as u64)),
+                ("sessions_evicted", vint(s.sessions_evicted as u64)),
+                ("evicted_bytes", vint(s.evicted_bytes as u64)),
+                ("created", vint(s.created)),
+                ("evicted", vint(s.evicted)),
+                ("revived", vint(s.revived)),
+                ("destroyed", vint(s.destroyed)),
+                ("cycles_total", vint(s.cycles_total)),
+            ]))
+        }
+        "farm.metrics" => Ok(obj(vec![(
+            "prometheus",
+            vstr(farm.telemetry().to_prometheus()),
+        )])),
+        "farm.health" => {
+            let fleet = farm.fleet_health();
+            Ok(obj(vec![
+                ("sessions", vint(fleet.len() as u64)),
+                ("report", vstr(fleet.to_string())),
+            ]))
+        }
+        "session.create" => {
+            let name = proto::p_str(params, "workload")?;
+            let workload = Workload::from_name(name)
+                .ok_or_else(|| RpcError::params(format!("unknown workload `{name}`")))?;
+            let trace = proto::p_bool_or(params, "trace", false)?;
+            let id = farm.create(workload, trace)?;
+            Ok(obj(vec![("session", vint(id))]))
+        }
+        "session.list" => {
+            let sessions = farm
+                .list()
+                .into_iter()
+                .map(|s| {
+                    obj(vec![
+                        ("session", vint(s.id)),
+                        ("workload", vstr(s.workload.name())),
+                        ("trace", vbool(s.trace)),
+                        ("state", vstr(s.state)),
+                        ("attached", vbool(s.attached)),
+                        ("cycles_total", vint(s.cycles_total)),
+                    ])
+                })
+                .collect();
+            Ok(obj(vec![("sessions", Value::Seq(sessions))]))
+        }
+        "session.attach" => {
+            farm.attach(proto::p_u64(params, "session")?)?;
+            Ok(obj(vec![("attached", vbool(true))]))
+        }
+        "session.detach" => {
+            farm.detach(proto::p_u64(params, "session")?)?;
+            Ok(obj(vec![("detached", vbool(true))]))
+        }
+        "session.evict" => {
+            let (bytes, state_hash) = farm.evict(proto::p_u64(params, "session")?)?;
+            Ok(obj(vec![
+                ("bytes", vint(bytes as u64)),
+                ("state_hash", vint(state_hash)),
+            ]))
+        }
+        "session.destroy" => {
+            farm.destroy(proto::p_u64(params, "session")?)?;
+            Ok(obj(vec![("destroyed", vbool(true))]))
+        }
+        "session.run" => {
+            let id = proto::p_u64(params, "session")?;
+            let cycles = proto::p_u64(params, "cycles")?;
+            let outcome = shared.sched.run_blocking(id, cycles);
+            if let Some(e) = outcome.error {
+                return Err(e);
+            }
+            Ok(obj(vec![
+                ("ran", vint(outcome.ran)),
+                ("stop", stop_value(outcome.stop)),
+            ]))
+        }
+        "session.state_hash" => {
+            let id = proto::p_u64(params, "session")?;
+            let hash = with_session(farm, id, |s| Ok(s.state_hash()))?;
+            Ok(obj(vec![("state_hash", vint(hash))]))
+        }
+        "session.resume_core" => {
+            let id = proto::p_u64(params, "session")?;
+            let core = CoreId(proto::p_u64_or(params, "core", 0)? as u8);
+            with_session(farm, id, |s| s.resume_core(core).map_err(device_err))?;
+            Ok(obj(vec![("resumed", vbool(true))]))
+        }
+        "breakpoint.set" | "breakpoint.clear" => {
+            let id = proto::p_u64(params, "session")?;
+            let addr = proto::p_u32(params, "addr")?;
+            let kind = proto::p_str(params, "kind").unwrap_or("sw");
+            let core = CoreId(proto::p_u64_or(params, "core", 0)? as u8);
+            let set = method == "breakpoint.set";
+            with_session(farm, id, |s| {
+                match (kind, set) {
+                    ("sw", true) => s.set_sw_breakpoint(addr),
+                    ("sw", false) => s.clear_sw_breakpoint(addr),
+                    ("hw", true) => s.set_hw_breakpoint(core, addr),
+                    ("hw", false) => s.clear_hw_breakpoint(core, addr),
+                    _ => {
+                        return Err(RpcError::params(format!(
+                            "unknown breakpoint kind `{kind}`"
+                        )))
+                    }
+                }
+                .map_err(device_err)
+            })?;
+            Ok(obj(vec![(
+                if set { "set" } else { "cleared" },
+                vbool(true),
+            )]))
+        }
+        "mem.read" => {
+            let id = proto::p_u64(params, "session")?;
+            let addr = proto::p_u32(params, "addr")?;
+            let count = proto::p_u64_or(params, "count", 1)? as usize;
+            let words = with_session(farm, id, |s| s.read_words(addr, count).map_err(device_err))?;
+            Ok(obj(vec![(
+                "words",
+                Value::Seq(words.into_iter().map(|w| vint(w as u64)).collect()),
+            )]))
+        }
+        "mem.write" => {
+            let id = proto::p_u64(params, "session")?;
+            let addr = proto::p_u32(params, "addr")?;
+            let words = proto::p_words(params, "words")?;
+            let n = words.len();
+            with_session(farm, id, |s| s.write_words(addr, words).map_err(device_err))?;
+            Ok(obj(vec![("written", vint(n as u64))]))
+        }
+        "reg.read" => {
+            let id = proto::p_u64(params, "session")?;
+            let core = CoreId(proto::p_u64_or(params, "core", 0)? as u8);
+            let r = Reg::new(proto::p_u64(params, "reg")? as u8);
+            let v = with_session(farm, id, |s| s.read_reg(core, r).map_err(device_err))?;
+            Ok(obj(vec![("value", vint(v as u64))]))
+        }
+        "reg.write" => {
+            let id = proto::p_u64(params, "session")?;
+            let core = CoreId(proto::p_u64_or(params, "core", 0)? as u8);
+            let r = Reg::new(proto::p_u64(params, "reg")? as u8);
+            let v = proto::p_u32(params, "value")?;
+            with_session(farm, id, |s| s.write_reg(core, r, v).map_err(device_err))?;
+            Ok(obj(vec![("written", vbool(true))]))
+        }
+        "xcp.set_cal_page" => {
+            let id = proto::p_u64(params, "session")?;
+            let page = proto::p_u64(params, "page")? as u8;
+            with_session(farm, id, |s| s.set_cal_page(page).map_err(device_err))?;
+            Ok(obj(vec![("page", vint(page as u64))]))
+        }
+        "xcp.cal_page" => {
+            let id = proto::p_u64(params, "session")?;
+            let page = with_session(farm, id, |s| s.cal_page().map_err(device_err))?;
+            Ok(obj(vec![("page", vint(page as u64))]))
+        }
+        "trace.pull" => {
+            let id = proto::p_u64(params, "session")?;
+            let outcome = with_session(farm, id, |s| s.pull_trace().map_err(device_err))?;
+            let digest = fnv1a64(format!("{:?}{:?}", outcome.flow, outcome.data_log).as_bytes());
+            Ok(obj(vec![
+                ("messages", vint(outcome.messages.len() as u64)),
+                ("flow", vint(outcome.flow.len() as u64)),
+                ("data_log", vint(outcome.data_log.len() as u64)),
+                ("trace_bytes", vint(outcome.trace_bytes as u64)),
+                ("trace_hash", vint(digest)),
+            ]))
+        }
+        "health.pull" => {
+            let id = proto::p_u64(params, "session")?;
+            let report = with_session(farm, id, |s| Ok(s.health()))?;
+            let retired: u64 = report.cores.iter().map(|c| c.retired).sum();
+            Ok(obj(vec![
+                ("cycle", vint(report.cycle)),
+                ("retired", vint(retired)),
+                ("bus_utilization", Value::Float(report.bus_utilization)),
+                ("report", vstr(report.to_string())),
+            ]))
+        }
+        _ => Err(RpcError::new(
+            ERR_METHOD_NOT_FOUND,
+            format!("unknown method `{method}`"),
+        )),
+    }
+}

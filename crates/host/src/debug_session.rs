@@ -1,0 +1,543 @@
+//! A whole debug session as one suspendable value.
+//!
+//! [`Session`] bundles the pieces every interactive debug engagement
+//! needs — an attached [`Debugger`], a [`TraceSession`] decoding against
+//! the loaded program, and a run-cycle tally — behind one handle, and adds
+//! the operation the multi-session debug farm is built on: an explicit
+//! [`Session::suspend`] / [`Session::resume`] pair.
+//!
+//! `suspend` folds the PR 3 detach/attach book-keeping
+//! ([`Debugger::detach_with_state`]) together with a full
+//! [`SocSnapshot`] into one serializable [`SessionSnapshot`]: breakpoint
+//! patches travel inside the memory image, the breakpoint *tables* inside
+//! the [`DebuggerState`], and the device state inside the snapshot.
+//! `resume` rebuilds a bit-identical session on a freshly constructed
+//! device — the invariant the farm's evict/revive cycle proves with
+//! [`Session::state_hash`].
+
+use crate::debugger::{Debugger, DebuggerState, StopEvent};
+use crate::health::HealthReport;
+use crate::session::{drain_residual_trace, SessionError, TraceOutcome, TraceSession};
+use mcds::McdsConfig;
+use mcds_psi::device::Device;
+use mcds_psi::interface::InterfaceKind;
+use mcds_replay::{device_state_hash, SocSnapshot};
+use mcds_soc::asm::Program;
+use mcds_soc::event::CoreId;
+use mcds_soc::isa::Reg;
+use mcds_soc::RunState;
+use mcds_xcp::XcpMaster;
+
+/// Session snapshot format version; bump on any incompatible change to
+/// [`SessionSnapshot`]'s layout.
+pub const SESSION_SNAPSHOT_VERSION: u32 = 1;
+
+/// Cycles run between stop checks in [`Session::run`]. Stop detection
+/// lands on a chunk boundary, so the boundary must be identical however
+/// the surrounding run quanta are sliced — that is what keeps farm
+/// scheduling off the determinism path.
+const RUN_CHUNK: u64 = 64;
+
+/// Everything needed to revive a suspended session on a structurally
+/// identical device: the debugger book-keeping, the device snapshot, and
+/// the session's run tally.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone)]
+pub struct SessionSnapshot {
+    /// Format version ([`SESSION_SNAPSHOT_VERSION`] at suspend time).
+    pub version: u32,
+    /// Total cycles the session had run when suspended.
+    pub cycles_run: u64,
+    /// [`mcds_replay::device_state_hash`] of the device at suspend time.
+    pub device_hash: u64,
+    /// Host-side breakpoint/watchpoint tables and base MCDS configuration.
+    pub debugger: DebuggerState,
+    /// Full device snapshot (all-raw).
+    pub soc: SocSnapshot,
+}
+
+impl SessionSnapshot {
+    /// The device-state hash recorded at suspend time —
+    /// [`Session::state_hash`] of any correctly revived session equals
+    /// this, which is how the farm proves evict/revive bit-identity.
+    pub fn state_hash(&self) -> u64 {
+        self.device_hash
+    }
+
+    /// Accounting size of the snapshot (content bytes plus framing) — what
+    /// eviction budgets charge for a suspended session.
+    pub fn size_bytes(&self) -> usize {
+        self.soc.size_bytes()
+    }
+}
+
+/// The outcome of one [`Session::run`] quantum.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Cycles actually run (always the full request; the device keeps
+    /// counting cycles even with all cores halted).
+    pub ran: u64,
+    /// The first core that newly halted during the quantum, if any.
+    pub stop: Option<StopEvent>,
+}
+
+/// One live debug session: an attached debugger plus its trace decoder.
+#[derive(Debug)]
+pub struct Session {
+    dbg: Debugger,
+    trace: TraceSession,
+    cycles_run: u64,
+}
+
+impl Session {
+    /// Attaches a session to `dev` over `iface`, reconstructing trace
+    /// against `program`. The cores are held at reset while `trace` (if
+    /// any) is pushed, then released — so tracing covers the run from
+    /// cycle zero and attachment cost is identical for every session with
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Host/device errors from the configuration or release.
+    pub fn attach(
+        dev: Device,
+        iface: InterfaceKind,
+        program: &Program,
+        trace: Option<McdsConfig>,
+    ) -> Result<Session, SessionError> {
+        let mut dbg = Debugger::attach(dev, iface);
+        dbg.hold_all_at_reset();
+        let session = TraceSession::new(program);
+        if let Some(config) = trace {
+            session.configure(&mut dbg, config)?;
+        }
+        dbg.resume_all()?;
+        Ok(Session {
+            dbg,
+            trace: session,
+            cycles_run: 0,
+        })
+    }
+
+    /// Runs the device for up to `cycles` cycles, checking for a halted
+    /// core on every [`RUN_CHUNK`] boundary. If a core is already halted
+    /// when the quantum starts (a breakpoint can fire during the very link
+    /// latency of arming it), the stop is reported immediately with zero
+    /// cycles run — mirroring [`Debugger::wait_for_stop`]. A stop ends the
+    /// quantum: remaining cycles are not run, and the report says how many
+    /// were.
+    pub fn run(&mut self, cycles: u64) -> RunReport {
+        let mut ran = 0;
+        let mut stop = self.any_halted();
+        if stop.is_none() {
+            while ran < cycles {
+                let n = RUN_CHUNK.min(cycles - ran);
+                self.dbg.device_mut().run_cycles(n);
+                ran += n;
+                stop = self.any_halted();
+                if stop.is_some() {
+                    break;
+                }
+            }
+        }
+        self.cycles_run += ran;
+        RunReport { ran, stop }
+    }
+
+    fn any_halted(&self) -> Option<StopEvent> {
+        self.dbg
+            .device()
+            .soc()
+            .cores()
+            .find_map(|c| match c.state() {
+                RunState::Halted(cause) => Some(StopEvent {
+                    core: c.id(),
+                    cause,
+                    pc: c.pc(),
+                }),
+                _ => None,
+            })
+    }
+
+    /// Sets a software breakpoint (RAM/overlay-resident code only).
+    ///
+    /// # Errors
+    ///
+    /// Host errors ([`crate::HostError::FlashBreakpoint`], duplicates,
+    /// device).
+    pub fn set_sw_breakpoint(&mut self, addr: u32) -> Result<(), SessionError> {
+        Ok(self.dbg.set_sw_breakpoint(addr)?)
+    }
+
+    /// Clears a software breakpoint.
+    ///
+    /// # Errors
+    ///
+    /// Host errors.
+    pub fn clear_sw_breakpoint(&mut self, addr: u32) -> Result<(), SessionError> {
+        Ok(self.dbg.clear_sw_breakpoint(addr)?)
+    }
+
+    /// Sets a hardware breakpoint comparator on `core`.
+    ///
+    /// # Errors
+    ///
+    /// Host errors ([`crate::HostError::HwBreakpointLimit`], device).
+    pub fn set_hw_breakpoint(&mut self, core: CoreId, addr: u32) -> Result<(), SessionError> {
+        Ok(self.dbg.set_hw_breakpoint(core, addr)?)
+    }
+
+    /// Clears a hardware breakpoint comparator.
+    ///
+    /// # Errors
+    ///
+    /// Host errors.
+    pub fn clear_hw_breakpoint(&mut self, core: CoreId, addr: u32) -> Result<(), SessionError> {
+        Ok(self.dbg.clear_hw_breakpoint(core, addr)?)
+    }
+
+    /// Resumes a core stopped at a software breakpoint (step-over), or any
+    /// halted core.
+    ///
+    /// # Errors
+    ///
+    /// Host errors.
+    pub fn resume_core(&mut self, core: CoreId) -> Result<(), SessionError> {
+        if self.dbg.resume_from_breakpoint(core).is_ok() {
+            return Ok(());
+        }
+        Ok(self.dbg.resume(core)?)
+    }
+
+    /// Reads `count` words from target memory over the debug link.
+    ///
+    /// # Errors
+    ///
+    /// Host/device errors.
+    pub fn read_words(&mut self, addr: u32, count: usize) -> Result<Vec<u32>, SessionError> {
+        Ok(self.dbg.read_words(addr, count)?)
+    }
+
+    /// Writes words to target memory over the debug link.
+    ///
+    /// # Errors
+    ///
+    /// Host/device errors.
+    pub fn write_words(&mut self, addr: u32, data: Vec<u32>) -> Result<(), SessionError> {
+        Ok(self.dbg.write_words(addr, data)?)
+    }
+
+    /// Reads a core register (the core must be halted).
+    ///
+    /// # Errors
+    ///
+    /// Host/device errors.
+    pub fn read_reg(&mut self, core: CoreId, r: Reg) -> Result<u32, SessionError> {
+        Ok(self.dbg.read_reg(core, r)?)
+    }
+
+    /// Writes a core register (the core must be halted).
+    ///
+    /// # Errors
+    ///
+    /// Host/device errors.
+    pub fn write_reg(&mut self, core: CoreId, r: Reg, v: u32) -> Result<(), SessionError> {
+        Ok(self.dbg.write_reg(core, r, v)?)
+    }
+
+    /// Swaps the calibration page through a transient XCP master
+    /// (connect, swap, disconnect). The page state lives in the device's
+    /// overlay mapper, so no host-side XCP state needs to survive
+    /// suspend/resume.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Calibration`] on XCP protocol errors.
+    pub fn set_cal_page(&mut self, page: u8) -> Result<(), SessionError> {
+        let mut master = XcpMaster::new(self.dbg.interface());
+        let dev = self.dbg.device_mut();
+        master.connect(dev).map_err(SessionError::Calibration)?;
+        master
+            .set_cal_page(dev, page)
+            .map_err(SessionError::Calibration)?;
+        master.disconnect(dev).map_err(SessionError::Calibration)
+    }
+
+    /// Reads the active calibration page through a transient XCP master.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Calibration`] on XCP protocol errors.
+    pub fn cal_page(&mut self) -> Result<u8, SessionError> {
+        let mut master = XcpMaster::new(self.dbg.interface());
+        let dev = self.dbg.device_mut();
+        master.connect(dev).map_err(SessionError::Calibration)?;
+        let page = master.cal_page(dev).map_err(SessionError::Calibration)?;
+        master.disconnect(dev).map_err(SessionError::Calibration)?;
+        Ok(page)
+    }
+
+    /// Drains residual MCDS state and downloads/decodes the trace memory.
+    ///
+    /// # Errors
+    ///
+    /// Host/device, decode, or reconstruction errors.
+    pub fn pull_trace(&mut self) -> Result<TraceOutcome, SessionError> {
+        drain_residual_trace(self.dbg.device_mut());
+        self.trace.download(&mut self.dbg)
+    }
+
+    /// One-shot "mcds-top" health report of the session's device.
+    pub fn health(&self) -> HealthReport {
+        HealthReport::gather(self.dbg.device())
+    }
+
+    /// FNV-1a hash over the complete device state — the bit-identity
+    /// witness the evict/revive cycle is checked against.
+    pub fn state_hash(&self) -> u64 {
+        device_state_hash(self.dbg.device())
+    }
+
+    /// Total cycles this session has run (surviving suspend/resume).
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// The underlying debugger.
+    pub fn debugger(&self) -> &Debugger {
+        &self.dbg
+    }
+
+    /// The underlying debugger, mutably.
+    pub fn debugger_mut(&mut self) -> &mut Debugger {
+        &mut self.dbg
+    }
+
+    /// Suspends the session into a serializable snapshot: detaches the
+    /// debugger keeping its book-keeping (BRK patches stay in the memory
+    /// image) and captures the full device state.
+    pub fn suspend(self) -> SessionSnapshot {
+        let (dev, state) = self.dbg.detach_with_state();
+        SessionSnapshot {
+            version: SESSION_SNAPSHOT_VERSION,
+            cycles_run: self.cycles_run,
+            device_hash: device_state_hash(&dev),
+            debugger: state,
+            soc: SocSnapshot::capture(&dev),
+        }
+    }
+
+    /// Revives a suspended session onto `dev`, which must be built with a
+    /// configuration structurally identical to the suspended device's
+    /// (same spec). The revived session is bit-identical to the suspended
+    /// one: same [`Session::state_hash`], same armed breakpoints, same
+    /// pending trace.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SnapshotVersion`] on a format-version mismatch (the
+    /// device snapshot's own version is also checked, reported the same
+    /// way, so `restore_into` cannot panic on version grounds).
+    pub fn resume(
+        mut dev: Device,
+        iface: InterfaceKind,
+        program: &Program,
+        snap: &SessionSnapshot,
+    ) -> Result<Session, SessionError> {
+        if snap.version != SESSION_SNAPSHOT_VERSION {
+            return Err(SessionError::SnapshotVersion {
+                found: snap.version,
+                expected: SESSION_SNAPSHOT_VERSION,
+            });
+        }
+        if snap.soc.version() != mcds_replay::SNAPSHOT_VERSION {
+            return Err(SessionError::SnapshotVersion {
+                found: snap.soc.version(),
+                expected: mcds_replay::SNAPSHOT_VERSION,
+            });
+        }
+        // Comparators and cross-trigger lines armed during the suspended
+        // session are structure, not state: rebuild them on the fresh
+        // device (zero-cost backdoor — no simulated time) so the snapshot
+        // state restores onto a structurally identical MCDS.
+        let core_count = dev.soc().core_count();
+        dev.mcds_mut()
+            .reconfigure(snap.debugger.active_mcds_config(core_count));
+        snap.soc.restore_into(&mut dev);
+        let dbg = Debugger::attach_with_state(dev, iface, &snap.debugger);
+        Ok(Session {
+            dbg,
+            trace: TraceSession::new(program),
+            cycles_run: snap.cycles_run,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds::observer::{CoreTraceConfig, TraceQualifier};
+    use mcds_psi::device::{DeviceSpec, DeviceVariant};
+    use mcds_workloads::Workload;
+
+    fn spec_for(w: Workload) -> DeviceSpec {
+        DeviceSpec {
+            variant: DeviceVariant::EdSideBooster,
+            cores: w.core_configs(),
+            mcds: Some(McdsConfig {
+                cores: vec![
+                    CoreTraceConfig {
+                        program_trace: TraceQualifier::Always,
+                        ..Default::default()
+                    };
+                    w.cores()
+                ],
+                fifo_depth: 4096,
+                sink_bandwidth: 8,
+                ..Default::default()
+            }),
+            with_dma: false,
+            flash_wait_states: None,
+        }
+    }
+
+    fn fresh_session(w: Workload) -> Session {
+        let spec = spec_for(w);
+        let mut dev = spec.build();
+        dev.soc_mut().load_program(&w.program());
+        Session::attach(dev, InterfaceKind::Jtag, &w.program(), None).unwrap()
+    }
+
+    #[test]
+    fn run_reports_hw_breakpoint_stop() {
+        let w = Workload::Engine;
+        let mut s = fresh_session(w);
+        // Engine code is flash-resident: only HW breakpoints work there.
+        // Arming the comparator itself costs link latency (the core runs
+        // meanwhile), so break on the control loop, not the init code.
+        let cycle_label = w.program().symbols["cycle"];
+        s.set_hw_breakpoint(CoreId(0), cycle_label).unwrap();
+        let report = s.run(200_000);
+        let stop = report.stop.expect("hw breakpoint fires");
+        assert_eq!(stop.core, CoreId(0));
+        assert!(report.ran < 200_000, "stopped before the quantum ended");
+        assert!(
+            report.ran.is_multiple_of(RUN_CHUNK),
+            "stop lands on chunk boundary"
+        );
+    }
+
+    #[test]
+    fn run_quantum_slicing_does_not_change_state() {
+        // 1×60k cycles versus 60×1k cycles must land bit-identically —
+        // the property that lets the farm scheduler pick any quantum.
+        let mut a = fresh_session(Workload::Engine);
+        let mut b = fresh_session(Workload::Engine);
+        a.run(60_000);
+        for _ in 0..60 {
+            b.run(1_000);
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(a.cycles_run(), b.cycles_run());
+    }
+
+    #[test]
+    fn suspend_resume_is_bit_identical() {
+        let w = Workload::Engine;
+        let mut control = fresh_session(w);
+        let mut subject = fresh_session(w);
+        control.run(30_000);
+        subject.run(30_000);
+
+        let snap = subject.suspend();
+        let json = serde_json::to_string(&snap).unwrap();
+        let snap: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        assert!(snap.size_bytes() > 0);
+
+        let mut subject = Session::resume(
+            spec_for(w).build(),
+            InterfaceKind::Jtag,
+            &w.program(),
+            &snap,
+        )
+        .unwrap();
+        assert_eq!(subject.state_hash(), control.state_hash());
+        assert_eq!(subject.state_hash(), snap.state_hash());
+
+        // And the revived session keeps running in lock-step.
+        control.run(30_000);
+        subject.run(30_000);
+        assert_eq!(subject.state_hash(), control.state_hash());
+    }
+
+    #[test]
+    fn suspend_with_armed_hw_breakpoint_survives_resume() {
+        // Arming a HW breakpoint reconfigures the MCDS (extra comparator
+        // + break line) — structure a fresh device built from the spec
+        // alone would lack. Resume must rebuild it before restoring.
+        let w = Workload::Engine;
+        let cycle_label = w.program().symbols["cycle"];
+        let mut control = fresh_session(w);
+        let mut subject = fresh_session(w);
+        for s in [&mut control, &mut subject] {
+            s.run(20_000);
+            s.set_hw_breakpoint(CoreId(0), cycle_label).unwrap();
+        }
+
+        let snap = subject.suspend();
+        let mut subject = Session::resume(
+            spec_for(w).build(),
+            InterfaceKind::Jtag,
+            &w.program(),
+            &snap,
+        )
+        .unwrap();
+        assert_eq!(subject.state_hash(), control.state_hash());
+
+        // The armed breakpoint still fires identically on both.
+        let (cr, sr) = (control.run(200_000), subject.run(200_000));
+        assert_eq!(cr.ran, sr.ran);
+        assert_eq!(
+            cr.stop.expect("control stops").pc,
+            sr.stop.expect("subject stops").pc
+        );
+        assert_eq!(subject.state_hash(), control.state_hash());
+    }
+
+    #[test]
+    fn resume_rejects_version_mismatch() {
+        let w = Workload::Engine;
+        let mut snap = fresh_session(w).suspend();
+        snap.version = SESSION_SNAPSHOT_VERSION + 1;
+        match Session::resume(
+            spec_for(w).build(),
+            InterfaceKind::Jtag,
+            &w.program(),
+            &snap,
+        ) {
+            Err(SessionError::SnapshotVersion { found, expected }) => {
+                assert_eq!(found, SESSION_SNAPSHOT_VERSION + 1);
+                assert_eq!(expected, SESSION_SNAPSHOT_VERSION);
+            }
+            other => panic!("expected SnapshotVersion error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cal_page_swap_survives_suspend_resume() {
+        let w = Workload::Engine;
+        let mut s = fresh_session(w);
+        s.run(10_000);
+        assert_eq!(s.cal_page().unwrap(), 0);
+        s.set_cal_page(1).unwrap();
+        assert_eq!(s.cal_page().unwrap(), 1);
+        let snap = s.suspend();
+        let mut s = Session::resume(
+            spec_for(w).build(),
+            InterfaceKind::Jtag,
+            &w.program(),
+            &snap,
+        )
+        .unwrap();
+        assert_eq!(s.cal_page().unwrap(), 1, "page state lives in the device");
+    }
+}

@@ -123,6 +123,60 @@ pub struct DebuggerState {
     base_mcds: McdsConfig,
 }
 
+impl DebuggerState {
+    /// The MCDS configuration that was active on the device when this
+    /// state was captured: the base configuration with the hardware
+    /// breakpoint/watchpoint comparators and break lines merged in.
+    ///
+    /// A device being revived from a snapshot must be reconfigured with
+    /// exactly this before the snapshot state is restored onto it —
+    /// comparator and cross-trigger-line *structure* is configuration,
+    /// not state, so a fresh device built from the original spec alone
+    /// would be structurally narrower than the suspended one.
+    pub fn active_mcds_config(&self, core_count: usize) -> McdsConfig {
+        merged_mcds_config(
+            &self.base_mcds,
+            core_count,
+            &self.hw_breakpoints,
+            &self.watchpoints,
+        )
+    }
+}
+
+/// Merges hardware breakpoints and watchpoints into a base MCDS
+/// configuration: one program/data comparator plus one break cross-trigger
+/// line per entry, in table order (deterministic).
+fn merged_mcds_config(
+    base: &McdsConfig,
+    core_count: usize,
+    hw_breakpoints: &[(CoreId, u32)],
+    watchpoints: &[(CoreId, AddrRange, AccessKind)],
+) -> McdsConfig {
+    let mut config = base.clone();
+    if config.cores.len() < core_count {
+        config.cores.resize(core_count, CoreTraceConfig::default());
+    }
+    for &(core, addr) in hw_breakpoints {
+        let cc = &mut config.cores[core.0 as usize];
+        let idx = cc.program_comparators.len();
+        cc.program_comparators.push(ProgramComparator::at(addr));
+        config.cross_triggers.push(CrossTrigger::on_any(
+            vec![SignalRef::ProgComp { core, idx }],
+            TriggerAction::BreakCores(vec![core]),
+        ));
+    }
+    for &(core, range, access) in watchpoints {
+        let cc = &mut config.cores[core.0 as usize];
+        let idx = cc.data_comparators.len();
+        cc.data_comparators.push(DataComparator::on(range, access));
+        config.cross_triggers.push(CrossTrigger::on_any(
+            vec![SignalRef::DataComp { core, idx }],
+            TriggerAction::BreakCores(vec![core]),
+        ));
+    }
+    config
+}
+
 /// The debugger session.
 pub struct Debugger {
     dev: Device,
@@ -409,30 +463,12 @@ impl Debugger {
     }
 
     fn apply_hw_triggers(&mut self) -> Result<(), HostError> {
-        let mut config = self.base_mcds.clone();
-        if config.cores.len() < self.dev.soc().core_count() {
-            config
-                .cores
-                .resize(self.dev.soc().core_count(), CoreTraceConfig::default());
-        }
-        for &(core, addr) in &self.hw_breakpoints {
-            let cc = &mut config.cores[core.0 as usize];
-            let idx = cc.program_comparators.len();
-            cc.program_comparators.push(ProgramComparator::at(addr));
-            config.cross_triggers.push(CrossTrigger::on_any(
-                vec![SignalRef::ProgComp { core, idx }],
-                TriggerAction::BreakCores(vec![core]),
-            ));
-        }
-        for &(core, range, access) in &self.watchpoints {
-            let cc = &mut config.cores[core.0 as usize];
-            let idx = cc.data_comparators.len();
-            cc.data_comparators.push(DataComparator::on(range, access));
-            config.cross_triggers.push(CrossTrigger::on_any(
-                vec![SignalRef::DataComp { core, idx }],
-                TriggerAction::BreakCores(vec![core]),
-            ));
-        }
+        let config = merged_mcds_config(
+            &self.base_mcds,
+            self.dev.soc().core_count(),
+            &self.hw_breakpoints,
+            &self.watchpoints,
+        );
         self.exec(DebugOp::Reconfigure(Box::new(config)))?;
         Ok(())
     }

@@ -200,6 +200,118 @@ impl HealthReport {
     }
 }
 
+/// Per-session health rows merged into one farm-wide table — "mcds-top
+/// for a fleet". Each row is a labelled [`HealthReport`]; the aggregate
+/// accessors and the [`fmt::Display`] footer summarize across the fleet.
+///
+/// Lives here (not in `mcds-telemetry`) because it is built from
+/// [`HealthReport`]s, which only the host layer knows how to gather; the
+/// telemetry crate stays a leaf with no device knowledge.
+#[derive(Debug, Clone, Default)]
+pub struct FleetHealth {
+    rows: Vec<(String, HealthReport)>,
+}
+
+impl FleetHealth {
+    /// An empty fleet table.
+    pub fn new() -> FleetHealth {
+        FleetHealth::default()
+    }
+
+    /// Appends one labelled session report.
+    pub fn add(&mut self, label: impl Into<String>, report: HealthReport) {
+        self.rows.push((label.into(), report));
+    }
+
+    /// The labelled rows, in insertion order.
+    pub fn rows(&self) -> &[(String, HealthReport)] {
+        &self.rows
+    }
+
+    /// Number of sessions in the table.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no session has been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Instructions retired across every core of every session.
+    pub fn total_retired(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|(_, r)| r.cores.iter().map(|c| c.retired).sum::<u64>())
+            .sum()
+    }
+
+    /// Simulated cycles summed across sessions.
+    pub fn total_cycles(&self) -> u64 {
+        self.rows.iter().map(|(_, r)| r.cycle).sum()
+    }
+
+    /// Mean bus utilization across sessions (0–1; 0 for an empty fleet).
+    pub fn mean_bus_utilization(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .map(|(_, r)| r.bus_utilization)
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Trace messages lost to FIFO overflow across the fleet.
+    pub fn total_fifo_lost(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|(_, r)| r.fifos.iter().map(|q| q.lost).sum::<u64>())
+            .sum()
+    }
+
+    /// Trace messages dropped at the sink across the fleet.
+    pub fn total_sink_dropped(&self) -> u64 {
+        self.rows.iter().map(|(_, r)| r.sink_dropped).sum()
+    }
+}
+
+impl fmt::Display for FleetHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mcds-top fleet — {} session(s)", self.rows.len())?;
+        writeln!(
+            f,
+            "  {:<12} {:>12} {:>6} {:>14} {:>9} {:>9} {:>9}",
+            "session", "cycle", "cores", "retired", "bus%", "fifo-lost", "sink-drop"
+        )?;
+        for (label, r) in &self.rows {
+            let retired: u64 = r.cores.iter().map(|c| c.retired).sum();
+            let lost: u64 = r.fifos.iter().map(|q| q.lost).sum();
+            writeln!(
+                f,
+                "  {:<12} {:>12} {:>6} {:>14} {:>8.1}% {:>9} {:>9}",
+                label,
+                r.cycle,
+                r.cores.len(),
+                retired,
+                pct(r.bus_utilization),
+                lost,
+                r.sink_dropped
+            )?;
+        }
+        writeln!(
+            f,
+            "  total cycles {}  retired {}  mean bus {:.1}%  fifo-lost {}  sink-drop {}",
+            self.total_cycles(),
+            self.total_retired(),
+            pct(self.mean_bus_utilization()),
+            self.total_fifo_lost(),
+            self.total_sink_dropped()
+        )
+    }
+}
+
 fn pct(v: f64) -> f64 {
     (v * 100.0).clamp(0.0, 100.0)
 }
@@ -338,6 +450,23 @@ mod tests {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         assert!(!text.contains("xcp "), "no xcp row without a master");
+    }
+
+    #[test]
+    fn fleet_table_merges_and_aggregates() {
+        let dev = busy_device();
+        let report = HealthReport::gather(&dev);
+        let mut fleet = FleetHealth::new();
+        fleet.add("s1", report.clone());
+        fleet.add("s2", report.clone());
+        assert_eq!(fleet.len(), 2);
+        let per_dev: u64 = report.cores.iter().map(|c| c.retired).sum();
+        assert_eq!(fleet.total_retired(), 2 * per_dev);
+        assert!((fleet.mean_bus_utilization() - report.bus_utilization).abs() < 1e-12);
+        let text = fleet.to_string();
+        assert!(text.contains("mcds-top fleet — 2 session(s)"), "{text}");
+        assert!(text.contains("s1"), "{text}");
+        assert!(text.contains("total cycles"), "{text}");
     }
 
     #[test]

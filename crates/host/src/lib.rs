@@ -5,8 +5,10 @@
 //! The development-tool side of the MCDS/PSI reproduction (Mayer et al.,
 //! DATE 2005): run control, memory access, software and hardware
 //! breakpoints ([`debugger`]) and full trace sessions plus the
-//! emulation-RAM program workflow ([`session`]). Calibration lives in the
-//! sibling `mcds-xcp` crate.
+//! emulation-RAM program workflow ([`session`]). [`debug_session`] bundles
+//! a debugger and trace decoder into one suspendable [`Session`] — the
+//! unit the multi-session debug farm schedules and evicts. Calibration
+//! lives in the sibling `mcds-xcp` crate.
 //!
 //! Everything the host does travels over a modelled debug link and pays its
 //! latency, so tool-level experiments (edit-run cycle time, halt slippage,
@@ -42,14 +44,16 @@
 //! # }
 //! ```
 
+pub mod debug_session;
 pub mod debugger;
 pub mod health;
 pub mod listing;
 pub mod session;
 pub mod timetravel;
 
+pub use debug_session::{RunReport, Session, SessionSnapshot, SESSION_SNAPSHOT_VERSION};
 pub use debugger::{Debugger, DebuggerState, HostError, StopEvent};
-pub use health::{CoreHealth, FifoHealth, HealthReport, LinkHealthRow, MasterHealth};
+pub use health::{CoreHealth, FifoHealth, FleetHealth, HealthReport, LinkHealthRow, MasterHealth};
 pub use session::{
     coverage_from_messages, coverage_from_messages_lossy, drain_residual_trace,
     load_program_to_emulation_ram, AnalysisOutcome, SessionError, TraceOutcome, TraceSession,

@@ -51,6 +51,16 @@ pub enum SessionError {
     /// An overlay range configuration was rejected (e.g. an unaligned
     /// emulation-RAM offset, or a program chunk outside flash).
     Overlay(mcds_soc::overlay::ConfigOverlayError),
+    /// A session snapshot was written by an incompatible format version
+    /// (see [`crate::debug_session::SESSION_SNAPSHOT_VERSION`]).
+    SnapshotVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// A calibration (XCP) operation failed.
+    Calibration(mcds_xcp::XcpError),
 }
 
 impl fmt::Display for SessionError {
@@ -64,6 +74,11 @@ impl fmt::Display for SessionError {
                 "program needs {needed} overlay ranges but only {OVERLAY_RANGE_COUNT} exist"
             ),
             SessionError::Overlay(e) => write!(f, "overlay configuration failed: {e}"),
+            SessionError::SnapshotVersion { found, expected } => write!(
+                f,
+                "session snapshot version {found} incompatible with {expected}"
+            ),
+            SessionError::Calibration(e) => write!(f, "calibration failed: {e}"),
         }
     }
 }

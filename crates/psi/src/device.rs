@@ -336,6 +336,64 @@ pub fn flash_reprogram_cycles(len: usize) -> u64 {
     memmap::ns_to_cycles(sectors * FLASH_ERASE_NS_PER_64K + len as u64 * FLASH_PROGRAM_NS_PER_BYTE)
 }
 
+/// A serializable device recipe: everything needed to rebuild a device
+/// with a structurally identical configuration — the precondition for
+/// restoring a [`mcds_psi` snapshot](DeviceState) captured from the
+/// original. Remote services (the debug farm) ship this over the wire and
+/// persist it next to suspended sessions so revival can reconstruct the
+/// exact same hardware.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone)]
+pub struct DeviceSpec {
+    /// The PSI construction variant.
+    pub variant: DeviceVariant,
+    /// Per-core reset configuration (at least one).
+    pub cores: Vec<CoreConfig>,
+    /// MCDS configuration; `None` leaves the block in its default
+    /// (trace-idle) configuration.
+    pub mcds: Option<McdsConfig>,
+    /// Fits the DMA controller.
+    pub with_dma: bool,
+    /// Overrides flash wait states.
+    pub flash_wait_states: Option<u32>,
+}
+
+impl DeviceSpec {
+    /// A spec for `variant` with `n` default cores.
+    pub fn with_cores(variant: DeviceVariant, n: usize) -> DeviceSpec {
+        DeviceSpec {
+            variant,
+            cores: vec![CoreConfig::default(); n.max(1)],
+            mcds: None,
+            with_dma: false,
+            flash_wait_states: None,
+        }
+    }
+
+    /// Builds the device this spec describes. Two builds of the same spec
+    /// are structurally identical, so a snapshot captured from one restores
+    /// into the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn build(&self) -> Device {
+        let mut builder = DeviceBuilder::new(self.variant);
+        for c in &self.cores {
+            builder = builder.core(*c);
+        }
+        if let Some(mcds) = &self.mcds {
+            builder = builder.mcds(mcds.clone());
+        }
+        if self.with_dma {
+            builder = builder.with_dma();
+        }
+        if let Some(ws) = self.flash_wait_states {
+            builder = builder.flash_wait_states(ws);
+        }
+        builder.build()
+    }
+}
+
 /// Builder for a [`Device`].
 pub struct DeviceBuilder {
     variant: DeviceVariant,

@@ -47,8 +47,8 @@ pub mod telemetry;
 pub mod trace_sink;
 
 pub use device::{
-    DebugOp, DebugResponse, Device, DeviceBuilder, DeviceError, DeviceState, DeviceVariant,
-    VariantInfo, BUS_STARVATION_LIMIT,
+    DebugOp, DebugResponse, Device, DeviceBuilder, DeviceError, DeviceSpec, DeviceState,
+    DeviceVariant, VariantInfo, BUS_STARVATION_LIMIT,
 };
 pub use faults::{
     DownWindow, FaultInjector, FaultInjectorState, FaultPlan, FaultPlanError, FaultStats, FrameFate,

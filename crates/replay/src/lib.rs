@@ -67,4 +67,4 @@ pub use checkpoint::{Checkpoint, CheckpointRing};
 pub use hash::{device_state_hash, extend_fnv1a64, fnv1a64, trace_bytes};
 pub use log::{run_with_events, run_with_events_into, InputEvent, InputLog, Replayer};
 pub use repro::{ReproArtifact, ReproError, REPRO_VERSION};
-pub use snapshot::{Component, DeltaOp, Payload, SocSnapshot, SNAPSHOT_VERSION};
+pub use snapshot::{Component, DeltaOp, Payload, SnapshotIoError, SocSnapshot, SNAPSHOT_VERSION};

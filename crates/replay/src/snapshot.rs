@@ -19,6 +19,9 @@
 use crate::hash::fnv1a64;
 use mcds_psi::{Device, DeviceState};
 use mcds_soc::soc::MemoryId;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Snapshot format version; bump on any incompatible change to the
 /// component set or encodings.
@@ -28,6 +31,81 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 /// bytes between them is at most this long — one op's framing overhead
 /// outweighs re-sending a few unchanged bytes.
 const DELTA_MERGE_GAP: usize = 16;
+
+/// A typed error from persisting or loading a snapshot, or from an
+/// integrity check over its contents.
+///
+/// Suspend-to-disk consumers (the debug farm's session eviction) must not
+/// crash the service on a bad file — they surface these and keep serving.
+#[derive(Debug)]
+pub enum SnapshotIoError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The snapshot failed to (de)serialize.
+    Json {
+        /// The path involved (empty for in-memory round trips).
+        path: PathBuf,
+        /// The underlying serialization error.
+        source: serde_json::Error,
+    },
+    /// The snapshot was written by an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// A component's contents no longer match its recorded hash — the file
+    /// was corrupted (or tampered with) between save and load.
+    Corrupt {
+        /// Name of the failing component.
+        component: String,
+        /// Hash recorded at capture time.
+        expected: u64,
+        /// Hash recomputed from the loaded contents.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SnapshotIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotIoError::Io { path, source } => {
+                write!(f, "snapshot I/O failed at {}: {source}", path.display())
+            }
+            SnapshotIoError::Json { path, source } => {
+                write!(f, "snapshot JSON failed at {}: {source}", path.display())
+            }
+            SnapshotIoError::Version { found, expected } => {
+                write!(f, "snapshot version {found} incompatible with {expected}")
+            }
+            SnapshotIoError::Corrupt {
+                component,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot component {component} corrupt: recorded hash {expected:#018x}, \
+                 recomputed {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotIoError::Io { source, .. } => Some(source),
+            SnapshotIoError::Json { source, .. } => Some(source),
+            SnapshotIoError::Version { .. } | SnapshotIoError::Corrupt { .. } => None,
+        }
+    }
+}
 
 /// A contiguous byte-range replacement within a component image.
 #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
@@ -334,6 +412,90 @@ impl SocSnapshot {
             .expect("snapshot serializes infallibly")
             .len()
     }
+
+    /// An accounting size for the snapshot held in memory: content bytes
+    /// plus per-component framing (name and hash). This is what memory
+    /// budgets (the farm's eviction policy) charge per resident snapshot.
+    pub fn size_bytes(&self) -> usize {
+        self.components
+            .iter()
+            .map(|c| c.name.len() + 8 + c.payload.stored_bytes())
+            .sum()
+    }
+
+    /// Recomputes every raw component's content hash and checks it against
+    /// the hash recorded at capture time. `Delta`/`Same` payloads are
+    /// skipped (their hashes are checked when materialized against a
+    /// parent).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotIoError::Corrupt`] naming the first failing component.
+    pub fn verify_integrity(&self) -> Result<(), SnapshotIoError> {
+        for c in &self.components {
+            if let Payload::Raw(bytes) = &c.payload {
+                let found = fnv1a64(bytes);
+                if found != c.hash {
+                    return Err(SnapshotIoError::Corrupt {
+                        component: c.name.clone(),
+                        expected: c.hash,
+                        found,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the snapshot as JSON to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotIoError::Json`] or [`SnapshotIoError::Io`].
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotIoError> {
+        let json = serde_json::to_string(self).map_err(|source| SnapshotIoError::Json {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let io_err = |source| SnapshotIoError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        std::fs::write(path, json).map_err(io_err)
+    }
+
+    /// Reads a snapshot back from `path`, checking the format version and
+    /// every component's content hash — a snapshot that survives `load` is
+    /// guaranteed restorable exactly as captured.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotIoError::Io`] / [`SnapshotIoError::Json`] on unreadable or
+    /// malformed files, [`SnapshotIoError::Version`] on an incompatible
+    /// format, [`SnapshotIoError::Corrupt`] when contents fail their
+    /// recorded hash.
+    pub fn load(path: &Path) -> Result<SocSnapshot, SnapshotIoError> {
+        let json = std::fs::read_to_string(path).map_err(|source| SnapshotIoError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let snap: SocSnapshot =
+            serde_json::from_str(&json).map_err(|source| SnapshotIoError::Json {
+                path: path.to_path_buf(),
+                source,
+            })?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotIoError::Version {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        snap.verify_integrity()?;
+        Ok(snap)
+    }
 }
 
 fn raw_component(name: &str, bytes: Vec<u8>) -> Component {
@@ -438,5 +600,66 @@ mod tests {
         }
         let ops = diff_runs(&parent, &child);
         assert_eq!(apply(&parent, &ops), child);
+    }
+
+    fn synthetic_snapshot() -> SocSnapshot {
+        SocSnapshot {
+            version: SNAPSHOT_VERSION,
+            cycle: 1234,
+            components: vec![
+                raw_component("device/state", b"{\"fake\":true}".to_vec()),
+                raw_component("soc/sram", (0..512u32).map(|i| (i % 7) as u8).collect()),
+            ],
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mcds-snapshot-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trips_and_preserves_state_hash() {
+        let snap = synthetic_snapshot();
+        let path = temp_path("roundtrip.json");
+        snap.save(&path).expect("save");
+        let loaded = SocSnapshot::load(&path).expect("load");
+        assert_eq!(loaded, snap);
+        assert_eq!(loaded.state_hash(), snap.state_hash());
+        assert!(snap.size_bytes() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupted_contents() {
+        let mut snap = synthetic_snapshot();
+        // Flip a content byte without updating the recorded hash — exactly
+        // what on-disk corruption between save and load looks like.
+        let Payload::Raw(bytes) = &mut snap.components[1].payload else {
+            unreachable!()
+        };
+        bytes[17] ^= 0x40;
+        let path = temp_path("corrupt.json");
+        snap.save(&path).expect("save");
+        match SocSnapshot::load(&path) {
+            Err(SnapshotIoError::Corrupt { component, .. }) => assert_eq!(component, "soc/sram"),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_future_version() {
+        let mut snap = synthetic_snapshot();
+        snap.version = SNAPSHOT_VERSION + 1;
+        let path = temp_path("version.json");
+        snap.save(&path).expect("save");
+        match SocSnapshot::load(&path) {
+            Err(SnapshotIoError::Version { found, expected }) => {
+                assert_eq!(found, SNAPSHOT_VERSION + 1);
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -104,6 +104,31 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
     }
+
+    /// Approximate `q`-quantile (0–1): the inclusive upper bound of the
+    /// bucket holding the `q`-th observation, or the last finite bound for
+    /// observations in the overflow bucket. Returns 0 with no observations.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return self
+                    .0
+                    .bounds
+                    .get(i)
+                    .or(self.0.bounds.last())
+                    .copied()
+                    .unwrap_or(0);
+            }
+        }
+        self.0.bounds.last().copied().unwrap_or(0)
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -256,6 +281,15 @@ impl Registry {
             MetricHandle::Gauge(g) => g,
             other => panic!("{name} already registered as a {}", other.kind()),
         }
+    }
+
+    /// Registers (or retrieves) an unlabelled fixed-bucket histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name was registered as a different kind.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(name, help, &[], bounds)
     }
 
     /// Registers (or retrieves) a histogram with fixed bucket `bounds`

@@ -36,11 +36,13 @@ pub enum Subsystem {
     DebugLink,
     /// One fault-campaign scenario execution (record + replay + triage).
     Campaign,
+    /// One debug-farm scheduling quantum (multi-session service work).
+    Farm,
 }
 
 impl Subsystem {
     /// Every subsystem, in a stable order.
-    pub const ALL: [Subsystem; 9] = [
+    pub const ALL: [Subsystem; 10] = [
         Subsystem::BusArbitration,
         Subsystem::FifoDrain,
         Subsystem::TraceEncode,
@@ -50,6 +52,7 @@ impl Subsystem {
         Subsystem::Restore,
         Subsystem::DebugLink,
         Subsystem::Campaign,
+        Subsystem::Farm,
     ];
 
     /// Stable snake_case name used as the exported label value.
@@ -64,6 +67,7 @@ impl Subsystem {
             Subsystem::Restore => "restore",
             Subsystem::DebugLink => "debug_link",
             Subsystem::Campaign => "campaign",
+            Subsystem::Farm => "farm",
         }
     }
 
@@ -117,7 +121,7 @@ struct SubsystemAgg {
 /// Records spans and aggregates them per subsystem.
 #[derive(Debug)]
 pub struct SpanRecorder {
-    aggs: [SubsystemAgg; 9],
+    aggs: [SubsystemAgg; 10],
     ring: Mutex<Vec<SpanEvent>>,
     dropped: AtomicU64,
 }

@@ -1,0 +1,154 @@
+//! The workload catalog: one enum naming every packaged application
+//! workload, with enough metadata (core layout, program image, stimulated
+//! sensor ports) for any layer — campaign scenarios, the debug farm, the
+//! benches — to build a matching device without knowing the programs.
+
+use crate::{engine, gearbox, race};
+use mcds_soc::asm::Program;
+use mcds_soc::cpu::CoreConfig;
+
+/// The application workload a device runs.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Single-core fuel-injection controller.
+    Engine,
+    /// Single-core gearbox shift controller.
+    Gearbox,
+    /// Engine on core 0, gearbox on core 1 (shared torque variable).
+    EngineGearbox,
+    /// Two cores incrementing a shared counter under a SWAP spinlock —
+    /// correct, so it exercises multi-core paths without failing.
+    RaceLocked,
+    /// The unsynchronised shared-counter bug: lost updates make the final
+    /// count fall short. Never generated randomly — planted explicitly as
+    /// a known invariant breaker (see the campaign's `plant`).
+    RaceBuggy,
+}
+
+impl Workload {
+    /// Workloads eligible for random generation (excludes the planted
+    /// invariant breaker).
+    pub const GENERATED: [Workload; 4] = [
+        Workload::Engine,
+        Workload::Gearbox,
+        Workload::EngineGearbox,
+        Workload::RaceLocked,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Engine => "engine",
+            Workload::Gearbox => "gearbox",
+            Workload::EngineGearbox => "engine+gearbox",
+            Workload::RaceLocked => "race-locked",
+            Workload::RaceBuggy => "race-buggy",
+        }
+    }
+
+    /// The inverse of [`Workload::name`] — the lookup wire protocols use.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        [
+            Workload::Engine,
+            Workload::Gearbox,
+            Workload::EngineGearbox,
+            Workload::RaceLocked,
+            Workload::RaceBuggy,
+        ]
+        .into_iter()
+        .find(|w| w.name() == name)
+    }
+
+    /// Number of cores the workload needs.
+    pub fn cores(self) -> usize {
+        self.core_configs().len()
+    }
+
+    /// Per-core reset configuration: one [`CoreConfig`] per core, with the
+    /// reset PC pointing at that core's program entry.
+    pub fn core_configs(self) -> Vec<CoreConfig> {
+        let gearbox_core = CoreConfig {
+            reset_pc: 0x8001_0000,
+            ..Default::default()
+        };
+        match self {
+            Workload::Engine | Workload::Gearbox | Workload::EngineGearbox => {
+                let mut cfgs = Vec::new();
+                if self != Workload::Gearbox {
+                    cfgs.push(CoreConfig::default());
+                }
+                if self != Workload::Engine {
+                    cfgs.push(gearbox_core);
+                }
+                cfgs
+            }
+            Workload::RaceLocked | Workload::RaceBuggy => {
+                vec![CoreConfig::default(), CoreConfig::default()]
+            }
+        }
+    }
+
+    /// The program image(s) the workload loads.
+    pub fn program(self) -> Program {
+        match self {
+            Workload::Engine => engine::program(None),
+            Workload::Gearbox => gearbox::program(None),
+            Workload::EngineGearbox => {
+                let mut p = engine::program(None);
+                let g = gearbox::program(None);
+                p.chunks.extend(g.chunks);
+                p.symbols.extend(g.symbols);
+                p
+            }
+            Workload::RaceLocked => race::program_locked(),
+            Workload::RaceBuggy => race::program_buggy(),
+        }
+    }
+
+    /// The stimulus ports this workload reads, as `(port, min, max)`.
+    pub fn stimulated_ports(self) -> &'static [(usize, u32, u32)] {
+        const ENGINE: [(usize, u32, u32); 2] =
+            [(engine::RPM_PORT, 800, 5000), (engine::LOAD_PORT, 10, 200)];
+        const GEARBOX: [(usize, u32, u32); 1] = [(gearbox::SPEED_PORT, 0, 120)];
+        const BOTH: [(usize, u32, u32); 3] = [
+            (engine::RPM_PORT, 800, 5000),
+            (engine::LOAD_PORT, 10, 200),
+            (gearbox::SPEED_PORT, 0, 120),
+        ];
+        match self {
+            Workload::Engine => &ENGINE,
+            Workload::Gearbox => &GEARBOX,
+            Workload::EngineGearbox => &BOTH,
+            Workload::RaceLocked | Workload::RaceBuggy => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for w in [
+            Workload::Engine,
+            Workload::Gearbox,
+            Workload::EngineGearbox,
+            Workload::RaceLocked,
+            Workload::RaceBuggy,
+        ] {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("no-such-workload"), None);
+    }
+
+    #[test]
+    fn core_configs_match_program_entries() {
+        assert_eq!(Workload::Engine.core_configs()[0].reset_pc, 0x8000_0000);
+        assert_eq!(Workload::Gearbox.core_configs()[0].reset_pc, 0x8001_0000);
+        let eg = Workload::EngineGearbox.core_configs();
+        assert_eq!(eg.len(), 2);
+        assert_eq!(eg[1].reset_pc, 0x8001_0000);
+        assert_eq!(Workload::RaceLocked.cores(), 2);
+    }
+}

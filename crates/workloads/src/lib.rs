@@ -16,12 +16,17 @@
 //!   seeded random walks).
 //!
 //! Every workload ships a Rust reference model so experiments can check
-//! control outputs bit-exactly.
+//! control outputs bit-exactly. The [`catalog`] module names them all in
+//! one [`Workload`] enum (core layout, program image, stimulated ports) so
+//! higher layers — campaign scenarios, the debug farm — can build matching
+//! devices without knowing the programs.
 
+pub mod catalog;
 pub mod engine;
 pub mod gearbox;
 pub mod race;
 pub mod stimulus;
 
+pub use catalog::Workload;
 pub use engine::FuelMap;
 pub use stimulus::{Profile, Sample, StimulusPlayer};

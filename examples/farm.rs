@@ -1,0 +1,43 @@
+//! Debug farm server: serve many simulated PSI devices behind one TCP
+//! port speaking newline-delimited JSON-RPC.
+//!
+//! ```sh
+//! cargo run --release --example farm -- [port] [workers]
+//! ```
+//!
+//! Defaults to an ephemeral port (printed on stdout as `listening on
+//! ADDR`) and 4 workers. Drive it with the companion client:
+//!
+//! ```sh
+//! cargo run --release --example farm_client -- ADDR
+//! ```
+//!
+//! The server runs until killed; `farm.metrics` returns the live
+//! Prometheus export of the `farm_*` metric namespace.
+
+use mcds_farm::{FarmConfig, FarmServer};
+use mcds_telemetry::Telemetry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(0);
+    let workers: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(4);
+
+    let config = FarmConfig {
+        workers,
+        ..Default::default()
+    };
+    println!(
+        "farm: {} workers, quantum {} cycles, evict dir {}",
+        config.workers,
+        config.quantum,
+        config.evict_dir.display()
+    );
+    let server = FarmServer::spawn(config, Telemetry::new(), port)?;
+    println!("listening on {}", server.local_addr());
+
+    // Serve forever; the accept loop and workers do all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,98 @@
+//! Debug farm client: drive a farm server through one complete session
+//! lifecycle — create, run, breakpoint, calibrate, evict, revive — and
+//! print the farm's aggregate stats at the end.
+//!
+//! ```sh
+//! # terminal 1
+//! cargo run --release --example farm
+//! # terminal 2 (ADDR from the server's "listening on" line)
+//! cargo run --release --example farm_client -- ADDR
+//! ```
+//!
+//! When no address is given, the example spawns an in-process server so
+//! it works standalone:
+//!
+//! ```sh
+//! cargo run --release --example farm_client
+//! ```
+
+use mcds_farm::proto::{obj, vint, vstr};
+use mcds_farm::{client, FarmClient, FarmConfig, FarmServer};
+use mcds_telemetry::Telemetry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::args().nth(1);
+    let (_server, addr) = match addr {
+        Some(a) => (None, a),
+        None => {
+            let server = FarmServer::spawn(FarmConfig::default(), Telemetry::new(), 0)?;
+            let addr = server.local_addr().to_string();
+            println!("farm_client: spawned in-process server on {addr}");
+            (Some(server), addr)
+        }
+    };
+    let mut c = FarmClient::connect(&addr)?;
+
+    // Create a traced engine session and let it run.
+    let id = c.create("engine", true)?;
+    c.attach(id)?;
+    let (ran, stop) = c.run(id, 200_000)?;
+    println!("session {id}: ran {ran} cycles (stop: {stop:?})");
+
+    // Arm a hardware breakpoint on the engine's main loop and hit it.
+    // (The engine runs from flash, so SW breakpoints are refused — HW
+    // comparators are the right tool, exactly as on the real part.)
+    let loop_addr = mcds_workloads::Workload::Engine.program().symbols["cycle"];
+    c.set_hw_breakpoint(id, 0, loop_addr)?;
+    let (ran, stop) = c.run(id, 200_000)?;
+    println!("session {id}: ran {ran} more, stopped by {stop:?}");
+
+    // Swap the calibration page over XCP, then resume past the break.
+    c.call(
+        "xcp.set_cal_page",
+        obj(vec![("session", vint(id)), ("page", vint(1))]),
+    )?;
+    c.call(
+        "breakpoint.clear",
+        obj(vec![
+            ("session", vint(id)),
+            ("kind", vstr("hw")),
+            ("core", vint(0)),
+            ("addr", vint(loop_addr as u64)),
+        ]),
+    )?;
+    c.call(
+        "session.resume_core",
+        obj(vec![("session", vint(id)), ("core", vint(0))]),
+    )?;
+
+    // Evict to disk, revive on next use, prove bit-identity by state hash.
+    let hash_before = c.state_hash(id)?;
+    let (bytes, hash_evicted) = c.evict(id)?;
+    println!("session {id}: evicted, {bytes} bytes on disk");
+    assert_eq!(hash_before, hash_evicted);
+    let hash_revived = c.state_hash(id)?; // transparently revives
+    assert_eq!(hash_before, hash_revived, "revival must be bit-identical");
+    println!("session {id}: revived bit-identical ({hash_revived:#018x})");
+
+    // Pull the decoded trace and the per-session health line.
+    let (flow, trace_hash) = c.pull_trace(id)?;
+    println!("session {id}: {flow} traced instructions (hash {trace_hash:#018x})");
+    let health = c.call("health.pull", obj(vec![("session", vint(id))]))?;
+    println!("{}", client::require_str(&health, "report")?);
+
+    // Farm-wide stats and the fleet health table.
+    let stats = c.call("farm.stats", obj(vec![]))?;
+    println!(
+        "farm: created {} evicted {} revived {} cycles_total {}",
+        client::require_u64(&stats, "created")?,
+        client::require_u64(&stats, "evicted")?,
+        client::require_u64(&stats, "revived")?,
+        client::require_u64(&stats, "cycles_total")?,
+    );
+    let fleet = c.call("farm.health", obj(vec![]))?;
+    println!("{}", client::require_str(&fleet, "report")?);
+
+    c.destroy(id)?;
+    Ok(())
+}

@@ -46,7 +46,22 @@ cargo run --release -q -p mcds-bench --bin t12_campaign -- --smoke
 test -s target/analysis/t12_repro_race.json \
   || { echo "missing t12_repro_race.json"; exit 1; }
 
-for t in t7 t8 t9 t11 t12; do
+# Farm smoke: the multi-session debug service (asserted in-bench: every
+# churned session revives bit-identical over the TCP wire path; the
+# 1->4-worker >=2x scaling assert arms when the host has >=4 CPUs). The
+# farm_* metric namespace and the fleet health table must land in the
+# artifacts.
+cargo run --release -q -p mcds-bench --bin t13_farm -- --smoke
+for metric in farm_sessions_created_total farm_sessions_evicted_total \
+              farm_sessions_revived_total farm_cycles_total \
+              farm_requests_total farm_request_latency_ns; do
+  grep -q "$metric" target/analysis/t13_farm_telemetry.prom \
+    || { echo "missing $metric in t13_farm_telemetry.prom"; exit 1; }
+done
+grep -q "mcds-top fleet" target/analysis/t13_fleet_health.txt \
+  || { echo "missing fleet table in t13_fleet_health.txt"; exit 1; }
+
+for t in t7 t8 t9 t11 t12 t13_farm; do
   test -s "target/analysis/${t}_telemetry.json" \
     || { echo "missing ${t}_telemetry.json"; exit 1; }
 done

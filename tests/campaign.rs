@@ -8,7 +8,7 @@ use mcds_replay::{ReproArtifact, ReproError, REPRO_VERSION};
 
 fn small_config() -> CampaignConfig {
     CampaignConfig {
-        seed: 0xDEC0_DE,
+        seed: 0x00DE_C0DE,
         rounds: 2,
         batch: 3,
         workers: 2,

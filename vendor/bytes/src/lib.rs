@@ -88,7 +88,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 

@@ -86,7 +86,10 @@ fn report(group: Option<&str>, name: &str, median: Duration, throughput: Option<
             format!("  ({:.1} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
         }
         Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
-            format!("  ({:.1} MiB/s)", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
         }
         _ => String::new(),
     };

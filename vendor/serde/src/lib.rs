@@ -107,9 +107,7 @@ pub fn seq_items(v: &Value) -> Result<&[Value], Error> {
 pub fn enum_variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
     match v {
         Value::Str(name) => Ok((name, None)),
-        Value::Map(entries) if entries.len() == 1 => {
-            Ok((&entries[0].0, Some(&entries[0].1)))
-        }
+        Value::Map(entries) if entries.len() == 1 => Ok((&entries[0].0, Some(&entries[0].1))),
         other => Err(Error::msg(format!(
             "expected enum (string or single-entry map), found {}",
             other.kind()

@@ -72,7 +72,10 @@ fn parse_named_fields(g: &Group) -> Vec<String> {
             break;
         }
         let TokenTree::Ident(name) = &toks[i] else {
-            panic!("serde derive stub: expected field name, found `{}`", toks[i]);
+            panic!(
+                "serde derive stub: expected field name, found `{}`",
+                toks[i]
+            );
         };
         fields.push(name.to_string());
         i += 2; // name ':'
@@ -117,7 +120,10 @@ fn parse_variants(g: &Group) -> Vec<Variant> {
             break;
         }
         let TokenTree::Ident(name) = &toks[i] else {
-            panic!("serde derive stub: expected variant name, found `{}`", toks[i]);
+            panic!(
+                "serde derive stub: expected variant name, found `{}`",
+                toks[i]
+            );
         };
         let name = name.to_string();
         i += 1;
@@ -282,9 +288,9 @@ fn gen_deserialize(name: &str, body: &Body) -> String {
             "::std::result::Result::Ok({name} {{ {} }})",
             de_fields_map(fields, "v")
         ),
-        Body::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Body::TupleStruct(n) => de_seq_construct(name, *n, "v"),
         Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
         Body::Enum(variants) => {

@@ -192,10 +192,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::msg(format!(
-                                "unknown escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::msg(format!("unknown escape `\\{}`", other as char)))
                         }
                     }
                 }
