@@ -1,0 +1,166 @@
+//! Experiment T14 — the virtual vehicle network at fleet scale.
+//!
+//! The paper debugs and calibrates one powertrain SoC per wire; `mcds-vnet`
+//! puts N of them on a modelled CAN fabric. T14 measures the two fabric
+//! properties everything else leans on:
+//!
+//! * **T14a (ECU scaling)** — an N-ECU vehicle (engine+gearbox pairs, one
+//!   segment per pair) in lockstep for a fixed budget, for N = 2, 4, 8.
+//!   Reports aggregate ECU·cycles per wall second. Every round runs
+//!   **twice** and must land on the identical vehicle state hash: the
+//!   fabric schedule is deterministic at every fleet size;
+//! * **T14b (fleet calibration swap)** — the atomic fleet-wide XCP page
+//!   swap on a gateway-bridged 4-ECU vehicle. Reports the rollout latency
+//!   as the worst per-ECU device-cycle cost (debug traffic dilates device
+//!   time) and wall microseconds; the swap must commit, and the bridged
+//!   torque route must have pushed frames through the gateway.
+//!
+//! Artifacts: `t14_vnet_telemetry.json` + `t14_vnet.prom` carrying the
+//! `vnet_*` metric namespace (per-segment frame/arbitration counters, bus
+//! utilization, gateway and calibration counters). Run with `--smoke` for
+//! the short CI pass.
+
+use mcds_bench::{print_table, write_telemetry_artifacts, BenchArgs};
+use mcds_telemetry::Telemetry;
+use mcds_vnet::{demo, CanId, EcuSpec, NodeConfig, RouteRule, RxRule, Vehicle};
+use mcds_workloads::gearbox;
+use std::time::Instant;
+
+/// One scaling round: an `n`-ECU vehicle for `cycles` vehicle cycles.
+/// Returns (wall seconds, final vehicle state hash).
+fn scaling_round(n: usize, cycles: u64, tel: &Telemetry) -> (f64, u64) {
+    let mut v = demo::fleet(n);
+    v.attach_telemetry(tel.clone());
+    let start = Instant::now();
+    v.run_cycles(cycles);
+    let wall = start.elapsed().as_secs_f64();
+    v.publish_telemetry(tel);
+    (wall, v.state_hash())
+}
+
+/// The gateway-bridged 4-ECU vehicle: two engine+gearbox pairs on their
+/// own segments, segment 0's torque frames routed onto segment 1 where
+/// the second gearbox observes them on a spare sensor port.
+fn bridged_fleet() -> Vehicle {
+    let t0 = CanId::Standard(0x100);
+    let r0 = CanId::Standard(0x101);
+    let t1 = CanId::Standard(0x110);
+    let r1 = CanId::Standard(0x111);
+    Vehicle::builder()
+        .segments(2)
+        .ecu(EcuSpec {
+            name: "engine-0".into(),
+            segment: 0,
+            device: demo::engine_device(None),
+            node: demo::engine_node(t0, r0, demo::TX_PERIOD),
+        })
+        .ecu(EcuSpec {
+            name: "gearbox-0".into(),
+            segment: 0,
+            device: demo::gearbox_device(None),
+            node: demo::gearbox_node(t0),
+        })
+        .ecu(EcuSpec {
+            name: "engine-1".into(),
+            segment: 1,
+            device: demo::engine_device(None),
+            node: demo::engine_node(t1, r1, demo::TX_PERIOD),
+        })
+        .ecu(EcuSpec {
+            name: "gearbox-1".into(),
+            segment: 1,
+            device: demo::gearbox_device(None),
+            node: NodeConfig {
+                rx: vec![
+                    RxRule {
+                        id: t1,
+                        port: gearbox::TORQUE_RX_PORT,
+                    },
+                    RxRule { id: t0, port: 4 },
+                ],
+                ..Default::default()
+            },
+        })
+        .route(RouteRule {
+            id: Some(t0),
+            from: 0,
+            to: 1,
+        })
+        .build()
+}
+
+fn main() {
+    let args = BenchArgs::parse("target/analysis");
+    let tel = Telemetry::new();
+    let cycles: u64 = args.scale(200_000, 30_000);
+
+    // --- T14a: ECU-count scaling, determinism at every size. --------------
+    let mut rows = Vec::new();
+    for &n in &[2usize, 4, 8] {
+        let (wall, hash) = scaling_round(n, cycles, &tel);
+        let (wall2, hash2) = scaling_round(n, cycles, &tel);
+        assert_eq!(
+            hash, hash2,
+            "{n}-ECU vehicle must be deterministic across runs"
+        );
+        let agg = (n as u64 * cycles) as f64 / wall.min(wall2);
+        rows.push(vec![
+            n.to_string(),
+            (n / 2).to_string(),
+            cycles.to_string(),
+            format!("{:.2}", wall.min(wall2)),
+            format!("{:.2}", agg / 1e6),
+            format!("{hash:#018x}"),
+        ]);
+    }
+    print_table(
+        "T14a: lockstep fabric throughput (each size run twice, hashes equal)",
+        &[
+            "ECUs",
+            "segments",
+            "cycles",
+            "wall s",
+            "MECU-cycles/s",
+            "state hash",
+        ],
+        &rows,
+    );
+
+    // --- T14b: atomic fleet calibration swap over the bridged fabric. ----
+    let mut v = bridged_fleet();
+    v.attach_telemetry(tel.clone());
+    v.run_cycles(args.scale(50_000, 10_000));
+    let stats = v.stats();
+    assert!(
+        stats.gateway_forwarded > 0,
+        "the torque route must push frames through the gateway"
+    );
+    let before: Vec<u64> = (0..v.len()).map(|i| v.device(i).soc().cycle()).collect();
+    let start = Instant::now();
+    let outcome = v.fleet_cal_swap(1);
+    let swap_wall = start.elapsed().as_secs_f64();
+    assert!(outcome.committed(), "healthy fleet swap must commit");
+    let worst_cycles = (0..v.len())
+        .map(|i| v.device(i).soc().cycle() - before[i])
+        .max()
+        .expect("non-empty fleet");
+    print_table(
+        "T14b: fleet-wide XCP calibration page swap (4 ECUs, 2 segments)",
+        &["outcome", "gateway fwd", "worst ECU cycles", "wall us"],
+        &[vec![
+            "committed".to_string(),
+            stats.gateway_forwarded.to_string(),
+            worst_cycles.to_string(),
+            format!("{:.0}", swap_wall * 1e6),
+        ]],
+    );
+    v.publish_telemetry(&tel);
+
+    // --- Artifacts. -------------------------------------------------------
+    let out = write_telemetry_artifacts(&args, "t14_vnet", &tel);
+    println!("\nartifacts: {out}");
+    println!(
+        "T14 PASS: 2/4/8-ECU vehicles deterministic, fleet swap committed \
+         in {worst_cycles} device cycles worst-case"
+    );
+}

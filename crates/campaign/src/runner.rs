@@ -119,7 +119,9 @@ fn harvest_coverage(sc: &Scenario, dev: &Device) -> CoverageReport {
 /// Checks the workload's invariants on the final device state.
 fn check_invariants(sc: &Scenario, dev: &Device) -> Option<String> {
     match sc.workload {
-        Workload::Gearbox | Workload::EngineGearbox => {
+        // The CAN-coupled vehicle variant publishes the same shared gear
+        // variable, so the range invariant carries over unchanged.
+        Workload::Gearbox | Workload::EngineGearbox | Workload::EngineGearboxVehicle => {
             let gear = dev.soc().backdoor_read_word(gearbox::GEAR_ADDR);
             (gear > gearbox::GEARS)
                 .then(|| format!("gear {gear} out of range 0..={}", gearbox::GEARS))

@@ -140,6 +140,50 @@ impl FarmClient {
         require_u64(&ok, "session")
     }
 
+    /// `vehicle.create` — creates one session per workload name, all
+    /// grouped under `vehicle`, and returns their ids.
+    ///
+    /// # Errors
+    ///
+    /// As [`FarmClient::call`].
+    pub fn create_vehicle(
+        &mut self,
+        vehicle: &str,
+        workloads: &[&str],
+    ) -> Result<Vec<u64>, ClientError> {
+        let ok = self.call(
+            "vehicle.create",
+            obj(vec![
+                ("vehicle", vstr(vehicle)),
+                (
+                    "workloads",
+                    Value::Seq(workloads.iter().map(|w| vstr(*w)).collect()),
+                ),
+            ]),
+        )?;
+        match lookup(&ok, "sessions") {
+            Some(Value::Seq(items)) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| ClientError::Protocol("session id out of range".into())),
+                    _ => Err(ClientError::Protocol("session id is not an integer".into())),
+                })
+                .collect(),
+            _ => Err(ClientError::Protocol("response lacks `sessions`".into())),
+        }
+    }
+
+    /// `farm.health` — returns the rendered fleet table.
+    ///
+    /// # Errors
+    ///
+    /// As [`FarmClient::call`].
+    pub fn fleet_health(&mut self) -> Result<String, ClientError> {
+        let ok = self.call("farm.health", obj(vec![]))?;
+        require_str(&ok, "report")
+    }
+
     /// `session.attach`.
     ///
     /// # Errors

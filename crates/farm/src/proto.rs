@@ -230,6 +230,38 @@ pub fn p_str<'a>(params: &'a Value, key: &str) -> Result<&'a str, RpcError> {
     }
 }
 
+/// An optional string parameter.
+///
+/// # Errors
+///
+/// [`ERR_INVALID_PARAMS`] when present but not a string.
+pub fn p_str_opt<'a>(params: &'a Value, key: &str) -> Result<Option<&'a str>, RpcError> {
+    match lookup(params, key) {
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(Value::Null) | None => Ok(None),
+        Some(_) => Err(RpcError::params(format!("`{key}` is not a string"))),
+    }
+}
+
+/// A required array-of-strings parameter.
+///
+/// # Errors
+///
+/// [`ERR_INVALID_PARAMS`] when missing or malformed.
+pub fn p_strings(params: &Value, key: &str) -> Result<Vec<String>, RpcError> {
+    match lookup(params, key) {
+        Some(Value::Seq(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(RpcError::params(format!("`{key}` element is not a string"))),
+            })
+            .collect(),
+        Some(_) => Err(RpcError::params(format!("`{key}` is not an array"))),
+        None => Err(RpcError::params(format!("missing `{key}`"))),
+    }
+}
+
 /// An optional bool parameter with a default.
 ///
 /// # Errors

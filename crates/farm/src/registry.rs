@@ -104,6 +104,8 @@ pub struct SessionInfo {
     pub attached: bool,
     /// Total cycles the session has run.
     pub cycles_total: u64,
+    /// The vehicle group this session belongs to, if any.
+    pub vehicle: Option<String>,
 }
 
 /// Aggregate farm statistics, as reported by `farm.stats`.
@@ -134,6 +136,7 @@ struct Meta {
     attached: bool,
     last_activity: u64,
     cycles_total: u64,
+    vehicle: Option<String>,
 }
 
 enum SlotState {
@@ -224,6 +227,23 @@ impl Farm {
     ///
     /// [`ERR_DEVICE`] when the attach handshake fails.
     pub fn create(&self, workload: Workload, trace: bool) -> Result<u64, RpcError> {
+        self.create_in_vehicle(workload, trace, None)
+    }
+
+    /// Like [`Farm::create`], additionally tagging the session as a member
+    /// ECU of the named vehicle group. Grouped sessions render together
+    /// (with fabric stats, when a vehicle scheduler reports them) in
+    /// [`Farm::fleet_health`].
+    ///
+    /// # Errors
+    ///
+    /// [`ERR_DEVICE`] when the attach handshake fails.
+    pub fn create_in_vehicle(
+        &self,
+        workload: Workload,
+        trace: bool,
+        vehicle: Option<String>,
+    ) -> Result<u64, RpcError> {
         let spec = device_spec(workload, trace);
         let mut dev = spec.build();
         dev.soc_mut().load_program(&workload.program());
@@ -244,6 +264,7 @@ impl Farm {
                     attached: false,
                     last_activity: seq,
                     cycles_total: 0,
+                    vehicle,
                 },
                 state: SlotState::Live(Box::new(session)),
             },
@@ -611,6 +632,7 @@ impl Farm {
                 },
                 attached: slot.meta.attached,
                 cycles_total: slot.meta.cycles_total,
+                vehicle: slot.meta.vehicle.clone(),
             })
             .collect();
         out.sort_by_key(|s| s.id);
@@ -640,10 +662,13 @@ impl Farm {
         for id in ids {
             if let Some(Slot {
                 state: SlotState::Live(session),
-                ..
+                meta,
             }) = inner.slots.get(id)
             {
-                fleet.add(format!("s{id}"), session.health());
+                match &meta.vehicle {
+                    Some(v) => fleet.add_in_vehicle(v.clone(), format!("s{id}"), session.health()),
+                    None => fleet.add(format!("s{id}"), session.health()),
+                }
             }
         }
         fleet

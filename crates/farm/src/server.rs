@@ -275,8 +275,40 @@ fn dispatch(method: &str, params: &Value, shared: &Shared) -> Result<Value, RpcE
             let workload = Workload::from_name(name)
                 .ok_or_else(|| RpcError::params(format!("unknown workload `{name}`")))?;
             let trace = proto::p_bool_or(params, "trace", false)?;
-            let id = farm.create(workload, trace)?;
+            let vehicle = proto::p_str_opt(params, "vehicle")?.map(str::to_string);
+            let id = farm.create_in_vehicle(workload, trace, vehicle)?;
             Ok(obj(vec![("session", vint(id))]))
+        }
+        "vehicle.create" => {
+            // One call, one vehicle: every listed workload becomes a
+            // member session of the named group. Creation is atomic — an
+            // unknown workload or failed attach destroys the members
+            // already created.
+            let vehicle = proto::p_str(params, "vehicle")?;
+            let names = proto::p_strings(params, "workloads")?;
+            if names.is_empty() {
+                return Err(RpcError::params("`workloads` is empty"));
+            }
+            let trace = proto::p_bool_or(params, "trace", false)?;
+            let mut ids = Vec::with_capacity(names.len());
+            for name in &names {
+                let created = Workload::from_name(name)
+                    .ok_or_else(|| RpcError::params(format!("unknown workload `{name}`")))
+                    .and_then(|w| farm.create_in_vehicle(w, trace, Some(vehicle.to_string())));
+                match created {
+                    Ok(id) => ids.push(id),
+                    Err(e) => {
+                        for id in ids {
+                            let _ = farm.destroy(id);
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(obj(vec![
+                ("vehicle", vstr(vehicle)),
+                ("sessions", Value::Seq(ids.into_iter().map(vint).collect())),
+            ]))
         }
         "session.list" => {
             let sessions = farm
@@ -290,6 +322,13 @@ fn dispatch(method: &str, params: &Value, shared: &Shared) -> Result<Value, RpcE
                         ("state", vstr(s.state)),
                         ("attached", vbool(s.attached)),
                         ("cycles_total", vint(s.cycles_total)),
+                        (
+                            "vehicle",
+                            match &s.vehicle {
+                                Some(v) => vstr(v.clone()),
+                                None => Value::Null,
+                            },
+                        ),
                     ])
                 })
                 .collect();

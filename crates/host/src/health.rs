@@ -200,9 +200,38 @@ impl HealthReport {
     }
 }
 
+/// Fabric-level health of one virtual vehicle — counters no single ECU's
+/// [`HealthReport`] can see because they live in the CAN fabric between
+/// the devices (segment arbitration, gateway queues). Gathered by the
+/// vehicle scheduler and attached to a [`FleetHealth`] via
+/// [`FleetHealth::set_vehicle_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VehicleStats {
+    /// Fraction of vehicle cycles any bus segment was carrying bits (0–1).
+    pub bus_utilization: f64,
+    /// Frames that completed transmission across all segments.
+    pub frames: u64,
+    /// Frames corrupted on the wire (error frame + retransmission).
+    pub frame_errors: u64,
+    /// Frames lost outright (dropped fate or retry budget exhausted).
+    pub frames_dropped: u64,
+    /// Arbitration rounds where more than one node competed.
+    pub arbitration_contended: u64,
+    /// Frames the gateway forwarded between segments.
+    pub gateway_forwarded: u64,
+    /// Frames the gateway dropped (full queue or no route).
+    pub gateway_dropped: u64,
+    /// Frames currently queued in the gateway.
+    pub gateway_queue_depth: usize,
+}
+
 /// Per-session health rows merged into one farm-wide table — "mcds-top
 /// for a fleet". Each row is a labelled [`HealthReport`]; the aggregate
 /// accessors and the [`fmt::Display`] footer summarize across the fleet.
+///
+/// Sessions can additionally be grouped into named *vehicles* (via
+/// [`FleetHealth::add_in_vehicle`]); each vehicle section then renders its
+/// member ECUs together with the fabric-level [`VehicleStats`].
 ///
 /// Lives here (not in `mcds-telemetry`) because it is built from
 /// [`HealthReport`]s, which only the host layer knows how to gather; the
@@ -210,6 +239,9 @@ impl HealthReport {
 #[derive(Debug, Clone, Default)]
 pub struct FleetHealth {
     rows: Vec<(String, HealthReport)>,
+    /// Parallel to `rows`: the vehicle each session belongs to, if any.
+    row_vehicle: Vec<Option<String>>,
+    vehicle_stats: Vec<(String, VehicleStats)>,
 }
 
 impl FleetHealth {
@@ -221,6 +253,64 @@ impl FleetHealth {
     /// Appends one labelled session report.
     pub fn add(&mut self, label: impl Into<String>, report: HealthReport) {
         self.rows.push((label.into(), report));
+        self.row_vehicle.push(None);
+    }
+
+    /// Appends one labelled session report as a member ECU of the named
+    /// vehicle group.
+    pub fn add_in_vehicle(
+        &mut self,
+        vehicle: impl Into<String>,
+        label: impl Into<String>,
+        report: HealthReport,
+    ) {
+        self.rows.push((label.into(), report));
+        self.row_vehicle.push(Some(vehicle.into()));
+    }
+
+    /// Attaches (or replaces) the fabric-level stats of a vehicle group.
+    pub fn set_vehicle_stats(&mut self, vehicle: impl Into<String>, stats: VehicleStats) {
+        let vehicle = vehicle.into();
+        if let Some(slot) = self.vehicle_stats.iter_mut().find(|(v, _)| *v == vehicle) {
+            slot.1 = stats;
+        } else {
+            self.vehicle_stats.push((vehicle, stats));
+        }
+    }
+
+    /// Distinct vehicle names, in first-seen order (membership first, then
+    /// stats-only vehicles).
+    pub fn vehicles(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for v in self.row_vehicle.iter().flatten() {
+            if !names.contains(&v.as_str()) {
+                names.push(v);
+            }
+        }
+        for (v, _) in &self.vehicle_stats {
+            if !names.contains(&v.as_str()) {
+                names.push(v);
+            }
+        }
+        names
+    }
+
+    /// The member rows of a vehicle, in insertion order.
+    pub fn vehicle_rows(&self, vehicle: &str) -> Vec<&(String, HealthReport)> {
+        self.rows
+            .iter()
+            .zip(&self.row_vehicle)
+            .filter(|(_, v)| v.as_deref() == Some(vehicle))
+            .map(|(row, _)| row)
+            .collect()
+    }
+
+    /// The fabric stats attached to a vehicle, if any.
+    pub fn vehicle_stats(&self, vehicle: &str) -> Option<&VehicleStats> {
+        self.vehicle_stats
+            .iter()
+            .find(|(v, _)| v == vehicle)
+            .map(|(_, s)| s)
     }
 
     /// The labelled rows, in insertion order.
@@ -308,7 +398,37 @@ impl fmt::Display for FleetHealth {
             pct(self.mean_bus_utilization()),
             self.total_fifo_lost(),
             self.total_sink_dropped()
-        )
+        )?;
+        for vehicle in self.vehicles() {
+            let members = self.vehicle_rows(vehicle);
+            write!(f, "  vehicle {:<10} {} ecu(s)", vehicle, members.len())?;
+            if let Some(s) = self.vehicle_stats(vehicle) {
+                write!(
+                    f,
+                    "  can {:.1}%  frames {} (err {}, drop {})  gw fwd {} drop {} q {}",
+                    pct(s.bus_utilization),
+                    s.frames,
+                    s.frame_errors,
+                    s.frames_dropped,
+                    s.gateway_forwarded,
+                    s.gateway_dropped,
+                    s.gateway_queue_depth
+                )?;
+            }
+            writeln!(f)?;
+            for (label, r) in members {
+                let retired: u64 = r.cores.iter().map(|c| c.retired).sum();
+                writeln!(
+                    f,
+                    "    {:<10} cycle {:>12}  retired {:>14}  bus {:>5.1}%",
+                    label,
+                    r.cycle,
+                    retired,
+                    pct(r.bus_utilization)
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -467,6 +587,57 @@ mod tests {
         assert!(text.contains("mcds-top fleet — 2 session(s)"), "{text}");
         assert!(text.contains("s1"), "{text}");
         assert!(text.contains("total cycles"), "{text}");
+    }
+
+    #[test]
+    fn fleet_groups_sessions_into_vehicles() {
+        let dev = busy_device();
+        let report = HealthReport::gather(&dev);
+        let mut fleet = FleetHealth::new();
+        // A synthetic two-vehicle fleet plus one ungrouped bench session.
+        fleet.add_in_vehicle("car-a", "engine", report.clone());
+        fleet.add_in_vehicle("car-a", "gearbox", report.clone());
+        fleet.add_in_vehicle("car-b", "engine", report.clone());
+        fleet.add("bench", report.clone());
+        fleet.set_vehicle_stats(
+            "car-a",
+            VehicleStats {
+                bus_utilization: 0.25,
+                frames: 120,
+                frame_errors: 3,
+                frames_dropped: 1,
+                arbitration_contended: 17,
+                gateway_forwarded: 40,
+                gateway_dropped: 2,
+                gateway_queue_depth: 5,
+            },
+        );
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet.vehicles(), vec!["car-a", "car-b"]);
+        assert_eq!(fleet.vehicle_rows("car-a").len(), 2);
+        assert_eq!(fleet.vehicle_rows("car-b").len(), 1);
+        assert!(fleet.vehicle_rows("car-z").is_empty());
+        assert_eq!(fleet.vehicle_stats("car-a").unwrap().frames, 120);
+        assert!(fleet.vehicle_stats("car-b").is_none());
+        // Replacing stats overwrites in place instead of duplicating.
+        fleet.set_vehicle_stats(
+            "car-a",
+            VehicleStats {
+                frames: 200,
+                ..*fleet.vehicle_stats("car-a").unwrap()
+            },
+        );
+        assert_eq!(fleet.vehicle_stats("car-a").unwrap().frames, 200);
+        assert_eq!(fleet.vehicles().len(), 2);
+        let text = fleet.to_string();
+        assert!(text.contains("vehicle car-a"), "{text}");
+        assert!(text.contains("2 ecu(s)"), "{text}");
+        assert!(text.contains("frames 200 (err 3, drop 1)"), "{text}");
+        assert!(text.contains("gw fwd 40 drop 2 q 5"), "{text}");
+        assert!(text.contains("vehicle car-b"), "{text}");
+        // Grouped and ungrouped rows still share the flat session table.
+        assert!(text.contains("mcds-top fleet — 4 session(s)"), "{text}");
+        assert!(text.contains("bench"), "{text}");
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod timetravel;
 
 pub use debug_session::{RunReport, Session, SessionSnapshot, SESSION_SNAPSHOT_VERSION};
 pub use debugger::{Debugger, DebuggerState, HostError, StopEvent};
-pub use health::{CoreHealth, FifoHealth, FleetHealth, HealthReport, LinkHealthRow, MasterHealth};
+pub use health::{
+    CoreHealth, FifoHealth, FleetHealth, HealthReport, LinkHealthRow, MasterHealth, VehicleStats,
+};
 pub use session::{
     coverage_from_messages, coverage_from_messages_lossy, drain_residual_trace,
     load_program_to_emulation_ram, AnalysisOutcome, SessionError, TraceOutcome, TraceSession,

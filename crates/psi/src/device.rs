@@ -688,6 +688,21 @@ impl Device {
         }
     }
 
+    /// Mutable access to an interface's model. External fabrics (the
+    /// virtual-vehicle CAN bus) use this to account the frames they carry
+    /// on the device's own bus port, so per-device link statistics reflect
+    /// vehicle traffic as well as debug traffic.
+    ///
+    /// The link statistics live inside [`DeviceState`], so fabric-side
+    /// accounting participates in snapshot/replay like every other input.
+    pub fn interface_mut(&mut self, kind: InterfaceKind) -> Option<&mut InterfaceModel> {
+        match kind {
+            InterfaceKind::Jtag => Some(&mut self.jtag),
+            InterfaceKind::Usb11 => self.usb.as_mut(),
+            InterfaceKind::Can => Some(&mut self.can),
+        }
+    }
+
     /// Installs a deterministic fault plan on one link, replacing any
     /// prior plan (and resetting its statistics). Until cleared, every
     /// command, response and trace upload crossing that link runs through

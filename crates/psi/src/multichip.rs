@@ -38,6 +38,10 @@ pub struct MultiChipBench {
     seen_app_pulses: Vec<usize>,
     // Per device: per-line deassert deadline (cycle of *that* device).
     line_deadlines: Vec<Vec<(u8, u64)>>,
+    // Per device: the trigger-in lines this bench's wiring owns. Lines
+    // outside the mask (driven by a host, stimulus replay, or another
+    // fabric layer) are left untouched when pulse levels are applied.
+    wired_lines: Vec<u32>,
 }
 
 impl fmt::Debug for MultiChipBench {
@@ -57,16 +61,45 @@ impl MultiChipBench {
     /// Panics if a wire references a device index out of range.
     pub fn new(devices: Vec<Device>, wires: Vec<TriggerWire>) -> MultiChipBench {
         let n = devices.len();
+        let mut wired_lines = vec![0u32; n];
         for w in &wires {
             assert!(w.from < n && w.to < n, "wire references unknown device");
+            wired_lines[w.to] |= 1 << w.line;
         }
         MultiChipBench {
             seen_mcds_pulses: vec![0; n],
             seen_app_pulses: vec![0; n],
             line_deadlines: vec![Vec::new(); n],
+            wired_lines,
             devices,
             wires,
         }
+    }
+
+    /// Number of co-simulated devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the bench holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Adds another wire to the harness (N-device topologies are often
+    /// grown incrementally — daisy chains, stars, full meshes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire references a device index out of range.
+    pub fn add_wire(&mut self, wire: TriggerWire) {
+        let n = self.devices.len();
+        assert!(
+            wire.from < n && wire.to < n,
+            "wire references unknown device"
+        );
+        self.wired_lines[wire.to] |= 1 << wire.line;
+        self.wires.push(wire);
     }
 
     /// The devices.
@@ -118,15 +151,24 @@ impl MultiChipBench {
                 }
             }
         }
-        // 4. Apply line levels (pulse expiry included).
+        // 4. Apply line levels (pulse expiry included). Only the lines this
+        //    bench's wiring owns are rewritten: with 2 devices the whole
+        //    level was always wire-driven, but in an N-device fabric other
+        //    layers (host replay, a bus-carried trigger fabric) may hold
+        //    other lines high — those bits pass through untouched.
         for (i, deadlines) in self.line_deadlines.iter_mut().enumerate() {
+            if self.wired_lines[i] == 0 {
+                continue;
+            }
             let now = self.devices[i].soc().cycle();
             deadlines.retain(|&(_, until)| until > now);
             let mut level = 0u32;
             for &(line, _) in deadlines.iter() {
                 level |= 1 << line;
             }
-            self.devices[i].soc_mut().periph_mut().set_trigger_in(level);
+            let periph = self.devices[i].soc_mut().periph_mut();
+            let outside = periph.trigger_in() & !self.wired_lines[i];
+            periph.set_trigger_in(outside | level);
         }
     }
 
@@ -234,6 +276,160 @@ mod tests {
         assert!(
             b_retired < 200,
             "ECU B stopped near the trigger instant (retired {b_retired})"
+        );
+    }
+
+    /// A free-running single-core device with `cfg` installed.
+    fn relay_device(cfg: McdsConfig) -> Device {
+        let mut d = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .mcds(cfg)
+            .build();
+        d.soc_mut()
+            .load_program(&assemble(".org 0x80000000\nloop: addi r1, r1, 1\nj loop").unwrap());
+        d
+    }
+
+    /// Regression for the N ≥ 3 generalisation: A's comparator pulse must
+    /// propagate transitively A→B→C through B's pin-to-pin relay — each
+    /// hop through the bench's forwarding bookkeeping, not a direct wire.
+    #[test]
+    fn transitive_trigger_propagates_across_three_devices() {
+        // A: data watchpoint fires trigger-out pin 0.
+        let mut cfg_a = McdsConfig {
+            cores: vec![CoreTraceConfig {
+                data_comparators: vec![DataComparator::on(
+                    AddrRange::new(0xD000_0004, 4),
+                    AccessKind::Write,
+                )],
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        cfg_a.cross_triggers = vec![CrossTrigger::on_any(
+            vec![SignalRef::DataComp {
+                core: CoreId(0),
+                idx: 0,
+            }],
+            TriggerAction::TriggerOutPin(0),
+        )
+        .with_count(10)];
+        let mut ecu_a = DeviceBuilder::new(DeviceVariant::EdSideBooster)
+            .cores(1)
+            .mcds(cfg_a)
+            .build();
+        ecu_a.soc_mut().load_program(
+            &assemble(
+                "
+                .org 0x80000000
+                start:
+                    li r2, 0xD0000004
+                loop:
+                    addi r1, r1, 1
+                    sw r1, 0(r2)
+                    j loop
+                ",
+            )
+            .unwrap(),
+        );
+
+        // B: relay — external pin 0 re-fires its own trigger-out pin 1.
+        let ecu_b = relay_device(McdsConfig {
+            cores: vec![CoreTraceConfig::default()],
+            cross_triggers: vec![CrossTrigger::on_any(
+                vec![SignalRef::ExternalPin(0)],
+                TriggerAction::TriggerOutPin(1),
+            )],
+            ..Default::default()
+        });
+        // C: break on external pin 0.
+        let ecu_c = relay_device(McdsConfig {
+            cores: vec![CoreTraceConfig::default()],
+            cross_triggers: vec![CrossTrigger::on_any(
+                vec![SignalRef::ExternalPin(0)],
+                TriggerAction::BreakCores(vec![CoreId(0)]),
+            )],
+            ..Default::default()
+        });
+
+        let mut bench = MultiChipBench::new(
+            vec![ecu_a, ecu_b, ecu_c],
+            vec![TriggerWire {
+                from: 0,
+                pin: 0,
+                to: 1,
+                line: 0,
+            }],
+        );
+        bench.add_wire(TriggerWire {
+            from: 1,
+            pin: 1,
+            to: 2,
+            line: 0,
+        });
+        assert_eq!(bench.len(), 3);
+        bench.run_cycles(5_000);
+        assert!(
+            bench.devices()[2].soc().core(CoreId(0)).is_halted(),
+            "C halted by A's trigger relayed through B"
+        );
+        assert!(
+            !bench.devices()[0].soc().core(CoreId(0)).is_halted()
+                && !bench.devices()[1].soc().core(CoreId(0)).is_halted(),
+            "only the final hop breaks"
+        );
+        let c_retired = bench.devices()[2].soc().core(CoreId(0)).retired();
+        assert!(
+            c_retired < 400,
+            "C stopped near the (relayed) trigger instant (retired {c_retired})"
+        );
+    }
+
+    /// The wiring must only drive the lines it owns: a level held high by
+    /// an outside layer (host, replayed input log, bus trigger fabric) on
+    /// an unwired line survives the bench's per-step level rewrite. The
+    /// old 2-device bookkeeping clobbered the whole mask every step.
+    #[test]
+    fn unwired_trigger_lines_are_not_clobbered() {
+        let dev_a = relay_device(McdsConfig {
+            cores: vec![CoreTraceConfig::default()],
+            ..Default::default()
+        });
+        let dev_b = relay_device(McdsConfig {
+            cores: vec![CoreTraceConfig::default()],
+            ..Default::default()
+        });
+        let mut bench = MultiChipBench::new(
+            vec![dev_a, dev_b],
+            vec![TriggerWire {
+                from: 0,
+                pin: 0,
+                to: 1,
+                line: 0,
+            }],
+        );
+        // An outside layer holds line 5 on device 1 and line 2 on the
+        // wire-less device 0.
+        bench
+            .device_mut(1)
+            .soc_mut()
+            .periph_mut()
+            .set_trigger_in(1 << 5);
+        bench
+            .device_mut(0)
+            .soc_mut()
+            .periph_mut()
+            .set_trigger_in(1 << 2);
+        bench.run_cycles(50);
+        assert_eq!(
+            bench.devices()[1].soc().periph().trigger_in(),
+            1 << 5,
+            "unwired line 5 still high after stepping"
+        );
+        assert_eq!(
+            bench.devices()[0].soc().periph().trigger_in(),
+            1 << 2,
+            "device with no incoming wires keeps its externally driven level"
         );
     }
 

@@ -58,12 +58,14 @@
 //! ```
 
 pub mod checkpoint;
+pub mod fleet;
 pub mod hash;
 pub mod log;
 pub mod repro;
 pub mod snapshot;
 
 pub use checkpoint::{Checkpoint, CheckpointRing};
+pub use fleet::{FleetSnapshot, FLEET_SNAPSHOT_VERSION};
 pub use hash::{device_state_hash, extend_fnv1a64, fnv1a64, trace_bytes};
 pub use log::{run_with_events, run_with_events_into, InputEvent, InputLog, Replayer};
 pub use repro::{ReproArtifact, ReproError, REPRO_VERSION};

@@ -38,11 +38,14 @@ pub enum Subsystem {
     Campaign,
     /// One debug-farm scheduling quantum (multi-session service work).
     Farm,
+    /// One virtual-vehicle fabric step burst (CAN arbitration, gateway
+    /// forwarding, fleet calibration work).
+    Vnet,
 }
 
 impl Subsystem {
     /// Every subsystem, in a stable order.
-    pub const ALL: [Subsystem; 10] = [
+    pub const ALL: [Subsystem; 11] = [
         Subsystem::BusArbitration,
         Subsystem::FifoDrain,
         Subsystem::TraceEncode,
@@ -53,6 +56,7 @@ impl Subsystem {
         Subsystem::DebugLink,
         Subsystem::Campaign,
         Subsystem::Farm,
+        Subsystem::Vnet,
     ];
 
     /// Stable snake_case name used as the exported label value.
@@ -68,6 +72,7 @@ impl Subsystem {
             Subsystem::DebugLink => "debug_link",
             Subsystem::Campaign => "campaign",
             Subsystem::Farm => "farm",
+            Subsystem::Vnet => "vnet",
         }
     }
 
@@ -121,7 +126,7 @@ struct SubsystemAgg {
 /// Records spans and aggregates them per subsystem.
 #[derive(Debug)]
 pub struct SpanRecorder {
-    aggs: [SubsystemAgg; 10],
+    aggs: [SubsystemAgg; Subsystem::ALL.len()],
     ring: Mutex<Vec<SpanEvent>>,
     dropped: AtomicU64,
 }

@@ -1,0 +1,221 @@
+//! Fleet-wide XCP calibration: atomic page swap and DAQ aggregation.
+//!
+//! ## The swap protocol
+//!
+//! [`Vehicle::fleet_cal_swap`] moves *every* ECU to a new calibration page
+//! or *none* — the fleet never runs mixed calibrations. It is a two-phase
+//! protocol over per-ECU XCP sessions on the CAN debug link:
+//!
+//! 1. **Apply** — connect to each ECU in index order, record its current
+//!    page, then `SET_CAL_PAGE`. The first failure (an unreachable ECU, a
+//!    timed-out command that exhausted its retries) aborts the rollout:
+//!    every ECU already switched is rolled back to its recorded page.
+//! 2. **Verify** — re-read every ECU's active page. Any mismatch rolls the
+//!    whole fleet back.
+//!
+//! Rollback is best-effort per ECU (a link that just failed may fail the
+//! rollback too), but because pages are only *selected* — never modified —
+//! an ECU whose rollback was lost still runs a complete, consistent
+//! calibration; the outcome reports which ECU broke the rollout.
+//!
+//! ## DAQ aggregation
+//!
+//! [`Vehicle::start_daq`] opens a measurement session per ECU; the vehicle
+//! scheduler ticks each slave's event channels as part of the lockstep
+//! loop, and [`Vehicle::drain_fleet_daq`] merges every ECU's DTO packets
+//! into one stream ordered by slave timestamp — the fleet-wide,
+//! time-aligned measurement a calibration engineer sees. DAQ (like the
+//! swap) runs over the debug link and advances device time: runs that must
+//! replay bit-identically need the identical DAQ schedule in both runs.
+
+use crate::vehicle::Vehicle;
+use mcds_psi::interface::InterfaceKind;
+use mcds_xcp::{XcpError, XcpMaster};
+
+/// How a fleet calibration swap ended.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub enum SwapOutcome {
+    /// Every ECU switched to `page` and verified it.
+    Committed {
+        /// The now-active page, fleet-wide.
+        page: u8,
+    },
+    /// The rollout aborted; every reachable ECU is back on its prior page.
+    RolledBack {
+        /// Name of the ECU that broke the rollout.
+        failed_ecu: String,
+        /// The page the fleet was headed for.
+        page: u8,
+    },
+}
+
+impl SwapOutcome {
+    /// True when the swap committed.
+    pub fn committed(&self) -> bool {
+        matches!(self, SwapOutcome::Committed { .. })
+    }
+}
+
+/// One DTO packet attributed to its ECU, for the merged fleet stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSample {
+    /// ECU name.
+    pub ecu: String,
+    /// ECU index.
+    pub ecu_index: usize,
+    /// DAQ list index on that ECU.
+    pub daq: u16,
+    /// ODT index within the list.
+    pub odt: u8,
+    /// Slave timestamp (that ECU's SoC cycle, truncated to 32 bits).
+    pub timestamp: u32,
+    /// Sampled bytes in entry order.
+    pub data: Vec<u8>,
+}
+
+impl Vehicle {
+    /// Rolls back ECUs `0..upto` to their recorded pages and disconnects
+    /// every open session. Best-effort: see module docs.
+    fn abort_swap(&mut self, masters: &mut [(usize, XcpMaster, u8)], upto: usize, switched: usize) {
+        for (slot, (i, master, old_page)) in masters.iter_mut().enumerate() {
+            let dev = &mut self.ecus[*i].device;
+            if slot < switched {
+                let _ = master.set_cal_page(dev, *old_page);
+            }
+            if slot < upto {
+                let _ = master.disconnect(dev);
+            }
+        }
+    }
+
+    /// Swaps the whole fleet to calibration `page`, atomically: on any
+    /// failure every ECU is rolled back to the page it was on (see module
+    /// docs for the protocol and the best-effort caveat). The outcome is
+    /// also recorded on the vehicle ([`Vehicle::last_swap`]).
+    pub fn fleet_cal_swap(&mut self, page: u8) -> SwapOutcome {
+        // (ecu index, session, page to restore on abort)
+        let mut masters: Vec<(usize, XcpMaster, u8)> = Vec::with_capacity(self.ecus.len());
+        // Phase 1: connect, record, apply — in ECU index order.
+        for i in 0..self.ecus.len() {
+            let mut master = XcpMaster::new(InterfaceKind::Can);
+            let attempt = (|| -> Result<u8, XcpError> {
+                master.connect(&mut self.ecus[i].device)?;
+                let old = master.cal_page(&mut self.ecus[i].device)?;
+                master.set_cal_page(&mut self.ecus[i].device, page)?;
+                Ok(old)
+            })();
+            match attempt {
+                Ok(old) => masters.push((i, master, old)),
+                Err(_) => {
+                    let switched = masters.len();
+                    let failed_ecu = self.ecus[i].name.clone();
+                    self.abort_swap(&mut masters, switched, switched);
+                    let outcome = SwapOutcome::RolledBack { failed_ecu, page };
+                    self.note_swap(outcome.clone());
+                    return outcome;
+                }
+            }
+        }
+        // Phase 2: verify every ECU really is on the new page.
+        for slot in 0..masters.len() {
+            let (i, ref mut master, _) = masters[slot];
+            let seen = master.cal_page(&mut self.ecus[i].device);
+            if seen != Ok(page) {
+                let n = masters.len();
+                let failed_ecu = self.ecus[i].name.clone();
+                self.abort_swap(&mut masters, n, n);
+                let outcome = SwapOutcome::RolledBack { failed_ecu, page };
+                self.note_swap(outcome.clone());
+                return outcome;
+            }
+        }
+        for (i, master, _) in &mut masters {
+            let _ = master.disconnect(&mut self.ecus[*i].device);
+        }
+        let outcome = SwapOutcome::Committed { page };
+        self.note_swap(outcome.clone());
+        outcome
+    }
+
+    /// Opens a DAQ session on ECU `ecu`: one list sampling `elements`
+    /// (`(addr, size)` pairs) on `event` every `prescaler` events, the
+    /// event firing every `period` device cycles. The vehicle scheduler
+    /// ticks the slave each step; drain with [`Vehicle::drain_fleet_daq`].
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors from the setup exchanges.
+    pub fn start_daq(
+        &mut self,
+        ecu: usize,
+        elements: &[(u32, u8)],
+        event: u8,
+        prescaler: u8,
+        period: u64,
+    ) -> Result<(), XcpError> {
+        let mut master = XcpMaster::new(InterfaceKind::Can);
+        let dev = &mut self.ecus[ecu].device;
+        master.connect(dev)?;
+        master.slave_mut().set_event_period(event as usize, period);
+        master.start_measurement(dev, elements, event, prescaler)?;
+        self.ecus[ecu].daq = Some(master);
+        Ok(())
+    }
+
+    /// Stops and closes ECU `ecu`'s DAQ session, returning any samples
+    /// still buffered.
+    ///
+    /// # Errors
+    ///
+    /// Transport or slave errors from the stop exchange.
+    pub fn stop_daq(&mut self, ecu: usize) -> Result<Vec<FleetSample>, XcpError> {
+        let Some(mut master) = self.ecus[ecu].daq.take() else {
+            return Ok(Vec::new());
+        };
+        let name = self.ecus[ecu].name.clone();
+        let dev = &mut self.ecus[ecu].device;
+        master.stop_measurement(dev)?;
+        let dtos = master.slave_mut().drain_dtos(usize::MAX);
+        let _ = master.disconnect(dev);
+        Ok(dtos
+            .into_iter()
+            .map(|d| FleetSample {
+                ecu: name.clone(),
+                ecu_index: ecu,
+                daq: d.daq,
+                odt: d.odt,
+                timestamp: d.timestamp,
+                data: d.data,
+            })
+            .collect())
+    }
+
+    /// Drains every ECU's buffered DTO packets — paying their transfer
+    /// time on each ECU's debug link — and merges them into one stream
+    /// sorted by `(timestamp, ecu_index)`: the fleet-wide time-aligned
+    /// measurement raster.
+    pub fn drain_fleet_daq(&mut self) -> Vec<FleetSample> {
+        let mut out = Vec::new();
+        for i in 0..self.ecus.len() {
+            let name = self.ecus[i].name.clone();
+            let ecu = &mut self.ecus[i];
+            let Some(master) = &mut ecu.daq else { continue };
+            let dtos = master.slave_mut().drain_dtos(usize::MAX);
+            if let Some(iface) = ecu.device.interface(InterfaceKind::Can) {
+                let bytes: usize = dtos.iter().map(|d| d.wire_bytes()).sum();
+                let cost = iface.transfer_cycles(bytes) + iface.response_latency_cycles();
+                ecu.device.wait_cycles(cost);
+            }
+            out.extend(dtos.into_iter().map(|d| FleetSample {
+                ecu: name.clone(),
+                ecu_index: i,
+                daq: d.daq,
+                odt: d.odt,
+                timestamp: d.timestamp,
+                data: d.data,
+            }));
+        }
+        out.sort_by_key(|s| (s.timestamp, s.ecu_index));
+        out
+    }
+}

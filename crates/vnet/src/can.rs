@@ -1,0 +1,440 @@
+//! The CAN bus segment model: identifiers, frames, priority arbitration
+//! and bit-time cost accounting.
+//!
+//! The model is cycle-deterministic and intentionally compact: one frame
+//! occupies the bus for `bit_cost() * cycles_per_bit` vehicle cycles, the
+//! lowest arbitration key wins the bus (CSMA/CR, as on the real wire), and
+//! an optional [`FaultInjector`] — the same keyed-draw machinery the debug
+//! links use — decides each completed frame's fate. Corrupted frames cost
+//! an error frame and are retransmitted (bounded); dropped frames are lost.
+//! Everything that varies at runtime serializes into a [`SegmentState`] so
+//! bus state participates in snapshot/replay.
+
+use mcds_psi::faults::{FaultInjector, FaultInjectorState, FaultPlan, FrameFate};
+use mcds_psi::interface::InterfaceKind;
+
+/// A CAN identifier: base (11-bit) or extended (29-bit) frame format.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanId {
+    /// 11-bit base identifier (`0..0x800`).
+    Standard(u16),
+    /// 29-bit extended identifier (`0..0x2000_0000`).
+    Extended(u32),
+}
+
+impl CanId {
+    /// The value driven on the wire during arbitration, lowest wins.
+    ///
+    /// The key reproduces real CAN ordering: the 11 base bits compare
+    /// first; on a tie a base frame beats an extended frame with the same
+    /// leading bits (the dominant SRR/IDE position), and extended frames
+    /// then compare their remaining 18 bits.
+    pub fn arbitration_key(self) -> u64 {
+        match self {
+            CanId::Standard(id) => u64::from(id) << 19,
+            CanId::Extended(id) => {
+                (u64::from(id >> 18) << 19) | (1 << 18) | u64::from(id & 0x3_FFFF)
+            }
+        }
+    }
+
+    /// True if the identifier fits its frame format.
+    pub fn is_valid(self) -> bool {
+        match self {
+            CanId::Standard(id) => id < 0x800,
+            CanId::Extended(id) => id < 0x2000_0000,
+        }
+    }
+}
+
+/// One CAN data frame in flight on the fabric.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct CanFrame {
+    /// Arbitration identifier.
+    pub id: CanId,
+    /// Payload (at most 8 bytes).
+    pub data: Vec<u8>,
+    /// Sender's slot index on its segment (ECUs first, gateway last).
+    pub src_slot: usize,
+    /// Transmission attempts so far (bumped on error-frame retransmits).
+    pub attempts: u8,
+}
+
+impl CanFrame {
+    /// A frame carrying `data` (truncated to 8 bytes) from segment slot
+    /// `src_slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for its format.
+    pub fn new(id: CanId, data: &[u8], src_slot: usize) -> CanFrame {
+        assert!(id.is_valid(), "CAN id out of range: {id:?}");
+        CanFrame {
+            id,
+            data: data[..data.len().min(8)].to_vec(),
+            src_slot,
+            attempts: 0,
+        }
+    }
+
+    /// A frame whose payload is one little-endian `u32` — the shape every
+    /// sensor/actuator signal on this fabric uses.
+    pub fn word(id: CanId, value: u32, src_slot: usize) -> CanFrame {
+        CanFrame::new(id, &value.to_le_bytes(), src_slot)
+    }
+
+    /// The payload decoded as a little-endian `u32` (zero-padded).
+    pub fn word_value(&self) -> u32 {
+        let mut b = [0u8; 4];
+        for (i, v) in self.data.iter().take(4).enumerate() {
+            b[i] = *v;
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Wire bits for this frame: framing overhead (SOF through interframe
+    /// space; larger for the extended format) plus eight bits per payload
+    /// byte. Bit stuffing is folded into the fixed overhead.
+    pub fn bit_cost(&self) -> u64 {
+        let overhead = match self.id {
+            CanId::Standard(_) => 47,
+            CanId::Extended(_) => 67,
+        };
+        overhead + 8 * self.data.len() as u64
+    }
+}
+
+/// Static (non-snapshotted) configuration of one bus segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Vehicle cycles per CAN bit time (bus speed relative to the
+    /// lockstep scheduler).
+    pub cycles_per_bit: u64,
+    /// Extra bit times an error frame costs before the retransmission.
+    pub error_frame_bits: u64,
+    /// Transmission attempts before a repeatedly corrupted frame is
+    /// abandoned (bus-off style back-pressure relief).
+    pub max_attempts: u8,
+    /// Per-slot TX queue capacity; enqueueing onto a full queue drops the
+    /// frame.
+    pub queue_capacity: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> SegmentConfig {
+        SegmentConfig {
+            cycles_per_bit: 4,
+            error_frame_bits: 20,
+            max_attempts: 8,
+            queue_capacity: 32,
+        }
+    }
+}
+
+/// Cumulative per-segment counters.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Frames delivered intact.
+    pub frames_ok: u64,
+    /// Corrupted transmissions (error frame + retransmit).
+    pub frames_error: u64,
+    /// Frames lost outright (dropped fate, full queue, or retry budget
+    /// exhausted).
+    pub frames_dropped: u64,
+    /// Arbitration rounds in which more than one slot competed.
+    pub contended: u64,
+    /// Vehicle cycles the bus carried bits.
+    pub busy_cycles: u64,
+}
+
+/// A frame occupying the bus until `done_at`.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct InFlight {
+    /// The frame on the wire.
+    pub frame: CanFrame,
+    /// Vehicle cycle its last bit lands.
+    pub done_at: u64,
+}
+
+/// Serializable runtime state of a [`CanSegment`].
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct SegmentState {
+    queues: Vec<Vec<CanFrame>>,
+    in_flight: Option<InFlight>,
+    injector: Option<FaultInjectorState>,
+    stats: SegmentStats,
+}
+
+/// One shared bus: per-slot TX queues, single-frame occupancy, priority
+/// arbitration and deterministic fault injection.
+#[derive(Debug)]
+pub struct CanSegment {
+    cfg: SegmentConfig,
+    /// Per-slot FIFO of frames waiting to transmit. Slot order is fixed at
+    /// construction: member ECUs first, the gateway last.
+    queues: Vec<Vec<CanFrame>>,
+    in_flight: Option<InFlight>,
+    injector: Option<FaultInjector>,
+    stats: SegmentStats,
+}
+
+impl CanSegment {
+    /// A segment with `slots` transmit slots.
+    pub fn new(slots: usize, cfg: SegmentConfig) -> CanSegment {
+        CanSegment {
+            cfg,
+            queues: vec![Vec::new(); slots],
+            in_flight: None,
+            injector: None,
+            stats: SegmentStats::default(),
+        }
+    }
+
+    /// Number of transmit slots.
+    pub fn slots(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> SegmentStats {
+        self.stats
+    }
+
+    /// True while a frame is on the wire.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Frames currently queued across all slots.
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Installs (replacing) a fault plan on this segment's wire.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(InterfaceKind::Can, plan));
+    }
+
+    /// Removes the fault injector; the wire becomes lossless again.
+    pub fn clear_fault_plan(&mut self) {
+        self.injector = None;
+    }
+
+    /// Queues `frame` for transmission from its slot. Returns false (and
+    /// counts a drop) when the slot's queue is full.
+    pub fn enqueue(&mut self, frame: CanFrame) -> bool {
+        let q = &mut self.queues[frame.src_slot];
+        if q.len() >= self.cfg.queue_capacity {
+            self.stats.frames_dropped += 1;
+            return false;
+        }
+        q.push(frame);
+        true
+    }
+
+    /// Advances the bus one vehicle cycle: completes the in-flight frame
+    /// (resolving its fate) and, when idle, arbitrates the next one on.
+    /// Returns the frames delivered this cycle (two on a duplication).
+    pub fn step(&mut self, now: u64) -> Vec<CanFrame> {
+        let mut delivered = Vec::new();
+        if let Some(fly) = &self.in_flight {
+            self.stats.busy_cycles += 1;
+            if fly.done_at <= now {
+                let fly = self.in_flight.take().expect("checked above");
+                self.resolve(fly.frame, now, &mut delivered);
+            }
+        }
+        if self.in_flight.is_none() {
+            self.arbitrate(now);
+        }
+        delivered
+    }
+
+    /// Decides a completed frame's fate and either delivers, retransmits
+    /// or discards it.
+    fn resolve(&mut self, mut frame: CanFrame, now: u64, delivered: &mut Vec<CanFrame>) {
+        let fate = match &mut self.injector {
+            Some(inj) => inj.next_frame(now),
+            None => FrameFate::Delivered {
+                extra_delay_cycles: 0,
+                duplicated: false,
+            },
+        };
+        match fate {
+            FrameFate::Delivered { duplicated, .. } => {
+                self.stats.frames_ok += 1;
+                delivered.push(frame.clone());
+                if duplicated {
+                    self.stats.frames_ok += 1;
+                    delivered.push(frame);
+                }
+            }
+            FrameFate::Dropped => {
+                self.stats.frames_dropped += 1;
+            }
+            FrameFate::Corrupted { .. } => {
+                // Every node sees the CRC error and raises an error frame;
+                // the sender retransmits until its attempt budget runs out.
+                self.stats.frames_error += 1;
+                frame.attempts += 1;
+                if frame.attempts < self.cfg.max_attempts {
+                    self.queues[frame.src_slot].insert(0, frame);
+                } else {
+                    self.stats.frames_dropped += 1;
+                }
+                self.stats.busy_cycles += self.cfg.error_frame_bits * self.cfg.cycles_per_bit;
+            }
+        }
+    }
+
+    /// Runs one arbitration round over the head frame of every non-empty
+    /// slot queue; the lowest key wins, ties break toward the lower slot.
+    fn arbitrate(&mut self, now: u64) {
+        let mut winner: Option<(u64, usize)> = None;
+        let mut competitors = 0usize;
+        for (slot, q) in self.queues.iter().enumerate() {
+            if let Some(head) = q.first() {
+                competitors += 1;
+                let key = head.id.arbitration_key();
+                if winner.is_none_or(|(wk, _)| key < wk) {
+                    winner = Some((key, slot));
+                }
+            }
+        }
+        if competitors > 1 {
+            self.stats.contended += 1;
+        }
+        if let Some((_, slot)) = winner {
+            let frame = self.queues[slot].remove(0);
+            let done_at = now + frame.bit_cost() * self.cfg.cycles_per_bit;
+            self.in_flight = Some(InFlight { frame, done_at });
+        }
+    }
+
+    /// Captures the segment's runtime state.
+    pub fn save_state(&self) -> SegmentState {
+        SegmentState {
+            queues: self.queues.clone(),
+            in_flight: self.in_flight.clone(),
+            injector: self.injector.as_ref().map(FaultInjector::save_state),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`CanSegment::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot count does not match this segment's topology.
+    pub fn restore_state(&mut self, state: &SegmentState) {
+        assert_eq!(state.queues.len(), self.queues.len(), "slot count changed");
+        self.queues = state.queues.clone();
+        self.in_flight = state.in_flight.clone();
+        self.injector = state
+            .injector
+            .as_ref()
+            .map(|s| FaultInjector::from_state(InterfaceKind::Can, s));
+        self.stats = state.stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(seg: &mut CanSegment, from: u64, cycles: u64) -> Vec<CanFrame> {
+        let mut out = Vec::new();
+        for now in from..from + cycles {
+            out.extend(seg.step(now));
+        }
+        out
+    }
+
+    #[test]
+    fn arbitration_prefers_lower_ids_then_lower_slots() {
+        let mut seg = CanSegment::new(3, SegmentConfig::default());
+        seg.enqueue(CanFrame::word(CanId::Standard(0x300), 1, 0));
+        seg.enqueue(CanFrame::word(CanId::Standard(0x100), 2, 1));
+        seg.enqueue(CanFrame::word(CanId::Standard(0x100), 3, 2));
+        let got = drain(&mut seg, 0, 2_000);
+        assert_eq!(got.len(), 3);
+        // 0x100 from slot 1 wins the tie against slot 2; 0x300 goes last.
+        assert_eq!(got[0].src_slot, 1);
+        assert_eq!(got[1].src_slot, 2);
+        assert_eq!(got[2].id, CanId::Standard(0x300));
+        // Round 1: all three compete. Round 2: slots 0 and 2 still do.
+        assert_eq!(seg.stats().contended, 2, "two contested rounds");
+        assert_eq!(seg.stats().frames_ok, 3);
+    }
+
+    #[test]
+    fn standard_id_beats_extended_with_same_leading_bits() {
+        let std_key = CanId::Standard(0x123).arbitration_key();
+        let ext_key = CanId::Extended(0x123 << 18).arbitration_key();
+        assert!(std_key < ext_key);
+        // And a lower base id still dominates everything.
+        assert!(CanId::Standard(0x001).arbitration_key() < std_key);
+    }
+
+    #[test]
+    fn frame_occupies_the_bus_for_its_bit_time() {
+        let cfg = SegmentConfig {
+            cycles_per_bit: 2,
+            ..Default::default()
+        };
+        let mut seg = CanSegment::new(1, cfg);
+        let frame = CanFrame::word(CanId::Standard(1), 7, 0);
+        let cost = frame.bit_cost() * 2;
+        seg.enqueue(frame);
+        assert!(seg.step(0).is_empty(), "arbitration cycle, no delivery");
+        for now in 1..cost {
+            assert!(seg.step(now).is_empty(), "still transmitting at {now}");
+        }
+        let got = seg.step(cost);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].word_value(), 7);
+        assert!(seg.stats().busy_cycles >= cost - 1);
+    }
+
+    #[test]
+    fn corrupted_frames_retransmit_and_eventually_deliver() {
+        let mut seg = CanSegment::new(1, SegmentConfig::default());
+        // 50% corruption: some frames need several attempts but the retry
+        // budget (8) comfortably covers them.
+        seg.set_fault_plan(FaultPlan {
+            corrupt_per_mille: 500,
+            ..FaultPlan::lossless(99)
+        });
+        for v in 0..10u32 {
+            seg.enqueue(CanFrame::word(CanId::Standard(5), v, 0));
+        }
+        let got = drain(&mut seg, 0, 40_000);
+        assert_eq!(got.len(), 10, "all frames delivered after retransmits");
+        assert!(seg.stats().frames_error > 0, "some corruption occurred");
+        let values: Vec<u32> = got.iter().map(CanFrame::word_value).collect();
+        assert_eq!(values, (0..10).collect::<Vec<_>>(), "order preserved");
+    }
+
+    #[test]
+    fn certain_loss_drops_everything_and_state_round_trips() {
+        let mut seg = CanSegment::new(2, SegmentConfig::default());
+        seg.set_fault_plan(FaultPlan {
+            drop_per_mille: 1000,
+            ..FaultPlan::lossless(1)
+        });
+        for v in 0..5u32 {
+            seg.enqueue(CanFrame::word(CanId::Standard(9), v, 0));
+        }
+        let got = drain(&mut seg, 0, 5_000);
+        assert!(got.is_empty());
+        assert_eq!(seg.stats().frames_dropped, 5);
+
+        let state = seg.save_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: SegmentState = serde_json::from_str(&json).unwrap();
+        let mut twin = CanSegment::new(2, SegmentConfig::default());
+        twin.restore_state(&back);
+        assert_eq!(twin.save_state(), state);
+        assert_eq!(twin.stats().frames_dropped, 5);
+    }
+}

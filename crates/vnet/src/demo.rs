@@ -1,0 +1,180 @@
+//! Canonical vehicle topologies: the CAN-coupled engine+gearbox pair.
+//!
+//! The engine ECU runs the CAN variant of the engine workload — its
+//! torque request and measured RPM are latched on output ports 2 and 3 —
+//! and broadcasts both as cyclic frames. The gearbox ECU runs the CAN
+//! variant of the gearbox workload, which reads torque demand from input
+//! port [`mcds_workloads::gearbox::TORQUE_RX_PORT`], fed here by the
+//! received torque frames. The same control coupling the single-SoC
+//! `EngineGearbox` workload gets through shared SRAM thus travels over
+//! the bus, ECU to ECU.
+
+use crate::can::CanId;
+use crate::node::{NodeConfig, RxRule, TxRule};
+use crate::vehicle::{EcuSpec, Vehicle};
+use mcds::McdsConfig;
+use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
+use mcds_soc::cpu::CoreConfig;
+use mcds_workloads::{engine, gearbox};
+
+/// Identifier of the engine's torque-request frame (high priority).
+pub const TORQUE_ID: CanId = CanId::Standard(0x100);
+
+/// Identifier of the engine's RPM broadcast frame.
+pub const RPM_ID: CanId = CanId::Standard(0x101);
+
+/// Default cyclic transmission period, in vehicle cycles.
+pub const TX_PERIOD: u64 = 500;
+
+/// A single-core engine ECU running the CAN-coupled engine controller,
+/// with plausible sensor inputs (3000 RPM, load 120) already applied.
+pub fn engine_device(mcds: Option<McdsConfig>) -> Device {
+    let mut b = DeviceBuilder::new(DeviceVariant::EdSideBooster).cores(1);
+    if let Some(cfg) = mcds {
+        b = b.mcds(cfg);
+    }
+    let mut dev = b.build();
+    dev.soc_mut().load_program(&engine::program_can(None));
+    dev.soc_mut().periph_mut().set_input(engine::RPM_PORT, 3000);
+    dev.soc_mut().periph_mut().set_input(engine::LOAD_PORT, 120);
+    dev
+}
+
+/// A single-core gearbox ECU running the CAN-coupled gearbox controller
+/// (entry at its own reset vector), road speed preset to 45.
+pub fn gearbox_device(mcds: Option<McdsConfig>) -> Device {
+    let mut b = DeviceBuilder::new(DeviceVariant::EdSideBooster).core(CoreConfig {
+        reset_pc: 0x8001_0000,
+        clock_div: 1,
+        ..Default::default()
+    });
+    if let Some(cfg) = mcds {
+        b = b.mcds(cfg);
+    }
+    let mut dev = b.build();
+    dev.soc_mut().load_program(&gearbox::program_can(None));
+    dev.soc_mut()
+        .periph_mut()
+        .set_input(gearbox::SPEED_PORT, 45);
+    dev
+}
+
+/// The engine ECU's bus wiring: torque and RPM as cyclic frames (offset
+/// staggered so the two never collide at the queue).
+pub fn engine_node(torque_id: CanId, rpm_id: CanId, period: u64) -> NodeConfig {
+    NodeConfig {
+        tx: vec![
+            TxRule {
+                port: engine::TORQUE_TX_PORT,
+                id: torque_id,
+                period,
+                offset: 1,
+            },
+            TxRule {
+                port: engine::RPM_TX_PORT,
+                id: rpm_id,
+                period,
+                offset: period / 2,
+            },
+        ],
+        ..NodeConfig::default()
+    }
+}
+
+/// The gearbox ECU's bus wiring: received torque frames feed the torque
+/// demand input port.
+pub fn gearbox_node(torque_id: CanId) -> NodeConfig {
+    NodeConfig {
+        rx: vec![RxRule {
+            id: torque_id,
+            port: gearbox::TORQUE_RX_PORT,
+        }],
+        ..NodeConfig::default()
+    }
+}
+
+/// One engine+gearbox pair on a single bus segment — the two-ECU vehicle.
+pub fn pair() -> Vehicle {
+    Vehicle::builder()
+        .segments(1)
+        .ecu(EcuSpec {
+            name: "engine".into(),
+            segment: 0,
+            device: engine_device(None),
+            node: engine_node(TORQUE_ID, RPM_ID, TX_PERIOD),
+        })
+        .ecu(EcuSpec {
+            name: "gearbox".into(),
+            segment: 0,
+            device: gearbox_device(None),
+            node: gearbox_node(TORQUE_ID),
+        })
+        .build()
+}
+
+/// An `n`-ECU vehicle built from engine+gearbox pairs: pair `k` lives on
+/// segment `k` with its own identifier pair (`0x100 + 0x10·k`), so a
+/// gateway can selectively bridge segments. `n` must be even.
+pub fn fleet(n: usize) -> Vehicle {
+    assert!(n >= 2 && n.is_multiple_of(2), "fleet size must be even");
+    let pairs = n / 2;
+    let mut b = Vehicle::builder().segments(pairs);
+    for k in 0..pairs {
+        let torque = CanId::Standard(0x100 + 0x10 * k as u16);
+        let rpm = CanId::Standard(0x101 + 0x10 * k as u16);
+        b = b
+            .ecu(EcuSpec {
+                name: format!("engine-{k}"),
+                segment: k,
+                device: engine_device(None),
+                node: engine_node(torque, rpm, TX_PERIOD),
+            })
+            .ecu(EcuSpec {
+                name: format!("gearbox-{k}"),
+                segment: k,
+                device: gearbox_device(None),
+                node: gearbox_node(torque),
+            });
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_workloads::gearbox::GEAR_ADDR;
+
+    #[test]
+    fn torque_travels_over_the_bus() {
+        let mut v = pair();
+        // High load → high torque request; at speed 45 the gearbox should
+        // hold gear 2 instead of upshifting to 3 (the CAN-coupled variant
+        // of the classic delay behaviour).
+        v.device_mut(0)
+            .soc_mut()
+            .periph_mut()
+            .set_input(mcds_workloads::engine::LOAD_PORT, 255);
+        v.run_cycles(200_000);
+        let stats = v.segment_stats(0);
+        assert!(stats.frames_ok > 100, "cyclic TX ran: {stats:?}");
+        let torque = v
+            .device(1)
+            .soc()
+            .periph()
+            .input(mcds_workloads::gearbox::TORQUE_RX_PORT);
+        assert!(torque > 0, "gearbox received a torque demand");
+        let gear = v.device(1).soc().backdoor_read_word(GEAR_ADDR);
+        assert!((1..=5).contains(&gear), "gear {gear}");
+    }
+
+    #[test]
+    fn fleet_builds_even_sizes() {
+        let v = fleet(4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.segment_count(), 2);
+        assert_eq!(
+            v.names(),
+            vec!["engine-0", "gearbox-0", "engine-1", "gearbox-1"]
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! The CAN gateway: store-and-forward routing between bus segments.
+//!
+//! Real vehicles partition traffic onto several buses (powertrain, body,
+//! diagnostics) joined by a gateway ECU that forwards selected identifiers
+//! between them. This model is a table-driven store-and-forward element:
+//! every frame delivered on a segment is offered to the [`RouteRule`]
+//! table, matching frames are queued (bounded), and each vehicle cycle the
+//! gateway re-transmits a limited number of queued frames onto their
+//! destination segments, where they arbitrate like any other traffic.
+//!
+//! Frames the gateway itself injected are never re-offered for routing,
+//! so a bidirectional (`from`/`to` swapped) rule pair cannot ping-pong a
+//! frame forever.
+
+use crate::can::{CanFrame, CanId};
+
+/// One forwarding-table entry.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteRule {
+    /// Identifier to match; `None` forwards every id.
+    pub id: Option<CanId>,
+    /// Source segment index.
+    pub from: usize,
+    /// Destination segment index.
+    pub to: usize,
+}
+
+/// Static gateway configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Queue capacity; matching frames beyond it are dropped (and
+    /// counted).
+    pub queue_capacity: usize,
+    /// Frames re-transmitted per vehicle cycle.
+    pub frames_per_cycle: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            queue_capacity: 16,
+            frames_per_cycle: 1,
+        }
+    }
+}
+
+/// A queued forward: the frame plus its destination segment.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct QueuedForward {
+    /// Destination segment index.
+    pub to: usize,
+    /// The frame to re-transmit.
+    pub frame: CanFrame,
+}
+
+/// Serializable runtime state of a [`Gateway`].
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+pub struct GatewayState {
+    queue: Vec<QueuedForward>,
+    forwarded: u64,
+    dropped: u64,
+}
+
+/// The table-driven store-and-forward gateway (see module docs).
+#[derive(Debug)]
+pub struct Gateway {
+    cfg: GatewayConfig,
+    routes: Vec<RouteRule>,
+    queue: Vec<QueuedForward>,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl Gateway {
+    /// A gateway with the given forwarding table.
+    pub fn new(routes: Vec<RouteRule>, cfg: GatewayConfig) -> Gateway {
+        Gateway {
+            cfg,
+            routes,
+            queue: Vec::new(),
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The forwarding table.
+    pub fn routes(&self) -> &[RouteRule] {
+        &self.routes
+    }
+
+    /// Frames successfully re-transmitted onto a destination segment.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Frames lost at the gateway (full queue or full destination slot).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offers a frame delivered on `segment` to the forwarding table.
+    /// Returns how many routes matched (and queued or dropped a copy).
+    pub fn offer(&mut self, segment: usize, frame: &CanFrame) -> usize {
+        let mut matches = 0;
+        for route in &self.routes {
+            if route.from != segment {
+                continue;
+            }
+            if route.id.is_some_and(|id| id != frame.id) {
+                continue;
+            }
+            matches += 1;
+            if self.queue.len() >= self.cfg.queue_capacity {
+                self.dropped += 1;
+            } else {
+                self.queue.push(QueuedForward {
+                    to: route.to,
+                    frame: frame.clone(),
+                });
+            }
+        }
+        matches
+    }
+
+    /// Pops up to `frames_per_cycle` queued forwards for re-transmission.
+    /// The caller (the vehicle scheduler) enqueues each onto its
+    /// destination segment's gateway slot and reports the outcome back via
+    /// [`Gateway::note_retransmit`].
+    pub fn take_retransmits(&mut self) -> Vec<QueuedForward> {
+        let n = self.cfg.frames_per_cycle.min(self.queue.len());
+        self.queue.drain(..n).collect()
+    }
+
+    /// Accounts one re-transmission attempt (`accepted` false when the
+    /// destination segment's queue was full).
+    pub fn note_retransmit(&mut self, accepted: bool) {
+        if accepted {
+            self.forwarded += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Captures the gateway's runtime state.
+    pub fn save_state(&self) -> GatewayState {
+        GatewayState {
+            queue: self.queue.clone(),
+            forwarded: self.forwarded,
+            dropped: self.dropped,
+        }
+    }
+
+    /// Restores state captured by [`Gateway::save_state`].
+    pub fn restore_state(&mut self, state: &GatewayState) {
+        self.queue = state.queue.clone();
+        self.forwarded = state.forwarded;
+        self.dropped = state.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u16) -> CanFrame {
+        CanFrame::word(CanId::Standard(id), 1, 0)
+    }
+
+    #[test]
+    fn routes_match_by_segment_and_id() {
+        let mut gw = Gateway::new(
+            vec![
+                RouteRule {
+                    id: Some(CanId::Standard(0x100)),
+                    from: 0,
+                    to: 1,
+                },
+                RouteRule {
+                    id: None,
+                    from: 1,
+                    to: 0,
+                },
+            ],
+            GatewayConfig::default(),
+        );
+        assert_eq!(gw.offer(0, &frame(0x100)), 1);
+        assert_eq!(gw.offer(0, &frame(0x200)), 0, "id filter");
+        assert_eq!(gw.offer(2, &frame(0x100)), 0, "unknown segment");
+        assert_eq!(gw.offer(1, &frame(0x555)), 1, "wildcard id");
+        assert_eq!(gw.queue_depth(), 2);
+        let out = gw.take_retransmits();
+        assert_eq!(out.len(), 1, "rate-limited to frames_per_cycle");
+        assert_eq!(out[0].to, 1);
+        gw.note_retransmit(true);
+        assert_eq!(gw.forwarded(), 1);
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts() {
+        let mut gw = Gateway::new(
+            vec![RouteRule {
+                id: None,
+                from: 0,
+                to: 1,
+            }],
+            GatewayConfig {
+                queue_capacity: 2,
+                frames_per_cycle: 1,
+            },
+        );
+        for _ in 0..5 {
+            gw.offer(0, &frame(0x300));
+        }
+        assert_eq!(gw.queue_depth(), 2);
+        assert_eq!(gw.dropped(), 3);
+        let state = gw.save_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: GatewayState = serde_json::from_str(&json).unwrap();
+        let mut twin = Gateway::new(Vec::new(), GatewayConfig::default());
+        twin.restore_state(&back);
+        assert_eq!(twin.save_state(), state);
+    }
+}

@@ -16,6 +16,12 @@ pub enum Workload {
     Gearbox,
     /// Engine on core 0, gearbox on core 1 (shared torque variable).
     EngineGearbox,
+    /// The CAN-coupled vehicle pair: engine and gearbox controllers that
+    /// exchange torque/rpm over broadcast ports instead of shared SRAM —
+    /// the per-ECU programs of an `mcds-vnet` virtual vehicle. Runs
+    /// standalone as a two-core device too (the torque RX port then reads
+    /// whatever stimulus drives it).
+    EngineGearboxVehicle,
     /// Two cores incrementing a shared counter under a SWAP spinlock —
     /// correct, so it exercises multi-core paths without failing.
     RaceLocked,
@@ -41,6 +47,7 @@ impl Workload {
             Workload::Engine => "engine",
             Workload::Gearbox => "gearbox",
             Workload::EngineGearbox => "engine+gearbox",
+            Workload::EngineGearboxVehicle => "engine+gearbox-vehicle",
             Workload::RaceLocked => "race-locked",
             Workload::RaceBuggy => "race-buggy",
         }
@@ -52,6 +59,7 @@ impl Workload {
             Workload::Engine,
             Workload::Gearbox,
             Workload::EngineGearbox,
+            Workload::EngineGearboxVehicle,
             Workload::RaceLocked,
             Workload::RaceBuggy,
         ]
@@ -72,7 +80,10 @@ impl Workload {
             ..Default::default()
         };
         match self {
-            Workload::Engine | Workload::Gearbox | Workload::EngineGearbox => {
+            Workload::Engine
+            | Workload::Gearbox
+            | Workload::EngineGearbox
+            | Workload::EngineGearboxVehicle => {
                 let mut cfgs = Vec::new();
                 if self != Workload::Gearbox {
                     cfgs.push(CoreConfig::default());
@@ -100,6 +111,13 @@ impl Workload {
                 p.symbols.extend(g.symbols);
                 p
             }
+            Workload::EngineGearboxVehicle => {
+                let mut p = engine::program_can(None);
+                let g = gearbox::program_can(None);
+                p.chunks.extend(g.chunks);
+                p.symbols.extend(g.symbols);
+                p
+            }
             Workload::RaceLocked => race::program_locked(),
             Workload::RaceBuggy => race::program_buggy(),
         }
@@ -118,7 +136,7 @@ impl Workload {
         match self {
             Workload::Engine => &ENGINE,
             Workload::Gearbox => &GEARBOX,
-            Workload::EngineGearbox => &BOTH,
+            Workload::EngineGearbox | Workload::EngineGearboxVehicle => &BOTH,
             Workload::RaceLocked | Workload::RaceBuggy => &[],
         }
     }
@@ -134,6 +152,7 @@ mod tests {
             Workload::Engine,
             Workload::Gearbox,
             Workload::EngineGearbox,
+            Workload::EngineGearboxVehicle,
             Workload::RaceLocked,
             Workload::RaceBuggy,
         ] {
@@ -150,5 +169,26 @@ mod tests {
         assert_eq!(eg.len(), 2);
         assert_eq!(eg[1].reset_pc, 0x8001_0000);
         assert_eq!(Workload::RaceLocked.cores(), 2);
+    }
+
+    #[test]
+    fn vehicle_workload_is_selectable_by_name() {
+        // The lookup wire protocols (farm `session.create`, campaign
+        // scenario decode) select the CAN-coupled pair by this name.
+        assert_eq!(
+            Workload::from_name("engine+gearbox-vehicle"),
+            Some(Workload::EngineGearboxVehicle)
+        );
+        let w = Workload::EngineGearboxVehicle;
+        assert_eq!(w.cores(), 2);
+        assert_eq!(w.core_configs()[1].reset_pc, 0x8001_0000);
+        assert!(
+            !Workload::GENERATED.contains(&w),
+            "explicitly selected, never drawn randomly"
+        );
+        // Both halves land in one image: engine entry and gearbox entry.
+        let image = w.program();
+        assert!(image.symbols.contains_key("engine_start"));
+        assert!(image.symbols.contains_key("gearbox_start"));
     }
 }

@@ -40,6 +40,15 @@ pub const LOAD_PORT: usize = 1;
 /// Output port index receiving the injection duration.
 pub const INJECTION_PORT: usize = 0;
 
+/// Output port broadcasting the torque request — in the CAN-coupled
+/// vehicle variant a vnet node samples this latch cyclically and carries
+/// it to the gearbox ECU as a bus frame.
+pub const TORQUE_TX_PORT: usize = 2;
+
+/// Output port broadcasting the measured engine speed (RPM) for the
+/// CAN-coupled vehicle variant.
+pub const RPM_TX_PORT: usize = 3;
+
 /// A fuel calibration map: injection-duration base values by RPM row and
 /// load column.
 #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
@@ -136,6 +145,23 @@ pub fn reference_duration(map: &FuelMap, rpm: u32, load: u32) -> u32 {
 /// Panics if the embedded assembly fails to assemble (a bug, covered by
 /// tests).
 pub fn program(iterations: Option<u32>) -> Program {
+    program_variant(iterations, false)
+}
+
+/// The CAN-coupled vehicle variant: the same controller, but the torque
+/// request and measured RPM are additionally published on the output
+/// ports a vnet CAN node broadcasts ([`TORQUE_TX_PORT`], [`RPM_TX_PORT`])
+/// — replacing the shared-SRAM coupling with real bus traffic.
+///
+/// # Panics
+///
+/// Panics if the embedded assembly fails to assemble (a bug, covered by
+/// tests).
+pub fn program_can(iterations: Option<u32>) -> Program {
+    program_variant(iterations, true)
+}
+
+fn program_variant(iterations: Option<u32>, can_coupled: bool) -> Program {
     let loop_control = match iterations {
         Some(n) => format!(
             "
@@ -147,11 +173,25 @@ pub fn program(iterations: Option<u32>) -> Program {
         ),
         None => "    j cycle\n".to_string(),
     };
+    // The CAN-coupled variant latches torque (r7) and rpm (r1) onto the
+    // broadcast ports right after the shared-variable store.
+    let can_publish = if can_coupled {
+        "
+            li   r8, OUT_TORQ
+            sw   r7, 0(r8)
+            li   r8, OUT_RPM
+            sw   r1, 0(r8)
+        "
+    } else {
+        ""
+    };
     let source = format!(
         "
         .equ IN_RPM,   0xF0000200
         .equ IN_LOAD,  0xF0000204
         .equ OUT_INJ,  0xF0000100
+        .equ OUT_TORQ, 0xF0000108
+        .equ OUT_RPM,  0xF000010C
         .equ MAP,      {MAP_FLASH_ADDR:#x}
         .equ ITER,     {ITER_COUNT_ADDR:#x}
         .equ TORQUE,   {TORQUE_REQ_ADDR:#x}
@@ -190,6 +230,7 @@ pub fn program(iterations: Option<u32>) -> Program {
             srli r7, r6, 2
             li   r8, TORQUE
             sw   r7, 0(r8)
+{can_publish}
             ; iteration counter for DAQ measurement
             lw   r7, 0(r11)
             addi r7, r7, 1
@@ -205,6 +246,14 @@ pub fn program(iterations: Option<u32>) -> Program {
 /// both code and calibration data.
 pub fn program_with_map(iterations: Option<u32>, map: &FuelMap) -> Program {
     let mut p = program(iterations);
+    p.chunks.push((MAP_FLASH_ADDR, map.to_bytes()));
+    p
+}
+
+/// [`program_can`] with the calibration map placed in the image (the
+/// engine-ECU recipe of the virtual vehicle).
+pub fn program_can_with_map(iterations: Option<u32>, map: &FuelMap) -> Program {
+    let mut p = program_can(iterations);
     p.chunks.push((MAP_FLASH_ADDR, map.to_bytes()));
     p
 }
@@ -269,6 +318,22 @@ mod tests {
         assert_eq!(load_index(31), 0);
         assert_eq!(load_index(255), 7);
         assert_eq!(load_index(10_000), 7);
+    }
+
+    #[test]
+    fn can_variant_publishes_torque_and_rpm_ports() {
+        let map = FuelMap::factory();
+        let mut soc = SocBuilder::new().cores(1).build();
+        soc.load_program(&program_can_with_map(Some(4), &map));
+        soc.periph_mut().set_input(RPM_PORT, 3000);
+        soc.periph_mut().set_input(LOAD_PORT, 120);
+        soc.run_until_halt(100_000);
+        let duration = reference_duration(&map, 3000, 120);
+        assert_eq!(soc.periph().output(INJECTION_PORT), duration);
+        assert_eq!(soc.periph().output(TORQUE_TX_PORT), duration / 4);
+        assert_eq!(soc.periph().output(RPM_TX_PORT), 3000);
+        // The SRAM shared variable still updates (single-device compat).
+        assert_eq!(soc.backdoor_read_word(TORQUE_REQ_ADDR), duration / 4);
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub const GEAR_ADDR: u32 = 0xD000_0008;
 /// SRAM address of the engine core's torque request (read here).
 pub const TORQUE_REQ_ADDR: u32 = crate::engine::TORQUE_REQ_ADDR;
 
+/// Input port the CAN-coupled variant reads the torque request from — a
+/// vnet node writes received torque frames here, replacing the shared
+/// SRAM variable when engine and gearbox live on different ECUs.
+pub const TORQUE_RX_PORT: usize = 3;
+
 /// Number of gears.
 pub const GEARS: u32 = 5;
 
@@ -69,6 +74,22 @@ pub fn reference_settled_gear(speed: u32, torque: u32, iterations: u32) -> u32 {
 /// Panics if the embedded assembly fails to assemble (a bug, covered by
 /// tests).
 pub fn program(iterations: Option<u32>) -> Program {
+    program_from(iterations, TORQUE_REQ_ADDR)
+}
+
+/// The CAN-coupled vehicle variant: torque demand is read from the
+/// [`TORQUE_RX_PORT`] sensor port (fed by received bus frames) instead of
+/// the shared SRAM variable — the engine may live on a different ECU.
+///
+/// # Panics
+///
+/// Panics if the embedded assembly fails to assemble (a bug, covered by
+/// tests).
+pub fn program_can(iterations: Option<u32>) -> Program {
+    program_from(iterations, 0xF000_0200 + 4 * TORQUE_RX_PORT as u32)
+}
+
+fn program_from(iterations: Option<u32>, torque_addr: u32) -> Program {
     let loop_control = match iterations {
         Some(n) => format!(
             "
@@ -88,7 +109,7 @@ pub fn program(iterations: Option<u32>) -> Program {
         .equ IN_SPEED, 0xF0000208
         .equ OUT_GEAR, 0xF0000104
         .equ GEAR,     {GEAR_ADDR:#x}
-        .equ TORQUE,   {TORQUE_REQ_ADDR:#x}
+        .equ TORQUE,   {torque_addr:#x}
         .org 0x80010000
         gearbox_start:
             li r12, IN_SPEED
@@ -196,6 +217,25 @@ mod tests {
         // Speed between downshift(30) and upshift(40) thresholds for gear
         // 3: a box already in gear 3 stays there (tested via reference).
         assert_eq!(reference_next_gear(3, 35, 0), 3);
+    }
+
+    #[test]
+    fn can_variant_reads_torque_from_rx_port() {
+        // High torque demand delays the 2→3 upshift at speed 45 — exactly
+        // like the SRAM-coupled controller, but driven via the port.
+        let mut soc = SocBuilder::new()
+            .core(CoreConfig {
+                reset_pc: 0x8001_0000,
+                clock_div: 1,
+                ..Default::default()
+            })
+            .build();
+        soc.load_program(&program_can(Some(10)));
+        soc.periph_mut().set_input(SPEED_PORT, 45);
+        soc.periph_mut().set_input(TORQUE_RX_PORT, 300);
+        soc.run_until_halt(500_000);
+        assert_eq!(soc.backdoor_read_word(GEAR_ADDR), 2);
+        assert_eq!(reference_settled_gear(45, 300, 10), 2);
     }
 
     #[test]

@@ -353,6 +353,23 @@ impl XcpSlave {
         }
     }
 
+    /// Samples every event channel whose raster is due at the device's
+    /// current cycle, without advancing time. External schedulers that own
+    /// the stepping loop (the virtual-vehicle lockstep scheduler) call
+    /// this once per step; [`XcpSlave::run`] is this plus the stepping.
+    pub fn sample_tick(&mut self, dev: &mut Device) {
+        if !self.daq.any_running() {
+            return;
+        }
+        let now = dev.soc().cycle();
+        for ch in 0..EVENT_CHANNELS {
+            if now >= self.next_event_at[ch] {
+                self.next_event_at[ch] = now + self.event_periods[ch];
+                self.sample_due_lists(dev, ch);
+            }
+        }
+    }
+
     /// Runs the device for (at least) `cycles` cycles, sampling running DAQ
     /// lists at their event rasters. The application cores are never
     /// stopped; samples are taken through the debug bus master.
@@ -360,16 +377,7 @@ impl XcpSlave {
         let end = dev.soc().cycle() + cycles;
         while dev.soc().cycle() < end {
             dev.step();
-            if !self.daq.any_running() {
-                continue;
-            }
-            let now = dev.soc().cycle();
-            for ch in 0..EVENT_CHANNELS {
-                if now >= self.next_event_at[ch] {
-                    self.next_event_at[ch] = now + self.event_periods[ch];
-                    self.sample_due_lists(dev, ch);
-                }
-            }
+            self.sample_tick(dev);
         }
     }
 }

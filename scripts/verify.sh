@@ -61,7 +61,22 @@ done
 grep -q "mcds-top fleet" target/analysis/t13_fleet_health.txt \
   || { echo "missing fleet table in t13_fleet_health.txt"; exit 1; }
 
-for t in t7 t8 t9 t11 t12 t13_farm; do
+# Vehicle-network smoke: the N-ECU CAN fabric (asserted in-bench: 2/4/8-ECU
+# vehicles land on identical state hashes across repeated runs; the
+# fleet-wide XCP page swap commits; the gateway route carries frames). The
+# vnet_* metric namespace and the Vnet span subsystem must land in the
+# Prometheus artifact.
+cargo run --release -q -p mcds-bench --bin t14_vnet -- --smoke
+for metric in vnet_ecus vnet_frames_total vnet_bus_utilization \
+              vnet_arbitration_contended_total vnet_gateway_forwarded_total \
+              vnet_cal_swaps_total; do
+  grep -q "$metric" target/analysis/t14_vnet_telemetry.prom \
+    || { echo "missing $metric in t14_vnet_telemetry.prom"; exit 1; }
+done
+grep -q 'subsystem="vnet"' target/analysis/t14_vnet_telemetry.prom \
+  || { echo "missing vnet span subsystem in t14_vnet_telemetry.prom"; exit 1; }
+
+for t in t7 t8 t9 t11 t12 t13_farm t14_vnet; do
   test -s "target/analysis/${t}_telemetry.json" \
     || { echo "missing ${t}_telemetry.json"; exit 1; }
 done

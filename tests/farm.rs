@@ -217,3 +217,49 @@ fn farm_surfaces_metrics_and_fleet_health() {
     c.destroy(a).expect("destroy");
     c.destroy(b).expect("destroy");
 }
+
+#[test]
+fn vehicle_groups_render_in_fleet_health() {
+    let (_server, addr) = spawn_server("vehicle");
+    let mut c = FarmClient::connect(addr).expect("connect");
+    // One grouped vehicle via the one-shot method, one loose session.
+    let members = c
+        .create_vehicle("car-a", &["engine", "gearbox"])
+        .expect("vehicle.create");
+    assert_eq!(members.len(), 2);
+    let loose = c.create("engine", false).expect("create");
+    for &id in &members {
+        c.run(id, 40_000).expect("run");
+    }
+
+    // session.list reports the grouping.
+    let listed = c.call("session.list", obj(vec![])).expect("session.list");
+    let json = serde_json::to_string(&listed).unwrap();
+    assert!(json.contains("\"vehicle\":\"car-a\""), "{json}");
+    assert!(json.contains("\"vehicle\":null"), "{json}");
+
+    // farm.health groups the members under the vehicle heading.
+    let report = c.fleet_health().expect("farm.health");
+    assert!(report.contains("mcds-top fleet — 3 session(s)"), "{report}");
+    assert!(report.contains("vehicle car-a"), "{report}");
+    assert!(report.contains("2 ecu(s)"), "{report}");
+
+    // Unknown workload in the list rolls the whole vehicle back.
+    let before = c.call("farm.stats", obj(vec![])).expect("stats");
+    let live0 = client::require_u64(&before, "sessions_live").unwrap();
+    let err = c
+        .create_vehicle("car-b", &["engine", "no-such-workload"])
+        .expect_err("unknown workload");
+    assert_eq!(rpc_code(err), proto::ERR_INVALID_PARAMS);
+    let after = c.call("farm.stats", obj(vec![])).expect("stats");
+    assert_eq!(
+        client::require_u64(&after, "sessions_live").unwrap(),
+        live0,
+        "partial vehicle must be rolled back"
+    );
+
+    for id in members {
+        c.destroy(id).expect("destroy");
+    }
+    c.destroy(loose).expect("destroy");
+}
