@@ -15,7 +15,8 @@
 //!   time) and wall microseconds; the swap must commit, and the bridged
 //!   torque route must have pushed frames through the gateway.
 //!
-//! Artifacts: `t14_vnet_telemetry.json` + `t14_vnet.prom` carrying the
+//! Artifacts: `t14_vnet_telemetry.json` + `t14_vnet_telemetry.prom`
+//! (via the shared `BenchArgs`/`write_telemetry_artifacts` path) carrying the
 //! `vnet_*` metric namespace (per-segment frame/arbitration counters, bus
 //! utilization, gateway and calibration counters). Run with `--smoke` for
 //! the short CI pass.

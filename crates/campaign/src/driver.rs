@@ -346,9 +346,69 @@ fn run_batch(
 /// `None` when the failure did not reproduce under shrinking (flaky by
 /// construction this should not happen; treated as spurious).
 fn distill(scenario: &Scenario) -> Option<Failure> {
+    // An ephemeral flight recorder follows the triage pipeline so the
+    // artifact documents *how* the repro was produced, not just what it
+    // is: which scenario was caught, how far shrinking got, and what the
+    // final verdict was. The journal is per-distill (outside all
+    // simulated state), so recording cannot perturb the repro itself.
+    // Timestamps are the phase index, not the wall clock: same-seed
+    // campaigns must serialize byte-identical artifacts.
+    let journal = mcds_obs::Journal::new(128);
+    journal.record_at(
+        None,
+        None,
+        0,
+        mcds_obs::ObsEvent::CampaignPhase {
+            phase: "caught".into(),
+            detail: format!(
+                "seed {:#x} fingerprint {:#018x}",
+                scenario.seed,
+                scenario.fingerprint()
+            ),
+        },
+    );
     let (shrunk, stats) = shrink(scenario)?;
+    journal.record_at(
+        None,
+        Some(shrunk.cycles),
+        1,
+        mcds_obs::ObsEvent::CampaignPhase {
+            phase: "shrunk".into(),
+            detail: format!(
+                "{} attempts, {} accepted: {} -> {} cycles, {} -> {} events",
+                stats.attempts,
+                stats.accepted,
+                stats.from_cycles,
+                stats.to_cycles,
+                stats.from_events,
+                stats.to_events
+            ),
+        },
+    );
     let shrunk_outcome = run_scenario(&shrunk);
+    journal.record_at(
+        None,
+        Some(shrunk.cycles),
+        2,
+        mcds_obs::ObsEvent::CampaignPhase {
+            phase: "triage".into(),
+            detail: format!(
+                "{}: {}",
+                shrunk_outcome.verdict.kind(),
+                shrunk_outcome.verdict.detail()
+            ),
+        },
+    );
     let (expected_hash, snapshot) = crate::runner::final_snapshot(&shrunk);
+    journal.record_at(
+        None,
+        Some(shrunk.cycles),
+        3,
+        mcds_obs::ObsEvent::CampaignPhase {
+            phase: "snapshot".into(),
+            detail: format!("expected state hash {expected_hash:#018x}"),
+        },
+    );
     let scenario_json = serde_json::to_string(&shrunk).ok()?;
     let artifact = ReproArtifact::new(
         shrunk_outcome.verdict.kind(),
@@ -359,7 +419,8 @@ fn distill(scenario: &Scenario) -> Option<Failure> {
         scenario_json,
         shrunk.compile(),
     )
-    .with_snapshot(snapshot);
+    .with_snapshot(snapshot)
+    .with_flight_recorder(journal.tail_json(64));
     Some(Failure {
         scenario: scenario.clone(),
         shrunk,

@@ -285,6 +285,39 @@ impl FarmClient {
         let ok = self.call("trace.pull", obj(vec![("session", vint(session))]))?;
         Ok((require_u64(&ok, "flow")?, require_u64(&ok, "trace_hash")?))
     }
+
+    /// `obs.journal` — the last `n` journal records plus ring totals, as
+    /// the raw response payload (`total`, `overwritten`, `correlations`,
+    /// `capacity`, `events`).
+    ///
+    /// # Errors
+    ///
+    /// As [`FarmClient::call`].
+    pub fn obs_journal(&mut self, n: u64) -> Result<Value, ClientError> {
+        self.call("obs.journal", obj(vec![("n", vint(n))]))
+    }
+
+    /// `obs.timeline` — the unified wall-clock/sim-cycle Perfetto
+    /// timeline as Trace Event Format JSON.
+    ///
+    /// # Errors
+    ///
+    /// As [`FarmClient::call`].
+    pub fn obs_timeline(&mut self) -> Result<String, ClientError> {
+        let ok = self.call("obs.timeline", obj(vec![]))?;
+        require_str(&ok, "timeline")
+    }
+
+    /// `obs.latency` — per-method request-latency quantiles, as the raw
+    /// response payload (a `methods` array of `{method, count, p50_ns,
+    /// p90_ns, p99_ns}` rows).
+    ///
+    /// # Errors
+    ///
+    /// As [`FarmClient::call`].
+    pub fn obs_latency(&mut self) -> Result<Value, ClientError> {
+        self.call("obs.latency", obj(vec![]))
+    }
 }
 
 fn lookup<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {

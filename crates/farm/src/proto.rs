@@ -124,16 +124,25 @@ pub fn render_ok(id: Option<i64>, result: Value) -> String {
 
 /// Renders an error response line (no trailing newline).
 pub fn render_err(id: Option<i64>, err: &RpcError) -> String {
-    let resp = obj(vec![
-        ("id", id_value(id)),
-        (
-            "error",
-            obj(vec![
-                ("code", Value::Int(err.code as i128)),
-                ("message", Value::Str(err.message.clone())),
-            ]),
-        ),
-    ]);
+    render_err_with_data(id, err, None)
+}
+
+/// Renders an error response line carrying an optional `flight_recorder`
+/// payload inside the error object — the last-N obs-journal events
+/// leading up to a farm-semantic failure.
+pub fn render_err_with_data(
+    id: Option<i64>,
+    err: &RpcError,
+    flight_recorder: Option<Value>,
+) -> String {
+    let mut error = vec![
+        ("code", Value::Int(err.code as i128)),
+        ("message", Value::Str(err.message.clone())),
+    ];
+    if let Some(data) = flight_recorder {
+        error.push(("flight_recorder", data));
+    }
+    let resp = obj(vec![("id", id_value(id)), ("error", obj(error))]);
     serde_json::to_string(&resp).expect("response serializes")
 }
 

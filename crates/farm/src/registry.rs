@@ -51,6 +51,10 @@ pub struct FarmConfig {
     pub evict_dir: PathBuf,
     /// Debug link every farm session attaches over.
     pub iface: InterfaceKind,
+    /// Capacity of the farm's obs journal ring (last-N events retained
+    /// for `obs.journal`, the unified timeline and flight-recorder
+    /// dumps).
+    pub journal_capacity: usize,
 }
 
 impl Default for FarmConfig {
@@ -61,6 +65,7 @@ impl Default for FarmConfig {
             memory_budget_bytes: usize::MAX,
             evict_dir: std::env::temp_dir().join(format!("mcds-farm-{}", std::process::id())),
             iface: InterfaceKind::Jtag,
+            journal_capacity: 4096,
         }
     }
 }
@@ -179,6 +184,7 @@ pub struct Farm {
     config: FarmConfig,
     tel: Telemetry,
     metrics: Metrics,
+    journal: mcds_obs::Journal,
 }
 
 impl Farm {
@@ -195,6 +201,7 @@ impl Farm {
             evicted_now: r.gauge("farm_sessions_evicted", "Sessions suspended on disk"),
             evicted_bytes: r.gauge("farm_evicted_bytes", "Bytes of suspended snapshots"),
         };
+        let journal = mcds_obs::Journal::new(config.journal_capacity);
         Farm {
             inner: Mutex::new(Inner {
                 next_id: 1,
@@ -206,6 +213,7 @@ impl Farm {
             config,
             tel,
             metrics,
+            journal,
         }
     }
 
@@ -217,6 +225,12 @@ impl Farm {
     /// The telemetry hub the farm records into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.tel
+    }
+
+    /// The farm's obs journal: the bounded cross-layer event ring every
+    /// request's causal trail is recorded into.
+    pub fn journal(&self) -> &mcds_obs::Journal {
+        &self.journal
     }
 
     /// Creates a new session running `workload` (optionally with program
@@ -325,6 +339,11 @@ impl Farm {
                             relock.stats.evicted_bytes =
                                 relock.stats.evicted_bytes.saturating_sub(bytes);
                             self.metrics.revived.inc();
+                            self.journal.record(
+                                None,
+                                None,
+                                mcds_obs::ObsEvent::SessionRevived { session: id },
+                            );
                             if let Some(slot) = relock.slots.get_mut(&id) {
                                 slot.state = SlotState::Busy;
                             }
@@ -508,6 +527,14 @@ impl Farm {
                 inner.stats.evicted += 1;
                 inner.stats.evicted_bytes += bytes;
                 self.metrics.evicted.inc();
+                self.journal.record(
+                    None,
+                    None,
+                    mcds_obs::ObsEvent::SessionEvicted {
+                        session: id,
+                        bytes: bytes as u64,
+                    },
+                );
                 Ok((bytes, state_hash))
             }
             Err(e) => {

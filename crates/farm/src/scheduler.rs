@@ -38,6 +38,9 @@ struct RunJob {
     session: u64,
     remaining: u64,
     ran: u64,
+    /// Correlation id of the farm request this run belongs to; stamped on
+    /// every quantum/anchor/device event it produces.
+    corr: Option<u64>,
     done: mpsc::Sender<RunOutcome>,
 }
 
@@ -77,11 +80,23 @@ impl Scheduler {
     /// Submits a run request; the returned receiver yields exactly one
     /// [`RunOutcome`] when the request completes.
     pub fn submit(&self, session: u64, cycles: u64) -> mpsc::Receiver<RunOutcome> {
+        self.submit_with_corr(session, cycles, None)
+    }
+
+    /// Like [`Scheduler::submit`], stamping every quantum the request runs
+    /// with the given obs correlation id.
+    pub fn submit_with_corr(
+        &self,
+        session: u64,
+        cycles: u64,
+        corr: Option<u64>,
+    ) -> mpsc::Receiver<RunOutcome> {
         let (tx, rx) = mpsc::channel();
         let job = RunJob {
             session,
             remaining: cycles,
             ran: 0,
+            corr,
             done: tx,
         };
         let mut jobs = self.queue.jobs.lock().unwrap();
@@ -93,11 +108,23 @@ impl Scheduler {
 
     /// Submits a run request and blocks until it completes.
     pub fn run_blocking(&self, session: u64, cycles: u64) -> RunOutcome {
-        self.submit(session, cycles).recv().unwrap_or(RunOutcome {
-            ran: 0,
-            stop: None,
-            error: Some(RpcError::new(ERR_DEVICE, "scheduler shut down")),
-        })
+        self.run_blocking_with_corr(session, cycles, None)
+    }
+
+    /// Like [`Scheduler::run_blocking`] with an obs correlation id.
+    pub fn run_blocking_with_corr(
+        &self,
+        session: u64,
+        cycles: u64,
+        corr: Option<u64>,
+    ) -> RunOutcome {
+        self.submit_with_corr(session, cycles, corr)
+            .recv()
+            .unwrap_or(RunOutcome {
+                ran: 0,
+                stop: None,
+                error: Some(RpcError::new(ERR_DEVICE, "scheduler shut down")),
+            })
     }
 }
 
@@ -141,13 +168,37 @@ fn worker_loop(queue: &Queue, farm: &Farm) {
         };
 
         let start_cycle = session.cycles_run();
+        // The session carries the journal handle for exactly this quantum,
+        // so device-layer events land with the causing request's id.
+        session.set_obs(Some(farm.journal().clone()), job.corr);
         let wall = std::time::Instant::now();
         let report = session.run(slice);
         let wall_ns = wall.elapsed().as_nanos() as u64;
+        session.set_obs(None, None);
         let end_cycle = session.cycles_run();
         farm.telemetry()
             .spans()
             .record(Subsystem::Farm, start_cycle, end_cycle, wall_ns);
+        farm.journal().record(
+            job.corr,
+            Some(end_cycle),
+            mcds_obs::ObsEvent::SchedulerQuantum {
+                session: job.session,
+                start_cycle,
+                end_cycle,
+                wall_ns,
+            },
+        );
+        // The quantum boundary is the cycle↔wall anchor the unified
+        // timeline aligns sim-cycle tracks with.
+        farm.journal().record(
+            job.corr,
+            Some(end_cycle),
+            mcds_obs::ObsEvent::CycleAnchor {
+                session: job.session,
+                cycle: end_cycle,
+            },
+        );
         farm.checkin(job.session, session, report.ran);
 
         job.ran += report.ran;

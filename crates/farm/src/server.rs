@@ -9,21 +9,22 @@
 //! exported over the wire by `farm.metrics`.
 
 use crate::proto::{
-    self, obj, parse_request, render_err, render_ok, vbool, vint, vstr, RpcError, ERR_DEVICE,
-    ERR_METHOD_NOT_FOUND,
+    self, obj, parse_request, render_err_with_data, render_ok, vbool, vint, vstr, RpcError,
+    ERR_DEVICE, ERR_METHOD_NOT_FOUND,
 };
 use crate::registry::{Farm, FarmConfig};
 use crate::scheduler::Scheduler;
 use mcds_host::Session;
+use mcds_obs::ObsEvent;
 use mcds_soc::event::CoreId;
 use mcds_soc::isa::Reg;
 use mcds_telemetry::{Histogram, Telemetry};
 use mcds_workloads::Workload;
-use serde::Value;
+use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -49,11 +50,17 @@ pub struct FarmServer {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// Flight-recorder events attached to a farm-semantic error payload.
+const ERROR_DUMP_EVENTS: usize = 16;
+
 struct Shared {
     farm: Arc<Farm>,
     sched: Scheduler,
     latency: Histogram,
     started: Instant,
+    /// Method names seen so far, for `obs.latency` enumeration (the
+    /// per-method histograms themselves live in the telemetry registry).
+    methods: Mutex<Vec<String>>,
 }
 
 impl FarmServer {
@@ -87,6 +94,7 @@ impl FarmServer {
             farm: Arc::clone(&farm),
             latency,
             started: Instant::now(),
+            methods: Mutex::new(Vec::new()),
         });
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
@@ -164,13 +172,25 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 
 fn handle_line(line: &str, shared: &Shared) -> String {
     let start = Instant::now();
+    let journal = shared.farm.journal();
+    // One request, one correlation id: every journal event this request
+    // causes — dispatch, scheduler quanta, device runs — carries it.
+    let corr = journal.next_corr();
     let (id, method, result) = match parse_request(line) {
         Ok(req) => {
-            let result = dispatch(&req.method, &req.params, shared);
+            journal.record(
+                Some(corr),
+                None,
+                ObsEvent::RpcDispatch {
+                    method: req.method.clone(),
+                },
+            );
+            let result = dispatch(&req.method, &req.params, corr, shared);
             (req.id, req.method, result)
         }
         Err(e) => (None, "invalid".to_string(), Err(e)),
     };
+    let latency_ns = start.elapsed().as_nanos() as u64;
     let registry = shared.farm.telemetry().registry();
     registry
         .counter_with(
@@ -179,7 +199,30 @@ fn handle_line(line: &str, shared: &Shared) -> String {
             &[("method", &method)],
         )
         .inc();
-    shared.latency.observe(start.elapsed().as_nanos() as u64);
+    shared.latency.observe(latency_ns);
+    registry
+        .histogram_with(
+            "farm_method_latency_ns",
+            "Per-method wire-request handling latency",
+            &[("method", &method)],
+            LATENCY_BOUNDS_NS,
+        )
+        .observe(latency_ns);
+    {
+        let mut methods = shared.methods.lock().unwrap();
+        if !methods.iter().any(|m| m == &method) {
+            methods.push(method.clone());
+        }
+    }
+    journal.record(
+        Some(corr),
+        None,
+        ObsEvent::RpcComplete {
+            method: method.clone(),
+            ok: result.is_ok(),
+            latency_ns,
+        },
+    );
     // Aggregate simulated throughput since server start — telemetry only,
     // strictly outside the determinism boundary.
     let wall_s = shared.started.elapsed().as_secs_f64();
@@ -200,7 +243,11 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                     "Wire requests answered with an error",
                 )
                 .inc();
-            render_err(id, &e)
+            // Farm-semantic failures (code >= 1000: lost sessions, failed
+            // revivals, device faults) ship the flight recorder in the
+            // error payload; transport-level errors stay minimal.
+            let dump = (e.code >= 1000).then(|| journal.tail(ERROR_DUMP_EVENTS).to_value());
+            render_err_with_data(id, &e, dump)
         }
     }
 }
@@ -242,7 +289,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn dispatch(method: &str, params: &Value, shared: &Shared) -> Result<Value, RpcError> {
+fn dispatch(method: &str, params: &Value, corr: u64, shared: &Shared) -> Result<Value, RpcError> {
     let farm = shared.farm.as_ref();
     match method {
         "farm.ping" => Ok(obj(vec![("pong", vbool(true))])),
@@ -259,10 +306,13 @@ fn dispatch(method: &str, params: &Value, shared: &Shared) -> Result<Value, RpcE
                 ("cycles_total", vint(s.cycles_total)),
             ]))
         }
-        "farm.metrics" => Ok(obj(vec![(
-            "prometheus",
-            vstr(farm.telemetry().to_prometheus()),
-        )])),
+        "farm.metrics" => {
+            farm.journal().publish_telemetry(farm.telemetry());
+            Ok(obj(vec![(
+                "prometheus",
+                vstr(farm.telemetry().to_prometheus()),
+            )]))
+        }
         "farm.health" => {
             let fleet = farm.fleet_health();
             Ok(obj(vec![
@@ -356,7 +406,7 @@ fn dispatch(method: &str, params: &Value, shared: &Shared) -> Result<Value, RpcE
         "session.run" => {
             let id = proto::p_u64(params, "session")?;
             let cycles = proto::p_u64(params, "cycles")?;
-            let outcome = shared.sched.run_blocking(id, cycles);
+            let outcome = shared.sched.run_blocking_with_corr(id, cycles, Some(corr));
             if let Some(e) = outcome.error {
                 return Err(e);
             }
@@ -456,6 +506,55 @@ fn dispatch(method: &str, params: &Value, shared: &Shared) -> Result<Value, RpcE
                 ("trace_bytes", vint(outcome.trace_bytes as u64)),
                 ("trace_hash", vint(digest)),
             ]))
+        }
+        "obs.journal" => {
+            // The last-N journal records, newest last, plus ring totals.
+            let n = proto::p_u64_or(params, "n", 64)? as usize;
+            let journal = farm.journal();
+            let events = journal.tail(n);
+            Ok(obj(vec![
+                ("total", vint(journal.total())),
+                ("overwritten", vint(journal.overwritten())),
+                ("correlations", vint(journal.correlations())),
+                ("capacity", vint(journal.capacity())),
+                ("events", events.to_value()),
+            ]))
+        }
+        "obs.timeline" => {
+            // The unified wall-clock/sim-cycle Perfetto timeline over the
+            // whole retained journal, as Trace Event Format JSON.
+            let journal = farm.journal();
+            let records = journal.snapshot();
+            Ok(obj(vec![
+                ("events", vint(records.len() as u64)),
+                ("timeline", vstr(mcds_obs::timeline_json(&records))),
+            ]))
+        }
+        "obs.latency" => {
+            // Per-method request-latency quantiles from the histograms
+            // `handle_line` feeds.
+            let registry = farm.telemetry().registry();
+            let mut methods = shared.methods.lock().unwrap().clone();
+            methods.sort();
+            let rows = methods
+                .iter()
+                .map(|m| {
+                    let h = registry.histogram_with(
+                        "farm_method_latency_ns",
+                        "Per-method wire-request handling latency",
+                        &[("method", m)],
+                        LATENCY_BOUNDS_NS,
+                    );
+                    obj(vec![
+                        ("method", vstr(m.clone())),
+                        ("count", vint(h.count())),
+                        ("p50_ns", vint(h.approx_quantile(0.5))),
+                        ("p90_ns", vint(h.approx_quantile(0.9))),
+                        ("p99_ns", vint(h.approx_quantile(0.99))),
+                    ])
+                })
+                .collect();
+            Ok(obj(vec![("methods", Value::Seq(rows))]))
         }
         "health.pull" => {
             let id = proto::p_u64(params, "session")?;

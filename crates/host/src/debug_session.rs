@@ -81,11 +81,18 @@ pub struct RunReport {
 }
 
 /// One live debug session: an attached debugger plus its trace decoder.
+///
+/// The optional obs journal handle lives **outside** the snapshotted
+/// state (like telemetry): [`Session::suspend`] drops it and
+/// [`Session::resume`] starts without one, so the journal never enters a
+/// state hash or a replay.
 #[derive(Debug)]
 pub struct Session {
     dbg: Debugger,
     trace: TraceSession,
     cycles_run: u64,
+    obs: Option<mcds_obs::Journal>,
+    obs_corr: Option<u64>,
 }
 
 impl Session {
@@ -115,7 +122,18 @@ impl Session {
             dbg,
             trace: session,
             cycles_run: 0,
+            obs: None,
+            obs_corr: None,
         })
+    }
+
+    /// Attaches (or clears) an obs journal handle plus the correlation id
+    /// to stamp on events from subsequent [`Session::run`] calls. The
+    /// scheduler sets this per quantum so device-layer events carry the
+    /// causing request's id.
+    pub fn set_obs(&mut self, journal: Option<mcds_obs::Journal>, corr: Option<u64>) {
+        self.obs = journal;
+        self.obs_corr = corr;
     }
 
     /// Runs the device for up to `cycles` cycles, checking for a halted
@@ -139,7 +157,19 @@ impl Session {
                 }
             }
         }
+        let start_cycle = self.cycles_run;
         self.cycles_run += ran;
+        if let Some(journal) = &self.obs {
+            journal.record(
+                self.obs_corr,
+                Some(self.cycles_run),
+                mcds_obs::ObsEvent::DeviceRun {
+                    start_cycle,
+                    end_cycle: self.cycles_run,
+                    stopped: stop.is_some(),
+                },
+            );
+        }
         RunReport { ran, stop }
     }
 
@@ -368,6 +398,8 @@ impl Session {
             dbg,
             trace: TraceSession::new(program),
             cycles_run: snap.cycles_run,
+            obs: None,
+            obs_corr: None,
         })
     }
 }

@@ -21,7 +21,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Artifact format version; bumped on incompatible layout changes.
-pub const REPRO_VERSION: u32 = 1;
+pub const REPRO_VERSION: u32 = 2;
 
 /// A serializable, replayable description of one failing run.
 #[derive(serde::Serialize, serde::Deserialize, Debug, Clone)]
@@ -46,6 +46,10 @@ pub struct ReproArtifact {
     /// End-state snapshot of the failing run, for post-mortem inspection
     /// without re-execution.
     pub snapshot: Option<SocSnapshot>,
+    /// Flight-recorder dump: the last obs-journal events leading up to
+    /// the failure, as a JSON array (opaque to this crate; empty string
+    /// when no journal was attached). Version 2 of the format added this.
+    pub flight_recorder: String,
 }
 
 /// A typed error from saving or loading a repro artifact.
@@ -122,6 +126,7 @@ impl ReproArtifact {
             scenario_json,
             log,
             snapshot: None,
+            flight_recorder: String::new(),
         }
     }
 
@@ -129,6 +134,14 @@ impl ReproArtifact {
     #[must_use]
     pub fn with_snapshot(mut self, snapshot: SocSnapshot) -> ReproArtifact {
         self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Attaches a flight-recorder dump (a JSON array of obs-journal
+    /// records, opaque to this crate).
+    #[must_use]
+    pub fn with_flight_recorder(mut self, json: String) -> ReproArtifact {
+        self.flight_recorder = json;
         self
     }
 
@@ -240,6 +253,7 @@ mod tests {
             "{\"workload\":\"RaceBuggy\"}".to_string(),
             log,
         )
+        .with_flight_recorder("[{\"seq\":0}]".to_string())
     }
 
     #[test]
@@ -254,6 +268,7 @@ mod tests {
         assert_eq!(back.expected_state_hash, a.expected_state_hash);
         assert_eq!(back.scenario_json, a.scenario_json);
         assert_eq!(back.log.len(), a.log.len());
+        assert_eq!(back.flight_recorder, a.flight_recorder);
     }
 
     #[test]

@@ -106,28 +106,34 @@ impl Histogram {
     }
 
     /// Approximate `q`-quantile (0–1): the inclusive upper bound of the
-    /// bucket holding the `q`-th observation, or the last finite bound for
-    /// observations in the overflow bucket. Returns 0 with no observations.
+    /// bucket holding the `q`-th observation.
+    ///
+    /// Defined for every input: an empty histogram returns 0 (for any `q`,
+    /// including NaN, which is treated as 0); a quantile landing in the
+    /// overflow bucket returns the larger of the last finite bound and the
+    /// integer mean (the mean can exceed the last bound there, and is the
+    /// only per-value information the overflow bucket retains); a histogram
+    /// registered with no bounds at all — a single overflow bucket — returns
+    /// the integer mean rather than a garbage 0.
     pub fn approx_quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mean = self.sum() / total;
         let mut seen = 0u64;
         for (i, b) in self.0.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return self
-                    .0
-                    .bounds
-                    .get(i)
-                    .or(self.0.bounds.last())
-                    .copied()
-                    .unwrap_or(0);
+                return match self.0.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => self.0.bounds.last().map_or(mean, |&last| last.max(mean)),
+                };
             }
         }
-        self.0.bounds.last().copied().unwrap_or(0)
+        self.0.bounds.last().map_or(mean, |&last| last.max(mean))
     }
 }
 
@@ -396,6 +402,70 @@ mod tests {
             panic!("expected histogram");
         };
         assert_eq!(buckets, &vec![2, 1, 1, 2], "two land past the last bound");
+    }
+
+    #[test]
+    fn approx_quantile_empty_is_zero_for_any_q() {
+        let reg = Registry::new();
+        let h = reg.histogram("q_empty", "q", &[10, 100]);
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0, f64::NAN] {
+            assert_eq!(h.approx_quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn approx_quantile_no_bounds_returns_mean() {
+        // A histogram registered with zero bounds is a single overflow
+        // bucket; the old implementation returned 0 for it regardless of
+        // the data. The mean is the only defined summary it can offer.
+        let reg = Registry::new();
+        let h = reg.histogram("q_nobounds", "q", &[]);
+        h.observe(100);
+        h.observe(300);
+        assert_eq!(h.approx_quantile(0.5), 200);
+        assert_eq!(h.approx_quantile(1.0), 200);
+    }
+
+    #[test]
+    fn approx_quantile_single_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("q_single", "q", &[50]);
+        h.observe(7);
+        assert_eq!(h.approx_quantile(0.0), 50);
+        assert_eq!(h.approx_quantile(0.5), 50);
+        assert_eq!(h.approx_quantile(1.0), 50);
+    }
+
+    #[test]
+    fn approx_quantile_overflow_uses_mean_when_larger() {
+        let reg = Registry::new();
+        let h = reg.histogram("q_over", "q", &[10, 100]);
+        h.observe(5);
+        h.observe(1_000_000);
+        // p50 lands in the first bucket, p100 in the overflow bucket where
+        // the mean (500_002) dominates the last finite bound (100).
+        assert_eq!(h.approx_quantile(0.5), 10);
+        assert_eq!(h.approx_quantile(1.0), (5 + 1_000_000) / 2);
+    }
+
+    #[test]
+    fn approx_quantile_monotone_in_q_and_clamped() {
+        let reg = Registry::new();
+        let h = reg.histogram("q_mono", "q", &[10, 100, 1000]);
+        for v in [1, 5, 50, 500, 5000] {
+            h.observe(v);
+        }
+        let mut prev = 0;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = h.approx_quantile(q);
+            assert!(v >= prev, "quantile must be monotone in q");
+            prev = v;
+        }
+        // Out-of-range q clamps to the endpoints; NaN maps to q=0.
+        assert_eq!(h.approx_quantile(-1.0), h.approx_quantile(0.0));
+        assert_eq!(h.approx_quantile(2.0), h.approx_quantile(1.0));
+        assert_eq!(h.approx_quantile(f64::NAN), h.approx_quantile(0.0));
     }
 
     #[test]

@@ -230,6 +230,8 @@ impl VehicleBuilder {
             cal_swaps: 0,
             last_swap: None,
             telemetry: None,
+            obs: None,
+            obs_corr: None,
         }
     }
 }
@@ -247,6 +249,8 @@ pub struct Vehicle {
     cal_swaps: u64,
     last_swap: Option<SwapOutcome>,
     telemetry: Option<Telemetry>,
+    obs: Option<mcds_obs::Journal>,
+    obs_corr: Option<u64>,
 }
 
 impl Vehicle {
@@ -317,6 +321,20 @@ impl Vehicle {
 
     pub(crate) fn note_swap(&mut self, outcome: SwapOutcome) {
         self.cal_swaps += 1;
+        if let Some(journal) = &self.obs {
+            let (page, committed) = match &outcome {
+                SwapOutcome::Committed { page } => (*page, true),
+                SwapOutcome::RolledBack { page, .. } => (*page, false),
+            };
+            journal.record(
+                self.obs_corr,
+                Some(self.cycle),
+                mcds_obs::ObsEvent::VnetCalSwap {
+                    page: u64::from(page),
+                    committed,
+                },
+            );
+        }
         self.last_swap = Some(outcome);
     }
 
@@ -325,6 +343,20 @@ impl Vehicle {
     /// boundary (never snapshotted, never hashed).
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Attaches an obs journal handle; fabric step bursts and calibration
+    /// swaps are recorded as typed vnet-layer events. Like telemetry, the
+    /// journal stays outside the determinism boundary: never part of
+    /// [`Vehicle::state_hash`], snapshots or replay.
+    pub fn attach_obs(&mut self, journal: mcds_obs::Journal) {
+        self.obs = Some(journal);
+    }
+
+    /// Sets (or clears) the correlation id stamped on subsequent vnet
+    /// journal events, linking them to the causing farm request.
+    pub fn set_obs_corr(&mut self, corr: Option<u64>) {
+        self.obs_corr = corr;
     }
 
     /// Applies one event immediately.
@@ -423,9 +455,37 @@ impl Vehicle {
             .expect("ecu is a member of its segment")
     }
 
+    /// Counters sampled before an obs-journalled burst (frames delivered,
+    /// gateway forwards), or `None` when no journal is attached.
+    fn obs_burst_start(&self) -> Option<(u64, u64)> {
+        self.obs.as_ref().map(|_| {
+            let s = self.stats();
+            (s.frames, s.gateway_forwarded)
+        })
+    }
+
+    /// Records one `VnetStep` covering `start..self.cycle` against the
+    /// counters sampled at the burst start.
+    fn obs_burst_end(&self, start: u64, before: Option<(u64, u64)>) {
+        if let (Some(journal), Some((frames0, gw0))) = (&self.obs, before) {
+            let s = self.stats();
+            journal.record(
+                self.obs_corr,
+                Some(self.cycle),
+                mcds_obs::ObsEvent::VnetStep {
+                    start_cycle: start,
+                    end_cycle: self.cycle,
+                    frames: s.frames.saturating_sub(frames0),
+                    gateway_forwarded: s.gateway_forwarded.saturating_sub(gw0),
+                },
+            );
+        }
+    }
+
     /// Steps `n` vehicle cycles (one telemetry span for the burst).
     pub fn run_cycles(&mut self, n: u64) {
         let t0 = self.telemetry.as_ref().map(|_| std::time::Instant::now());
+        let before = self.obs_burst_start();
         let start = self.cycle;
         for _ in 0..n {
             self.step();
@@ -438,6 +498,7 @@ impl Vehicle {
                 t0.elapsed().as_nanos() as u64,
             );
         }
+        self.obs_burst_end(start, before);
     }
 
     /// Runs `cycles` steps, applying due log events as time passes.
@@ -445,6 +506,7 @@ impl Vehicle {
     /// [`VehicleLog::cursor_at`] for resuming mid-log).
     pub fn run_with_events(&mut self, log: &VehicleLog, cursor: &mut usize, cycles: u64) {
         let t0 = self.telemetry.as_ref().map(|_| std::time::Instant::now());
+        let before = self.obs_burst_start();
         let start = self.cycle;
         let events = log.events();
         for _ in 0..cycles {
@@ -463,6 +525,7 @@ impl Vehicle {
                 t0.elapsed().as_nanos() as u64,
             );
         }
+        self.obs_burst_end(start, before);
     }
 
     /// Serializes the fabric (everything outside the devices).

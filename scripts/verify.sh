@@ -76,7 +76,26 @@ done
 grep -q 'subsystem="vnet"' target/analysis/t14_vnet_telemetry.prom \
   || { echo "missing vnet span subsystem in t14_vnet_telemetry.prom"; exit 1; }
 
-for t in t7 t8 t9 t11 t12 t13_farm t14_vnet; do
+# Observability smoke: the cross-layer causal-tracing spine (asserted
+# in-bench: journal on/off runs land on identical state hashes within the
+# <10% overhead budget; one request's correlation id spans >=3 layers; the
+# planted campaign failure carries a flight-recorder dump). The obs_*
+# metric namespace, the unified Perfetto timeline and the journal dump
+# must land in the artifacts.
+cargo run --release -q -p mcds-bench --bin t15_obs -- --smoke
+for metric in obs_journal_records_total obs_correlations_total \
+              obs_journal_capacity; do
+  grep -q "$metric" target/analysis/t15_obs_telemetry.prom \
+    || { echo "missing $metric in t15_obs_telemetry.prom"; exit 1; }
+done
+test -s target/analysis/t15_timeline.json \
+  || { echo "missing t15_timeline.json"; exit 1; }
+test -s target/analysis/t15_journal.json \
+  || { echo "missing t15_journal.json"; exit 1; }
+grep -q '"corr"' target/analysis/t15_journal.json \
+  || { echo "missing correlation ids in t15_journal.json"; exit 1; }
+
+for t in t7 t8 t9 t11 t12 t13_farm t14_vnet t15_obs; do
   test -s "target/analysis/${t}_telemetry.json" \
     || { echo "missing ${t}_telemetry.json"; exit 1; }
 done
