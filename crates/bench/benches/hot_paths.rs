@@ -104,6 +104,32 @@ fn bench_sim_kernel(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // The execution kernel's tiers on the same engine workload: exact
+    // per-cycle stepping, the event-heap kernel (quiescence skipped), and
+    // batched basic-block execution on top of it. All three land on
+    // bit-identical state; these measure what each tier costs or buys.
+    for (name, mode) in [
+        ("soc_run_10k_per_cycle", mcds_soc::ExecMode::PerCycle),
+        ("soc_run_10k_event_kernel", mcds_soc::ExecMode::EventKernel),
+        (
+            "soc_run_10k_block_batched",
+            mcds_soc::ExecMode::BlockBatched,
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut soc = SocBuilder::new().cores(1).build();
+                    soc.load_program(&program);
+                    soc.periph_mut().set_input(engine::RPM_PORT, 3000);
+                    soc.set_exec_mode(mode);
+                    soc
+                },
+                |mut soc| soc.run_cycles(10_000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
     let race_prog = race::program_buggy();
     g.bench_function("soc_step_10k_2core", |b| {
         b.iter_batched(

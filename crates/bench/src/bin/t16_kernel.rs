@@ -1,0 +1,308 @@
+//! Experiment T16 — the discrete-event execution kernel: batched
+//! basic-block execution and quiescent-stretch skipping vs exact
+//! per-cycle stepping.
+//!
+//! The kernel replaces the uniform per-cycle loop with a component-wakeup
+//! min-heap (idle stretches are skipped in O(log n)) and a decode-cached
+//! basic-block layer for straight-line TC-RISC runs. Both tiers promise
+//! bit-identical architectural state; this experiment measures what that
+//! buys and asserts the promise on every run:
+//!
+//! * **T16a** — straight-line speed: an idle-MCDS ALU/memory loop under
+//!   `PerCycle`, `EventKernel` and `BlockBatched`, best-of-N wall time,
+//!   identical state hashes asserted, block-batched >= 5x per-cycle;
+//! * **T16b** — quiescent skip: a timer-wait workload (halted core, armed
+//!   timer) where the event kernel must be >= 10x per-cycle;
+//! * **T16c** — observation safety: the same workload traced; every mode
+//!   must produce identical encoded trace bytes, decoded messages and
+//!   state hashes (the idle gate keeps observed runs exact);
+//! * the idle-skip / block-hit-rate table and the kernel counters
+//!   published as `t16_kernel_telemetry.{json,prom}`.
+//!
+//! Run with `--smoke` for a short CI-friendly pass.
+
+use mcds::observer::{CoreTraceConfig, TraceQualifier};
+use mcds::McdsConfig;
+use mcds_bench::{print_table, write_telemetry_artifacts, BenchArgs};
+use mcds_psi::device::{Device, DeviceBuilder, DeviceVariant};
+use mcds_replay::{device_state_hash, SocSnapshot};
+use mcds_soc::asm::assemble;
+use mcds_soc::cpu::CoreConfig;
+use mcds_soc::{ExecMode, ExecStats};
+use mcds_telemetry::Telemetry;
+use mcds_trace::StreamDecoder;
+use std::time::Instant;
+
+/// Straight-line workload: a hot ALU + SRAM loop that never halts — the
+/// block layer's best case, and exactly the code shape a calibration
+/// engineer's control loop has between events.
+const STRAIGHT_LINE: &str = "
+    .org 0x80000000
+    start:
+        li r6, 0xD0000000
+    loop:
+        addi r1, r1, 1
+        mul  r3, r1, r1
+        sw   r3, 0(r6)
+        lw   r4, 0(r6)
+        xor  r5, r5, r4
+        andi r2, r1, 255
+        bne  r2, r0, loop
+        addi r7, r7, 1
+        j loop
+";
+
+/// Timer-wait workload: the core arms the system timer and halts; the
+/// only activity is the periodic fire re-arming itself. The event kernel
+/// skips the quiet stretches wholesale.
+const TIMER_WAIT: &str = "
+    .equ PERIOD_REG, 0xF0000008
+    .org 0x80000000
+    start:
+        li r1, 10000
+        li r2, PERIOD_REG
+        sw r1, 0(r2)
+        halt
+";
+
+fn device(src: &str, trace: Option<McdsConfig>) -> Device {
+    let variant = if trace.is_some() {
+        DeviceVariant::EdSideBooster
+    } else {
+        DeviceVariant::Production
+    };
+    let mut b = DeviceBuilder::new(variant).core(CoreConfig {
+        reset_pc: 0x8000_0000,
+        clock_div: 1,
+        ..Default::default()
+    });
+    if let Some(config) = trace {
+        b = b.mcds(config);
+    }
+    let mut dev = b.build();
+    dev.soc_mut()
+        .load_program(&assemble(src).expect("assembles"));
+    dev
+}
+
+fn tracing() -> McdsConfig {
+    McdsConfig {
+        cores: vec![CoreTraceConfig {
+            program_trace: TraceQualifier::Always,
+            ..Default::default()
+        }],
+        fifo_depth: 1 << 12,
+        sink_bandwidth: 16,
+        ..Default::default()
+    }
+}
+
+/// One timed run: `cycles` through `run_cycles` under `mode`. Returns
+/// wall seconds, the device state hash, the snapshot hash and the kernel
+/// counters.
+fn timed(src: &str, mode: ExecMode, cycles: u64) -> (f64, u64, u64, ExecStats) {
+    let mut dev = device(src, None);
+    dev.set_exec_mode(mode);
+    let start = Instant::now();
+    dev.run_cycles(cycles);
+    let wall = start.elapsed().as_secs_f64();
+    (
+        wall,
+        device_state_hash(&dev),
+        SocSnapshot::capture(&dev).state_hash(),
+        *dev.exec_stats(),
+    )
+}
+
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::PerCycle => "per-cycle",
+        ExecMode::EventKernel => "event-kernel",
+        ExecMode::BlockBatched => "block-batched",
+    }
+}
+
+/// Best-of-N over the three modes; asserts state and snapshot hashes are
+/// identical across all of them, returns per-mode (wall, stats).
+fn compare(src: &str, cycles: u64, repeats: usize) -> Vec<(ExecMode, f64, ExecStats)> {
+    const MODES: [ExecMode; 3] = [
+        ExecMode::PerCycle,
+        ExecMode::EventKernel,
+        ExecMode::BlockBatched,
+    ];
+    let mut out = Vec::new();
+    let mut reference: Option<(u64, u64)> = None;
+    for mode in MODES {
+        let mut best = f64::MAX;
+        let mut stats = ExecStats::default();
+        for _ in 0..repeats {
+            let (wall, state, snap, s) = timed(src, mode, cycles);
+            match reference {
+                None => reference = Some((state, snap)),
+                Some(want) => assert_eq!(
+                    (state, snap),
+                    want,
+                    "{} diverged from per-cycle (state/snapshot hash)",
+                    mode_name(mode)
+                ),
+            }
+            if wall < best {
+                best = wall;
+                stats = s;
+            }
+        }
+        out.push((mode, best, stats));
+    }
+    out
+}
+
+fn stats_table(title: &str, cycles: u64, rows: &[(ExecMode, f64, ExecStats)]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(mode, wall, s)| {
+            let decodes = s.decode_hits + s.decode_misses;
+            vec![
+                mode_name(*mode).into(),
+                format!("{:.2} ms", wall * 1e3),
+                format!("{:.2}", cycles as f64 / wall / 1e6),
+                format!("{}", s.stepped_cycles),
+                format!("{}", s.skipped_cycles),
+                format!("{}", s.block_cycles),
+                format!("{}", s.block_instrs),
+                if decodes == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.1}%", 100.0 * s.decode_hits as f64 / decodes as f64)
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &[
+            "mode",
+            "wall",
+            "Mcycles/s",
+            "stepped",
+            "skipped",
+            "block cyc",
+            "block instr",
+            "decode hit",
+        ],
+        &table,
+    );
+}
+
+fn main() {
+    let args = BenchArgs::parse("target/analysis");
+    let cycles: u64 = args.scale(4_000_000, 400_000);
+    let quiet_cycles: u64 = args.scale(20_000_000, 2_000_000);
+    let repeats: usize = args.scale(5, 3);
+
+    // --- T16a: straight-line block execution. ---------------------------
+    let line = compare(STRAIGHT_LINE, cycles, repeats);
+    stats_table(
+        &format!("T16a: straight-line loop over {cycles} cycles (best of {repeats})"),
+        cycles,
+        &line,
+    );
+    let wall_per_cycle = line[0].1;
+    let wall_block = line[2].1;
+    let line_speedup = wall_per_cycle / wall_block;
+    println!("block-batched speedup {line_speedup:.2}x vs per-cycle; hashes identical\n");
+    assert!(
+        line_speedup >= 5.0,
+        "block-batched must be >= 5x per-cycle on straight-line code (got {line_speedup:.2}x)"
+    );
+    let block_stats = line[2].2;
+    assert!(
+        block_stats.block_cycles > (cycles / 10) * 9,
+        "the hot loop must run overwhelmingly in blocks: {block_stats:?}"
+    );
+
+    // --- T16b: quiescent timer-wait skip. -------------------------------
+    let quiet = compare(TIMER_WAIT, quiet_cycles, repeats);
+    stats_table(
+        &format!("T16b: timer-wait quiescence over {quiet_cycles} cycles (best of {repeats})"),
+        quiet_cycles,
+        &quiet,
+    );
+    let wall_quiet_per_cycle = quiet[0].1;
+    let wall_quiet_event = quiet[1].1;
+    let quiet_speedup = wall_quiet_per_cycle / wall_quiet_event;
+    println!("event-kernel speedup {quiet_speedup:.2}x vs per-cycle; hashes identical\n");
+    assert!(
+        quiet_speedup >= 10.0,
+        "the event kernel must be >= 10x per-cycle on a quiescent workload (got {quiet_speedup:.2}x)"
+    );
+    let event_stats = quiet[1].2;
+    assert!(
+        event_stats.skipped_cycles > (quiet_cycles / 10) * 9,
+        "a timer-wait run must skip almost everything: {event_stats:?}"
+    );
+
+    // --- T16c: traced runs are mode-independent, trace included. --------
+    let trace_cycles: u64 = args.scale(400_000, 100_000);
+    let traced = |mode: ExecMode| {
+        let mut dev = device(STRAIGHT_LINE, Some(tracing()));
+        dev.set_exec_mode(mode);
+        dev.run_cycles(trace_cycles);
+        let emem = dev.soc().mapper().emem().expect("development device");
+        let bytes = dev.sink().read_back(emem);
+        let msgs = StreamDecoder::new(bytes.clone())
+            .collect_all()
+            .expect("trace decodes");
+        (bytes, msgs, device_state_hash(&dev))
+    };
+    let want = traced(ExecMode::PerCycle);
+    for mode in [ExecMode::EventKernel, ExecMode::BlockBatched] {
+        let got = traced(mode);
+        assert_eq!(
+            got.0,
+            want.0,
+            "{}: traced run must produce identical sink bytes",
+            mode_name(mode)
+        );
+        assert_eq!(got.1, want.1, "{}: decoded trace differs", mode_name(mode));
+        assert_eq!(got.2, want.2, "{}: state hash differs", mode_name(mode));
+    }
+    println!(
+        "T16c: traced runs bit-identical across all modes \
+         ({} trace bytes, {} decoded messages)\n",
+        want.0.len(),
+        want.1.len()
+    );
+
+    // --- Telemetry artifacts. -------------------------------------------
+    let tel = Telemetry::new();
+    let r = tel.registry();
+    r.counter(
+        "t16_block_cycles_total",
+        "cycles executed as batched basic blocks (straight-line run)",
+    )
+    .add(block_stats.block_cycles);
+    r.counter(
+        "t16_skipped_cycles_total",
+        "cycles skipped as quiescent (timer-wait run)",
+    )
+    .add(event_stats.skipped_cycles);
+    r.gauge("t16_line_speedup", "block-batched speedup vs per-cycle")
+        .set(line_speedup);
+    r.gauge("t16_quiet_speedup", "event-kernel speedup vs per-cycle")
+        .set(quiet_speedup);
+    let decodes = block_stats.decode_hits + block_stats.decode_misses;
+    r.gauge(
+        "t16_decode_hit_rate",
+        "decode-cache hit rate (straight-line)",
+    )
+    .set(if decodes == 0 {
+        0.0
+    } else {
+        block_stats.decode_hits as f64 / decodes as f64
+    });
+    let json_path = write_telemetry_artifacts(&args, "t16_kernel", &tel);
+    println!(
+        "T16: the execution kernel batches straight-line code {line_speedup:.2}x and skips \
+         quiescence {quiet_speedup:.2}x, bit-identical throughout ({json_path})."
+    );
+}

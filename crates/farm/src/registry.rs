@@ -132,6 +132,12 @@ pub struct FarmStats {
     pub destroyed: u64,
     /// Cycles run across all sessions since start.
     pub cycles_total: u64,
+    /// Of `cycles_total`, cycles the execution kernel skipped as provably
+    /// quiescent (no per-cycle work was done for them).
+    pub cycles_skipped_total: u64,
+    /// Of `cycles_total`, cycles consumed by batched basic-block
+    /// execution rather than exact per-cycle stepping.
+    pub cycles_batched_total: u64,
 }
 
 struct Meta {
@@ -172,6 +178,8 @@ struct Metrics {
     revived: Counter,
     destroyed: Counter,
     cycles: Counter,
+    cycles_skipped: Counter,
+    cycles_batched: Counter,
     live: Gauge,
     evicted_now: Gauge,
     evicted_bytes: Gauge,
@@ -197,6 +205,14 @@ impl Farm {
             revived: r.counter("farm_sessions_revived_total", "Sessions revived from disk"),
             destroyed: r.counter("farm_sessions_destroyed_total", "Sessions destroyed"),
             cycles: r.counter("farm_cycles_total", "Cycles run across all sessions"),
+            cycles_skipped: r.counter(
+                "farm_cycles_skipped_total",
+                "Cycles the execution kernel skipped as quiescent",
+            ),
+            cycles_batched: r.counter(
+                "farm_cycles_batched_total",
+                "Cycles executed as batched basic blocks",
+            ),
             live: r.gauge("farm_sessions_live", "Sessions resident in memory"),
             evicted_now: r.gauge("farm_sessions_evicted", "Sessions suspended on disk"),
             evicted_bytes: r.gauge("farm_evicted_bytes", "Bytes of suspended snapshots"),
@@ -419,6 +435,26 @@ impl Farm {
         self.refresh_gauges(&inner);
         drop(inner);
         self.cond.notify_all();
+    }
+
+    /// Credits execution-kernel accounting for a quantum: of the cycles
+    /// just run, how many were skipped as quiescent and how many were
+    /// executed as batched blocks (the scheduler reads the deltas off the
+    /// session's [`mcds_soc::ExecStats`] around each quantum).
+    pub fn credit_kernel(&self, skipped: u64, batched: u64) {
+        if skipped == 0 && batched == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.cycles_skipped_total += skipped;
+        inner.stats.cycles_batched_total += batched;
+        drop(inner);
+        if skipped > 0 {
+            self.metrics.cycles_skipped.add(skipped);
+        }
+        if batched > 0 {
+            self.metrics.cycles_batched.add(batched);
+        }
     }
 
     /// Drops a checked-out session and removes its slot — the destroy path.

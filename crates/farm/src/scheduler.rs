@@ -171,10 +171,12 @@ fn worker_loop(queue: &Queue, farm: &Farm) {
         // The session carries the journal handle for exactly this quantum,
         // so device-layer events land with the causing request's id.
         session.set_obs(Some(farm.journal().clone()), job.corr);
+        let kernel_before = *session.exec_stats();
         let wall = std::time::Instant::now();
         let report = session.run(slice);
         let wall_ns = wall.elapsed().as_nanos() as u64;
         session.set_obs(None, None);
+        let kernel_after = *session.exec_stats();
         let end_cycle = session.cycles_run();
         farm.telemetry()
             .spans()
@@ -198,6 +200,12 @@ fn worker_loop(queue: &Queue, farm: &Farm) {
                 session: job.session,
                 cycle: end_cycle,
             },
+        );
+        // Quantum accounting: how much of this slice the execution kernel
+        // skipped as quiescent or ran as batched blocks.
+        farm.credit_kernel(
+            kernel_after.skipped_cycles - kernel_before.skipped_cycles,
+            kernel_after.block_cycles - kernel_before.block_cycles,
         );
         farm.checkin(job.session, session, report.ran);
 

@@ -304,6 +304,8 @@ fn dispatch(method: &str, params: &Value, corr: u64, shared: &Shared) -> Result<
                 ("revived", vint(s.revived)),
                 ("destroyed", vint(s.destroyed)),
                 ("cycles_total", vint(s.cycles_total)),
+                ("cycles_skipped_total", vint(s.cycles_skipped_total)),
+                ("cycles_batched_total", vint(s.cycles_batched_total)),
             ]))
         }
         "farm.metrics" => {
@@ -419,6 +421,25 @@ fn dispatch(method: &str, params: &Value, corr: u64, shared: &Shared) -> Result<
             let id = proto::p_u64(params, "session")?;
             let hash = with_session(farm, id, |s| Ok(s.state_hash()))?;
             Ok(obj(vec![("state_hash", vint(hash))]))
+        }
+        "session.set_exec_mode" => {
+            let id = proto::p_u64(params, "session")?;
+            let mode = match proto::p_str(params, "mode")? {
+                "per_cycle" => mcds_soc::ExecMode::PerCycle,
+                "event_kernel" => mcds_soc::ExecMode::EventKernel,
+                "block_batched" => mcds_soc::ExecMode::BlockBatched,
+                other => {
+                    return Err(RpcError::new(
+                        proto::ERR_INVALID_PARAMS,
+                        format!("unknown exec mode `{other}`"),
+                    ))
+                }
+            };
+            with_session(farm, id, |s| {
+                s.set_exec_mode(mode);
+                Ok(())
+            })?;
+            Ok(obj(vec![("mode", vstr(format!("{mode:?}")))]))
         }
         "session.resume_core" => {
             let id = proto::p_u64(params, "session")?;

@@ -173,6 +173,25 @@ impl Session {
         RunReport { ran, stop }
     }
 
+    /// The device's execution-kernel mode (see [`mcds_soc::ExecMode`]).
+    pub fn exec_mode(&self) -> mcds_soc::ExecMode {
+        self.dbg.device().exec_mode()
+    }
+
+    /// Sets the execution-kernel mode for subsequent run quanta. Purely a
+    /// speed knob — every mode is bit-identical in architectural state.
+    pub fn set_exec_mode(&mut self, mode: mcds_soc::ExecMode) {
+        self.dbg.device_mut().set_exec_mode(mode);
+    }
+
+    /// Kernel cycle accounting for this session's device: how many cycles
+    /// were stepped exactly, skipped as provably quiescent, or executed as
+    /// batched basic blocks. Quantum schedulers read the deltas across a
+    /// [`Session::run`] to report effective speedup.
+    pub fn exec_stats(&self) -> &mcds_soc::ExecStats {
+        self.dbg.device().exec_stats()
+    }
+
     fn any_halted(&self) -> Option<StopEvent> {
         self.dbg
             .device()

@@ -166,10 +166,19 @@ impl TimeTravel {
         while dev.soc().cycle() < target {
             ring.observe(dev);
             apply_due(dev, log, next_event);
-            if dev.soc().cycle() >= target {
+            let now = dev.soc().cycle();
+            if now >= target {
                 break;
             }
-            dev.step_into(sink);
+            // Batch to the next boundary the per-cycle driver would have
+            // acted at: the target, the next input event, or the next
+            // checkpoint falling due. In between, the run is pure device
+            // execution and may go through the batching kernel.
+            let mut boundary = target.min(ring.next_due_at(now + 1));
+            if let Some(ev) = log.events().get(*next_event) {
+                boundary = boundary.min(ev.cycle().max(now + 1));
+            }
+            dev.run_cycles_into(boundary - now, sink);
         }
     }
 
@@ -281,10 +290,18 @@ impl TimeTravel {
         } = self;
         while dev.soc().cycle() < target {
             apply_due(dev, log, next_event);
-            if dev.soc().cycle() >= target {
+            let now = dev.soc().cycle();
+            if now >= target {
                 break;
             }
-            dev.step_into(&mut NullSink);
+            // Deterministic replay batches between input events exactly
+            // like the forward pass: same boundaries, same kernel, same
+            // bit-identical states at every checkpointable cycle.
+            let mut boundary = target;
+            if let Some(ev) = log.events().get(*next_event) {
+                boundary = boundary.min(ev.cycle().max(now + 1));
+            }
+            dev.run_cycles(boundary - now);
         }
     }
 }

@@ -905,6 +905,21 @@ impl Device {
         }
     }
 
+    /// Steps `n` cycles streaming events into `sink`. Takes the same
+    /// bare-SoC fast path as [`Device::run_cycles`] when the MCDS is idle
+    /// and no service processor is fitted; the execution kernel then
+    /// batches and skips as far as the sink's
+    /// [`CycleSink::wants_cycles`] contract allows.
+    pub fn run_cycles_into<S: CycleSink + ?Sized>(&mut self, n: u64, sink: &mut S) {
+        if self.mcds.is_idle() && self.service.is_none() {
+            self.soc.run_cycles_into(n, sink);
+            return;
+        }
+        for _ in 0..n {
+            self.step_into(sink);
+        }
+    }
+
     /// Steps until all cores halt or `max_cycles` pass, streaming each
     /// cycle's events into `sink`; returns the number of cycles stepped.
     /// Memory use is the sink's choice — long supervised runs should pass
@@ -914,6 +929,13 @@ impl Device {
         max_cycles: u64,
         sink: &mut S,
     ) -> u64 {
+        // Same provably-no-op argument as `run_cycles`: with an idle MCDS
+        // and no service processor the device layer adds nothing per
+        // cycle, so the run goes through the SoC execution kernel (which
+        // may batch and skip when the sink does not observe every cycle).
+        if self.mcds.is_idle() && self.service.is_none() {
+            return self.soc.run_until_halt_into(max_cycles, sink);
+        }
         for stepped in 0..max_cycles {
             self.step_into(sink);
             if self.soc.cores().all(|c| c.is_halted()) {
@@ -921,6 +943,27 @@ impl Device {
             }
         }
         max_cycles
+    }
+
+    /// The SoC execution kernel's mode (see [`mcds_soc::ExecMode`]): a
+    /// speed knob for unobserved runs, bit-identical across settings.
+    pub fn exec_mode(&self) -> mcds_soc::ExecMode {
+        self.soc.exec_mode()
+    }
+
+    /// Sets the SoC execution kernel's mode.
+    pub fn set_exec_mode(&mut self, mode: mcds_soc::ExecMode) {
+        self.soc.set_exec_mode(mode);
+    }
+
+    /// Kernel cycle-accounting counters (stepped / skipped / batched).
+    pub fn exec_stats(&self) -> &mcds_soc::ExecStats {
+        self.soc.exec_stats()
+    }
+
+    /// Resets the kernel cycle-accounting counters.
+    pub fn reset_exec_stats(&mut self) {
+        self.soc.reset_exec_stats()
     }
 
     /// Steps until all cores halt or `max_cycles` pass; returns the records

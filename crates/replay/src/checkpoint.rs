@@ -92,6 +92,16 @@ impl CheckpointRing {
         }
     }
 
+    /// The earliest cycle at or after `now` at which a checkpoint will be
+    /// due — the batching boundary for drivers that fast-forward between
+    /// checkpoints instead of polling [`CheckpointRing::due`] per cycle.
+    pub fn next_due_at(&self, now: u64) -> u64 {
+        match self.entries.back() {
+            Some(cp) => (cp.cycle() + self.every).max(now),
+            None => now,
+        }
+    }
+
     /// Captures a checkpoint if one is due at the device's current cycle;
     /// returns whether one was taken. Call at the top of the driver loop,
     /// before applying that cycle's input events.

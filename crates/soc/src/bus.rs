@@ -510,23 +510,11 @@ impl<T: BusTarget> Bus<T> {
                 let master = MasterId(i as u8);
                 self.counters.per_master[i].grants += 1;
                 let target = self.target_at(request.addr);
-                let cycles = match target {
-                    Some(t) => {
-                        let base = self.targets[t.0].access_cycles(request.addr, request.kind);
-                        if request.kind == XferKind::Atomic {
-                            // Locked read + write back-to-back.
-                            base + self.targets[t.0].access_cycles(request.addr, XferKind::Write)
-                        } else {
-                            base
-                        }
-                    }
-                    None => 1,
-                };
                 self.active = Some(ActiveTxn {
                     master,
                     request,
                     target,
-                    cycles_left: cycles.max(1),
+                    cycles_left: self.xfer_cycles(&request),
                 });
                 return;
             }
@@ -560,6 +548,14 @@ impl<T: BusTarget> Bus<T> {
         }
         let txn = self.active.take().expect("active transaction");
         let completion = self.perform(txn, now);
+        self.conclude(&completion);
+        Some(completion)
+    }
+
+    /// Books a completed transaction into the xact/fault counters and the
+    /// `last_xact` probe — the single place those invariants live, shared
+    /// by the per-cycle [`Bus::step`] and the batched kernel path.
+    fn conclude(&mut self, completion: &BusCompletion) {
         let per_master = &mut self.counters.per_master[completion.master.0 as usize];
         if completion.fault.is_none() {
             per_master.xacts += 1;
@@ -581,7 +577,107 @@ impl<T: BusTarget> Bus<T> {
                 },
             });
         }
-        Some(completion)
+    }
+
+    /// Cycles a granted `request` occupies the bus, exactly as
+    /// [`Bus::step`]'s arbiter would charge it: the target's access
+    /// latency (read + write back-to-back for [`XferKind::Atomic`]), one
+    /// cycle for unmapped addresses, minimum one cycle.
+    pub(crate) fn xfer_cycles(&self, request: &BusRequest) -> u32 {
+        let cycles = match self.target_at(request.addr) {
+            Some(t) => {
+                let base = self.targets[t.0].access_cycles(request.addr, request.kind);
+                if request.kind == XferKind::Atomic {
+                    // Locked read + write back-to-back.
+                    base + self.targets[t.0].access_cycles(request.addr, XferKind::Write)
+                } else {
+                    base
+                }
+            }
+            None => 1,
+        };
+        cycles.max(1)
+    }
+
+    /// True when no request is queued or in flight — the arbiter would do
+    /// nothing but count the cycle. (`last_xact` may still be set from the
+    /// previous cycle; quiescence checks must consult
+    /// [`Bus::has_last_xact`] separately because the probe is cleared at
+    /// the top of every stepped cycle and is part of hashed state.)
+    pub(crate) fn is_quiet(&self) -> bool {
+        self.active.is_none() && self.pending.iter().all(Option::is_none)
+    }
+
+    /// True if the one-cycle completed-transaction probe is set.
+    pub(crate) fn has_last_xact(&self) -> bool {
+        self.last_xact.is_some()
+    }
+
+    /// Clears the completed-transaction probe, as an idle stepped cycle
+    /// would at its top.
+    pub(crate) fn clear_last_xact(&mut self) {
+        self.last_xact = None;
+    }
+
+    /// Accounts `n` cycles in which the bus provably did nothing (no
+    /// queued or active requests): only the cycle counter moves, exactly
+    /// as `n` idle [`Bus::step`]s would have left it.
+    pub(crate) fn skip_quiet_cycles(&mut self, n: u64) {
+        debug_assert!(self.is_quiet());
+        self.counters.cycles += n;
+    }
+
+    /// Opens a batched kernel transfer for `master` occupying `cycles` bus
+    /// cycles: books the grant, busy/occupancy time and round-robin
+    /// rotation exactly as `cycles` uncontended [`Bus::step`]s would have
+    /// (the kernel only batches when `master` is the sole requester, so
+    /// wait/contention counters stay untouched), and clears `last_xact` as
+    /// the first of those steps would.
+    pub(crate) fn begin_fast_xfer(&mut self, master: MasterId, cycles: u32) {
+        self.last_xact = None;
+        let i = master.0 as usize;
+        self.counters.per_master[i].grants += 1;
+        if self.round_robin {
+            self.rr_next = (i + 1) % self.pending.len();
+        }
+        self.counters.busy_cycles += u64::from(cycles);
+        self.counters.per_master[i].occupancy_cycles += u64::from(cycles);
+    }
+
+    /// Completes a batched kernel transfer opened by
+    /// [`Bus::begin_fast_xfer`]: performs the access against the mapped
+    /// target at cycle `now` (the exact cycle the per-cycle arbiter would
+    /// have performed it) and books the completion. The per-cycle
+    /// accounting (`counters.cycles`) is the caller's to advance.
+    pub(crate) fn finish_fast_xfer(
+        &mut self,
+        master: MasterId,
+        request: BusRequest,
+        now: u64,
+    ) -> BusCompletion {
+        let txn = ActiveTxn {
+            master,
+            request,
+            target: self.target_at(request.addr),
+            cycles_left: 0,
+        };
+        let completion = self.perform(txn, now);
+        self.conclude(&completion);
+        completion
+    }
+
+    /// Completes a batched *cached* fetch without touching the target: the
+    /// decode cache already holds the fetched word, so only the completion
+    /// book-keeping (xact count, `last_xact` probe) is replayed.
+    pub(crate) fn finish_cached_fetch(&mut self, master: MasterId, addr: Addr, word: u32) {
+        self.counters.per_master[master.0 as usize].xacts += 1;
+        self.last_xact = Some(BusXact {
+            master,
+            addr,
+            width: MemWidth::Word,
+            kind: XferKind::Fetch,
+            data: word,
+        });
     }
 
     fn perform(&mut self, txn: ActiveTxn, now: u64) -> BusCompletion {

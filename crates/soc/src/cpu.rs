@@ -283,6 +283,51 @@ impl Cpu {
         self.config.clock_div <= 1 || cycle.is_multiple_of(self.config.clock_div as u64)
     }
 
+    /// True if the core's next tick would issue a fetch for a fresh
+    /// instruction with no debug/irq/step side-entry pending — the batched
+    /// block executor's per-core entry precondition. Undivided clocks only:
+    /// the block layer fuses whole instructions at one cycle per core
+    /// clock, which is only exact when core and SoC clocks coincide.
+    pub(crate) fn block_ready(&self) -> bool {
+        matches!(self.state, RunState::Running)
+            && !self.suspended
+            && matches!(self.phase, Phase::FetchIssue)
+            && self.completion.is_none()
+            && !self.break_pending
+            && self.step_budget.is_none()
+            && !(self.irq_enable && self.irq_line)
+            && self.config.clock_div <= 1
+    }
+
+    /// True if the core would vector into its IRQ handler at the next
+    /// instruction boundary.
+    pub(crate) fn irq_taken_next(&self) -> bool {
+        self.irq_enable && self.irq_line
+    }
+
+    /// Current level of the interrupt request line (hashed state: the
+    /// kernel must keep it in sync with the interrupt controller even
+    /// across skipped stretches).
+    pub(crate) fn irq_line(&self) -> bool {
+        self.irq_line
+    }
+
+    /// The earliest SoC cycle at or after `now` at which ticking this core
+    /// could change state: `now` for a running undivided core, the next
+    /// divider multiple for a divided one, `None` (never) while halted or
+    /// suspended.
+    pub(crate) fn next_wake(&self, now: u64) -> Option<u64> {
+        if self.is_halted() || self.suspended {
+            return None;
+        }
+        let div = u64::from(self.config.clock_div);
+        if div <= 1 {
+            Some(now)
+        } else {
+            Some(now.next_multiple_of(div))
+        }
+    }
+
     /// Advances the core by one of its clock cycles, pushing any observable
     /// events into `events`. `bus` receives fetch/data requests; `now` is
     /// the SoC cycle used for timestamping.
@@ -443,7 +488,12 @@ impl Cpu {
         }
     }
 
-    fn retire(&mut self, instr: Instr, mem: Option<MemAccessInfo>, events: &mut Vec<SocEvent>) {
+    pub(crate) fn retire(
+        &mut self,
+        instr: Instr,
+        mem: Option<MemAccessInfo>,
+        events: &mut Vec<SocEvent>,
+    ) {
         let pc = self.pc;
         let mut next_pc = pc.wrapping_add(4);
         let mut taken = None;
@@ -551,7 +601,7 @@ impl Cpu {
         }
     }
 
-    fn halt(&mut self, cause: StopCause, events: &mut Vec<SocEvent>) {
+    pub(crate) fn halt(&mut self, cause: StopCause, events: &mut Vec<SocEvent>) {
         self.state = RunState::Halted(cause);
         self.break_pending = false;
         self.phase = Phase::FetchIssue;

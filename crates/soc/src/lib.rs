@@ -24,7 +24,12 @@
 //! * [`periph`] — system timer, sensor/actuator ports and trigger pins;
 //! * [`soc`] — the assembled device and its per-cycle event stream;
 //! * [`sink`] — the push-based streaming observation pipeline
-//!   ([`CycleSink`] and its combinators) that `Soc::step_into` feeds.
+//!   ([`CycleSink`] and its combinators) that `Soc::step_into` feeds;
+//! * [`kernel`] — the discrete-event execution kernel: a min-heap of
+//!   per-component wakeups that skips quiescent stretches in O(log n),
+//!   plus a batched basic-block layer with cached decode for
+//!   straight-line runs ([`ExecMode`], [`ExecStats`]). Bit-identical to
+//!   per-cycle stepping; falls back to it whenever observation demands.
 //!
 //! ## Example
 //!
@@ -58,6 +63,7 @@ pub mod cpu;
 pub mod disasm;
 pub mod event;
 pub mod isa;
+pub mod kernel;
 pub mod mem;
 pub mod overlay;
 pub mod periph;
@@ -70,5 +76,6 @@ pub use bus::{
 pub use cpu::{CoreConfig, Cpu, RunState};
 pub use event::{CoreId, CycleRecord, MemAccessInfo, RetireEvent, SocEvent, StopCause};
 pub use isa::{Instr, MemWidth, Reg};
+pub use kernel::{ExecMode, ExecStats};
 pub use sink::{Collect, CountSink, CycleSink, FanOut, NullSink};
 pub use soc::{memmap, BackdoorError, Soc, SocBuilder};

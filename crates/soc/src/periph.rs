@@ -154,6 +154,19 @@ impl PeriphBlock {
         self.irq_pending
     }
 
+    /// The cycle at which [`Periph::timer_tick`] next mutates state, if the
+    /// timer is armed. `timer_tick` is a no-op strictly before this cycle,
+    /// so the execution kernel may skip straight to it.
+    pub(crate) fn timer_wake(&self) -> Option<u64> {
+        (self.timer_period > 0).then_some(self.timer_next_fire)
+    }
+
+    /// True while a DMA start command is latched but not yet taken by the
+    /// SoC's DMA engine.
+    pub(crate) fn dma_start_latched(&self) -> bool {
+        self.dma_start_pending
+    }
+
     /// Sets a sensor input port value (host/testbench side).
     ///
     /// # Panics

@@ -44,6 +44,20 @@ pub trait CycleSink {
     fn observe_record(&mut self, record: &CycleRecord) {
         self.observe(record.cycle, &record.events);
     }
+
+    /// Whether this sink needs to observe every simulated cycle.
+    ///
+    /// Returning `false` licenses the execution kernel to advance time in
+    /// batches (event skips, basic blocks) without calling
+    /// [`CycleSink::observe`] for the elided cycles: the sink forfeits the
+    /// once-per-cycle guarantee in exchange for speed. Cycles that the
+    /// kernel does step exactly are still delivered, so a non-observing
+    /// sink may see a *subset* of cycles, never a wrong one. Anything that
+    /// inspects events or relies on per-cycle pacing must keep the default
+    /// `true`.
+    fn wants_cycles(&self) -> bool {
+        true
+    }
 }
 
 /// Forwarding impl so `&mut S` can be passed where a sink is consumed by
@@ -51,6 +65,10 @@ pub trait CycleSink {
 impl<S: CycleSink + ?Sized> CycleSink for &mut S {
     fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
         (**self).observe(cycle, events);
+    }
+
+    fn wants_cycles(&self) -> bool {
+        (**self).wants_cycles()
     }
 }
 
@@ -62,6 +80,11 @@ pub struct NullSink;
 impl CycleSink for NullSink {
     #[inline]
     fn observe(&mut self, _cycle: u64, _events: &[SocEvent]) {}
+
+    /// Discarding sink: the kernel may elide cycles entirely.
+    fn wants_cycles(&self) -> bool {
+        false
+    }
 }
 
 /// Back-compat adapter: collects the stream into `Vec<CycleRecord>`,
@@ -121,6 +144,11 @@ impl<A: CycleSink, B: CycleSink> CycleSink for FanOut<A, B> {
     fn observe(&mut self, cycle: u64, events: &[SocEvent]) {
         self.first.observe(cycle, events);
         self.second.observe(cycle, events);
+    }
+
+    /// A fan-out needs per-cycle delivery if either branch does.
+    fn wants_cycles(&self) -> bool {
+        self.first.wants_cycles() || self.second.wants_cycles()
     }
 }
 

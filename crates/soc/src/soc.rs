@@ -208,7 +208,7 @@ pub struct DmaEngineState {
 /// multi-master bus exactly like a core's — and therefore in the MCDS
 /// system-centric bus trace.
 #[derive(Debug)]
-struct DmaEngine {
+pub(crate) struct DmaEngine {
     master: MasterId,
     state: DmaState,
     src: u32,
@@ -239,6 +239,13 @@ impl DmaEngine {
 
     fn deliver(&mut self, c: BusCompletion) {
         self.completion = Some(c);
+    }
+
+    /// True while the engine would do nothing when ticked (no transfer in
+    /// any phase). A stale undelivered completion with an `Idle` state is
+    /// also inert: `tick` never consumes it from `Idle`.
+    pub(crate) fn is_idle(&self) -> bool {
+        matches!(self.state, DmaState::Idle)
     }
 
     /// Advances the engine one cycle; returns `Some(error)` when the
@@ -467,6 +474,16 @@ impl SocBuilder {
             .dma
             .then(|| DmaEngine::new(MasterId(cores.len() as u8 + 1)));
 
+        // The address windows the overlay mapper serves: a completed bus
+        // write into any of them (code patch, cal-page data, overlay
+        // control) can change what a fetch returns, so the kernel's decode
+        // cache watches them for invalidation.
+        let flash_window = AddrRange::new(memmap::FLASH_BASE, memmap::FLASH_SIZE);
+        let mut code_windows = vec![flash_window, ctrl_window];
+        if let Some(size) = emem_size {
+            code_windows.push(AddrRange::new(memmap::EMEM_BASE, size));
+        }
+
         Soc {
             cycle: 0,
             bus,
@@ -479,6 +496,7 @@ impl SocBuilder {
             prev_trig_in: 0,
             dma,
             scratch: Vec::with_capacity(16),
+            exec: crate::kernel::ExecState::new(flash_window, code_windows),
         }
     }
 }
@@ -523,20 +541,27 @@ pub enum MemoryId {
 }
 
 /// The simulated SoC.
+///
+/// Fields are `pub(crate)` so the execution kernel (`crate::kernel`) can
+/// split-borrow them; everything outside the crate goes through accessors.
 pub struct Soc {
-    cycle: u64,
-    bus: Bus<SocTarget>,
-    cores: Vec<Cpu>,
-    mapper_id: TargetId,
-    sram_id: TargetId,
-    periph_id: TargetId,
-    debug_master: MasterId,
-    debug_completion: Option<BusCompletion>,
-    prev_trig_in: u32,
-    dma: Option<DmaEngine>,
+    pub(crate) cycle: u64,
+    pub(crate) bus: Bus<SocTarget>,
+    pub(crate) cores: Vec<Cpu>,
+    pub(crate) mapper_id: TargetId,
+    pub(crate) sram_id: TargetId,
+    pub(crate) periph_id: TargetId,
+    pub(crate) debug_master: MasterId,
+    pub(crate) debug_completion: Option<BusCompletion>,
+    pub(crate) prev_trig_in: u32,
+    pub(crate) dma: Option<DmaEngine>,
     /// Reused per-cycle event buffer for the streaming hot path. Always
     /// empty between steps; never serialized (it is pure scratch).
-    scratch: Vec<SocEvent>,
+    pub(crate) scratch: Vec<SocEvent>,
+    /// Execution-kernel state: mode, stats, event heap, decode cache and
+    /// its generation counter. Derived state — never serialized, never
+    /// hashed; [`SocState`] round-trips are bit-identical regardless of it.
+    pub(crate) exec: crate::kernel::ExecState,
 }
 
 impl std::fmt::Debug for Soc {
@@ -608,7 +633,12 @@ impl Soc {
 
     /// Mutable backdoor to the address-mapping block (overlay configuration,
     /// flash programming, emulation-RAM segment roles).
+    ///
+    /// Any caller may rewrite code or remap the fetch path through this
+    /// handle (flash programming, overlay page swaps, segment roles), so it
+    /// conservatively invalidates the execution kernel's decode cache.
     pub fn mapper_mut(&mut self) -> &mut OverlayMapper {
+        self.exec.invalidate_decode();
         match self.bus.target_mut(self.mapper_id) {
             SocTarget::Mapper(m) => m,
             _ => unreachable!("mapper id points at mapper"),
@@ -914,6 +944,15 @@ impl Soc {
         events.clear();
         let now = self.cycle;
         if let Some(c) = self.bus.step(now) {
+            // In-band code writes (core stores through an overlay window,
+            // DMA into emulation RAM, debug-master patches, overlay control
+            // pokes) invalidate the kernel's decode cache.
+            if c.fault.is_none()
+                && c.request.kind.is_write()
+                && self.exec.watches_writes_to(c.request.addr)
+            {
+                self.exec.invalidate_decode();
+            }
             if c.master == self.debug_master {
                 self.debug_completion = Some(c);
             } else if self.dma.as_ref().is_some_and(|d| d.master == c.master) {
@@ -999,32 +1038,39 @@ impl Soc {
         }
     }
 
-    /// Steps `n` cycles, discarding events (fast-forward for tests and
-    /// benches that do not trace). Routed through [`NullSink`], so no
-    /// per-cycle records are allocated.
+    /// Advances `n` cycles, discarding events (fast-forward for tests and
+    /// benches that do not trace). Routed through the execution kernel
+    /// with a [`NullSink`], so quiescent stretches are skipped and
+    /// straight-line code runs as batched basic blocks (see
+    /// [`crate::kernel`]); the architectural end state is bit-identical to
+    /// `n` per-cycle steps.
     pub fn run_cycles(&mut self, n: u64) {
-        let mut sink = NullSink;
-        for _ in 0..n {
-            self.step_into(&mut sink);
-        }
+        self.run_cycles_into(n, &mut NullSink);
     }
 
-    /// Steps until every core is halted or `max_cycles` elapse, streaming
-    /// each cycle's events into `sink`. Returns the number of cycles
-    /// stepped. Memory use is the sink's choice — [`NullSink`] keeps a
-    /// multi-billion-cycle run flat.
+    /// Advances `n` cycles, streaming observed cycles into `sink` — the
+    /// single kernel entry point that `run_cycles` / `run_until_halt_into`
+    /// wrap. A sink that wants every cycle
+    /// ([`CycleSink::wants_cycles`]`()` true) forces exact per-cycle
+    /// stepping; otherwise the configured [`crate::kernel::ExecMode`]
+    /// decides how time advances.
+    pub fn run_cycles_into<S: CycleSink + ?Sized>(&mut self, n: u64, sink: &mut S) {
+        let target = self.cycle.saturating_add(n);
+        self.run_kernel(target, false, sink);
+    }
+
+    /// Advances until every core is halted or `max_cycles` elapse,
+    /// streaming observed cycles into `sink`. Returns the number of cycles
+    /// consumed. Memory use is the sink's choice — [`NullSink`] keeps a
+    /// multi-billion-cycle run flat (and additionally licenses the kernel
+    /// to batch).
     pub fn run_until_halt_into<S: CycleSink + ?Sized>(
         &mut self,
         max_cycles: u64,
         sink: &mut S,
     ) -> u64 {
-        for stepped in 0..max_cycles {
-            self.step_into(sink);
-            if self.cores.iter().all(|c| c.is_halted()) {
-                return stepped + 1;
-            }
-        }
-        max_cycles
+        let target = self.cycle.saturating_add(max_cycles);
+        self.run_kernel(target, true, sink)
     }
 
     /// Steps until every core is halted or `max_cycles` elapse; returns the

@@ -386,13 +386,28 @@ impl Vehicle {
         }
     }
 
+    /// Sets the execution-kernel mode on every ECU's device (see
+    /// [`mcds_soc::ExecMode`]). A speed knob only: vehicle state,
+    /// [`Vehicle::state_hash`] and replay results are bit-identical
+    /// across modes.
+    pub fn set_exec_mode(&mut self, mode: mcds_soc::ExecMode) {
+        for ecu in &mut self.ecus {
+            ecu.device.set_exec_mode(mode);
+        }
+    }
+
     /// Advances one vehicle cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
         // 1. Trigger levels (expiring finished pulses), then device time.
         for ecu in &mut self.ecus {
             ecu.node.apply_trigger_levels(&mut ecu.device, now);
-            ecu.device.step();
+            // One cycle through the execution kernel: lockstep with the
+            // CAN fabric is preserved (the fabric samples every cycle),
+            // but no per-cycle record is allocated and a quiescent ECU
+            // (halted cores, idle MCDS) costs one heap probe instead of a
+            // full stepped cycle.
+            ecu.device.run_cycles(1);
             if let Some(daq) = &mut ecu.daq {
                 daq.slave_mut().sample_tick(&mut ecu.device);
             }

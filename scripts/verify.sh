@@ -95,7 +95,20 @@ test -s target/analysis/t15_journal.json \
 grep -q '"corr"' target/analysis/t15_journal.json \
   || { echo "missing correlation ids in t15_journal.json"; exit 1; }
 
-for t in t7 t8 t9 t11 t12 t13_farm t14_vnet t15_obs; do
+# Execution-kernel smoke: the discrete-event kernel and batched
+# basic-block execution (asserted in-bench: block-batched >=5x per-cycle
+# on straight-line code, the event kernel >=10x on a quiescent timer-wait
+# workload, state hashes AND decoded traces bit-identical to per-cycle
+# stepping across all modes). The t16_* metric set must land in the
+# Prometheus artifact.
+cargo run --release -q -p mcds-bench --bin t16_kernel -- --smoke
+for metric in t16_block_cycles_total t16_skipped_cycles_total \
+              t16_line_speedup t16_quiet_speedup t16_decode_hit_rate; do
+  grep -q "$metric" target/analysis/t16_kernel_telemetry.prom \
+    || { echo "missing $metric in t16_kernel_telemetry.prom"; exit 1; }
+done
+
+for t in t7 t8 t9 t11 t12 t13_farm t14_vnet t15_obs t16_kernel; do
   test -s "target/analysis/${t}_telemetry.json" \
     || { echo "missing ${t}_telemetry.json"; exit 1; }
 done

@@ -263,3 +263,51 @@ fn vehicle_groups_render_in_fleet_health() {
     }
     c.destroy(loose).expect("destroy");
 }
+
+/// Farm revival over the execution kernel: a session running batched
+/// (block/event-kernel) execution, evicted to disk and revived, must be
+/// bit-identical — state hash and decoded trace — to a per-cycle control
+/// session that never left memory. Proves the decode cache and event
+/// heap never leak into the suspended snapshot.
+#[test]
+fn revived_batched_session_matches_per_cycle_control() {
+    let (_server, addr) = spawn_server("kernel");
+    let mut c = FarmClient::connect(addr).expect("connect");
+    let control = c.create("engine", true).expect("control");
+    let batched = c.create("engine", true).expect("batched");
+
+    c.call(
+        "session.set_exec_mode",
+        obj(vec![
+            ("session", vint(control)),
+            ("mode", vstr("per_cycle")),
+        ]),
+    )
+    .expect("control mode");
+    c.call(
+        "session.set_exec_mode",
+        obj(vec![
+            ("session", vint(batched)),
+            ("mode", vstr("block_batched")),
+        ]),
+    )
+    .expect("batched mode");
+
+    let (ran_c, state_c, trace_c) = drive(&mut c, control, false);
+    let (ran_b, state_b, trace_b) = drive(&mut c, batched, true);
+    assert_eq!(ran_c, ran_b, "same cycles retired");
+    assert_eq!(
+        state_c, state_b,
+        "batched + evict/revive must match the per-cycle control"
+    );
+    assert_eq!(trace_c, trace_b, "decoded traces must match");
+
+    // An unknown mode string is a typed params error.
+    let err = c
+        .call(
+            "session.set_exec_mode",
+            obj(vec![("session", vint(control)), ("mode", vstr("warp"))]),
+        )
+        .expect_err("bad mode");
+    assert_eq!(rpc_code(err), proto::ERR_INVALID_PARAMS);
+}

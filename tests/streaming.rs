@@ -197,3 +197,187 @@ proptest! {
         prop_assert_eq!(device_state_hash(&fast), device_state_hash(&slow));
     }
 }
+
+/// A workload with phases the kernel treats differently: a straight-line
+/// hot loop (block-batchable), timer IRQs with an ISR (boundary events +
+/// fallback), peripheral port writes (excluded from blocks), and a final
+/// halt (quiescent tail, skippable).
+fn kernel_source(iterations: u32, timer_period: u32) -> String {
+    format!(
+        "
+        .equ PERIOD_REG, 0xF0000008
+        .equ ACK_REG,    0xF000000C
+        .equ OUT0,       0xF0000100
+        .org 0x80000000
+        start:
+            li r1, {timer_period}
+            li r2, PERIOD_REG
+            sw r1, 0(r2)
+            li r1, 1
+            mtsr irqen, r1
+            li r1, {iterations}
+            li r6, 0xD0000000
+        loop:
+            mul r3, r1, r1
+            sw  r3, 0(r6)
+            lw  r4, 0(r6)
+            xor r5, r5, r4
+            addi r1, r1, -1
+            bne r1, r0, loop
+            li r2, OUT0
+            sw r5, 0(r2)
+            halt
+
+        .org 0x80000400
+        isr:
+            li r8, 0xD0000100
+            lw r7, 0(r8)
+            addi r7, r7, 1
+            sw r7, 0(r8)
+            li r8, ACK_REG
+            sw r0, 0(r8)
+            eret
+        "
+    )
+}
+
+/// An untraced production device running the kernel workload.
+fn kernel_device(src: &str) -> Device {
+    let mut dev = DeviceBuilder::new(DeviceVariant::Production)
+        .core(CoreConfig {
+            reset_pc: 0x8000_0000,
+            clock_div: 1,
+            ..Default::default()
+        })
+        .build();
+    dev.soc_mut()
+        .load_program(&assemble(src).expect("assembles"));
+    dev
+}
+
+/// Drives `dev` through the shared schedule: uneven run quanta with
+/// trigger-level pokes and debug-master reads interleaved at fixed slice
+/// indices — every mode sees the identical stimulus at identical cycles.
+fn drive_schedule(
+    dev: &mut Device,
+    quanta: &[u64],
+    trig_pokes: &[(usize, u32)],
+    debug_reads: &[usize],
+) {
+    for (i, &q) in quanta.iter().enumerate() {
+        for &(slice, level) in trig_pokes {
+            if slice == i {
+                dev.soc_mut().periph_mut().set_trigger_in(level);
+            }
+        }
+        if debug_reads.contains(&i) {
+            let _ = dev
+                .soc_mut()
+                .debug_read(0xD000_0000, mcds_soc::isa::MemWidth::Word);
+        }
+        dev.run_cycles(q);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The execution-kernel tri-modal equivalence: per-cycle,
+    /// event-kernel and block-batched runs of the same workload under
+    /// the same quantum slicing and stimulus schedule land on the same
+    /// cycle with bit-identical device state and snapshot hashes.
+    #[test]
+    fn execution_kernel_modes_are_bit_identical(
+        iterations in 1u32..200,
+        timer_sel in 0usize..4,
+        quanta in proptest::collection::vec(1u64..800, 1..10),
+        trig_pokes in proptest::collection::vec((0usize..10, 0u32..4), 0..4),
+        debug_reads in proptest::collection::vec(0usize..10, 0..3),
+    ) {
+        let timer_period = [0u32, 150, 700, 2500][timer_sel];
+        let src = kernel_source(iterations, timer_period);
+        let run = |mode: mcds_soc::ExecMode| {
+            let mut dev = kernel_device(&src);
+            dev.set_exec_mode(mode);
+            drive_schedule(&mut dev, &quanta, &trig_pokes, &debug_reads);
+            (
+                dev.soc().cycle(),
+                device_state_hash(&dev),
+                SocSnapshot::capture(&dev).state_hash(),
+            )
+        };
+        let per_cycle = run(mcds_soc::ExecMode::PerCycle);
+        let event = run(mcds_soc::ExecMode::EventKernel);
+        let block = run(mcds_soc::ExecMode::BlockBatched);
+        prop_assert_eq!(per_cycle, event);
+        prop_assert_eq!(per_cycle, block);
+    }
+
+    /// The same equivalence for a *traced* device: the MCDS is live, so
+    /// the device-layer idle gate must keep every mode on the exact
+    /// per-cycle path — same sink bytes, same decoded trace, same
+    /// hashes. Guards against the batching kernel engaging where
+    /// observation could be lost.
+    #[test]
+    fn execution_kernel_modes_preserve_traced_runs(
+        iterations in 1u32..80,
+        stride in 1u32..5,
+        quanta in proptest::collection::vec(1u64..500, 1..8),
+    ) {
+        let src = loop_source(iterations, stride);
+        let run = |mode: mcds_soc::ExecMode| {
+            let mut dev = traced_device(&src, false, 32);
+            dev.set_exec_mode(mode);
+            for &q in &quanta {
+                dev.run_cycles(q);
+            }
+            let bytes = sink_bytes(&dev);
+            let msgs = StreamDecoder::new(bytes.clone())
+                .collect_all()
+                .expect("decodes");
+            (bytes, msgs, device_state_hash(&dev))
+        };
+        let per_cycle = run(mcds_soc::ExecMode::PerCycle);
+        let event = run(mcds_soc::ExecMode::EventKernel);
+        let block = run(mcds_soc::ExecMode::BlockBatched);
+        prop_assert_eq!(&per_cycle, &event);
+        prop_assert_eq!(&per_cycle, &block);
+    }
+
+    /// Snapshot round-trips cross execution modes: state captured from a
+    /// batched run restores into a per-cycle continuation (and vice
+    /// versa) with bit-identical results — the decode cache and event
+    /// heap are derived state, invisible to `SocSnapshot`.
+    #[test]
+    fn snapshots_cross_execution_modes(
+        iterations in 1u32..150,
+        timer_sel in 0usize..3,
+        split in 1u64..3000,
+        tail in 1u64..3000,
+    ) {
+        let timer_period = [0u32, 400, 1800][timer_sel];
+        let src = kernel_source(iterations, timer_period);
+        // Reference: one per-cycle run all the way through.
+        let mut reference = kernel_device(&src);
+        reference.set_exec_mode(mcds_soc::ExecMode::PerCycle);
+        reference.run_cycles(split + tail);
+        let want = device_state_hash(&reference);
+
+        // Batched first half → snapshot → restore → per-cycle second
+        // half, and the reverse.
+        for (first, second) in [
+            (mcds_soc::ExecMode::BlockBatched, mcds_soc::ExecMode::PerCycle),
+            (mcds_soc::ExecMode::PerCycle, mcds_soc::ExecMode::BlockBatched),
+        ] {
+            let mut warm = kernel_device(&src);
+            warm.set_exec_mode(first);
+            warm.run_cycles(split);
+            let snap = SocSnapshot::capture(&warm);
+            let mut cold = kernel_device(&src);
+            snap.restore_into(&mut cold);
+            cold.set_exec_mode(second);
+            cold.run_cycles(tail);
+            prop_assert_eq!(device_state_hash(&cold), want);
+        }
+    }
+}

@@ -370,3 +370,33 @@ fn fleet_daq_merges_one_time_aligned_stream() {
     v.stop_daq(1).expect("stop gearbox daq");
     assert!(v.drain_fleet_daq().is_empty());
 }
+
+/// Execution-kernel lockstep: the fabric steps every ECU one cycle at a
+/// time, so all three kernel modes must hold the vehicle — fabric state
+/// hash *and* every ECU's decoded trace — bit-identical under the same
+/// stimulus, including a cross-segment gateway route and a mid-run
+/// fleet-wide calibration page swap.
+#[test]
+fn exec_kernel_modes_keep_vehicle_lockstep_bit_identical() {
+    let run = |mode: mcds_soc::ExecMode| {
+        let mut v = traced_fleet();
+        v.set_exec_mode(mode);
+        v.run_cycles(2_000);
+        v.apply_event(&VehicleEvent::Stimulus {
+            ecu: 0,
+            port: 0,
+            value: 180,
+        });
+        v.run_cycles(2_000);
+        v.apply_event(&VehicleEvent::CalSwap { page: 1 });
+        v.run_cycles(2_000);
+        (v.state_hash(), decoded_traces(&v))
+    };
+    let per_cycle = run(mcds_soc::ExecMode::PerCycle);
+    let event = run(mcds_soc::ExecMode::EventKernel);
+    let block = run(mcds_soc::ExecMode::BlockBatched);
+    assert_eq!(per_cycle.0, event.0, "event kernel fabric hash");
+    assert_eq!(per_cycle.0, block.0, "block batched fabric hash");
+    assert_eq!(per_cycle.1, event.1, "event kernel decoded traces");
+    assert_eq!(per_cycle.1, block.1, "block batched decoded traces");
+}
